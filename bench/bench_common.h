@@ -1,0 +1,217 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every bench binary accepts:
+//   --sf=<double>     TPC-H scale factor (default 0.1 ≈ 600 K lineitem rows;
+//                     the paper used SF 10 = 60 M rows)
+//   --points=<int>    number of selectivity points in sweeps (default 11)
+//   --disk=<0|1>      charge the paper's 2006-disk latencies for cold block
+//                     reads (default 1; reported runtimes = wall + charged)
+//   --dir=<path>      database directory (default /tmp/cstore_bench_data,
+//                     reused across runs)
+//   --runs=<int>      timed repetitions per point, minimum reported (default 1)
+//
+// Output format: one whitespace-aligned table per figure panel with a
+// `# fig=...` header line, mirroring the paper's series.
+
+#ifndef CSTORE_BENCH_BENCH_COMMON_H_
+#define CSTORE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "tpch/loader.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace bench {
+
+struct BenchOptions {
+  double sf = 0.1;
+  int points = 11;
+  bool simulate_disk = true;
+  std::string dir = "/tmp/cstore_bench_data";
+  int runs = 1;
+};
+
+inline BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--sf=", 5) == 0) {
+      opts.sf = std::atof(a + 5);
+    } else if (std::strncmp(a, "--points=", 9) == 0) {
+      opts.points = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--disk=", 7) == 0) {
+      opts.simulate_disk = std::atoi(a + 7) != 0;
+    } else if (std::strncmp(a, "--dir=", 6) == 0) {
+      opts.dir = a + 6;
+    } else if (std::strncmp(a, "--runs=", 7) == 0) {
+      opts.runs = std::max(1, std::atoi(a + 7));
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", a);
+    }
+  }
+  return opts;
+}
+
+inline std::unique_ptr<db::Database> OpenBenchDb(const BenchOptions& opts) {
+  db::Database::Options dbo;
+  dbo.dir = opts.dir;
+  dbo.pool_frames = 16384;  // 1 GB of 64 KB frames
+  dbo.disk.enabled = opts.simulate_disk;
+  dbo.disk.seek_micros = 2500.0;  // paper Table 2
+  dbo.disk.read_micros = 1000.0;
+  dbo.disk.prefetch_blocks = 1;
+  auto db = db::Database::Open(dbo);
+  CSTORE_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Reads a whole column into memory (for quantile computation).
+inline std::vector<Value> ReadColumn(const codec::ColumnReader& reader) {
+  std::vector<Value> out;
+  out.reserve(reader.num_values());
+  for (uint64_t b = 0; b < reader.num_blocks(); ++b) {
+    auto blk = reader.FetchBlock(b);
+    CSTORE_CHECK(blk.ok()) << blk.status().ToString();
+    blk->view.Decompress(&out);
+  }
+  return out;
+}
+
+/// Value X such that (v < X) has selectivity ≈ q, plus the exact resulting
+/// selectivity.
+struct SelectivityPoint {
+  double target;
+  Value threshold;
+  double actual;
+};
+
+inline std::vector<SelectivityPoint> SelectivitySweep(
+    const std::vector<Value>& values, int points) {
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<SelectivityPoint> out;
+  for (int i = 0; i < points; ++i) {
+    double q = points == 1 ? 1.0 : static_cast<double>(i) / (points - 1);
+    SelectivityPoint p;
+    p.target = q;
+    if (q >= 1.0) {
+      p.threshold = sorted.back() + 1;
+    } else {
+      size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+      p.threshold = sorted[idx];
+    }
+    size_t below = std::lower_bound(sorted.begin(), sorted.end(),
+                                    p.threshold) -
+                   sorted.begin();
+    p.actual = static_cast<double>(below) / sorted.size();
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Exact selectivity of (v < x) in `values`.
+inline double ExactSelectivity(const std::vector<Value>& values, Value x) {
+  uint64_t n = 0;
+  for (Value v : values) {
+    if (v < x) ++n;
+  }
+  return static_cast<double>(n) / values.size();
+}
+
+/// Runs a selection query `runs` times cold (caches dropped), returning the
+/// minimum total runtime in milliseconds.
+inline double TimeSelection(db::Database* db, const plan::SelectionQuery& q,
+                            plan::Strategy s, int runs,
+                            const plan::PlanConfig& config = {},
+                            plan::RunStats* last_stats = nullptr) {
+  double best = 1e100;
+  for (int r = 0; r < runs; ++r) {
+    db->DropCaches();
+    auto result = db->RunSelection(q, s, config);
+    CSTORE_CHECK(result.ok()) << result.status().ToString();
+    best = std::min(best, result->stats.TotalMillis());
+    if (last_stats) *last_stats = result->stats;
+  }
+  return best;
+}
+
+inline double TimeAgg(db::Database* db, const plan::AggQuery& q,
+                      plan::Strategy s, int runs,
+                      const plan::PlanConfig& config = {},
+                      plan::RunStats* last_stats = nullptr) {
+  double best = 1e100;
+  for (int r = 0; r < runs; ++r) {
+    db->DropCaches();
+    auto result = db->RunAgg(q, s, config);
+    CSTORE_CHECK(result.ok()) << result.status().ToString();
+    best = std::min(best, result->stats.TotalMillis());
+    if (last_stats) *last_stats = result->stats;
+  }
+  return best;
+}
+
+inline double TimeJoin(db::Database* db, const plan::JoinQuery& q,
+                       exec::JoinRightMode mode, int runs,
+                       plan::RunStats* last_stats = nullptr) {
+  double best = 1e100;
+  for (int r = 0; r < runs; ++r) {
+    db->DropCaches();
+    auto result = db->RunJoin(q, mode);
+    CSTORE_CHECK(result.ok()) << result.status().ToString();
+    best = std::min(best, result->stats.TotalMillis());
+    if (last_stats) *last_stats = result->stats;
+  }
+  return best;
+}
+
+/// Simple aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    CSTORE_CHECK(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    print_row(std::vector<std::string>(headers_.size(), "----"));
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace cstore
+
+#endif  // CSTORE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,124 @@
+// Figure 10: predicted (analytical model, Section 3) versus actual runtimes
+// for the selection query
+//
+//   SELECT SHIPDATE, LINENUM FROM LINEITEM
+//   WHERE SHIPDATE < X AND LINENUM < 7
+//
+// with both columns RLE encoded (the Section 3.7 configuration), sweeping
+// the SHIPDATE selectivity. Panel (a) shows the LM strategies, panel (b)
+// the EM strategies, each with model overlays.
+//
+// Model constants are calibrated on this machine (Calibrator, following the
+// paper's methodology); SEEK/READ come from the simulated 2006 disk. The
+// check is the paper's: the model should track the measured curves'
+// magnitude and shape ("quite accurate at predicting the actual
+// performance").
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/advisor.h"
+#include "model/calibrate.h"
+#include "model/cost_model.h"
+
+using namespace cstore;        // NOLINT
+using namespace cstore::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  auto db = OpenBenchDb(opts);
+
+  auto lineitem_r = tpch::LoadLineitem(db.get(), opts.sf);
+  CSTORE_CHECK(lineitem_r.ok()) << lineitem_r.status().ToString();
+  tpch::LineitemColumns li = std::move(lineitem_r).value();
+
+  model::Calibrator::Options copts;
+  copts.loop_size = 1 << 21;
+  model::Calibrator calibrator(copts);
+  model::CostParams params = calibrator.Run(*db->disk_model());
+  std::printf("Figure 10: model validation (sf=%.3g, rows=%llu, disk-sim=%d)\n",
+              opts.sf, static_cast<unsigned long long>(li.num_rows),
+              opts.simulate_disk);
+  std::printf("calibrated constants: %s\n", params.ToString().c_str());
+  std::printf("paper Table 2:        %s\n\n",
+              model::CostParams::Paper2006().ToString().c_str());
+
+  std::vector<Value> shipdates = ReadColumn(*li.shipdate);
+  std::vector<Value> linenums = ReadColumn(*li.linenum_rle);
+  auto sweep = SelectivitySweep(shipdates, opts.points);
+  double sf2 = ExactSelectivity(linenums, 7);
+
+  model::SelectionModelInput input;
+  input.col1 = model::ColumnStats::FromMeta(li.shipdate->meta());
+  input.col2 = model::ColumnStats::FromMeta(li.linenum_rle->meta());
+  input.sf2 = sf2;
+  input.col1_clustered = true;
+
+  struct Series {
+    plan::Strategy strategy;
+    std::vector<double> real;
+    std::vector<double> predicted;
+  };
+  std::vector<Series> series = {
+      {plan::Strategy::kLmParallel, {}, {}},
+      {plan::Strategy::kLmPipelined, {}, {}},
+      {plan::Strategy::kEmParallel, {}, {}},
+      {plan::Strategy::kEmPipelined, {}, {}},
+  };
+
+  for (const SelectivityPoint& pt : sweep) {
+    plan::SelectionQuery q;
+    q.columns.push_back(
+        {li.shipdate, codec::Predicate::LessThan(pt.threshold)});
+    q.columns.push_back({li.linenum_rle, codec::Predicate::LessThan(7)});
+    input.sf1 = pt.actual;
+    for (Series& s : series) {
+      s.real.push_back(TimeSelection(db.get(), q, s.strategy, opts.runs));
+      s.predicted.push_back(
+          model::PredictSelection(s.strategy, input, params).total() /
+          1000.0);
+    }
+  }
+
+  auto print_panel = [&](const char* fig, size_t first, size_t count) {
+    std::printf("# fig=%s\n", fig);
+    std::vector<std::string> headers = {"selectivity"};
+    for (size_t i = first; i < first + count; ++i) {
+      headers.push_back(std::string(StrategyName(series[i].strategy)) +
+                        "-real");
+      headers.push_back(std::string(StrategyName(series[i].strategy)) +
+                        "-model");
+    }
+    TablePrinter table(headers);
+    for (size_t p = 0; p < sweep.size(); ++p) {
+      std::vector<std::string> row = {Fmt(sweep[p].actual, 3)};
+      for (size_t i = first; i < first + count; ++i) {
+        row.push_back(Fmt(series[i].real[p]));
+        row.push_back(Fmt(series[i].predicted[p]));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  };
+
+  print_panel("10a-late-materialization", 0, 2);
+  print_panel("10b-early-materialization", 2, 2);
+
+  // Model fidelity summary: geometric-mean ratio per strategy.
+  std::printf("# model-fidelity (predicted/real ratio, geometric mean)\n");
+  for (const Series& s : series) {
+    double log_sum = 0;
+    int n = 0;
+    for (size_t p = 0; p < sweep.size(); ++p) {
+      if (s.real[p] > 0.05 && s.predicted[p] > 0.05) {
+        log_sum += std::log(s.predicted[p] / s.real[p]);
+        ++n;
+      }
+    }
+    std::printf("%-14s ratio=%.2f (n=%d)\n", StrategyName(s.strategy),
+                n ? std::exp(log_sum / n) : 0.0, n);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 12: the aggregation version of the Figure 11 experiment:
+//
+//   SELECT SHIPDATE, SUM(LINENUM) FROM LINEITEM
+//   WHERE SHIPDATE < X AND LINENUM < 7 GROUP BY SHIPDATE
+//
+// Paper shapes to check: the EM curves track their Figure 11 counterparts
+// (the aggregator replaces the output iteration); the LM curves drop far
+// below theirs — the aggregator consumes positions + compressed
+// mini-columns, so almost no tuples are ever constructed, and for RLE data
+// it aggregates run-at-a-time.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "codec/encoding.h"
+#include "plan/strategy.h"
+
+using namespace cstore;        // NOLINT
+using namespace cstore::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  auto db = OpenBenchDb(opts);
+
+  auto lineitem_r = tpch::LoadLineitem(db.get(), opts.sf);
+  CSTORE_CHECK(lineitem_r.ok()) << lineitem_r.status().ToString();
+  tpch::LineitemColumns li = std::move(lineitem_r).value();
+
+  std::vector<Value> shipdates = ReadColumn(*li.shipdate);
+  auto sweep = SelectivitySweep(shipdates, opts.points);
+
+  std::printf(
+      "Figure 12: aggregation query, SELECT SHIPDATE, SUM(LINENUM) ... "
+      "GROUP BY SHIPDATE (sf=%.3g, rows=%llu, disk-sim=%d, runs=%d)\n",
+      opts.sf, static_cast<unsigned long long>(li.num_rows),
+      opts.simulate_disk, opts.runs);
+  std::printf("runtimes in ms (wall + simulated I/O)\n\n");
+
+  struct Panel {
+    const char* fig;
+    codec::Encoding enc;
+  };
+  const Panel panels[] = {
+      {"12a-linenum-uncompressed", codec::Encoding::kUncompressed},
+      {"12b-linenum-rle", codec::Encoding::kRle},
+      {"12c-linenum-bitvector", codec::Encoding::kBitVector},
+  };
+
+  for (const Panel& panel : panels) {
+    const codec::ColumnReader* linenum = li.linenum(panel.enc);
+    std::printf("# fig=%s\n", panel.fig);
+    bool has_lm_pipe = panel.enc != codec::Encoding::kBitVector;
+    std::vector<std::string> headers = {"selectivity", "EM-pipelined",
+                                        "EM-parallel", "LM-parallel"};
+    if (has_lm_pipe) headers.push_back("LM-pipelined");
+    TablePrinter table(headers);
+
+    for (const SelectivityPoint& pt : sweep) {
+      plan::AggQuery q;
+      q.selection.columns.push_back(
+          {li.shipdate, codec::Predicate::LessThan(pt.threshold)});
+      q.selection.columns.push_back({linenum, codec::Predicate::LessThan(7)});
+      q.group_index = 0;
+      q.agg_index = 1;
+      q.func = exec::AggFunc::kSum;
+
+      std::vector<std::string> row = {Fmt(pt.actual, 3)};
+      row.push_back(
+          Fmt(TimeAgg(db.get(), q, plan::Strategy::kEmPipelined, opts.runs)));
+      row.push_back(
+          Fmt(TimeAgg(db.get(), q, plan::Strategy::kEmParallel, opts.runs)));
+      row.push_back(
+          Fmt(TimeAgg(db.get(), q, plan::Strategy::kLmParallel, opts.runs)));
+      if (has_lm_pipe) {
+        row.push_back(Fmt(
+            TimeAgg(db.get(), q, plan::Strategy::kLmPipelined, opts.runs)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Join materialization: the Section 4.3 experiment as an application. Runs
+// the orders ⋈ customer star join with each inner-table representation and
+// prints what each strategy actually did (tuples constructed at build time,
+// values fetched out of order, ...).
+//
+//   build/examples/join_materialization [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "db/database.h"
+#include "tpch/loader.h"
+
+using namespace cstore;  // NOLINT
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  db::Database::Options opts;
+  opts.dir = "/tmp/cstore_join_demo";
+  opts.disk.enabled = true;
+  auto db_r = db::Database::Open(opts);
+  CSTORE_CHECK(db_r.ok()) << db_r.status().ToString();
+  auto db = std::move(db_r).value();
+
+  auto jc_r = tpch::LoadJoinTables(db.get(), sf);
+  CSTORE_CHECK(jc_r.ok()) << jc_r.status().ToString();
+  tpch::JoinColumns jc = std::move(jc_r).value();
+  std::printf("orders: %llu rows, customer: %llu rows\n\n",
+              static_cast<unsigned long long>(jc.num_orders),
+              static_cast<unsigned long long>(jc.num_customers));
+
+  // SELECT orders.shipdate, customer.nationcode
+  // FROM orders, customer
+  // WHERE orders.custkey = customer.custkey AND orders.custkey < X
+  // with X at half the customer-key domain.
+  plan::JoinQuery q;
+  q.left_key = jc.orders_custkey;
+  q.left_pred = codec::Predicate::LessThan(
+      static_cast<Value>(jc.num_customers / 2));
+  q.left_payload = jc.orders_shipdate;
+  q.right_key = jc.customer_custkey;
+  q.right_payload = jc.customer_nationcode;
+
+  std::printf("%-22s %10s %10s %14s %16s\n", "inner-table mode", "rows",
+              "time(ms)", "tuples-built", "values-gathered");
+  const exec::JoinRightMode modes[] = {exec::JoinRightMode::kMaterialized,
+                                       exec::JoinRightMode::kMultiColumn,
+                                       exec::JoinRightMode::kSingleColumn};
+  for (exec::JoinRightMode mode : modes) {
+    db->DropCaches();
+    auto r = db->RunJoin(q, mode);
+    CSTORE_CHECK(r.ok()) << r.status().ToString();
+    std::printf("%-22s %10llu %10.1f %14llu %16llu\n",
+                JoinRightModeName(mode),
+                static_cast<unsigned long long>(r->stats.output_tuples),
+                r->stats.TotalMillis(),
+                static_cast<unsigned long long>(
+                    r->stats.exec.tuples_constructed),
+                static_cast<unsigned long long>(
+                    r->stats.exec.values_gathered));
+  }
+
+  std::printf(
+      "\nWhat to notice (paper Section 4.3):\n"
+      " * materialized: every inner tuple is constructed before the join,\n"
+      "   even ones no probe ever matches.\n"
+      " * multi-column: only matching inner values are extracted, on the\n"
+      "   fly, from the pinned compressed column.\n"
+      " * single-column: the join emits unsorted inner positions, so the\n"
+      "   payload fetch cannot be a merge join on position — each access\n"
+      "   is an independent block lookup.\n");
+  return 0;
+}

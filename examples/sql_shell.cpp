@@ -1,0 +1,125 @@
+// SQL shell: run warehouse queries against the TPC-H-like database from the
+// command line — the row-store-compatible interface the paper's
+// introduction demands of column stores, end to end.
+//
+//   build/examples/sql_shell                       # interactive REPL
+//   build/examples/sql_shell "SELECT ... FROM lineitem ..."
+//
+// Tables: lineitem(returnflag, shipdate, linenum, linenum_plain,
+//         linenum_bv, quantity), orders(custkey, shipdate),
+//         customer(custkey, nationcode).
+// Dates are written as 'YYYY-MM-DD'. The engine picks the materialization
+// strategy with the paper's analytical model unless you prefix the query
+// with one of: em-pipelined:, em-parallel:, lm-pipelined:, lm-parallel:.
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "sql/engine.h"
+#include "tpch/dates.h"
+#include "tpch/loader.h"
+
+using namespace cstore;  // NOLINT
+
+namespace {
+
+std::optional<plan::Strategy> StripStrategyPrefix(std::string* sql) {
+  struct Prefix {
+    const char* name;
+    plan::Strategy strategy;
+  };
+  const Prefix prefixes[] = {
+      {"em-pipelined:", plan::Strategy::kEmPipelined},
+      {"em-parallel:", plan::Strategy::kEmParallel},
+      {"lm-pipelined:", plan::Strategy::kLmPipelined},
+      {"lm-parallel:", plan::Strategy::kLmParallel},
+  };
+  for (const Prefix& p : prefixes) {
+    size_t len = std::string(p.name).size();
+    if (sql->size() > len && sql->compare(0, len, p.name) == 0) {
+      sql->erase(0, len);
+      return p.strategy;
+    }
+  }
+  return std::nullopt;
+}
+
+void RunOne(sql::Engine* engine, std::string sql) {
+  if (sql.rfind("explain ", 0) == 0 || sql.rfind("EXPLAIN ", 0) == 0) {
+    auto report = engine->Explain(sql.substr(8));
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+    } else {
+      std::printf("%s", report->c_str());
+    }
+    return;
+  }
+  std::optional<plan::Strategy> strategy = StripStrategyPrefix(&sql);
+  auto r = engine->Execute(sql, strategy);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  // Header.
+  for (const std::string& name : r->column_names) {
+    std::printf("%-14s ", name.c_str());
+  }
+  std::printf("\n");
+  const size_t limit = 20;
+  for (size_t i = 0; i < r->tuples.num_tuples() && i < limit; ++i) {
+    for (uint32_t c = 0; c < r->tuples.width(); ++c) {
+      std::printf("%-14lld ",
+                  static_cast<long long>(r->tuples.value(i, c)));
+    }
+    std::printf("\n");
+  }
+  if (r->tuples.num_tuples() > limit) {
+    std::printf("... (%llu rows total)\n",
+                static_cast<unsigned long long>(r->tuples.num_tuples()));
+  }
+  std::printf("-- %llu rows, %.1f ms, strategy %s\n",
+              static_cast<unsigned long long>(r->stats.output_tuples),
+              r->stats.TotalMillis(), StrategyName(r->strategy));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  db::Database::Options opts;
+  opts.dir = "/tmp/cstore_sql_shell";
+  opts.disk.enabled = false;  // interactive: no simulated-disk charges
+  auto db_r = db::Database::Open(opts);
+  CSTORE_CHECK(db_r.ok()) << db_r.status().ToString();
+  auto db = std::move(db_r).value();
+
+  std::printf("loading TPC-H-like tables (sf 0.02) ...\n");
+  CSTORE_CHECK(tpch::LoadLineitem(db.get(), 0.02).ok());
+  CSTORE_CHECK(tpch::LoadJoinTables(db.get(), 0.02).ok());
+  sql::Engine engine(db.get());
+
+  if (argc > 1) {
+    RunOne(&engine, argv[1]);
+    return 0;
+  }
+
+  std::printf(
+      "tables: lineitem(returnflag, shipdate, linenum, linenum_plain, "
+      "linenum_bv, quantity)\n        orders(custkey, shipdate), "
+      "customer(custkey, nationcode)\n"
+      "example: SELECT shipdate, SUM(linenum) FROM lineitem WHERE shipdate "
+      "< '1994-01-01' AND linenum < 7 GROUP BY shipdate\n"
+      "prefix with 'explain ' for the advisor's cost report; ctrl-d to "
+      "exit\n");
+  std::string line;
+  while (true) {
+    std::printf("cstore> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    RunOne(&engine, line);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Strategy advisor: uses the paper's analytical model the way a query
+// optimizer would — calibrate the constants once, predict each strategy's
+// cost for the query at hand, pick the cheapest, and verify the choice by
+// executing all of them.
+//
+//   build/examples/strategy_advisor [scale_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "db/database.h"
+#include "model/advisor.h"
+#include "model/calibrate.h"
+#include "tpch/loader.h"
+
+using namespace cstore;  // NOLINT
+
+namespace {
+
+double MeasureSelectivity(const codec::ColumnReader& col, Value threshold) {
+  uint64_t matches = 0;
+  std::vector<Value> buf;
+  for (uint64_t b = 0; b < col.num_blocks(); ++b) {
+    auto blk = col.FetchBlock(b);
+    CSTORE_CHECK(blk.ok());
+    buf.clear();
+    blk->view.Decompress(&buf);
+    for (Value v : buf) {
+      if (v < threshold) ++matches;
+    }
+  }
+  return static_cast<double>(matches) / col.num_values();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.02;
+
+  db::Database::Options opts;
+  opts.dir = "/tmp/cstore_advisor";
+  opts.disk.enabled = true;
+  auto db_r = db::Database::Open(opts);
+  CSTORE_CHECK(db_r.ok()) << db_r.status().ToString();
+  auto db = std::move(db_r).value();
+
+  auto li_r = tpch::LoadLineitem(db.get(), sf);
+  CSTORE_CHECK(li_r.ok()) << li_r.status().ToString();
+  tpch::LineitemColumns li = std::move(li_r).value();
+
+  // Calibrate the model constants on this machine (paper methodology).
+  model::Calibrator::Options copts;
+  copts.loop_size = 1 << 20;
+  model::Calibrator calibrator(copts);
+  model::CostParams params = calibrator.Run(*db->disk_model());
+  model::Advisor advisor(params);
+  std::printf("calibrated: %s\n\n", params.ToString().c_str());
+
+  // Advise across operating points: vary the shipdate threshold.
+  struct Scenario {
+    const char* name;
+    double quantile;
+    codec::Encoding linenum_enc;
+  };
+  const Scenario scenarios[] = {
+      {"selective scan, uncompressed", 0.02, codec::Encoding::kUncompressed},
+      {"half the table, uncompressed", 0.5, codec::Encoding::kUncompressed},
+      {"full scan, uncompressed", 1.0, codec::Encoding::kUncompressed},
+      {"half the table, RLE", 0.5, codec::Encoding::kRle},
+      {"half the table, bit-vector", 0.5, codec::Encoding::kBitVector},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    Value threshold = li.shipdate->meta().min_value +
+                      static_cast<Value>(
+                          sc.quantile * (li.shipdate->meta().max_value -
+                                         li.shipdate->meta().min_value)) +
+                      1;
+    const codec::ColumnReader* linenum = li.linenum(sc.linenum_enc);
+
+    model::SelectionModelInput input;
+    input.col1 = model::ColumnStats::FromMeta(li.shipdate->meta());
+    input.col2 = model::ColumnStats::FromMeta(linenum->meta());
+    input.sf1 = MeasureSelectivity(*li.shipdate, threshold);
+    input.sf2 = MeasureSelectivity(*linenum, 7);
+    input.col1_clustered = true;
+
+    std::printf("== %s (sf1=%.2f, sf2=%.2f)\n", sc.name, input.sf1,
+                input.sf2);
+    auto ranked = advisor.RankSelection(input);
+    std::printf("   %-14s %12s %12s %12s\n", "strategy", "model(ms)",
+                "actual(ms)", "");
+    plan::SelectionQuery q;
+    q.columns.push_back({li.shipdate, codec::Predicate::LessThan(threshold)});
+    q.columns.push_back({linenum, codec::Predicate::LessThan(7)});
+
+    double best_actual = 1e100;
+    plan::Strategy actual_best = plan::Strategy::kEmParallel;
+    for (const auto& pred : ranked) {
+      if (!pred.supported) {
+        std::printf("   %-14s %12s\n", StrategyName(pred.strategy),
+                    "unsupported");
+        continue;
+      }
+      db->DropCaches();
+      auto r = db->RunSelection(q, pred.strategy);
+      CSTORE_CHECK(r.ok()) << r.status().ToString();
+      double actual = r->stats.TotalMillis();
+      if (actual < best_actual) {
+        best_actual = actual;
+        actual_best = pred.strategy;
+      }
+      std::printf("   %-14s %12.1f %12.1f %s\n", StrategyName(pred.strategy),
+                  pred.cost.total() / 1000.0, actual,
+                  &pred == &ranked.front() ? "<- advisor pick" : "");
+    }
+    std::printf("   advisor chose %s; fastest measured %s; heuristic says %s\n\n",
+                StrategyName(ranked.front().strategy),
+                StrategyName(actual_best),
+                StrategyName(model::Advisor::Heuristic(input, false)));
+  }
+  return 0;
+}

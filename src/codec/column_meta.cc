@@ -1,0 +1,105 @@
+#include "codec/column_meta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace codec {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x43534d54;  // "CSMT"
+
+struct MetaHeader {
+  uint32_t magic;
+  uint8_t encoding;
+  uint8_t sorted;
+  uint8_t reserved[2];
+  uint64_t num_values;
+  uint64_t num_blocks;
+  int64_t min_value;
+  int64_t max_value;
+  uint64_t num_distinct;
+  uint64_t num_runs;
+};
+
+}  // namespace
+
+uint64_t ColumnMeta::BlockContaining(Position pos) const {
+  CSTORE_DCHECK(!block_start_pos.empty());
+  CSTORE_DCHECK(pos < num_values);
+  // Last block whose start_pos <= pos.
+  auto it = std::upper_bound(block_start_pos.begin(), block_start_pos.end(),
+                             static_cast<uint64_t>(pos));
+  return static_cast<uint64_t>(it - block_start_pos.begin()) - 1;
+}
+
+std::vector<char> ColumnMeta::Serialize() const {
+  MetaHeader h;
+  std::memset(&h, 0, sizeof(h));
+  h.magic = kMetaMagic;
+  h.encoding = static_cast<uint8_t>(encoding);
+  h.num_values = num_values;
+  h.num_blocks = num_blocks;
+  h.min_value = min_value;
+  h.max_value = max_value;
+  h.num_distinct = num_distinct;
+  h.num_runs = num_runs;
+  h.sorted = sorted ? 1 : 0;
+
+  CSTORE_CHECK(block_first_value.size() == block_start_pos.size());
+  std::vector<char> out(sizeof(MetaHeader) +
+                        block_start_pos.size() * sizeof(uint64_t) +
+                        block_first_value.size() * sizeof(Value));
+  std::memcpy(out.data(), &h, sizeof(h));
+  char* p = out.data() + sizeof(h);
+  if (!block_start_pos.empty()) {
+    std::memcpy(p, block_start_pos.data(),
+                block_start_pos.size() * sizeof(uint64_t));
+    p += block_start_pos.size() * sizeof(uint64_t);
+    std::memcpy(p, block_first_value.data(),
+                block_first_value.size() * sizeof(Value));
+  }
+  return out;
+}
+
+Result<ColumnMeta> ColumnMeta::Deserialize(const std::vector<char>& bytes) {
+  if (bytes.size() < sizeof(MetaHeader)) {
+    return Status::Corruption("column meta too small");
+  }
+  MetaHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  if (h.magic != kMetaMagic) {
+    return Status::Corruption("bad column meta magic");
+  }
+  ColumnMeta meta;
+  meta.encoding = static_cast<Encoding>(h.encoding);
+  meta.num_values = h.num_values;
+  meta.num_blocks = h.num_blocks;
+  meta.min_value = h.min_value;
+  meta.max_value = h.max_value;
+  meta.num_distinct = h.num_distinct;
+  meta.num_runs = h.num_runs;
+  meta.sorted = h.sorted != 0;
+  size_t expected = sizeof(MetaHeader) +
+                    h.num_blocks * (sizeof(uint64_t) + sizeof(Value));
+  if (bytes.size() != expected) {
+    return Status::Corruption("column meta size mismatch");
+  }
+  meta.block_start_pos.resize(h.num_blocks);
+  meta.block_first_value.resize(h.num_blocks);
+  if (h.num_blocks > 0) {
+    const char* p = bytes.data() + sizeof(MetaHeader);
+    std::memcpy(meta.block_start_pos.data(), p,
+                h.num_blocks * sizeof(uint64_t));
+    p += h.num_blocks * sizeof(uint64_t);
+    std::memcpy(meta.block_first_value.data(), p,
+                h.num_blocks * sizeof(Value));
+  }
+  return meta;
+}
+
+}  // namespace codec
+}  // namespace cstore

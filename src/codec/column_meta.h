@@ -1,0 +1,54 @@
+// Per-column metadata persisted in a sidecar file next to the column data.
+// Includes the per-block start-position index used to locate the block
+// containing an arbitrary position (needed by DS3/DS4 position jumps).
+
+#ifndef CSTORE_CODEC_COLUMN_META_H_
+#define CSTORE_CODEC_COLUMN_META_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/encoding.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace codec {
+
+struct ColumnMeta {
+  Encoding encoding = Encoding::kUncompressed;
+  uint64_t num_values = 0;
+  uint64_t num_blocks = 0;
+  Value min_value = 0;
+  Value max_value = 0;
+  // Exact number of distinct values (tracked for bit-vector; 0 = unknown).
+  uint64_t num_distinct = 0;
+  // Total number of runs of equal adjacent values; the model's RL (average
+  // run length) is num_values / num_runs.
+  uint64_t num_runs = 0;
+  // True when the column's values are non-decreasing in position order —
+  // enables the clustered-index position derivation of Section 2.1.1.
+  bool sorted = false;
+  // start_pos of each block, ascending; block_start_pos.size() == num_blocks.
+  std::vector<uint64_t> block_start_pos;
+  // First value of each block (same length); with `sorted`, supports binary
+  // search for the block containing a value boundary.
+  std::vector<Value> block_first_value;
+
+  /// Average sorted-run length (Table 1's RL); 1 for uncompressed data.
+  double AverageRunLength() const {
+    if (num_runs == 0) return 1.0;
+    return static_cast<double>(num_values) / static_cast<double>(num_runs);
+  }
+
+  /// Index of the block whose range covers `pos`.
+  uint64_t BlockContaining(Position pos) const;
+
+  std::vector<char> Serialize() const;
+  static Result<ColumnMeta> Deserialize(const std::vector<char>& bytes);
+};
+
+}  // namespace codec
+}  // namespace cstore
+
+#endif  // CSTORE_CODEC_COLUMN_META_H_

@@ -1,0 +1,324 @@
+#include "codec/column_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/bit_util.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace codec {
+
+namespace {
+
+// Distinct-value tracking gives up above this cardinality (the statistic is
+// then reported as 0 = unknown). Bit-vector encoding needs the exact set,
+// but only per block, which is re-derived at flush time.
+constexpr size_t kMaxTrackedDistinct = 4096;
+
+// Smallest positions-per-block we will shrink to before declaring a column
+// too high-cardinality for bit-vector encoding.
+constexpr size_t kBitVectorMinPositions = 512;
+
+// Dictionary codes are uint16; a block's dictionary is also bounded by the
+// page payload (16384 codes + k values + header must fit).
+constexpr size_t kDictMaxDistinctPerBlock = 4000;
+
+}  // namespace
+
+Result<std::unique_ptr<ColumnWriter>> ColumnWriter::Create(
+    storage::FileManager* files, const std::string& name, Encoding encoding) {
+  CSTORE_ASSIGN_OR_RETURN(storage::FileId file, files->Create(name));
+  return std::unique_ptr<ColumnWriter>(
+      new ColumnWriter(files, name, file, encoding));
+}
+
+ColumnWriter::ColumnWriter(storage::FileManager* files, std::string name,
+                           storage::FileId file, Encoding encoding)
+    : files_(files), name_(std::move(name)), file_(file), encoding_(encoding) {
+  meta_.encoding = encoding;
+}
+
+void ColumnWriter::NoteValue(Value v) {
+  if (pos_ == 0) {
+    meta_.min_value = v;
+    meta_.max_value = v;
+  } else {
+    meta_.min_value = std::min(meta_.min_value, v);
+    meta_.max_value = std::max(meta_.max_value, v);
+    if (v < last_value_) sorted_ = false;
+  }
+  last_value_ = v;
+  if (!distinct_overflow_) {
+    distinct_.insert(v);
+    if (distinct_.size() > kMaxTrackedDistinct) {
+      distinct_overflow_ = true;
+      distinct_.clear();
+    }
+  }
+}
+
+Status ColumnWriter::Append(Value v) { return AppendRun(v, 1); }
+
+Status ColumnWriter::AppendRun(Value v, uint64_t count) {
+  CSTORE_CHECK(!finished_);
+  if (count == 0) return Status::OK();
+  NoteValue(v);
+
+  // Maintain run statistics (and the pending run for the RLE encoder).
+  if (has_run_ && run_value_ == v) {
+    run_len_ += count;
+  } else {
+    if (has_run_ && encoding_ == Encoding::kRle) {
+      CSTORE_RETURN_IF_ERROR(PushRun());
+    }
+    if (has_run_) ++meta_.num_runs;
+    has_run_ = true;
+    run_value_ = v;
+    run_start_ = pos_;
+    run_len_ = count;
+  }
+
+  switch (encoding_) {
+    case Encoding::kUncompressed: {
+      for (uint64_t i = 0; i < count; ++i) {
+        if (value_buf_.empty()) value_buf_start_pos_ = pos_ + i;
+        value_buf_.push_back(v);
+        if (value_buf_.size() == kUncompressedValuesPerBlock) {
+          pos_ += i + 1;
+          count -= i + 1;
+          i = static_cast<uint64_t>(-1);  // restart inner loop
+          CSTORE_RETURN_IF_ERROR(FlushUncompressedBlock());
+        }
+      }
+      pos_ += count;
+      break;
+    }
+    case Encoding::kRle: {
+      // Values accumulate in the pending run; triples are cut in PushRun().
+      pos_ += count;
+      break;
+    }
+    case Encoding::kBitVector: {
+      for (uint64_t i = 0; i < count; ++i) {
+        if (value_buf_.empty()) value_buf_start_pos_ = pos_ + i;
+        value_buf_.push_back(v);
+        if (value_buf_.size() == kBitVectorDefaultPositions) {
+          pos_ += i + 1;
+          count -= i + 1;
+          i = static_cast<uint64_t>(-1);
+          CSTORE_RETURN_IF_ERROR(FlushBitVectorBlock(/*final_block=*/false));
+        }
+      }
+      pos_ += count;
+      break;
+    }
+    case Encoding::kDict: {
+      for (uint64_t i = 0; i < count; ++i) {
+        if (value_buf_.empty()) value_buf_start_pos_ = pos_ + i;
+        value_buf_.push_back(v);
+        if (value_buf_.size() == kDictDefaultPositions) {
+          pos_ += i + 1;
+          count -= i + 1;
+          i = static_cast<uint64_t>(-1);
+          CSTORE_RETURN_IF_ERROR(FlushDictBlock());
+        }
+      }
+      pos_ += count;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ColumnWriter::FlushDictBlock() {
+  if (value_buf_.empty()) return Status::OK();
+  const size_t take = value_buf_.size();
+  CSTORE_CHECK(take <= kDictDefaultPositions);
+  // Per-block dictionary, value-sorted so codes of sorted columns ascend.
+  std::map<Value, uint16_t> dict;
+  for (size_t i = 0; i < take; ++i) dict.emplace(value_buf_[i], 0);
+  if (dict.size() > kDictMaxDistinctPerBlock) {
+    return Status::NotSupported(
+        "column " + name_ + " has " + std::to_string(dict.size()) +
+        " distinct values in one block; dictionary encoding supports <= " +
+        std::to_string(kDictMaxDistinctPerBlock));
+  }
+  uint16_t next_code = 0;
+  for (auto& [v, code] : dict) code = next_code++;
+  const uint32_t k = static_cast<uint32_t>(dict.size());
+
+  size_t payload_len =
+      sizeof(DictPayloadHeader) + k * sizeof(Value) + take * sizeof(uint16_t);
+  CSTORE_CHECK(payload_len <= storage::kPagePayloadSize);
+  std::vector<char> payload(payload_len, 0);
+  DictPayloadHeader ph{k, 0};
+  std::memcpy(payload.data(), &ph, sizeof(ph));
+  Value* dict_out = reinterpret_cast<Value*>(payload.data() + sizeof(ph));
+  uint16_t* codes = reinterpret_cast<uint16_t*>(payload.data() + sizeof(ph) +
+                                                k * sizeof(Value));
+  for (const auto& [v, code] : dict) dict_out[code] = v;
+  for (size_t i = 0; i < take; ++i) codes[i] = dict.at(value_buf_[i]);
+
+  CSTORE_RETURN_IF_ERROR(WritePage(static_cast<uint32_t>(take),
+                                   value_buf_start_pos_, value_buf_.front(),
+                                   payload.data(), payload_len));
+  value_buf_.clear();
+  value_buf_start_pos_ += take;
+  return Status::OK();
+}
+
+Status ColumnWriter::WritePage(uint32_t num_values, uint64_t start_pos,
+                               Value first_value, const void* payload,
+                               size_t payload_len) {
+  CSTORE_CHECK(payload_len <= storage::kPagePayloadSize);
+  storage::Page page;
+  storage::BlockHeader* h = page.header();
+  h->magic = storage::BlockHeader::kMagic;
+  h->encoding = static_cast<uint8_t>(encoding_);
+  h->num_values = num_values;
+  h->payload_len = static_cast<uint32_t>(payload_len);
+  h->start_pos = start_pos;
+  std::memcpy(page.payload(), payload, payload_len);
+  CSTORE_ASSIGN_OR_RETURN(uint64_t block_no, files_->AppendBlock(file_, page));
+  CSTORE_CHECK(block_no == meta_.num_blocks);
+  meta_.block_start_pos.push_back(start_pos);
+  meta_.block_first_value.push_back(first_value);
+  ++meta_.num_blocks;
+  return Status::OK();
+}
+
+Status ColumnWriter::FlushUncompressedBlock() {
+  if (value_buf_.empty()) return Status::OK();
+  CSTORE_RETURN_IF_ERROR(WritePage(
+      static_cast<uint32_t>(value_buf_.size()), value_buf_start_pos_,
+      value_buf_.front(), value_buf_.data(),
+      value_buf_.size() * sizeof(Value)));
+  value_buf_.clear();
+  return Status::OK();
+}
+
+Status ColumnWriter::PushRun() {
+  if (!has_run_ || run_len_ == 0) return Status::OK();
+  if (triple_buf_.empty()) triple_buf_start_pos_ = run_start_;
+  triple_buf_.push_back(RleTriple{run_value_, run_start_, run_len_});
+  triple_buf_values_ += run_len_;
+  if (triple_buf_.size() == kRleTriplesPerBlock) {
+    CSTORE_RETURN_IF_ERROR(FlushRleBlock());
+  }
+  return Status::OK();
+}
+
+Status ColumnWriter::FlushRleBlock() {
+  if (triple_buf_.empty()) return Status::OK();
+  CSTORE_RETURN_IF_ERROR(WritePage(
+      static_cast<uint32_t>(triple_buf_values_), triple_buf_start_pos_,
+      triple_buf_.front().value, triple_buf_.data(),
+      triple_buf_.size() * sizeof(RleTriple)));
+  triple_buf_.clear();
+  triple_buf_values_ = 0;
+  return Status::OK();
+}
+
+Status ColumnWriter::EmitBitVectorBlock(size_t take) {
+  CSTORE_CHECK(take > 0 && take <= value_buf_.size());
+  // Build the per-block dictionary (sorted for determinism).
+  std::map<Value, uint32_t> dict;
+  for (size_t i = 0; i < take; ++i) dict.emplace(value_buf_[i], 0);
+  uint32_t k = static_cast<uint32_t>(dict.size());
+  uint32_t idx = 0;
+  for (auto& [v, slot] : dict) slot = idx++;
+
+  size_t words = bit_util::WordsForBits(take);
+  size_t payload_len = sizeof(BitVectorPayloadHeader) + k * sizeof(Value) +
+                       static_cast<size_t>(k) * words * sizeof(uint64_t);
+  CSTORE_CHECK(payload_len <= storage::kPagePayloadSize);
+
+  std::vector<char> payload(payload_len, 0);
+  BitVectorPayloadHeader ph{k, static_cast<uint32_t>(words)};
+  std::memcpy(payload.data(), &ph, sizeof(ph));
+  Value* dict_out =
+      reinterpret_cast<Value*>(payload.data() + sizeof(ph));
+  uint64_t* bits = reinterpret_cast<uint64_t*>(payload.data() + sizeof(ph) +
+                                               k * sizeof(Value));
+  for (const auto& [v, slot] : dict) dict_out[slot] = v;
+  for (size_t i = 0; i < take; ++i) {
+    uint32_t slot = dict.at(value_buf_[i]);
+    bit_util::SetBit(bits + static_cast<size_t>(slot) * words, i);
+  }
+
+  CSTORE_RETURN_IF_ERROR(WritePage(static_cast<uint32_t>(take),
+                                   value_buf_start_pos_, value_buf_.front(),
+                                   payload.data(), payload_len));
+  value_buf_.erase(value_buf_.begin(),
+                   value_buf_.begin() + static_cast<long>(take));
+  value_buf_start_pos_ += take;
+  return Status::OK();
+}
+
+Status ColumnWriter::FlushBitVectorBlock(bool final_block) {
+  while (!value_buf_.empty()) {
+    size_t take = value_buf_.size();
+    CSTORE_CHECK(take <= kBitVectorDefaultPositions);
+    // Shrink the block until its dictionary + bit-strings fit in the page.
+    // Non-final blocks must stay multiples of 64 positions so later blocks
+    // stay word-aligned.
+    while (true) {
+      std::unordered_set<Value> d;
+      for (size_t i = 0; i < take; ++i) d.insert(value_buf_[i]);
+      size_t k = d.size();
+      size_t words = bit_util::WordsForBits(take);
+      size_t need = sizeof(BitVectorPayloadHeader) + k * sizeof(Value) +
+                    k * words * sizeof(uint64_t);
+      if (need <= storage::kPagePayloadSize) break;
+      if (take <= kBitVectorMinPositions) {
+        return Status::NotSupported(
+            "column " + name_ +
+            " has too many distinct values for bit-vector encoding");
+      }
+      take /= 2;
+      take = bit_util::AlignUp(take, bit_util::kBitsPerWord);
+      if (take > value_buf_.size()) take = value_buf_.size();
+    }
+    CSTORE_RETURN_IF_ERROR(EmitBitVectorBlock(take));
+    if (!final_block && value_buf_.size() < kBitVectorDefaultPositions) {
+      break;  // keep accumulating toward a full block
+    }
+  }
+  return Status::OK();
+}
+
+Result<ColumnMeta> ColumnWriter::Finish() {
+  CSTORE_CHECK(!finished_);
+  finished_ = true;
+  if (has_run_) {
+    ++meta_.num_runs;
+    if (encoding_ == Encoding::kRle) {
+      // PushRun may cut a block; temporarily un-finish for the helper chain.
+      CSTORE_RETURN_IF_ERROR(PushRun());
+      CSTORE_RETURN_IF_ERROR(FlushRleBlock());
+    }
+  }
+  switch (encoding_) {
+    case Encoding::kUncompressed:
+      CSTORE_RETURN_IF_ERROR(FlushUncompressedBlock());
+      break;
+    case Encoding::kRle:
+      break;  // flushed above
+    case Encoding::kBitVector:
+      CSTORE_RETURN_IF_ERROR(FlushBitVectorBlock(/*final_block=*/true));
+      break;
+    case Encoding::kDict:
+      CSTORE_RETURN_IF_ERROR(FlushDictBlock());
+      break;
+  }
+  meta_.num_values = pos_;
+  meta_.num_distinct = distinct_overflow_ ? 0 : distinct_.size();
+  meta_.sorted = sorted_ && pos_ > 0;
+  CSTORE_RETURN_IF_ERROR(files_->WriteSidecar(name_, meta_.Serialize()));
+  return meta_;
+}
+
+}  // namespace codec
+}  // namespace cstore

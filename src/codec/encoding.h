@@ -1,0 +1,42 @@
+// Column encodings studied in the paper (Section 1.1 / 4): uncompressed,
+// run-length encoding (RLE triples (V, S, L)) and bit-vector encoding (one
+// bit-string per distinct value).
+
+#ifndef CSTORE_CODEC_ENCODING_H_
+#define CSTORE_CODEC_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cstore {
+namespace codec {
+
+enum class Encoding : uint8_t {
+  kUncompressed = 0,
+  kRle = 1,
+  kBitVector = 2,
+  // Dictionary encoding (16-bit codes into a per-block value dictionary):
+  // the other light-weight scheme of Abadi/Madden/Ferreira [3]. Unlike
+  // bit-vector it supports positional access, so every strategy including
+  // LM-pipelined runs on it.
+  kDict = 3,
+};
+
+inline const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kUncompressed:
+      return "uncompressed";
+    case Encoding::kRle:
+      return "rle";
+    case Encoding::kBitVector:
+      return "bitvector";
+    case Encoding::kDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+}  // namespace codec
+}  // namespace cstore
+
+#endif  // CSTORE_CODEC_ENCODING_H_

@@ -1,0 +1,29 @@
+#include "codec/predicate.h"
+
+namespace cstore {
+namespace codec {
+
+std::string Predicate::ToString() const {
+  switch (op_) {
+    case Op::kTrue:
+      return "TRUE";
+    case Op::kLess:
+      return "v < " + std::to_string(a_);
+    case Op::kLessEq:
+      return "v <= " + std::to_string(a_);
+    case Op::kEqual:
+      return "v = " + std::to_string(a_);
+    case Op::kNotEqual:
+      return "v != " + std::to_string(a_);
+    case Op::kGreaterEq:
+      return "v >= " + std::to_string(a_);
+    case Op::kGreater:
+      return "v > " + std::to_string(a_);
+    case Op::kBetween:
+      return std::to_string(a_) + " <= v <= " + std::to_string(b_);
+  }
+  return "?";
+}
+
+}  // namespace codec
+}  // namespace cstore

@@ -1,0 +1,311 @@
+#include "codec/views.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bit_util.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace codec {
+
+void UncompressedView::EvalPredicate(const Predicate& pred,
+                                     position::SetBuilder* builder) const {
+  // One test + (on match) one builder call per value: this is the per-tuple
+  // FC cost the analytical model charges for uncompressed data sources.
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (pred.Eval(values_[i])) builder->Add(start_ + i);
+  }
+}
+
+Value RleView::ValueAt(Position pos) const {
+  return runs_[RunContaining(pos)].value;
+}
+
+uint32_t RleView::RunContaining(Position pos) const {
+  CSTORE_DCHECK(pos >= start_ && pos < end_pos());
+  // Last run with start <= pos.
+  uint32_t lo = 0;
+  uint32_t hi = nruns_;
+  while (hi - lo > 1) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (runs_[mid].start <= pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void RleView::EvalPredicate(const Predicate& pred,
+                            position::SetBuilder* builder) const {
+  // One predicate evaluation per run — "an entire run length of values can
+  // be processed in one operator loop" (Section 2.1.2).
+  for (uint32_t i = 0; i < nruns_; ++i) {
+    if (pred.Eval(runs_[i].value)) {
+      builder->AddRange(runs_[i].start, runs_[i].start + runs_[i].len);
+    }
+  }
+}
+
+DictView::DictView(const storage::BlockHeader* h, const char* payload)
+    : start_(h->start_pos), n_(h->num_values) {
+  DictPayloadHeader ph;
+  std::memcpy(&ph, payload, sizeof(ph));
+  k_ = ph.num_distinct;
+  dict_ = reinterpret_cast<const Value*>(payload + sizeof(ph));
+  codes_ = reinterpret_cast<const uint16_t*>(payload + sizeof(ph) +
+                                             k_ * sizeof(Value));
+}
+
+void DictView::EvalPredicate(const Predicate& pred,
+                             position::SetBuilder* builder) const {
+  // One predicate evaluation per dictionary entry...
+  std::vector<uint8_t> pass(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    pass[i] = pred.Eval(dict_[i]) ? 1 : 0;
+  }
+  // ...then a code-array scan that never materializes values.
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (pass[codes_[i]]) builder->Add(start_ + i);
+  }
+}
+
+BitVectorView::BitVectorView(const storage::BlockHeader* h,
+                             const char* payload)
+    : start_(h->start_pos), n_(h->num_values) {
+  BitVectorPayloadHeader ph;
+  std::memcpy(&ph, payload, sizeof(ph));
+  k_ = ph.num_distinct;
+  words_ = ph.words_per_bitstring;
+  dict_ = reinterpret_cast<const Value*>(payload + sizeof(ph));
+  bits_ = reinterpret_cast<const uint64_t*>(payload + sizeof(ph) +
+                                            k_ * sizeof(Value));
+}
+
+Value BitVectorView::ValueAt(Position pos) const {
+  CSTORE_DCHECK(pos >= start_ && pos < end_pos());
+  size_t bit = pos - start_;
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (bit_util::GetBit(Bitstring(i), bit)) return dict_[i];
+  }
+  CSTORE_CHECK(false) << "bit-vector block has no value at position " << pos;
+  return 0;
+}
+
+void BitVectorView::EvalPredicateInto(const Predicate& pred,
+                                      position::Bitmap* bm) const {
+  // The block may only partially overlap the destination window (blocks of
+  // shrunk bit-vector columns do not tile chunk windows evenly). Both block
+  // starts and window bases are 64-aligned, so the overlap is word-aligned
+  // on both sides; the final word is masked to the overlap length.
+  Position lo = std::max(start_, bm->base());
+  Position hi = std::min(end_pos(), bm->end());
+  if (lo >= hi) return;
+  CSTORE_CHECK((lo - start_) % bit_util::kBitsPerWord == 0 &&
+               (lo - bm->base()) % bit_util::kBitsPerWord == 0)
+      << "bit-vector block not word-aligned within window";
+  size_t src_word0 = (lo - start_) / bit_util::kBitsPerWord;
+  size_t dst_word0 = (lo - bm->base()) / bit_util::kBitsPerWord;
+  size_t nbits = hi - lo;
+  size_t nwords = bit_util::WordsForBits(nbits);
+  CSTORE_CHECK(dst_word0 + nwords <= bm->num_words());
+  uint64_t last_mask = (nbits % bit_util::kBitsPerWord == 0)
+                           ? ~uint64_t{0}
+                           : bit_util::LowBitsMask(nbits %
+                                                   bit_util::kBitsPerWord);
+  uint64_t* out = bm->mutable_words() + dst_word0;
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (!pred.Eval(dict_[i])) continue;
+    const uint64_t* src = Bitstring(i) + src_word0;
+    for (size_t w = 0; w + 1 < nwords; ++w) out[w] |= src[w];
+    out[nwords - 1] |= src[nwords - 1] & last_mask;
+  }
+}
+
+Result<BlockView> BlockView::FromPage(const storage::Page& page) {
+  const storage::BlockHeader* h = page.header();
+  if (h->magic != storage::BlockHeader::kMagic) {
+    return Status::Corruption("bad block magic");
+  }
+  switch (static_cast<Encoding>(h->encoding)) {
+    case Encoding::kUncompressed:
+      return BlockView(UncompressedView(h, page.payload()));
+    case Encoding::kRle:
+      return BlockView(RleView(h, page.payload()));
+    case Encoding::kBitVector:
+      return BlockView(BitVectorView(h, page.payload()));
+    case Encoding::kDict:
+      return BlockView(DictView(h, page.payload()));
+  }
+  return Status::Corruption("unknown encoding in block header");
+}
+
+Encoding BlockView::encoding() const {
+  if (std::holds_alternative<UncompressedView>(v_)) {
+    return Encoding::kUncompressed;
+  }
+  if (std::holds_alternative<RleView>(v_)) return Encoding::kRle;
+  if (std::holds_alternative<DictView>(v_)) return Encoding::kDict;
+  return Encoding::kBitVector;
+}
+
+Position BlockView::start_pos() const {
+  if (const auto* u = AsUncompressed()) return u->start_pos();
+  if (const auto* r = AsRle()) return r->start_pos();
+  if (const auto* d = AsDict()) return d->start_pos();
+  return AsBitVector()->start_pos();
+}
+
+uint32_t BlockView::num_values() const {
+  if (const auto* u = AsUncompressed()) return u->num_values();
+  if (const auto* r = AsRle()) return r->num_values();
+  if (const auto* d = AsDict()) return d->num_values();
+  return AsBitVector()->num_values();
+}
+
+Value BlockView::ValueAt(Position pos) const {
+  if (const auto* u = AsUncompressed()) return u->ValueAt(pos);
+  if (const auto* r = AsRle()) return r->ValueAt(pos);
+  if (const auto* d = AsDict()) return d->ValueAt(pos);
+  return AsBitVector()->ValueAt(pos);
+}
+
+void BlockView::Decompress(std::vector<Value>* out) const {
+  if (const auto* u = AsUncompressed()) {
+    out->insert(out->end(), u->values(), u->values() + u->num_values());
+    return;
+  }
+  if (const auto* r = AsRle()) {
+    r->ForEachRun([&](Value value, uint64_t, uint64_t len) {
+      out->insert(out->end(), len, value);
+    });
+    return;
+  }
+  if (const auto* d = AsDict()) {
+    const uint16_t* codes = d->codes();
+    size_t base = out->size();
+    out->resize(base + d->num_values());
+    Value* dst = out->data() + base;
+    for (uint32_t i = 0; i < d->num_values(); ++i) {
+      dst[i] = d->DictValue(codes[i]);
+    }
+    return;
+  }
+  const auto* b = AsBitVector();
+  CSTORE_DCHECK(b != nullptr);
+  size_t base = out->size();
+  out->resize(base + b->num_values());
+  Value* dst = out->data() + base;
+  for (uint32_t i = 0; i < b->num_distinct(); ++i) {
+    Value v = b->DictValue(i);
+    const uint64_t* words = b->Bitstring(i);
+    size_t nwords = bit_util::WordsForBits(b->num_values());
+    for (size_t w = 0; w < nwords; ++w) {
+      uint64_t word = words[w];
+      while (word != 0) {
+        int bit = bit_util::CountTrailingZeros(word);
+        dst[w * bit_util::kBitsPerWord + bit] = v;
+        word &= word - 1;
+      }
+    }
+  }
+}
+
+void BlockView::EvalPredicate(const Predicate& pred,
+                              position::SetBuilder* builder,
+                              position::Bitmap* bitmap) const {
+  if (const auto* u = AsUncompressed()) {
+    CSTORE_DCHECK(builder != nullptr);
+    u->EvalPredicate(pred, builder);
+    return;
+  }
+  if (const auto* r = AsRle()) {
+    CSTORE_DCHECK(builder != nullptr);
+    r->EvalPredicate(pred, builder);
+    return;
+  }
+  if (const auto* d = AsDict()) {
+    CSTORE_DCHECK(builder != nullptr);
+    d->EvalPredicate(pred, builder);
+    return;
+  }
+  const auto* b = AsBitVector();
+  CSTORE_DCHECK(b != nullptr && bitmap != nullptr);
+  b->EvalPredicateInto(pred, bitmap);
+}
+
+void BlockView::GatherValues(const position::PositionSet& sel,
+                             std::vector<Value>* out) const {
+  Position blk_begin = start_pos();
+  Position blk_end = end_pos();
+  std::vector<position::Range> clipped;
+  sel.ForEachRange([&](Position b, Position e) {
+    b = std::max(b, blk_begin);
+    e = std::min(e, blk_end);
+    if (b < e) clipped.push_back(position::Range{b, e});
+  });
+  GatherRanges(clipped.data(), clipped.size(), out);
+}
+
+void BlockView::GatherRanges(const position::Range* ranges, size_t n,
+                             std::vector<Value>* out) const {
+  if (n == 0) return;
+  Position blk_begin = start_pos();
+
+  if (const auto* u = AsUncompressed()) {
+    const Value* vals = u->values();
+    for (size_t i = 0; i < n; ++i) {
+      out->insert(out->end(), vals + (ranges[i].begin - blk_begin),
+                  vals + (ranges[i].end - blk_begin));
+    }
+    return;
+  }
+
+  if (const auto* r = AsRle()) {
+    // Merge the selection ranges with the run list; both are ascending and
+    // the run cursor persists across ranges.
+    const RleTriple* runs = r->runs();
+    uint32_t nruns = r->num_runs();
+    uint32_t run = 0;
+    for (size_t i = 0; i < n; ++i) {
+      Position b = ranges[i].begin;
+      Position e = ranges[i].end;
+      while (run < nruns && runs[run].start + runs[run].len <= b) ++run;
+      uint32_t cur = run;
+      while (cur < nruns && runs[cur].start < e) {
+        Position rb = std::max<Position>(runs[cur].start, b);
+        Position re = std::min<Position>(runs[cur].start + runs[cur].len, e);
+        if (rb < re) out->insert(out->end(), re - rb, runs[cur].value);
+        ++cur;
+      }
+    }
+    return;
+  }
+
+  if (const auto* d = AsDict()) {
+    for (size_t i = 0; i < n; ++i) {
+      for (Position p = ranges[i].begin; p < ranges[i].end; ++p) {
+        out->push_back(d->ValueAt(p));
+      }
+    }
+    return;
+  }
+
+  // Bit-vector: no direct positional filtering ("it is impossible to know in
+  // advance in which bit-string any particular position is located",
+  // Section 4.1) — the whole block is decompressed, then gathered. This is
+  // the honest cost LM plans pay on bit-vector data.
+  std::vector<Value> scratch;
+  scratch.reserve(num_values());
+  Decompress(&scratch);
+  for (size_t i = 0; i < n; ++i) {
+    for (Position p = ranges[i].begin; p < ranges[i].end; ++p) {
+      out->push_back(scratch[p - blk_begin]);
+    }
+  }
+}
+
+}  // namespace codec
+}  // namespace cstore

@@ -1,0 +1,186 @@
+#include "db/database.h"
+
+namespace cstore {
+namespace db {
+
+namespace {
+// Sidecar name of the persisted table registry (one line per table column:
+// "table\tcolumn\tfile\n", registration order preserved).
+constexpr char kCatalogName[] = "_catalog";
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  CSTORE_ASSIGN_OR_RETURN(db->files_,
+                          storage::FileManager::Open(options.dir));
+  db->disk_model_.set_params(options.disk);
+  db->pool_ = std::make_unique<storage::BufferPool>(
+      db->files_.get(), options.pool_frames, &db->disk_model_);
+  CSTORE_RETURN_IF_ERROR(db->LoadCatalog());
+  return db;
+}
+
+Status Database::LoadCatalog() {
+  auto bytes = files_->ReadSidecar(kCatalogName);
+  if (!bytes.ok()) return Status::OK();  // no catalog yet
+  std::string text(bytes->begin(), bytes->end());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    size_t t1 = line.find('\t');
+    size_t t2 = line.find('\t', t1 + 1);
+    if (t1 == std::string::npos || t2 == std::string::npos) {
+      return Status::Corruption("malformed catalog line: " + line);
+    }
+    std::string table = line.substr(0, t1);
+    std::string column = line.substr(t1 + 1, t2 - t1 - 1);
+    std::string file = line.substr(t2 + 1);
+    tables_[table].emplace_back(column, file);
+  }
+  return Status::OK();
+}
+
+Status Database::SaveCatalog() const {
+  std::string text;
+  for (const auto& [table, cols] : tables_) {
+    for (const auto& [col, file] : cols) {
+      text += table;
+      text += '\t';
+      text += col;
+      text += '\t';
+      text += file;
+      text += '\n';
+    }
+  }
+  return files_->WriteSidecar(kCatalogName,
+                              std::vector<char>(text.begin(), text.end()));
+}
+
+Status Database::CreateColumn(const std::string& name,
+                              codec::Encoding encoding,
+                              const std::vector<Value>& values) {
+  columns_.erase(name);  // invalidate any open reader
+  CSTORE_ASSIGN_OR_RETURN(auto writer,
+                          codec::ColumnWriter::Create(files_.get(), name,
+                                                      encoding));
+  for (Value v : values) {
+    CSTORE_RETURN_IF_ERROR(writer->Append(v));
+  }
+  CSTORE_ASSIGN_OR_RETURN(codec::ColumnMeta meta, writer->Finish());
+  (void)meta;
+  return Status::OK();
+}
+
+Result<const codec::ColumnReader*> Database::GetColumn(
+    const std::string& name) {
+  auto it = columns_.find(name);
+  if (it != columns_.end()) return it->second.get();
+  CSTORE_ASSIGN_OR_RETURN(
+      auto reader, codec::ColumnReader::Open(files_.get(), pool_.get(), name));
+  const codec::ColumnReader* raw = reader.get();
+  columns_[name] = std::move(reader);
+  return raw;
+}
+
+bool Database::HasColumn(const std::string& name) const {
+  return columns_.count(name) > 0 || files_->Exists(name);
+}
+
+Status Database::RegisterTable(
+    const std::string& table,
+    const std::vector<std::pair<std::string, std::string>>& column_to_file) {
+  if (column_to_file.empty()) {
+    return Status::InvalidArgument("table " + table + " needs >= 1 column");
+  }
+  uint64_t rows = 0;
+  bool first = true;
+  for (const auto& [col, file] : column_to_file) {
+    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                            GetColumn(file));
+    if (first) {
+      rows = reader->num_values();
+      first = false;
+    } else if (reader->num_values() != rows) {
+      return Status::InvalidArgument(
+          "table " + table + ": column " + col + " has " +
+          std::to_string(reader->num_values()) + " rows, expected " +
+          std::to_string(rows));
+    }
+  }
+  tables_[table] = column_to_file;
+  return SaveCatalog();
+}
+
+Result<const codec::ColumnReader*> Database::GetTableColumn(
+    const std::string& table, const std::string& column) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  for (const auto& [col, file] : it->second) {
+    if (col == column) return GetColumn(file);
+  }
+  return Status::NotFound("no column '" + column + "' in table '" + table +
+                          "'");
+}
+
+Result<std::vector<std::string>> Database::TableColumns(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  std::vector<std::string> out;
+  out.reserve(it->second.size());
+  for (const auto& [col, file] : it->second) out.push_back(col);
+  return out;
+}
+
+Result<QueryResult> Database::Execute(plan::Plan* plan) {
+  QueryResult result;
+  bool first = true;
+  Status st = plan::ExecutePlan(
+      plan, pool_.get(), &result.stats,
+      [&](const exec::TupleChunk& chunk) {
+        if (first) {
+          result.tuples.Reset(chunk.width());
+          first = false;
+        }
+        for (size_t i = 0; i < chunk.num_tuples(); ++i) {
+          result.tuples.AppendTuple(chunk.position(i), chunk.tuple(i));
+        }
+      });
+  CSTORE_RETURN_IF_ERROR(st);
+  return result;
+}
+
+Result<QueryResult> Database::RunSelection(const plan::SelectionQuery& query,
+                                           plan::Strategy strategy,
+                                           const plan::PlanConfig& config) {
+  CSTORE_ASSIGN_OR_RETURN(auto plan,
+                          plan::BuildSelectionPlan(query, strategy, config));
+  return Execute(plan.get());
+}
+
+Result<QueryResult> Database::RunAgg(const plan::AggQuery& query,
+                                     plan::Strategy strategy,
+                                     const plan::PlanConfig& config) {
+  CSTORE_ASSIGN_OR_RETURN(auto plan,
+                          plan::BuildAggPlan(query, strategy, config));
+  return Execute(plan.get());
+}
+
+Result<QueryResult> Database::RunJoin(const plan::JoinQuery& query,
+                                      exec::JoinRightMode mode,
+                                      const plan::PlanConfig& config) {
+  CSTORE_ASSIGN_OR_RETURN(auto plan,
+                          plan::BuildJoinPlan(query, mode, config));
+  return Execute(plan.get());
+}
+
+}  // namespace db
+}  // namespace cstore

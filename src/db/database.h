@@ -1,0 +1,114 @@
+// Database facade: owns the storage stack (file manager, disk model, buffer
+// pool) and a catalog of loaded columns, and runs queries through the plan
+// layer. This is the top-level entry point a library user sees.
+
+#ifndef CSTORE_DB_DATABASE_H_
+#define CSTORE_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "codec/column_writer.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "plan/query.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/file_manager.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace db {
+
+/// A fully-materialized query result: output tuples plus run statistics.
+struct QueryResult {
+  exec::TupleChunk tuples;  // concatenation of all output chunks
+  plan::RunStats stats;
+};
+
+class Database {
+ public:
+  struct Options {
+    std::string dir;
+    // Buffer-pool capacity in 64 KB frames (default 8192 = 512 MB).
+    size_t pool_frames = 8192;
+    // Simulated-disk parameters (disabled by default).
+    storage::DiskModel::Params disk;
+  };
+
+  static Result<std::unique_ptr<Database>> Open(const Options& options);
+
+  storage::FileManager* files() { return files_.get(); }
+  storage::BufferPool* pool() { return pool_.get(); }
+  storage::DiskModel* disk_model() { return &disk_model_; }
+
+  /// Writes `values` as column `name` with the given encoding and registers
+  /// it in the catalog. Overwrites an existing column of the same name.
+  Status CreateColumn(const std::string& name, codec::Encoding encoding,
+                      const std::vector<Value>& values);
+
+  /// Returns the reader for a loaded column (opened lazily if the file
+  /// already exists in the directory).
+  Result<const codec::ColumnReader*> GetColumn(const std::string& name);
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Registers a logical table: a named mapping from column names to stored
+  /// column files (a C-Store projection). All columns must have equal
+  /// length. Used by the SQL front end.
+  Status RegisterTable(
+      const std::string& table,
+      const std::vector<std::pair<std::string, std::string>>&
+          column_to_file);
+
+  bool HasTable(const std::string& table) const {
+    return tables_.count(table) > 0;
+  }
+
+  /// Resolves table.column to its reader.
+  Result<const codec::ColumnReader*> GetTableColumn(
+      const std::string& table, const std::string& column);
+
+  /// Column names of a registered table, in registration order.
+  Result<std::vector<std::string>> TableColumns(
+      const std::string& table) const;
+
+  /// Drops all cached pages (for cold-cache measurements).
+  void DropCaches() { pool_->Clear(); }
+
+  /// Convenience wrappers: build + execute in one call.
+  Result<QueryResult> RunSelection(const plan::SelectionQuery& query,
+                                   plan::Strategy strategy,
+                                   const plan::PlanConfig& config = {});
+  Result<QueryResult> RunAgg(const plan::AggQuery& query,
+                             plan::Strategy strategy,
+                             const plan::PlanConfig& config = {});
+  Result<QueryResult> RunJoin(const plan::JoinQuery& query,
+                              exec::JoinRightMode mode,
+                              const plan::PlanConfig& config = {});
+
+ private:
+  Database() = default;
+
+  Result<QueryResult> Execute(plan::Plan* plan);
+  Status LoadCatalog();
+  Status SaveCatalog() const;
+
+  std::unique_ptr<storage::FileManager> files_;
+  storage::DiskModel disk_model_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unordered_map<std::string, std::unique_ptr<codec::ColumnReader>>
+      columns_;
+  // table → ordered (column name, file name) pairs.
+  std::unordered_map<std::string,
+                     std::vector<std::pair<std::string, std::string>>>
+      tables_;
+};
+
+}  // namespace db
+}  // namespace cstore
+
+#endif  // CSTORE_DB_DATABASE_H_

@@ -1,0 +1,207 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+
+#include "exec/gather.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+void GroupAccumulator::Add(Value group, Value v, uint64_t count) {
+  State& s = groups_[group];
+  switch (func_) {
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      s.acc += v * static_cast<int64_t>(count);
+      break;
+    case AggFunc::kCount:
+      break;  // count tracked below
+    case AggFunc::kMin:
+      s.acc = s.initialized ? std::min<int64_t>(s.acc, v) : v;
+      break;
+    case AggFunc::kMax:
+      s.acc = s.initialized ? std::max<int64_t>(s.acc, v) : v;
+      break;
+  }
+  s.count += count;
+  s.initialized = true;
+}
+
+void GroupAccumulator::Emit(TupleChunk* out) const {
+  std::vector<std::pair<Value, const State*>> sorted;
+  sorted.reserve(groups_.size());
+  for (const auto& [g, s] : groups_) sorted.emplace_back(g, &s);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  out->Reset(2);
+  out->Reserve(sorted.size());
+  Position i = 0;
+  for (const auto& [g, s] : sorted) {
+    Value* slots = out->AppendTuple(i++);
+    slots[0] = g;
+    switch (func_) {
+      case AggFunc::kCount:
+        slots[1] = static_cast<Value>(s->count);
+        break;
+      case AggFunc::kAvg:
+        slots[1] = s->count > 0
+                       ? s->acc / static_cast<int64_t>(s->count)
+                       : 0;
+        break;
+      default:
+        slots[1] = s->acc;
+        break;
+    }
+  }
+}
+
+Result<bool> HashAggOp::Next(TupleChunk* out) {
+  if (done_) return false;
+  TupleChunk in;
+  while (true) {
+    CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+    if (!has) break;
+    // Tuple-iterator walk over constructed tuples: one getNext per row.
+    for (size_t i = 0; i < in.num_tuples(); ++i) {
+      acc_.Add(global_ ? 0 : in.value(i, group_col_), in.value(i, agg_col_),
+               1);
+    }
+  }
+  acc_.Emit(out);
+  stats_->tuples_constructed += out->num_tuples();
+  done_ = true;
+  return true;
+}
+
+bool LateAggOp::TryRunZip(const MultiColumnChunk& chunk,
+                          const MiniColumn* gmini, const MiniColumn* amini) {
+  if (gmini == nullptr || amini == nullptr) return false;
+  auto all_rle = [](const MiniColumn& m) {
+    for (const auto& blk : m.blocks()) {
+      if (blk->view.AsRle() == nullptr) return false;
+    }
+    return !m.blocks().empty();
+  };
+  if (!all_rle(*gmini) || !all_rle(*amini)) return false;
+
+  // Flatten the runs overlapping this chunk (cheap: few runs per block).
+  struct Run {
+    Value value;
+    Position begin;
+    Position end;
+  };
+  auto collect = [](const MiniColumn& m) {
+    std::vector<Run> runs;
+    for (const auto& blk : m.blocks()) {
+      blk->view.AsRle()->ForEachRun(
+          [&](Value v, uint64_t start, uint64_t len) {
+            runs.push_back(Run{v, start, start + len});
+          });
+    }
+    return runs;
+  };
+  std::vector<Run> gruns = collect(*gmini);
+  std::vector<Run> aruns = collect(*amini);
+
+  // Zip group runs × aggregate runs × valid ranges: each overlap segment
+  // contributes (group, value, segment length) in one accumulator call.
+  size_t gi = 0;
+  size_t ai = 0;
+  chunk.desc.ForEachRange([&](Position b, Position e) {
+    Position p = b;
+    while (gi < gruns.size() && gruns[gi].end <= p) ++gi;
+    while (ai < aruns.size() && aruns[ai].end <= p) ++ai;
+    while (p < e) {
+      CSTORE_CHECK(gi < gruns.size() && ai < aruns.size());
+      Position seg_end = std::min({e, gruns[gi].end, aruns[ai].end});
+      acc_.Add(gruns[gi].value, aruns[ai].value, seg_end - p);
+      p = seg_end;
+      if (gi < gruns.size() && gruns[gi].end == p) ++gi;
+      if (ai < aruns.size() && aruns[ai].end == p) ++ai;
+    }
+  });
+  return true;
+}
+
+Status LateAggOp::ConsumeChunk(const MultiColumnChunk& chunk) {
+  if (chunk.desc.IsEmpty()) return Status::OK();
+
+  if (global_) {
+    // The group column is never read: gather the aggregate input only. For
+    // RLE mini-columns, accumulate run-at-a-time.
+    const MiniColumn* amini = chunk.FindMini(agg_.column);
+    if (amini != nullptr && !amini->blocks().empty()) {
+      bool all_rle = true;
+      for (const auto& blk : amini->blocks()) {
+        if (blk->view.AsRle() == nullptr) {
+          all_rle = false;
+          break;
+        }
+      }
+      if (all_rle) {
+        size_t ri = 0;
+        std::vector<position::Range> ranges;
+        chunk.desc.ForEachRange([&](Position b, Position e) {
+          ranges.push_back(position::Range{b, e});
+        });
+        for (const auto& blk : amini->blocks()) {
+          const auto* rle = blk->view.AsRle();
+          rle->ForEachRun([&](Value v, uint64_t start, uint64_t len) {
+            // Overlap of this run with the valid ranges.
+            while (ri < ranges.size() && ranges[ri].end <= start) ++ri;
+            size_t cur = ri;
+            while (cur < ranges.size() &&
+                   ranges[cur].begin < start + len) {
+              Position b = std::max<Position>(ranges[cur].begin, start);
+              Position e = std::min<Position>(ranges[cur].end, start + len);
+              if (b < e) acc_.Add(0, v, e - b);
+              ++cur;
+            }
+          });
+        }
+        return Status::OK();
+      }
+    }
+    abuf_.clear();
+    CSTORE_RETURN_IF_ERROR(
+        GatherColumnValues(chunk, agg_.column, agg_.reader, stats_, &abuf_));
+    for (Value v : abuf_) acc_.Add(0, v, 1);
+    return Status::OK();
+  }
+
+  const MiniColumn* gmini = chunk.FindMini(group_.column);
+  const MiniColumn* amini = chunk.FindMini(agg_.column);
+  if (TryRunZip(chunk, gmini, amini)) return Status::OK();
+
+  // General path: extract aligned value arrays, then accumulate per row.
+  gbuf_.clear();
+  abuf_.clear();
+  CSTORE_RETURN_IF_ERROR(GatherColumnValues(chunk, group_.column,
+                                            group_.reader, stats_, &gbuf_));
+  CSTORE_RETURN_IF_ERROR(
+      GatherColumnValues(chunk, agg_.column, agg_.reader, stats_, &abuf_));
+  CSTORE_CHECK(gbuf_.size() == abuf_.size());
+  for (size_t i = 0; i < gbuf_.size(); ++i) {
+    acc_.Add(gbuf_[i], abuf_[i], 1);
+  }
+  return Status::OK();
+}
+
+Result<bool> LateAggOp::Next(TupleChunk* out) {
+  if (done_) return false;
+  MultiColumnChunk in;
+  while (true) {
+    CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+    if (!has) break;
+    CSTORE_RETURN_IF_ERROR(ConsumeChunk(in));
+  }
+  acc_.Emit(out);
+  stats_->tuples_constructed += out->num_tuples();
+  done_ = true;
+  return true;
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -1,0 +1,139 @@
+// Aggregation operators for the paper's second query shape:
+//
+//   SELECT shipdate, SUM(linenum) FROM lineitem
+//   WHERE shipdate < X AND linenum < Y GROUP BY shipdate
+//
+// HashAggOp sits on top of EM plans and consumes constructed tuples
+// (tuple-iterator cost per input row). LateAggOp sits on top of LM position
+// streams and aggregates straight out of the (still-compressed)
+// mini-columns: when both inputs are RLE it zips runs — contributing
+// group_sum += value * run_overlap without touching individual tuples —
+// which is the "aggregator can optimize its performance by operating
+// directly on compressed data" effect of Section 4.2. Neither operator
+// constructs input tuples that the aggregate would discard.
+
+#ifndef CSTORE_EXEC_AGGREGATE_H_
+#define CSTORE_EXEC_AGGREGATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+
+namespace cstore {
+namespace exec {
+
+enum class AggFunc {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,  // integer average (sum / count, truncating)
+};
+
+inline const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+/// Shared accumulation + result emission.
+class GroupAccumulator {
+ public:
+  explicit GroupAccumulator(AggFunc func) : func_(func) {}
+
+  void Add(Value group, Value v, uint64_t count);
+
+  /// Emits (group, aggregate) tuples sorted by group value.
+  void Emit(TupleChunk* out) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct State {
+    int64_t acc = 0;
+    uint64_t count = 0;
+    bool initialized = false;
+  };
+
+  AggFunc func_;
+  std::unordered_map<Value, State> groups_;
+};
+
+/// Aggregation over constructed tuples (EM side).
+class HashAggOp : public TupleOp {
+ public:
+  /// `group_col` / `agg_col` are slot indices in the input tuples. With
+  /// `global`, every row lands in one group (no GROUP BY) and `group_col`
+  /// is ignored.
+  HashAggOp(TupleOp* input, uint32_t group_col, uint32_t agg_col,
+            AggFunc func, bool global, ExecStats* stats)
+      : input_(input),
+        group_col_(group_col),
+        agg_col_(agg_col),
+        global_(global),
+        acc_(func),
+        stats_(stats) {}
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  TupleOp* input_;
+  uint32_t group_col_;
+  uint32_t agg_col_;
+  bool global_;
+  GroupAccumulator acc_;
+  ExecStats* stats_;
+  bool done_ = false;
+};
+
+/// Aggregation over position streams (LM side), reading group/aggregate
+/// values from mini-columns (or re-fetching via the fallback readers).
+class LateAggOp : public TupleOp {
+ public:
+  struct ColumnSource {
+    ColumnId column;
+    const codec::ColumnReader* reader;  // fallback when no mini present
+  };
+
+  /// With `global`, the group column is never read; all rows accumulate
+  /// into one group.
+  LateAggOp(MultiColumnOp* input, ColumnSource group, ColumnSource agg,
+            AggFunc func, bool global, ExecStats* stats)
+      : input_(input),
+        group_(group),
+        agg_(agg),
+        global_(global),
+        acc_(func),
+        stats_(stats) {}
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  Status ConsumeChunk(const MultiColumnChunk& chunk);
+  /// RLE×RLE fast path; returns false if the chunk is not eligible.
+  bool TryRunZip(const MultiColumnChunk& chunk, const MiniColumn* gmini,
+                 const MiniColumn* amini);
+
+  MultiColumnOp* input_;
+  ColumnSource group_;
+  ColumnSource agg_;
+  bool global_ = false;
+  GroupAccumulator acc_;
+  ExecStats* stats_;
+  bool done_ = false;
+  std::vector<Value> gbuf_;
+  std::vector<Value> abuf_;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_AGGREGATE_H_

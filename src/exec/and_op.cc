@@ -1,0 +1,46 @@
+#include "exec/and_op.h"
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+Result<bool> AndOp::Next(MultiColumnChunk* out) {
+  MultiColumnChunk first;
+  CSTORE_ASSIGN_OR_RETURN(bool has, inputs_[0]->Next(&first));
+  if (!has) {
+    // All inputs must exhaust together (they scan the same projection).
+    for (size_t i = 1; i < inputs_.size(); ++i) {
+      MultiColumnChunk probe;
+      CSTORE_ASSIGN_OR_RETURN(bool other_has, inputs_[i]->Next(&probe));
+      CSTORE_CHECK(!other_has) << "AND inputs out of step";
+    }
+    return false;
+  }
+
+  out->begin = first.begin;
+  out->end = first.end;
+  out->desc = std::move(first.desc);
+  out->minis = std::move(first.minis);
+
+  for (size_t i = 1; i < inputs_.size(); ++i) {
+    MultiColumnChunk in;
+    CSTORE_ASSIGN_OR_RETURN(bool in_has, inputs_[i]->Next(&in));
+    CSTORE_CHECK(in_has) << "AND inputs out of step";
+    CSTORE_CHECK(in.begin == out->begin && in.end == out->end)
+        << "AND inputs not window-aligned";
+    out->desc = position::PositionSet::Intersect(out->desc, in.desc);
+    ++stats_->position_ands;
+    // Union of mini-column sets: copying pointers only.
+    for (MiniColumn& m : in.minis) {
+      if (out->FindMini(m.column()) == nullptr) {
+        out->minis.push_back(std::move(m));
+      }
+    }
+  }
+  out->desc = out->desc.Compacted();
+  return true;
+}
+
+}  // namespace exec
+}  // namespace cstore

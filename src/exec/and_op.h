@@ -1,0 +1,41 @@
+// AND operator (paper Section 3.3): intersects k position-descriptor inputs.
+//
+// When inputs carry multi-columns, "ANDing multi-columns is in essence the
+// same operation as the AND of positions; the only difference is that ...
+// ANDing multi-columns must also copy pointers to mini-columns to the output
+// multi-column, but this can be thought of as a zero-cost operation"
+// (Section 3.6). The representation-specific fast paths live in
+// position::PositionSet::Intersect:
+//   Case 1  range  ∧ range  → range output
+//   Case 2  bitmap ∧ bitmap → word-at-a-time AND
+//   Case 3  mixed           → range list collapsed first, then masked/ANDed
+
+#ifndef CSTORE_EXEC_AND_OP_H_
+#define CSTORE_EXEC_AND_OP_H_
+
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+
+namespace cstore {
+namespace exec {
+
+class AndOp : public MultiColumnOp {
+ public:
+  AndOp(std::vector<MultiColumnOp*> inputs, ExecStats* stats)
+      : inputs_(std::move(inputs)), stats_(stats) {
+    CSTORE_CHECK(!inputs_.empty());
+  }
+
+  Result<bool> Next(MultiColumnChunk* out) override;
+
+ private:
+  std::vector<MultiColumnOp*> inputs_;
+  ExecStats* stats_;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_AND_OP_H_

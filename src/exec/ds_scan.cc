@@ -1,0 +1,367 @@
+#include "exec/ds_scan.h"
+
+#include <algorithm>
+
+#include "exec/gather.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+namespace {
+
+/// Number of predicate evaluations a block contributes (per run for RLE,
+/// per distinct value for bit-vector, per value otherwise).
+uint64_t PredicateEvalsFor(const codec::BlockView& view) {
+  if (const auto* r = view.AsRle()) return r->num_runs();
+  if (const auto* b = view.AsBitVector()) return b->num_distinct();
+  if (const auto* d = view.AsDict()) return d->num_distinct();
+  return view.num_values();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DS1Scan
+// ---------------------------------------------------------------------------
+
+DS1Scan::DS1Scan(const codec::ColumnReader* reader, ColumnId column,
+                 codec::Predicate pred, bool attach_mini, ExecStats* stats)
+    : reader_(reader),
+      column_(column),
+      pred_(pred),
+      attach_mini_(attach_mini),
+      stats_(stats),
+      cursor_(reader) {}
+
+Result<bool> DS1Scan::Next(MultiColumnChunk* out) {
+  if (cursor_.done()) return false;
+  Position wb = cursor_.begin();
+  Position we = cursor_.end();
+
+  CSTORE_ASSIGN_OR_RETURN(auto blocks, cursor_.Fetch());
+  stats_->blocks_fetched += blocks.size();
+
+  position::PositionSet desc = position::PositionSet::Empty(wb, we);
+  bool use_bitmap = !blocks.empty() && blocks[0]->view.PredicateNeedsBitmap();
+  if (use_bitmap) {
+    position::Bitmap bm(wb, we - wb);
+    for (const auto& blk : blocks) {
+      stats_->predicate_evals += PredicateEvalsFor(blk->view);
+      blk->view.EvalPredicate(pred_, nullptr, &bm);
+    }
+    // Bits contributed by blocks extending past the window boundary belong
+    // to the neighbouring chunk; clip them.
+    bm.MaskToRange(wb, we);
+    desc = position::PositionSet::FromBitmap(std::move(bm)).Compacted();
+  } else {
+    position::SetBuilder builder(wb, we);
+    for (const auto& blk : blocks) {
+      stats_->predicate_evals += PredicateEvalsFor(blk->view);
+      // Blocks may extend beyond the window; evaluate only the overlap.
+      // (EvalPredicate walks whole blocks; boundary blocks are clipped by
+      // intersecting afterwards.)
+      if (blk->view.start_pos() >= wb && blk->view.end_pos() <= we) {
+        blk->view.EvalPredicate(pred_, &builder, nullptr);
+      } else {
+        position::SetBuilder sub(blk->view.start_pos(), blk->view.end_pos());
+        blk->view.EvalPredicate(pred_, &sub, nullptr);
+        std::move(sub).Build().Slice(wb, we).ForEachRange(
+            [&](Position b, Position e) { builder.AddRange(b, e); });
+      }
+    }
+    desc = std::move(builder).Build().Compacted();
+  }
+
+  out->begin = wb;
+  out->end = we;
+  out->desc = std::move(desc);
+  out->minis.clear();
+  if (attach_mini_) {
+    MiniColumn mini(column_, &reader_->meta());
+    for (auto& blk : blocks) mini.AddBlock(std::move(blk));
+    out->minis.push_back(std::move(mini));
+  }
+  cursor_.Advance();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// IndexScan
+// ---------------------------------------------------------------------------
+
+IndexScan::IndexScan(const codec::ColumnReader* reader,
+                     position::Range range, ExecStats* stats)
+    : input_(nullptr),
+      range_(range),
+      stats_(stats),
+      total_(reader->num_values()) {}
+
+IndexScan::IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
+                     position::Range range, ExecStats* stats)
+    : input_(input),
+      range_(range),
+      stats_(stats),
+      total_(reader->num_values()) {}
+
+Result<bool> IndexScan::Next(MultiColumnChunk* out) {
+  if (input_ == nullptr) {
+    if (begin_ >= total_) return false;
+    Position wb = begin_;
+    Position we = std::min(begin_ + kChunkPositions, total_);
+    position::RangeSet rs;
+    rs.Append(std::max(range_.begin, wb), std::min(range_.end, we));
+    out->begin = wb;
+    out->end = we;
+    out->desc = position::PositionSet::FromRanges(wb, we, std::move(rs));
+    out->minis.clear();
+    begin_ += kChunkPositions;
+    return true;
+  }
+
+  MultiColumnChunk in;
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+  if (!has) return false;
+  position::RangeSet rs;
+  rs.Append(std::max(range_.begin, in.begin), std::min(range_.end, in.end));
+  position::PositionSet range_set =
+      position::PositionSet::FromRanges(in.begin, in.end, std::move(rs));
+  out->begin = in.begin;
+  out->end = in.end;
+  out->desc =
+      position::PositionSet::Intersect(in.desc, range_set).Compacted();
+  out->minis = std::move(in.minis);
+  ++stats_->position_ands;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DS1PipelinedScan
+// ---------------------------------------------------------------------------
+
+DS1PipelinedScan::DS1PipelinedScan(MultiColumnOp* input,
+                                   const codec::ColumnReader* reader,
+                                   ColumnId column, codec::Predicate pred,
+                                   bool attach_mini, ExecStats* stats)
+    : input_(input),
+      reader_(reader),
+      column_(column),
+      pred_(pred),
+      attach_mini_(attach_mini),
+      stats_(stats) {}
+
+Result<bool> DS1PipelinedScan::Next(MultiColumnChunk* out) {
+  MultiColumnChunk in;
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+  if (!has) return false;
+
+  Position wb = in.begin;
+  Position we = in.end;
+  uint64_t window_first_block = reader_->BlockContaining(wb);
+  uint64_t window_last_block = reader_->BlockContaining(we - 1);
+  uint64_t window_blocks = window_last_block - window_first_block + 1;
+
+  if (in.desc.IsEmpty()) {
+    // Block skipping: no valid positions, so this column's blocks are
+    // neither read nor processed.
+    stats_->blocks_skipped += window_blocks;
+    out->begin = wb;
+    out->end = we;
+    out->desc = position::PositionSet::Empty(wb, we);
+    out->minis = std::move(in.minis);
+    return true;
+  }
+
+  // Collect the blocks containing at least one valid position.
+  std::vector<uint64_t> needed;
+  in.desc.ForEachRange([&](Position b, Position e) {
+    uint64_t first = reader_->BlockContaining(b);
+    uint64_t last = reader_->BlockContaining(e - 1);
+    if (!needed.empty() && first <= needed.back()) {
+      first = needed.back() + 1;
+    }
+    for (uint64_t blk = first; blk <= last; ++blk) needed.push_back(blk);
+  });
+  stats_->blocks_skipped += window_blocks - needed.size();
+
+  MiniColumn mini(column_, &reader_->meta());
+  position::SetBuilder builder(wb, we);
+  std::vector<position::Range> ranges = CollectRanges(in.desc);
+  std::vector<position::Range> clipped;
+  size_t ri = 0;
+  for (uint64_t blk_no : needed) {
+    CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                            reader_->FetchBlock(blk_no));
+    ++stats_->blocks_fetched;
+    auto shared = std::make_shared<codec::EncodedBlock>(std::move(blk));
+    // Jump to each valid position and test the predicate on that value
+    // subset only.
+    ClipRangesToBlock(ranges, &ri, shared->view.start_pos(),
+                      shared->view.end_pos(), &clipped);
+    shared->view.ForEachValueInRanges(
+        clipped.data(), clipped.size(), [&](Position p, Value v) {
+          ++stats_->predicate_evals;
+          if (pred_.Eval(v)) builder.Add(p);
+        });
+    if (attach_mini_) mini.AddBlock(std::move(shared));
+  }
+
+  out->begin = wb;
+  out->end = we;
+  out->desc = std::move(builder).Build().Compacted();
+  out->minis = std::move(in.minis);
+  if (attach_mini_) out->minis.push_back(std::move(mini));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DS2Scan
+// ---------------------------------------------------------------------------
+
+DS2Scan::DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
+                 ExecStats* stats)
+    : reader_(reader), pred_(pred), stats_(stats), cursor_(reader) {}
+
+Result<bool> DS2Scan::Next(TupleChunk* out) {
+  if (cursor_.done()) return false;
+  Position wb = cursor_.begin();
+  Position we = cursor_.end();
+
+  CSTORE_ASSIGN_OR_RETURN(auto blocks, cursor_.Fetch());
+  stats_->blocks_fetched += blocks.size();
+
+  out->Reset(1);
+  emitter_.Bind(out);
+  for (const auto& blk : blocks) {
+    // Iterate the window overlap of the block, gluing positions and values
+    // together for matches: each output tuple passes through the tuple
+    // iterator (Case 2's TIC_TUP term).
+    blk->view.ForEach([&](Position p, Value v) {
+      if (p < wb || p >= we) return;
+      ++stats_->predicate_evals;
+      if (pred_.Eval(v)) {
+        sink_->Emit(p, &v);
+      }
+    });
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  cursor_.Advance();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DS4ScanMerge
+// ---------------------------------------------------------------------------
+
+DS4ScanMerge::DS4ScanMerge(TupleOp* input, const codec::ColumnReader* reader,
+                           codec::Predicate pred, ExecStats* stats)
+    : input_(input), reader_(reader), pred_(pred), stats_(stats) {}
+
+Result<bool> DS4ScanMerge::Next(TupleChunk* out) {
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in_));
+  if (!has) return false;
+
+  uint32_t in_width = in_.width();
+  out->Reset(in_width + 1);
+  out->Reserve(in_.num_tuples());
+  emitter_.Bind(out);
+  row_buf_.resize(in_width + 1);
+
+  for (size_t i = 0; i < in_.num_tuples(); ++i) {
+    Position pos = in_.position(i);
+    // Advance the block cursor; intermediate blocks with no input positions
+    // are never fetched.
+    if (cur_block_ == nullptr || pos >= cur_block_->view.end_pos()) {
+      uint64_t target = reader_->BlockContaining(pos);
+      if (cur_block_no_ != UINT64_MAX && target > cur_block_no_ + 1) {
+        stats_->blocks_skipped += target - cur_block_no_ - 1;
+      }
+      CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                              reader_->FetchBlock(target));
+      ++stats_->blocks_fetched;
+      cur_block_ = std::make_shared<codec::EncodedBlock>(std::move(blk));
+      cur_block_no_ = target;
+    }
+    Value v = cur_block_->view.ValueAt(pos);
+    ++stats_->predicate_evals;
+    if (pred_.Eval(v)) {
+      // Stitch the wider tuple and push it through the tuple iterator.
+      const Value* in_row = in_.tuple(i);
+      for (uint32_t c = 0; c < in_width; ++c) row_buf_[c] = in_row[c];
+      row_buf_[in_width] = v;
+      sink_->Emit(pos, row_buf_.data());
+    }
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SpcScan
+// ---------------------------------------------------------------------------
+
+SpcScan::SpcScan(std::vector<Input> inputs, ExecStats* stats)
+    : inputs_(std::move(inputs)),
+      stats_(stats),
+      cursor_(inputs_.front().reader) {
+  scratch_.resize(inputs_.size());
+#ifndef NDEBUG
+  for (const Input& in : inputs_) {
+    CSTORE_DCHECK(in.reader->num_values() ==
+                  inputs_.front().reader->num_values());
+  }
+#endif
+}
+
+Result<bool> SpcScan::Next(TupleChunk* out) {
+  if (cursor_.done()) return false;
+  Position wb = cursor_.begin();
+  Position we = cursor_.end();
+  uint64_t n = we - wb;
+  const size_t k = inputs_.size();
+
+  // Vector-style access: materialize each column's window as a dense array
+  // (decompressing RLE / bit-vector data).
+  position::PositionSet window = position::PositionSet::All(wb, we);
+  for (size_t c = 0; c < k; ++c) {
+    scratch_[c].clear();
+    scratch_[c].reserve(n);
+    uint64_t first = inputs_[c].reader->BlockContaining(wb);
+    uint64_t last = inputs_[c].reader->BlockContaining(we - 1);
+    for (uint64_t b = first; b <= last; ++b) {
+      CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                              inputs_[c].reader->FetchBlock(b));
+      ++stats_->blocks_fetched;
+      blk.view.GatherValues(window, &scratch_[c]);
+    }
+    CSTORE_CHECK(scratch_[c].size() == n);
+    stats_->values_gathered += n;
+  }
+
+  // Construct tuples with short-circuit predicate evaluation: column i's
+  // predicate is only tested for rows that passed predicates 1..i-1. Each
+  // passing tuple is assembled and pushed through the tuple iterator.
+  out->Reset(static_cast<uint32_t>(k));
+  emitter_.Bind(out);
+  row_buf_.resize(k);
+  for (uint64_t i = 0; i < n; ++i) {
+    bool pass = true;
+    for (size_t c = 0; c < k; ++c) {
+      ++stats_->predicate_evals;
+      if (!inputs_[c].pred.Eval(scratch_[c][i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      for (size_t c = 0; c < k; ++c) row_buf_[c] = scratch_[c][i];
+      sink_->Emit(wb + i, row_buf_.data());
+    }
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  cursor_.Advance();
+  return true;
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -1,0 +1,169 @@
+// Data-source operators (paper Section 3.2, Cases 1-4):
+//
+//   DS1Scan          (Case 1) column + predicate → positions
+//                    (optionally attaching the scanned blocks as a
+//                     mini-column — the multi-column optimization)
+//   DS1PipelinedScan (Case 3+1) input positions + column + predicate →
+//                    refined positions; skips blocks with no valid
+//                    positions (LM-pipelined's win at low selectivity)
+//   DS2Scan          (Case 2) column + predicate → (pos, value) tuples
+//   DS4ScanMerge     (Case 4) input EM tuples + column + predicate →
+//                    extended EM tuples (jumps to input positions)
+//   SpcScan          (Fig. 6) scan-predicate-construct over k columns →
+//                    tuples (EM-parallel's leaf operator)
+
+#ifndef CSTORE_EXEC_DS_SCAN_H_
+#define CSTORE_EXEC_DS_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "codec/predicate.h"
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+#include "exec/window_cursor.h"
+
+namespace cstore {
+namespace exec {
+
+/// DS Case 1: scans a column, applying a predicate, producing one
+/// position-descriptor chunk per window. When `attach_mini` is set the
+/// scanned blocks are attached as a mini-column so downstream operators can
+/// re-access the column for free.
+class DS1Scan : public MultiColumnOp {
+ public:
+  DS1Scan(const codec::ColumnReader* reader, ColumnId column,
+          codec::Predicate pred, bool attach_mini, ExecStats* stats);
+
+  Result<bool> Next(MultiColumnChunk* out) override;
+
+ private:
+  const codec::ColumnReader* reader_;
+  ColumnId column_;
+  codec::Predicate pred_;
+  bool attach_mini_;
+  ExecStats* stats_;
+  WindowCursor cursor_;
+};
+
+/// Index-derived position scan (Section 2.1.1): for a sorted column, the
+/// positions matching a range predicate come straight from the column index
+/// as one contiguous range — "the original column values never have to be
+/// accessed". Reads no blocks at execution time. As a leaf it iterates the
+/// column's windows; with an input it intersects the input's descriptors
+/// with the range (pipelined form).
+class IndexScan : public MultiColumnOp {
+ public:
+  /// Leaf form.
+  IndexScan(const codec::ColumnReader* reader, position::Range range,
+            ExecStats* stats);
+  /// Pipelined form: refines `input`'s descriptors.
+  IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
+            position::Range range, ExecStats* stats);
+
+  Result<bool> Next(MultiColumnChunk* out) override;
+
+ private:
+  MultiColumnOp* input_;
+  position::Range range_;
+  ExecStats* stats_;
+  Position total_;
+  Position begin_ = 0;
+};
+
+/// LM-pipelined second stage: consumes position chunks, fetches only the
+/// blocks of `reader` that contain valid positions, applies `pred` at those
+/// positions, and emits the intersection. Input mini-columns are passed
+/// through; this column's fetched blocks are attached when `attach_mini`.
+class DS1PipelinedScan : public MultiColumnOp {
+ public:
+  DS1PipelinedScan(MultiColumnOp* input, const codec::ColumnReader* reader,
+                   ColumnId column, codec::Predicate pred, bool attach_mini,
+                   ExecStats* stats);
+
+  Result<bool> Next(MultiColumnChunk* out) override;
+
+ private:
+  MultiColumnOp* input_;
+  const codec::ColumnReader* reader_;
+  ColumnId column_;
+  codec::Predicate pred_;
+  bool attach_mini_;
+  ExecStats* stats_;
+};
+
+/// DS Case 2: scans a column with a predicate, producing width-1 tuples of
+/// (position, value) — the leaf of EM-pipelined plans.
+class DS2Scan : public TupleOp {
+ public:
+  DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
+          ExecStats* stats);
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  const codec::ColumnReader* reader_;
+  codec::Predicate pred_;
+  ExecStats* stats_;
+  WindowCursor cursor_;
+  ChunkTupleEmitter emitter_;
+  TupleEmitter* sink_ = &emitter_;
+};
+
+/// DS Case 4: consumes EM tuples, jumps to each tuple's position in the
+/// column, applies the predicate, and emits the input tuple extended with
+/// the column value when it passes. Blocks with no input positions are
+/// skipped entirely (EM-pipelined's win for selective predicates).
+class DS4ScanMerge : public TupleOp {
+ public:
+  DS4ScanMerge(TupleOp* input, const codec::ColumnReader* reader,
+               codec::Predicate pred, ExecStats* stats);
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  TupleOp* input_;
+  const codec::ColumnReader* reader_;
+  codec::Predicate pred_;
+  ExecStats* stats_;
+  TupleChunk in_;
+  // Current block cursor (input positions ascend monotonically).
+  std::shared_ptr<codec::EncodedBlock> cur_block_;
+  uint64_t cur_block_no_ = UINT64_MAX;
+  std::vector<Value> row_buf_;
+  ChunkTupleEmitter emitter_;
+  TupleEmitter* sink_ = &emitter_;
+};
+
+/// SPC (scan, predicate, construct): reads all blocks of all k columns,
+/// short-circuit-evaluates the predicates per row, and constructs tuples
+/// that pass everything — the leaf of EM-parallel plans. Compressed columns
+/// are decompressed into per-window arrays first (the paper: EM "requires
+/// the RLE-compressed data to be decompressed", precluding
+/// direct-on-compressed operation).
+class SpcScan : public TupleOp {
+ public:
+  struct Input {
+    const codec::ColumnReader* reader;
+    codec::Predicate pred;
+  };
+
+  SpcScan(std::vector<Input> inputs, ExecStats* stats);
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  std::vector<Input> inputs_;
+  ExecStats* stats_;
+  WindowCursor cursor_;  // over inputs_[0] (all columns share positions)
+  std::vector<std::vector<Value>> scratch_;
+  std::vector<Value> row_buf_;
+  ChunkTupleEmitter emitter_;
+  TupleEmitter* sink_ = &emitter_;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_DS_SCAN_H_

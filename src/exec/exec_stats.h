@@ -1,0 +1,33 @@
+// Execution counters maintained by operators; the plan executor folds them
+// into RunStats alongside buffer-pool I/O statistics.
+
+#ifndef CSTORE_EXEC_EXEC_STATS_H_
+#define CSTORE_EXEC_EXEC_STATS_H_
+
+#include <cstdint>
+
+namespace cstore {
+namespace exec {
+
+struct ExecStats {
+  // Blocks fetched by data-source operators (block iterator getNext calls).
+  uint64_t blocks_fetched = 0;
+  // Blocks skipped entirely by pipelined strategies (no valid positions).
+  uint64_t blocks_skipped = 0;
+  // Individual predicate evaluations (per value or per run).
+  uint64_t predicate_evals = 0;
+  // Values copied out of column representations (DS3 gathers, decompression
+  // for tuple construction).
+  uint64_t values_gathered = 0;
+  // Row-tuples stitched together (Merge / SPC / DS2 / DS4 outputs).
+  uint64_t tuples_constructed = 0;
+  // Position-set intersections performed by AND.
+  uint64_t position_ands = 0;
+
+  void Reset() { *this = ExecStats(); }
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_EXEC_STATS_H_

@@ -1,0 +1,44 @@
+// Shared DS3 helper: extract a column's values at the valid positions of a
+// chunk — from its mini-column when present (free re-access, Section 3.6),
+// otherwise by re-fetching the column's blocks through the buffer pool (the
+// re-access cost of Section 2.2).
+
+#ifndef CSTORE_EXEC_GATHER_H_
+#define CSTORE_EXEC_GATHER_H_
+
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "exec/exec_stats.h"
+#include "exec/multicolumn.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace exec {
+
+/// Appends the values of `column` at the valid positions of `chunk.desc` to
+/// *out (in position order).
+Status GatherColumnValues(const MultiColumnChunk& chunk, ColumnId column,
+                          const codec::ColumnReader* reader, ExecStats* stats,
+                          std::vector<Value>* out);
+
+/// Lists the block numbers of `reader` containing at least one valid
+/// position of `sel`.
+std::vector<uint64_t> BlocksCoveringPositions(
+    const codec::ColumnReader* reader, const position::PositionSet& sel);
+
+/// Clips the ascending disjoint `ranges`, starting at *ri, to the block
+/// span [block_begin, block_end), appending segments to *clipped (cleared
+/// first) and advancing *ri past ranges fully consumed by this block. Lets
+/// multi-block consumers walk a selection exactly once.
+void ClipRangesToBlock(const std::vector<position::Range>& ranges,
+                       size_t* ri, Position block_begin, Position block_end,
+                       std::vector<position::Range>* clipped);
+
+/// Materializes sel's maximal runs as a range vector.
+std::vector<position::Range> CollectRanges(const position::PositionSet& sel);
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_GATHER_H_

@@ -1,0 +1,258 @@
+#include "exec/join.h"
+
+#include "exec/gather.h"
+#include "position/position_set.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+HashJoinOp::HashJoinOp(const Spec& spec, ExecStats* stats)
+    : spec_(spec),
+      stats_(stats),
+      right_payload_mini_(/*column=*/1, &spec.right_payload->meta()) {
+  if (spec_.left_mode == JoinLeftMode::kEarly) {
+    // The outer tuples are constructed before the join (row-store style):
+    // scan key + payload, filter on the key, emit (key, payload) rows.
+    std::vector<SpcScan::Input> inputs = {
+        {spec_.left_key, spec_.left_pred},
+        {spec_.left_payload, codec::Predicate::True()},
+    };
+    left_em_scan_ = std::make_unique<SpcScan>(std::move(inputs), stats_);
+  } else {
+    left_scan_ = std::make_unique<DS1Scan>(spec_.left_key, /*column=*/0,
+                                           spec_.left_pred,
+                                           /*attach_mini=*/true, stats_);
+  }
+}
+
+Status HashJoinOp::Build() {
+  const codec::ColumnReader* key = spec_.right_key;
+  const uint64_t nblocks = key->num_blocks();
+
+  switch (spec_.mode) {
+    case JoinRightMode::kMaterialized: {
+      // Construct inner tuples before the join: read key and payload
+      // columns in lock step and materialize (key, payload) rows into the
+      // hash table.
+      const codec::ColumnReader* payload = spec_.right_payload;
+      val_table_.reserve(key->num_values());
+      std::vector<Value> keys;
+      std::vector<Value> payloads;
+      position::PositionSet all =
+          position::PositionSet::All(0, key->num_values());
+      for (uint64_t b = 0; b < nblocks; ++b) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
+        ++stats_->blocks_fetched;
+        blk.view.GatherValues(all, &keys);
+      }
+      for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                                payload->FetchBlock(b));
+        ++stats_->blocks_fetched;
+        blk.view.GatherValues(all, &payloads);
+      }
+      CSTORE_CHECK(keys.size() == payloads.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        val_table_.emplace(keys[i], payloads[i]);
+      }
+      stats_->tuples_constructed += keys.size();
+      stats_->values_gathered += keys.size() + payloads.size();
+      break;
+    }
+    case JoinRightMode::kMultiColumn: {
+      // Key → position map; payload stays a pinned compressed mini-column.
+      pos_table_.reserve(key->num_values());
+      for (uint64_t b = 0; b < nblocks; ++b) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
+        ++stats_->blocks_fetched;
+        blk.view.ForEach([&](Position p, Value v) { pos_table_.emplace(v, p); });
+      }
+      const codec::ColumnReader* payload = spec_.right_payload;
+      for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                                payload->FetchBlock(b));
+        ++stats_->blocks_fetched;
+        right_payload_mini_.AddBlock(
+            std::make_shared<codec::EncodedBlock>(std::move(blk)));
+      }
+      break;
+    }
+    case JoinRightMode::kSingleColumn: {
+      // Only the join-predicate column enters the join.
+      pos_table_.reserve(key->num_values());
+      for (uint64_t b = 0; b < nblocks; ++b) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
+        ++stats_->blocks_fetched;
+        blk.view.ForEach([&](Position p, Value v) { pos_table_.emplace(v, p); });
+      }
+      break;
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
+                              TupleChunk* out) {
+  out->Reset(2);
+  if (chunk.desc.IsEmpty()) return Status::OK();
+
+  left_pos_.clear();
+  right_vals_.clear();
+  right_pos_.clear();
+
+  const MiniColumn* key_mini = chunk.FindMini(0);
+  CSTORE_CHECK(key_mini != nullptr);
+
+  // Probe: left positions are consumed in order, so left join output
+  // positions come out sorted; right matches are produced in probe order —
+  // i.e. unsorted with respect to the inner table.
+  switch (spec_.mode) {
+    case JoinRightMode::kMaterialized:
+      key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
+        auto it = val_table_.find(key);
+        if (it != val_table_.end()) {
+          left_pos_.push_back(p);
+          right_vals_.push_back(it->second);
+        }
+      });
+      break;
+    case JoinRightMode::kMultiColumn:
+      key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
+        auto it = pos_table_.find(key);
+        if (it != pos_table_.end()) {
+          left_pos_.push_back(p);
+          // Extract the payload value and construct the tuple on the fly
+          // from the pinned multi-column.
+          right_vals_.push_back(right_payload_mini_.ValueAt(it->second));
+          ++stats_->values_gathered;
+        }
+      });
+      break;
+    case JoinRightMode::kSingleColumn:
+      key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
+        auto it = pos_table_.find(key);
+        if (it != pos_table_.end()) {
+          left_pos_.push_back(p);
+          right_pos_.push_back(it->second);
+        }
+      });
+      break;
+  }
+
+  if (left_pos_.empty()) return Status::OK();
+
+  // Left payload: positions are sorted, so this is a cheap in-order merge
+  // gather of the payload column.
+  left_vals_.clear();
+  {
+    position::PosList pl;
+    for (Position p : left_pos_) pl.Append(p);
+    position::PositionSet sel = position::PositionSet::FromList(
+        left_pos_.front(), left_pos_.back() + 1, std::move(pl));
+    const codec::ColumnReader* reader = spec_.left_payload;
+    for (uint64_t blk_no : BlocksCoveringPositions(reader, sel)) {
+      CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                              reader->FetchBlock(blk_no));
+      ++stats_->blocks_fetched;
+      blk.view.GatherValues(sel, &left_vals_);
+    }
+    stats_->values_gathered += left_vals_.size();
+  }
+  CSTORE_CHECK(left_vals_.size() == left_pos_.size());
+
+  // Right payload for the single-column mode: the positions are out of
+  // order, so a merge join on position is impossible — every access is an
+  // independent block lookup + jump.
+  if (spec_.mode == JoinRightMode::kSingleColumn) {
+    right_vals_.clear();
+    right_vals_.reserve(right_pos_.size());
+    for (Position p : right_pos_) {
+      CSTORE_ASSIGN_OR_RETURN(Value v, spec_.right_payload->ValueAt(p));
+      right_vals_.push_back(v);
+      ++stats_->values_gathered;
+    }
+  }
+
+  // Stitch output tuples.
+  out->Reserve(left_pos_.size());
+  for (size_t i = 0; i < left_pos_.size(); ++i) {
+    Value* slots = out->AppendTuple(left_pos_[i]);
+    slots[0] = left_vals_[i];
+    slots[1] = right_vals_[i];
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
+  // Row-store-style probe: outer tuples are already (key, payload) rows;
+  // matches emit output rows directly.
+  out->Reset(2);
+  out->Reserve(in.num_tuples());
+  right_pos_.clear();
+  for (size_t i = 0; i < in.num_tuples(); ++i) {
+    Value key = in.value(i, 0);
+    Value payload = in.value(i, 1);
+    switch (spec_.mode) {
+      case JoinRightMode::kMaterialized: {
+        auto it = val_table_.find(key);
+        if (it != val_table_.end()) {
+          Value row[2] = {payload, it->second};
+          out->AppendTuple(in.position(i), row);
+        }
+        break;
+      }
+      case JoinRightMode::kMultiColumn: {
+        auto it = pos_table_.find(key);
+        if (it != pos_table_.end()) {
+          Value row[2] = {payload, right_payload_mini_.ValueAt(it->second)};
+          out->AppendTuple(in.position(i), row);
+          ++stats_->values_gathered;
+        }
+        break;
+      }
+      case JoinRightMode::kSingleColumn: {
+        auto it = pos_table_.find(key);
+        if (it != pos_table_.end()) {
+          Value row[2] = {payload, 0};  // right value filled below
+          out->AppendTuple(in.position(i), row);
+          right_pos_.push_back(it->second);
+        }
+        break;
+      }
+    }
+  }
+  if (spec_.mode == JoinRightMode::kSingleColumn) {
+    for (size_t i = 0; i < right_pos_.size(); ++i) {
+      CSTORE_ASSIGN_OR_RETURN(Value v,
+                              spec_.right_payload->ValueAt(right_pos_[i]));
+      out->mutable_tuple(i)[1] = v;
+      ++stats_->values_gathered;
+    }
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(TupleChunk* out) {
+  if (!built_) {
+    CSTORE_RETURN_IF_ERROR(Build());
+  }
+  if (spec_.left_mode == JoinLeftMode::kEarly) {
+    TupleChunk in;
+    CSTORE_ASSIGN_OR_RETURN(bool has, left_em_scan_->Next(&in));
+    if (!has) return false;
+    CSTORE_RETURN_IF_ERROR(ProbeEarlyChunk(in, out));
+    return true;
+  }
+  MultiColumnChunk chunk;
+  CSTORE_ASSIGN_OR_RETURN(bool has, left_scan_->Next(&chunk));
+  if (!has) return false;
+  CSTORE_RETURN_IF_ERROR(ProbeChunk(chunk, out));
+  return true;
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -1,0 +1,113 @@
+// Hash join with selectable inner-table (right-side) materialization
+// strategy (paper Section 4.3, Figure 13):
+//
+//   kMaterialized — the inner table's tuples are constructed before the
+//       join (EM): build maps key → payload value. The join then behaves as
+//       in a row store.
+//   kMultiColumn  — the inner table is sent as a multi-column: build maps
+//       key → position, the payload column stays pinned in compressed form,
+//       and payload values are extracted (and the output tuple constructed)
+//       on the fly as probes match.
+//   kSingleColumn — "pure" LM: only the join-predicate column enters the
+//       join. The join emits (sorted left positions, unsorted right
+//       positions); right payload values must then be fetched by position
+//       out of order — an expensive non-merge positional join.
+//
+// The outer (left, probe) side always arrives late-materialized: a DS1 scan
+// of the join key with the query's predicate, carrying positions + key
+// values. Its payload column is fetched with an in-order merge gather,
+// which is cheap — this is the asymmetry the paper calls out: sorted left
+// positions are fast to restrict with, unsorted right positions are not.
+
+#ifndef CSTORE_EXEC_JOIN_H_
+#define CSTORE_EXEC_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "codec/predicate.h"
+#include "exec/ds_scan.h"
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+
+namespace cstore {
+namespace exec {
+
+enum class JoinRightMode {
+  kMaterialized,
+  kMultiColumn,
+  kSingleColumn,
+};
+
+/// Outer-side representation. kLate sends positions + the key column and
+/// merge-gathers the payload afterwards; kEarly constructs (key, payload)
+/// tuples before the join — "the join functions as it would in a standard
+/// row-store system" (Section 4.3).
+enum class JoinLeftMode {
+  kLate,
+  kEarly,
+};
+
+inline const char* JoinRightModeName(JoinRightMode m) {
+  switch (m) {
+    case JoinRightMode::kMaterialized:
+      return "right-materialized";
+    case JoinRightMode::kMultiColumn:
+      return "right-multicolumn";
+    case JoinRightMode::kSingleColumn:
+      return "right-single-column";
+  }
+  return "?";
+}
+
+/// Equi-join producing (left_payload, right_payload) tuples.
+class HashJoinOp : public TupleOp {
+ public:
+  struct Spec {
+    // Outer (probe) side.
+    const codec::ColumnReader* left_key = nullptr;
+    codec::Predicate left_pred;  // applied to the left key column
+    const codec::ColumnReader* left_payload = nullptr;
+    // Inner (build) side; right_key is assumed unique (primary key).
+    const codec::ColumnReader* right_key = nullptr;
+    const codec::ColumnReader* right_payload = nullptr;
+    JoinRightMode mode = JoinRightMode::kMaterialized;
+    JoinLeftMode left_mode = JoinLeftMode::kLate;
+  };
+
+  HashJoinOp(const Spec& spec, ExecStats* stats);
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  Status Build();
+  Status ProbeChunk(const MultiColumnChunk& chunk, TupleChunk* out);
+  Status ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out);
+
+  Spec spec_;
+  ExecStats* stats_;
+  bool built_ = false;
+
+  // kMaterialized: key → payload value (tuples constructed at build time).
+  std::unordered_map<Value, Value> val_table_;
+  // kMultiColumn / kSingleColumn: key → position in the inner table.
+  std::unordered_map<Value, Position> pos_table_;
+  // kMultiColumn: the pinned, still-compressed payload column.
+  MiniColumn right_payload_mini_;
+
+  std::unique_ptr<DS1Scan> left_scan_;        // kLate outer side
+  std::unique_ptr<SpcScan> left_em_scan_;     // kEarly outer side
+
+  // Per-chunk scratch.
+  std::vector<Position> left_pos_;
+  std::vector<Value> right_vals_;
+  std::vector<Position> right_pos_;
+  std::vector<Value> left_vals_;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_JOIN_H_

@@ -1,0 +1,49 @@
+// MERGE operator (paper Section 3.4, Figure 5): sits at the top of LM plans
+// and combines k value streams into k-ary row tuples.
+//
+// For each incoming chunk, the operator extracts each output column's values
+// at the valid positions — from the chunk's mini-column when present (free
+// re-access), otherwise by re-fetching the column's blocks through the
+// buffer pool (the column re-access cost of Section 2.2) — and then stitches
+// the aligned value arrays into row tuples.
+
+#ifndef CSTORE_EXEC_MERGE_OP_H_
+#define CSTORE_EXEC_MERGE_OP_H_
+
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+
+namespace cstore {
+namespace exec {
+
+class MergeOp : public TupleOp {
+ public:
+  struct OutputColumn {
+    ColumnId column;
+    // Fallback source when the chunk carries no mini-column for `column`.
+    const codec::ColumnReader* reader;
+  };
+
+  MergeOp(MultiColumnOp* input, std::vector<OutputColumn> columns,
+          ExecStats* stats)
+      : input_(input), columns_(std::move(columns)), stats_(stats) {
+    value_bufs_.resize(columns_.size());
+  }
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  MultiColumnOp* input_;
+  std::vector<OutputColumn> columns_;
+  ExecStats* stats_;
+  std::vector<std::vector<Value>> value_bufs_;
+  std::vector<Position> pos_buf_;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_MERGE_OP_H_

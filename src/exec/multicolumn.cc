@@ -1,0 +1,29 @@
+#include "exec/multicolumn.h"
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+Value MiniColumn::ValueAt(Position pos) const {
+  // Binary search for the block covering pos (blocks are ascending).
+  size_t lo = 0;
+  size_t hi = blocks_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    const codec::BlockView& v = blocks_[mid]->view;
+    if (pos < v.start_pos()) {
+      hi = mid;
+    } else if (pos >= v.end_pos()) {
+      lo = mid + 1;
+    } else {
+      return v.ValueAt(pos);
+    }
+  }
+  CSTORE_CHECK(false) << "position " << pos
+                      << " not covered by mini-column blocks";
+  return 0;
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -1,0 +1,134 @@
+// The multi-column intermediate-result structure (paper Section 3.6).
+//
+// A MultiColumnChunk is a memory-resident horizontal partition of a subset
+// of a projection's attributes:
+//   * a covering position range   [begin, end)
+//   * a position descriptor       (ranged / bit-mapped / listed; see
+//                                  position::PositionSet)
+//   * an array of mini-columns    (pinned, still-compressed block views of
+//                                  each included attribute over the range)
+//
+// Mini-columns are "essentially just a pointer to the page in the buffer
+// pool": MiniColumn holds shared pins on the EncodedBlocks covering the
+// range, so a downstream DS3 can extract values without re-fetching the
+// column (I/O cost → 0 for re-accessed columns).
+
+#ifndef CSTORE_EXEC_MULTICOLUMN_H_
+#define CSTORE_EXEC_MULTICOLUMN_H_
+
+#include <memory>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "codec/views.h"
+#include "position/position_set.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace exec {
+
+/// Identifier of a column within a projection (index into its schema).
+using ColumnId = uint32_t;
+
+class MiniColumn {
+ public:
+  MiniColumn() = default;
+  MiniColumn(ColumnId column, const codec::ColumnMeta* meta)
+      : column_(column), meta_(meta) {}
+
+  ColumnId column() const { return column_; }
+  const codec::ColumnMeta* meta() const { return meta_; }
+
+  void AddBlock(std::shared_ptr<codec::EncodedBlock> block) {
+    blocks_.push_back(std::move(block));
+  }
+  const std::vector<std::shared_ptr<codec::EncodedBlock>>& blocks() const {
+    return blocks_;
+  }
+
+  /// Appends the values at the valid positions of `sel` to *out, in
+  /// position order.
+  void GatherValues(const position::PositionSet& sel,
+                    std::vector<Value>* out) const {
+    ForEachBlockSpan(sel, [&](const codec::BlockView& view,
+                              const position::Range* ranges, size_t n) {
+      view.GatherRanges(ranges, n, out);
+    });
+  }
+
+  /// fn(pos, value) for every valid position of `sel`, ascending.
+  template <typename Fn>
+  void ForEachPosValue(const position::PositionSet& sel, Fn&& fn) const {
+    ForEachBlockSpan(sel, [&](const codec::BlockView& view,
+                              const position::Range* ranges, size_t n) {
+      view.ForEachValueInRanges(ranges, n, fn);
+    });
+  }
+
+  /// Walks `sel`'s ranges once, invoking per_block(view, clipped_ranges, n)
+  /// for each block with its overlapping range segments. O(ranges + blocks)
+  /// instead of re-scanning the selection per block.
+  template <typename PerBlock>
+  void ForEachBlockSpan(const position::PositionSet& sel,
+                        PerBlock&& per_block) const {
+    std::vector<position::Range> ranges;
+    sel.ForEachRange([&](Position b, Position e) {
+      ranges.push_back(position::Range{b, e});
+    });
+    std::vector<position::Range> clipped;
+    size_t ri = 0;
+    for (const auto& blk : blocks_) {
+      Position bb = blk->view.start_pos();
+      Position be = blk->view.end_pos();
+      while (ri < ranges.size() && ranges[ri].end <= bb) ++ri;
+      clipped.clear();
+      size_t rj = ri;
+      while (rj < ranges.size() && ranges[rj].begin < be) {
+        Position b = ranges[rj].begin > bb ? ranges[rj].begin : bb;
+        Position e = ranges[rj].end < be ? ranges[rj].end : be;
+        if (b < e) clipped.push_back(position::Range{b, e});
+        if (ranges[rj].end <= be) {
+          ++rj;  // fully consumed by this block
+        } else {
+          break;  // continues into the next block
+        }
+      }
+      if (!clipped.empty()) {
+        per_block(blk->view, clipped.data(), clipped.size());
+      }
+    }
+  }
+
+  /// Random access within the covered blocks.
+  Value ValueAt(Position pos) const;
+
+ private:
+  ColumnId column_ = 0;
+  const codec::ColumnMeta* meta_ = nullptr;
+  // Ascending, possibly with gaps (pipelined scans skip blocks with no
+  // valid positions).
+  std::vector<std::shared_ptr<codec::EncodedBlock>> blocks_;
+};
+
+/// One chunk of intermediate result flowing through an LM plan.
+struct MultiColumnChunk {
+  Position begin = 0;
+  Position end = 0;
+  position::PositionSet desc = position::PositionSet::Empty(0, 0);
+  std::vector<MiniColumn> minis;
+
+  uint64_t window_size() const { return end - begin; }
+
+  const MiniColumn* FindMini(ColumnId column) const {
+    for (const MiniColumn& m : minis) {
+      if (m.column() == column) return &m;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_MULTICOLUMN_H_

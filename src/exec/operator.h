@@ -1,0 +1,43 @@
+// Block-oriented operator interfaces. Two streams flow through plans:
+//
+//   * MultiColumnOp — late-materialization side: chunks of positions plus
+//     (optionally) still-compressed mini-columns.
+//   * TupleOp — early-materialization side and plan roots: chunks of
+//     constructed row tuples.
+//
+// All operators pull: Next() fills the output chunk and returns true, or
+// returns false when exhausted. Chunks from position-producing operators are
+// aligned to kChunkPositions windows so multi-input operators can zip
+// without realignment.
+
+#ifndef CSTORE_EXEC_OPERATOR_H_
+#define CSTORE_EXEC_OPERATOR_H_
+
+#include "exec/multicolumn.h"
+#include "exec/tuple_chunk.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace exec {
+
+class MultiColumnOp {
+ public:
+  virtual ~MultiColumnOp() = default;
+
+  /// Fills *out with the next chunk; returns false when exhausted.
+  virtual Result<bool> Next(MultiColumnChunk* out) = 0;
+};
+
+class TupleOp {
+ public:
+  virtual ~TupleOp() = default;
+
+  /// Fills *out with the next chunk of tuples (possibly empty; callers keep
+  /// pulling until false); returns false when exhausted.
+  virtual Result<bool> Next(TupleChunk* out) = 0;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_OPERATOR_H_

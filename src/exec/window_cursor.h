@@ -1,0 +1,68 @@
+// WindowCursor walks a column in fixed windows of kChunkPositions positions,
+// fetching (through the buffer pool) the blocks that overlap each window.
+// All position-producing operators share this discipline so their chunks
+// align.
+
+#ifndef CSTORE_EXEC_WINDOW_CURSOR_H_
+#define CSTORE_EXEC_WINDOW_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace exec {
+
+class WindowCursor {
+ public:
+  explicit WindowCursor(const codec::ColumnReader* reader,
+                        Position window_positions = kChunkPositions)
+      : reader_(reader),
+        window_(window_positions),
+        total_(reader->num_values()) {}
+
+  bool done() const { return begin_ >= total_; }
+  Position begin() const { return begin_; }
+  Position end() const {
+    Position e = begin_ + window_;
+    return e < total_ ? e : total_;
+  }
+
+  /// Index range [first, last] of blocks overlapping the current window.
+  void BlockRange(uint64_t* first, uint64_t* last) const {
+    *first = reader_->BlockContaining(begin_);
+    *last = reader_->BlockContaining(end() - 1);
+  }
+
+  /// Fetches (pinning) all blocks overlapping the current window.
+  Result<std::vector<std::shared_ptr<codec::EncodedBlock>>> Fetch() const {
+    uint64_t first;
+    uint64_t last;
+    BlockRange(&first, &last);
+    std::vector<std::shared_ptr<codec::EncodedBlock>> blocks;
+    blocks.reserve(last - first + 1);
+    for (uint64_t b = first; b <= last; ++b) {
+      CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                              reader_->FetchBlock(b));
+      blocks.push_back(
+          std::make_shared<codec::EncodedBlock>(std::move(blk)));
+    }
+    return blocks;
+  }
+
+  void Advance() { begin_ += window_; }
+
+ private:
+  const codec::ColumnReader* reader_;
+  Position window_;
+  Position total_;
+  Position begin_ = 0;
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_WINDOW_CURSOR_H_

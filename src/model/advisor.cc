@@ -1,0 +1,143 @@
+#include "model/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cstore {
+namespace model {
+
+namespace {
+
+std::string DescribeInput(const SelectionModelInput& in) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "inputs: col1{%s, |C|=%.0f, ||C||=%.0f, RL=%.1f, sf=%.3f, "
+                "%s} col2{%s, |C|=%.0f, RL=%.1f, sf=%.3f}\n",
+                codec::EncodingName(in.col1.encoding), in.col1.num_blocks,
+                in.col1.num_tuples, in.col1.run_length, in.sf1,
+                in.col1_clustered ? "clustered" : "unclustered",
+                codec::EncodingName(in.col2.encoding), in.col2.num_blocks,
+                in.col2.run_length, in.sf2);
+  return buf;
+}
+
+std::string FormatRanking(const std::vector<StrategyPrediction>& ranked) {
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const StrategyPrediction& p = ranked[i];
+    if (!p.supported) {
+      std::snprintf(buf, sizeof(buf), "  %-14s unsupported\n",
+                    StrategyName(p.strategy));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-14s total=%9.2fms  cpu=%9.2fms  io=%9.2fms%s\n",
+                    StrategyName(p.strategy), p.cost.total() / 1000.0,
+                    p.cost.cpu / 1000.0, p.cost.io / 1000.0,
+                    i == 0 ? "  <- chosen" : "");
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Advisor::ExplainSelection(
+    const SelectionModelInput& input) const {
+  return DescribeInput(input) + FormatRanking(RankSelection(input));
+}
+
+std::string Advisor::ExplainAggregation(const SelectionModelInput& input,
+                                        double groups) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "groups: ~%.0f\n", groups);
+  return DescribeInput(input) + buf +
+         FormatRanking(RankAggregation(input, groups));
+}
+
+namespace {
+
+bool Supported(plan::Strategy s, const SelectionModelInput& in) {
+  if (s == plan::Strategy::kLmPipelined &&
+      in.col2.encoding == codec::Encoding::kBitVector) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<StrategyPrediction> Sorted(
+    std::vector<StrategyPrediction> preds) {
+  std::sort(preds.begin(), preds.end(),
+            [](const StrategyPrediction& a, const StrategyPrediction& b) {
+              if (a.supported != b.supported) return a.supported;
+              return a.cost.total() < b.cost.total();
+            });
+  return preds;
+}
+
+}  // namespace
+
+std::vector<StrategyPrediction> Advisor::RankSelection(
+    const SelectionModelInput& input) const {
+  std::vector<StrategyPrediction> preds;
+  for (plan::Strategy s : plan::kAllStrategies) {
+    StrategyPrediction p;
+    p.strategy = s;
+    p.supported = Supported(s, input);
+    if (p.supported) p.cost = PredictSelection(s, input, params_);
+    preds.push_back(p);
+  }
+  return Sorted(std::move(preds));
+}
+
+std::vector<StrategyPrediction> Advisor::RankAggregation(
+    const SelectionModelInput& input, double groups) const {
+  std::vector<StrategyPrediction> preds;
+  for (plan::Strategy s : plan::kAllStrategies) {
+    StrategyPrediction p;
+    p.strategy = s;
+    p.supported = Supported(s, input);
+    if (p.supported) p.cost = PredictAggregation(s, input, groups, params_);
+    preds.push_back(p);
+  }
+  return Sorted(std::move(preds));
+}
+
+plan::Strategy Advisor::ChooseSelection(
+    const SelectionModelInput& input) const {
+  return RankSelection(input).front().strategy;
+}
+
+plan::Strategy Advisor::ChooseAggregation(const SelectionModelInput& input,
+                                          double groups) const {
+  return RankAggregation(input, groups).front().strategy;
+}
+
+plan::Strategy Advisor::Heuristic(const SelectionModelInput& input,
+                                  bool aggregated) {
+  const double combined_sf = input.sf1 * input.sf2;
+  auto is_lightweight = [](codec::Encoding e) {
+    return e == codec::Encoding::kRle || e == codec::Encoding::kDict;
+  };
+  const bool lightweight_compression =
+      is_lightweight(input.col1.encoding) ||
+      is_lightweight(input.col2.encoding);
+  // "if output data is aggregated, or if the query has low selectivity
+  // (highly selective predicates), or if input data is compressed using a
+  // light-weight compression technique, a late materialization strategy
+  // should be used. Otherwise ... early materialization" (Section 6).
+  if (aggregated || combined_sf < 0.1 || lightweight_compression) {
+    // Pipelined LM wins when the first predicate is clustered and highly
+    // selective (block skipping); parallel otherwise.
+    if (input.col1_clustered && input.sf1 < 0.1 &&
+        input.col2.encoding != codec::Encoding::kBitVector) {
+      return plan::Strategy::kLmPipelined;
+    }
+    return plan::Strategy::kLmParallel;
+  }
+  return plan::Strategy::kEmParallel;
+}
+
+}  // namespace model
+}  // namespace cstore

@@ -1,0 +1,62 @@
+// Strategy advisor: the paper's motivating use of the analytical model —
+// "Using an analytical model to predict query performance can facilitate
+// materialization strategy decision-making" (Section 6). Given the query's
+// statistics it ranks strategies by predicted cost and can explain the
+// choice via the paper's closing heuristic.
+
+#ifndef CSTORE_MODEL_ADVISOR_H_
+#define CSTORE_MODEL_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+
+namespace cstore {
+namespace model {
+
+struct StrategyPrediction {
+  plan::Strategy strategy;
+  Cost cost;
+  bool supported = true;  // LM-pipelined on bit-vector data is not
+};
+
+class Advisor {
+ public:
+  explicit Advisor(CostParams params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Predictions for all four strategies, sorted by ascending total cost
+  /// (unsupported strategies last).
+  std::vector<StrategyPrediction> RankSelection(
+      const SelectionModelInput& input) const;
+  std::vector<StrategyPrediction> RankAggregation(
+      const SelectionModelInput& input, double groups) const;
+
+  /// The cheapest supported strategy.
+  plan::Strategy ChooseSelection(const SelectionModelInput& input) const;
+  plan::Strategy ChooseAggregation(const SelectionModelInput& input,
+                                   double groups) const;
+
+  /// The paper's closing rule of thumb (Section 6), independent of the
+  /// model: late materialization if the output is aggregated, the query is
+  /// highly selective, or the inputs use light-weight compression; early
+  /// materialization otherwise.
+  static plan::Strategy Heuristic(const SelectionModelInput& input,
+                                  bool aggregated);
+
+  /// Human-readable report: every strategy's predicted CPU/I/O split plus
+  /// the inputs the prediction used. The optimizer-facing "EXPLAIN" view.
+  std::string ExplainSelection(const SelectionModelInput& input) const;
+  std::string ExplainAggregation(const SelectionModelInput& input,
+                                 double groups) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace model
+}  // namespace cstore
+
+#endif  // CSTORE_MODEL_ADVISOR_H_

@@ -1,0 +1,249 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace model {
+
+namespace {
+
+/// Scan I/O: (|C|/PF * SEEK + |C| * READ) * (1 - F)   [Figures 1, 3, 6]
+double ScanIo(const ColumnStats& col, const CostParams& p) {
+  return (col.num_blocks / p.pf * p.seek + col.num_blocks * p.read) *
+         (1.0 - col.fraction_cached);
+}
+
+}  // namespace
+
+double PositionRunLength(double sf, double matches, bool clustered) {
+  if (matches <= 0) return 1.0;
+  if (clustered) return std::max(1.0, matches);  // a single position range
+  if (sf >= 1.0) return std::max(1.0, matches);
+  // Expected run length of consecutive matches under i.i.d. selection.
+  return std::clamp(1.0 / (1.0 - sf), 1.0, matches);
+}
+
+Cost DS1Cost(const ColumnStats& col, double sf, const CostParams& p) {
+  Cost c;
+  // (1) block iteration, (3,4) per-run column iteration + predicate,
+  // (5) position output for matches.  [Figure 1]
+  c.cpu = col.num_blocks * p.bic +
+          col.num_tuples * (p.tic_col + p.fc) / col.run_length +
+          sf * col.num_tuples * p.fc;
+  c.io = ScanIo(col, p);
+  return c;
+}
+
+Cost DS2Cost(const ColumnStats& col, double sf, const CostParams& p) {
+  Cost c;
+  // Case 2 = Case 1 with step (5) gluing positions and values together:
+  // SF * ||C|| * (TIC_TUP + FC).
+  c.cpu = col.num_blocks * p.bic +
+          col.num_tuples * (p.tic_col + p.fc) / col.run_length +
+          sf * col.num_tuples * (p.tic_tup + p.fc);
+  c.io = ScanIo(col, p);
+  return c;
+}
+
+Cost DS3Cost(const ColumnStats& col, double poslist, double rl_pos,
+             double sf, bool already_accessed, const CostParams& p) {
+  Cost c;
+  double runs = poslist / std::max(1.0, rl_pos);
+  // (1) block iteration, (3) position-list iteration, (4) jump + output.
+  // [Figure 2]
+  c.cpu = col.num_blocks * p.bic + runs * p.tic_col +
+          runs * (p.tic_col + p.fc);
+  if (already_accessed) {
+    c.io = 0;  // F = 1: the multi-column optimization (Section 3.6)
+  } else {
+    c.io = (col.num_blocks / p.pf * p.seek + sf * col.num_blocks * p.read) *
+           (1.0 - col.fraction_cached);
+  }
+  return c;
+}
+
+Cost DS4Cost(const ColumnStats& col, double em, double sf,
+             const CostParams& p) {
+  Cost c;
+  // (1) block iteration, (3) EM-tuple iteration, (4) jump + predicate,
+  // (5) merge passing tuples.  [Figure 3]
+  c.cpu = col.num_blocks * p.bic + em * p.tic_tup +
+          em * ((p.fc + p.tic_tup) + p.fc) + sf * em * p.tic_tup;
+  c.io = ScanIo(col, p);
+  return c;
+}
+
+Cost AndCost(const std::vector<double>& sizes,
+             const std::vector<double>& rl_pos, bool bit_inputs,
+             const CostParams& p) {
+  CSTORE_CHECK(sizes.size() == rl_pos.size() && !sizes.empty());
+  Cost c;
+  // Effective per-input iteration unit: ||inpos_i|| / RLp_i for ranged
+  // inputs (Case 1), ||inpos_i|| / word_bits for bit inputs (Case 2).
+  double m = 0;
+  double iter = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    double units =
+        bit_inputs ? sizes[i] / p.word_bits
+                   : sizes[i] / std::max(1.0, rl_pos[i]);
+    iter += p.tic_col * units;
+    m = std::max(m, units);
+  }
+  double k = static_cast<double>(sizes.size());
+  c.cpu = iter + m * (k - 1) * p.fc + m * p.tic_col * p.fc;
+  return c;  // streaming operator: no I/O (Figure 4)
+}
+
+Cost MergeCost(double values, int k, const CostParams& p) {
+  Cost c;
+  // (1) access values as vectors, (2) produce tuples as arrays.  [Figure 5]
+  c.cpu = values * k * p.fc + values * k * p.fc;
+  return c;
+}
+
+Cost SpcCost(const std::vector<ColumnStats>& cols,
+             const std::vector<double>& sf, const CostParams& p) {
+  CSTORE_CHECK(cols.size() == sf.size() && !cols.empty());
+  Cost c;
+  double running_sf = 1.0;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    c.cpu += cols[i].num_blocks * p.bic;               // (2)
+    c.cpu += cols[i].num_tuples * p.fc * running_sf;   // (4) short-circuit
+    c.io += ScanIo(cols[i], p);                        // (3)
+    running_sf *= sf[i];
+  }
+  c.cpu += cols.back().num_tuples * p.tic_tup * running_sf;  // (5)
+  return c;
+}
+
+Cost PredictSelection(plan::Strategy strategy,
+                      const SelectionModelInput& in, const CostParams& p) {
+  const double n = in.col1.num_tuples;
+  const double matches1 = in.sf1 * n;
+  const double num_out = in.sf1 * in.sf2 * n;
+  Cost out_iter;
+  out_iter.cpu = num_out * p.tic_tup;  // final result iteration
+
+  switch (strategy) {
+    case plan::Strategy::kEmPipelined: {
+      Cost ds4 = DS4Cost(in.col2, matches1, in.sf2, p);
+      // DS4 only reads blocks containing input positions ("in some cases
+      // the entire block can be skipped", Section 3.5); with a clustered
+      // first predicate that is the matching fraction of the column.
+      if (in.col1_clustered) {
+        double touched =
+            std::min(in.col2.num_blocks,
+                     std::ceil(in.sf1 * in.col2.num_blocks) +
+                         (in.sf1 > 0 ? 1 : 0));
+        ds4.io = (touched / p.pf * p.seek + touched * p.read) *
+                 (1.0 - in.col2.fraction_cached);
+      }
+      return DS2Cost(in.col1, in.sf1, p) + ds4 + out_iter;
+    }
+    case plan::Strategy::kEmParallel: {
+      return SpcCost({in.col1, in.col2}, {in.sf1, in.sf2}, p) + out_iter;
+    }
+    case plan::Strategy::kLmParallel: {
+      const double matches2 = in.sf2 * n;
+      double rl1 = PositionRunLength(in.sf1, matches1, in.col1_clustered);
+      double rl2 = PositionRunLength(in.sf2, matches2, false);
+      // Clustered first predicate → ranged list; dense second predicate →
+      // effectively bit-mapped. Model the AND with each input in its
+      // natural representation (the mixed Case 3 generalization).
+      bool bit_inputs = !in.col1_clustered;
+      Cost and_cost =
+          AndCost({matches1, matches2}, {rl1, rl2}, bit_inputs, p);
+      double rl_out = PositionRunLength(
+          in.sf2, num_out, in.col1_clustered && in.sf2 >= 1.0);
+      Cost ds3_1 = DS3Cost(in.col1, num_out, rl_out, in.sf1 * in.sf2,
+                           /*already_accessed=*/true, p);
+      Cost ds3_2 = DS3Cost(in.col2, num_out, rl_out, in.sf1 * in.sf2,
+                           /*already_accessed=*/true, p);
+      return DS1Cost(in.col1, in.sf1, p) + DS1Cost(in.col2, in.sf2, p) +
+             and_cost + ds3_1 + ds3_2 + MergeCost(num_out, 2, p) + out_iter;
+    }
+    case plan::Strategy::kLmPipelined: {
+      Cost ds1 = DS1Cost(in.col1, in.sf1, p);
+      // Pipelined scan of col2 at col1's matching positions: only blocks
+      // containing candidates are read/processed ("entire blocks can be
+      // skipped"); each candidate is an individual jump + predicate
+      // application on the value subset.
+      double touched_blocks =
+          in.col1_clustered
+              ? std::min(in.col2.num_blocks,
+                         std::ceil(in.sf1 * in.col2.num_blocks) +
+                             (in.sf1 > 0 ? 1 : 0))
+              : (in.sf1 > 0 ? in.col2.num_blocks : 0);
+      Cost pipe;
+      pipe.cpu = touched_blocks * p.bic +
+                 matches1 * (p.tic_col + p.fc) +  // jump + extract
+                 matches1 * p.fc +                // predicate on the subset
+                 in.sf2 * matches1 * p.fc;        // emit surviving positions
+      pipe.io = (touched_blocks / p.pf * p.seek + touched_blocks * p.read) *
+                (1.0 - in.col2.fraction_cached);
+      double rl_out = PositionRunLength(
+          in.sf2, num_out, in.col1_clustered && in.sf2 >= 1.0);
+      Cost ds3_1 = DS3Cost(in.col1, num_out, rl_out, in.sf1 * in.sf2,
+                           /*already_accessed=*/true, p);
+      Cost ds3_2 = DS3Cost(in.col2, num_out, rl_out, in.sf1 * in.sf2,
+                           /*already_accessed=*/true, p);
+      return ds1 + pipe + ds3_1 + ds3_2 + MergeCost(num_out, 2, p) +
+             out_iter;
+    }
+  }
+  return Cost{};
+}
+
+Cost PredictAggregation(plan::Strategy strategy,
+                        const SelectionModelInput& in, double groups,
+                        const CostParams& p) {
+  const double n = in.col1.num_tuples;
+  const double num_out = in.sf1 * in.sf2 * n;
+  Cost group_iter;
+  group_iter.cpu = groups * p.tic_tup;
+
+  if (!plan::IsLate(strategy)) {
+    // EM: the selection plan runs unchanged; the aggregator's input
+    // iteration replaces the output iteration (same per-tuple cost), plus a
+    // hash update per input tuple and the (small) group-result iteration.
+    Cost sel = PredictSelection(strategy, in, p);
+    sel.cpu += num_out * p.fc;  // hash add per consumed tuple
+    return sel + group_iter;
+  }
+
+  // LM: position stream as in selection, but the aggregator replaces
+  // DS3 + Merge + output iteration, operating directly on compressed data.
+  Cost sel = PredictSelection(strategy, in, p);
+  const double matches1 = in.sf1 * n;
+  double rl_out = PositionRunLength(in.sf2, num_out,
+                                    in.col1_clustered && in.sf2 >= 1.0);
+  Cost ds3_1 = DS3Cost(in.col1, num_out, rl_out, in.sf1 * in.sf2, true, p);
+  Cost ds3_2 = DS3Cost(in.col2, num_out, rl_out, in.sf1 * in.sf2, true, p);
+  Cost merge = MergeCost(num_out, 2, p);
+  Cost out_iter;
+  out_iter.cpu = num_out * p.tic_tup;
+  sel.cpu -= ds3_1.cpu + ds3_2.cpu + merge.cpu + out_iter.cpu;
+  (void)matches1;
+
+  bool both_rle = in.col1.encoding == codec::Encoding::kRle &&
+                  in.col2.encoding == codec::Encoding::kRle;
+  Cost agg;
+  if (both_rle) {
+    // Run-zip: one accumulator call per (group-run × agg-run × range)
+    // segment.
+    double rl_zip = std::min({in.col1.run_length, in.col2.run_length,
+                              std::max(1.0, rl_out)});
+    double segments = num_out / std::max(1.0, rl_zip);
+    agg.cpu = segments * (p.tic_col + 2 * p.fc);
+  } else {
+    // Gather both columns (per-range extraction) + hash add per row.
+    agg.cpu = ds3_1.cpu + ds3_2.cpu + num_out * 2 * p.fc;
+  }
+  return sel + agg + group_iter;
+}
+
+}  // namespace model
+}  // namespace cstore

@@ -1,0 +1,108 @@
+// The analytical cost model of paper Section 3: operator formulas
+// (Figures 1-6) and their composition into full query-plan predictions for
+// the four materialization strategies (Section 3.5 plans), in microseconds.
+//
+// Everything is expressed in the Table 1 notation; formula comments cite the
+// corresponding figure. The aggregation model is our extension (the paper
+// models selection plans only but reports aggregate behaviour in Section
+// 4.2): it reuses the same constants and replaces the top-of-plan tuple
+// construction/iteration terms.
+
+#ifndef CSTORE_MODEL_COST_MODEL_H_
+#define CSTORE_MODEL_COST_MODEL_H_
+
+#include <vector>
+
+#include "model/cost_params.h"
+#include "plan/strategy.h"
+
+namespace cstore {
+namespace model {
+
+/// Cost of one operator or plan, split CPU vs. I/O (microseconds).
+struct Cost {
+  double cpu = 0;
+  double io = 0;
+  double total() const { return cpu + io; }
+
+  Cost& operator+=(const Cost& o) {
+    cpu += o.cpu;
+    io += o.io;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+};
+
+// --- Operator-level formulas -----------------------------------------------
+
+/// DS_Scan Case 1 (Figure 1): read column, apply predicate, output
+/// positions.
+Cost DS1Cost(const ColumnStats& col, double sf, const CostParams& p);
+
+/// DS_Scan Case 2 (Figure 1 variant): as Case 1 but outputs (pos, value)
+/// pairs — step 5 costs TIC_TUP + FC per emitted pair.
+Cost DS2Cost(const ColumnStats& col, double sf, const CostParams& p);
+
+/// DS_Scan Case 3 (Figure 2): extract values at a position list.
+/// `poslist` = ||POSLIST||, `rl_pos` = RLp (average position-run length),
+/// `sf` = fraction of the column's blocks that must be read when cold,
+/// `already_accessed` sets F = 1 (I/O → 0; the multi-column optimization).
+Cost DS3Cost(const ColumnStats& col, double poslist, double rl_pos,
+             double sf, bool already_accessed, const CostParams& p);
+
+/// DS_Scan Case 4 (Figure 3): jump to EM-tuple positions, apply predicate,
+/// merge passing values into wider tuples. `em` = ||EM_i||.
+Cost DS4Cost(const ColumnStats& col, double em, double sf,
+             const CostParams& p);
+
+/// AND (Figure 4). One input per position list: `sizes[i]` = ||inpos_i||,
+/// `rl_pos[i]` = RLp_i for range-coded lists. `bit_inputs` selects Case 2
+/// (bit-lists: every ||inpos_i||/RLp_i becomes ||inpos_i||/word_bits).
+Cost AndCost(const std::vector<double>& sizes,
+             const std::vector<double>& rl_pos, bool bit_inputs,
+             const CostParams& p);
+
+/// MERGE (Figure 5): construct `values` k-ary tuples from k value streams.
+Cost MergeCost(double values, int k, const CostParams& p);
+
+/// SPC (Figure 6): scan k columns, short-circuit predicates, construct.
+/// `sf[i]` is predicate i's selectivity.
+Cost SpcCost(const std::vector<ColumnStats>& cols,
+             const std::vector<double>& sf, const CostParams& p);
+
+// --- Plan-level composition (Section 3.5) ----------------------------------
+
+/// Inputs describing the two-predicate selection query of Section 3.5:
+///   SELECT col1, col2 FROM proj WHERE pred1(col1) AND pred2(col2).
+struct SelectionModelInput {
+  ColumnStats col1;
+  ColumnStats col2;
+  double sf1 = 1.0;
+  double sf2 = 1.0;
+  // True when pred1's matches are contiguous in position space (predicate
+  // on a sort key), letting ranged position lists represent them and
+  // pipelined plans touch only matching blocks of col2.
+  bool col1_clustered = true;
+};
+
+/// Predicted end-to-end cost (including the final output-tuple iteration,
+/// numOutTuples * TIC_TUP, which both the paper's model and experiments
+/// include).
+Cost PredictSelection(plan::Strategy strategy,
+                      const SelectionModelInput& input, const CostParams& p);
+
+/// Aggregation extension: SELECT col1, SUM(col2) ... GROUP BY col1 with
+/// `groups` distinct output groups.
+Cost PredictAggregation(plan::Strategy strategy,
+                        const SelectionModelInput& input, double groups,
+                        const CostParams& p);
+
+/// Average run length of the position list produced by a predicate with
+/// selectivity `sf` over a column: contiguous (one range) when clustered,
+/// expected Bernoulli run length 1/(1-sf) otherwise.
+double PositionRunLength(double sf, double matches, bool clustered);
+
+}  // namespace model
+}  // namespace cstore
+
+#endif  // CSTORE_MODEL_COST_MODEL_H_

@@ -1,0 +1,31 @@
+#include "model/cost_params.h"
+
+#include <cstdio>
+
+namespace cstore {
+namespace model {
+
+std::string CostParams::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "BIC=%.4fus TIC_TUP=%.4fus TIC_COL=%.4fus FC=%.4fus "
+                "PF=%.0f SEEK=%.0fus READ=%.0fus W=%.0f",
+                bic, tic_tup, tic_col, fc, pf, seek, read, word_bits);
+  return buf;
+}
+
+CostParams CostParams::Paper2006() {
+  CostParams p;
+  p.bic = 0.020;
+  p.tic_tup = 0.065;
+  p.tic_col = 0.014;
+  p.fc = 0.009;
+  p.pf = 1.0;
+  p.seek = 2500.0;
+  p.read = 1000.0;
+  p.word_bits = 32.0;
+  return p;
+}
+
+}  // namespace model
+}  // namespace cstore

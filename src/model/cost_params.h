@@ -1,0 +1,68 @@
+// Analytical-model constants (paper Table 1 notation, Table 2 values).
+//
+// The defaults are the paper's measured constants on its 3.8 GHz Pentium 4 /
+// 2006 SATA disk testbed. model::Calibrator re-measures the CPU constants on
+// the present machine (the paper's methodology: "obtained by running the
+// small segments of code that only performed the variable in question").
+
+#ifndef CSTORE_MODEL_COST_PARAMS_H_
+#define CSTORE_MODEL_COST_PARAMS_H_
+
+#include <string>
+
+#include "codec/column_meta.h"
+
+namespace cstore {
+namespace model {
+
+struct CostParams {
+  // CPU time (microseconds) of a getNext() call in a block iterator.
+  double bic = 0.020;
+  // CPU time of a getNext() call in a tuple iterator.
+  double tic_tup = 0.065;
+  // CPU time of a getNext() call in a column iterator.
+  double tic_col = 0.014;
+  // Time for a function call.
+  double fc = 0.009;
+  // Prefetch size, in 64 KB blocks.
+  double pf = 1.0;
+  // Disk seek time (microseconds).
+  double seek = 2500.0;
+  // Time to read one 64 KB block (microseconds).
+  double read = 1000.0;
+  // Processor word size: positions intersected per instruction when
+  // position lists are bit-strings (the paper uses 32; this codebase ANDs
+  // 64-bit words).
+  double word_bits = 64.0;
+
+  std::string ToString() const;
+
+  /// The paper's Table 2 constants verbatim (32-bit words, 2006 disk).
+  static CostParams Paper2006();
+};
+
+/// Per-column statistics feeding the model (Table 1's |C|, ||C||, RL, F).
+struct ColumnStats {
+  double num_blocks = 0;   // |C|
+  double num_tuples = 0;   // ||C||
+  double run_length = 1;   // RL (average sorted run length; 1 uncompressed)
+  double fraction_cached = 0;  // F
+  codec::Encoding encoding = codec::Encoding::kUncompressed;
+
+  static ColumnStats FromMeta(const codec::ColumnMeta& meta,
+                              double fraction_cached = 0.0) {
+    ColumnStats s;
+    s.num_blocks = static_cast<double>(meta.num_blocks);
+    s.num_tuples = static_cast<double>(meta.num_values);
+    s.run_length =
+        meta.encoding == codec::Encoding::kRle ? meta.AverageRunLength() : 1.0;
+    s.fraction_cached = fraction_cached;
+    s.encoding = meta.encoding;
+    return s;
+  }
+};
+
+}  // namespace model
+}  // namespace cstore
+
+#endif  // CSTORE_MODEL_COST_PARAMS_H_

@@ -1,0 +1,58 @@
+#include "plan/executor.h"
+
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace plan {
+
+namespace {
+
+// Mixes one tuple into an order-independent digest: tuples are hashed
+// individually (position-insensitive) and combined with addition so that
+// strategies emitting identical bags in different chunkings agree.
+uint64_t TupleDigest(const exec::TupleChunk& chunk, size_t i) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const Value* row = chunk.tuple(i);
+  for (uint32_t c = 0; c < chunk.width(); ++c) {
+    uint64_t x = static_cast<uint64_t>(row[c]) + 0x9e3779b97f4a7c15ULL +
+                 (h << 6) + (h >> 2);
+    h ^= x * 0xbf58476d1ce4e5b9ULL;
+    h = (h << 13) | (h >> 51);
+  }
+  return h;
+}
+
+}  // namespace
+
+Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
+                   const std::function<void(const exec::TupleChunk&)>& sink) {
+  storage::IoStats io_before = pool->stats();
+  plan->stats().Reset();
+
+  Stopwatch timer;
+  exec::TupleChunk chunk;
+  uint64_t tuples = 0;
+  uint64_t checksum = 0;
+  while (true) {
+    CSTORE_ASSIGN_OR_RETURN(bool has, plan->root()->Next(&chunk));
+    if (!has) break;
+    // Iterate through the output tuples (tuple-at-a-time, as the paper's
+    // top-of-plan iteration does).
+    for (size_t i = 0; i < chunk.num_tuples(); ++i) {
+      checksum += TupleDigest(chunk, i);
+    }
+    tuples += chunk.num_tuples();
+    if (sink) sink(chunk);
+  }
+  stats->wall_micros = timer.ElapsedMicros();
+
+  stats->io = pool->stats() - io_before;
+  stats->charged_io_micros = stats->io.charged_io_micros;
+  stats->output_tuples = tuples;
+  stats->checksum = checksum;
+  stats->exec = plan->stats();
+  return Status::OK();
+}
+
+}  // namespace plan
+}  // namespace cstore

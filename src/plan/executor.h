@@ -1,0 +1,44 @@
+// Plan execution: pulls the operator tree to completion, iterating over
+// every output tuple (the paper charges numOutTuples * TIC_TUP at the top of
+// each query for this), and collects RunStats.
+
+#ifndef CSTORE_PLAN_EXECUTOR_H_
+#define CSTORE_PLAN_EXECUTOR_H_
+
+#include <functional>
+
+#include "exec/exec_stats.h"
+#include "plan/planner.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace plan {
+
+struct RunStats {
+  // Wall-clock execution time (CPU + real I/O, which is page-cache fast).
+  double wall_micros = 0;
+  // Simulated disk time charged by the DiskModel for cold block reads.
+  double charged_io_micros = 0;
+  uint64_t output_tuples = 0;
+  // Order-independent digest of the result set; equal digests across
+  // strategies ⇒ identical result bags.
+  uint64_t checksum = 0;
+  exec::ExecStats exec;
+  storage::IoStats io;
+
+  /// Reported query time: wall time plus the simulated I/O component.
+  double TotalMicros() const { return wall_micros + charged_io_micros; }
+  double TotalMillis() const { return TotalMicros() / 1000.0; }
+};
+
+/// Runs `plan` to completion. If `sink` is provided it is invoked for every
+/// output chunk (after the checksum walk).
+Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
+                   const std::function<void(const exec::TupleChunk&)>& sink =
+                       nullptr);
+
+}  // namespace plan
+}  // namespace cstore
+
+#endif  // CSTORE_PLAN_EXECUTOR_H_

@@ -1,0 +1,220 @@
+#include "plan/planner.h"
+
+#include "codec/encoding.h"
+#include "exec/and_op.h"
+#include "exec/ds_scan.h"
+#include "exec/merge_op.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace plan {
+
+namespace {
+
+Status ValidateSelection(const SelectionQuery& query) {
+  if (query.columns.empty()) {
+    return Status::InvalidArgument("selection query needs >= 1 column");
+  }
+  uint64_t n = query.columns[0].reader->num_values();
+  for (const auto& col : query.columns) {
+    if (col.reader == nullptr) {
+      return Status::InvalidArgument("null column reader");
+    }
+    if (col.reader->num_values() != n) {
+      return Status::InvalidArgument(
+          "selection columns must belong to one projection (equal length)");
+    }
+  }
+  return Status::OK();
+}
+
+/// True when the column's positions can come straight from its index.
+bool CanUseIndex(const PlanConfig& config, const SelectionQuery::Column& col) {
+  return config.use_sorted_index && col.reader->SupportsIndexLookup(col.pred);
+}
+
+/// LM position-stream construction shared by selection and aggregation
+/// plans: returns the operator producing the final position descriptor
+/// chunks (DS1s/IndexScans + AND for parallel; a pipelined refinement chain
+/// for pipelined).
+Result<exec::MultiColumnOp*> BuildLatePositionStream(
+    const SelectionQuery& query, Strategy strategy, const PlanConfig& config,
+    Plan* plan) {
+  const bool attach = config.use_multicolumn;
+  if (strategy == Strategy::kLmParallel) {
+    std::vector<exec::MultiColumnOp*> scans;
+    scans.reserve(query.columns.size());
+    for (uint32_t c = 0; c < query.columns.size(); ++c) {
+      const auto& col = query.columns[c];
+      if (CanUseIndex(config, col)) {
+        CSTORE_ASSIGN_OR_RETURN(position::Range range,
+                                col.reader->PositionRangeFor(col.pred));
+        scans.push_back(plan->Own(std::make_unique<exec::IndexScan>(
+            col.reader, range, &plan->stats())));
+      } else {
+        scans.push_back(plan->Own(std::make_unique<exec::DS1Scan>(
+            col.reader, c, col.pred, attach, &plan->stats())));
+      }
+    }
+    if (scans.size() == 1) return scans[0];
+    return plan->Own(
+        std::make_unique<exec::AndOp>(std::move(scans), &plan->stats()));
+  }
+
+  CSTORE_CHECK(strategy == Strategy::kLmPipelined);
+  // Position filtering (DS3-style jumps) on bit-vector data is not
+  // supported: "it is impossible to know in advance in which bit-string any
+  // particular position is located" (Section 4.1). An index lookup avoids
+  // value access entirely, so it remains legal even there.
+  for (uint32_t c = 1; c < query.columns.size(); ++c) {
+    if (query.columns[c].reader->meta().encoding ==
+            codec::Encoding::kBitVector &&
+        !CanUseIndex(config, query.columns[c])) {
+      return Status::NotSupported(
+          "LM-pipelined cannot position-filter bit-vector column '" +
+          query.columns[c].reader->name() + "'");
+    }
+  }
+  exec::MultiColumnOp* stream = nullptr;
+  if (CanUseIndex(config, query.columns[0])) {
+    CSTORE_ASSIGN_OR_RETURN(
+        position::Range range,
+        query.columns[0].reader->PositionRangeFor(query.columns[0].pred));
+    stream = plan->Own(std::make_unique<exec::IndexScan>(
+        query.columns[0].reader, range, &plan->stats()));
+  } else {
+    stream = plan->Own(std::make_unique<exec::DS1Scan>(
+        query.columns[0].reader, 0, query.columns[0].pred, attach,
+        &plan->stats()));
+  }
+  for (uint32_t c = 1; c < query.columns.size(); ++c) {
+    const auto& col = query.columns[c];
+    if (CanUseIndex(config, col)) {
+      CSTORE_ASSIGN_OR_RETURN(position::Range range,
+                              col.reader->PositionRangeFor(col.pred));
+      stream = plan->Own(std::make_unique<exec::IndexScan>(
+          stream, col.reader, range, &plan->stats()));
+    } else {
+      stream = plan->Own(std::make_unique<exec::DS1PipelinedScan>(
+          stream, col.reader, c, col.pred, attach, &plan->stats()));
+    }
+  }
+  return stream;
+}
+
+Result<exec::TupleOp*> BuildEarlyTupleStream(const SelectionQuery& query,
+                                             Strategy strategy, Plan* plan) {
+  if (strategy == Strategy::kEmParallel) {
+    std::vector<exec::SpcScan::Input> inputs;
+    inputs.reserve(query.columns.size());
+    for (const auto& col : query.columns) {
+      inputs.push_back(exec::SpcScan::Input{col.reader, col.pred});
+    }
+    return static_cast<exec::TupleOp*>(plan->Own(
+        std::make_unique<exec::SpcScan>(std::move(inputs), &plan->stats())));
+  }
+
+  CSTORE_CHECK(strategy == Strategy::kEmPipelined);
+  exec::TupleOp* stream = plan->Own(std::make_unique<exec::DS2Scan>(
+      query.columns[0].reader, query.columns[0].pred, &plan->stats()));
+  for (uint32_t c = 1; c < query.columns.size(); ++c) {
+    stream = plan->Own(std::make_unique<exec::DS4ScanMerge>(
+        stream, query.columns[c].reader, query.columns[c].pred,
+        &plan->stats()));
+  }
+  return stream;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
+                                                 Strategy strategy,
+                                                 const PlanConfig& config) {
+  CSTORE_RETURN_IF_ERROR(ValidateSelection(query));
+  auto plan = std::make_unique<Plan>();
+
+  if (IsLate(strategy)) {
+    CSTORE_ASSIGN_OR_RETURN(
+        exec::MultiColumnOp * stream,
+        BuildLatePositionStream(query, strategy, config, plan.get()));
+    std::vector<exec::MergeOp::OutputColumn> outs;
+    outs.reserve(query.columns.size());
+    for (uint32_t c = 0; c < query.columns.size(); ++c) {
+      outs.push_back(exec::MergeOp::OutputColumn{c, query.columns[c].reader});
+    }
+    plan->SetRoot(plan->Own(std::make_unique<exec::MergeOp>(
+        stream, std::move(outs), &plan->stats())));
+  } else {
+    CSTORE_ASSIGN_OR_RETURN(exec::TupleOp * stream,
+                            BuildEarlyTupleStream(query, strategy,
+                                                  plan.get()));
+    plan->SetRoot(stream);
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
+                                           Strategy strategy,
+                                           const PlanConfig& config) {
+  CSTORE_RETURN_IF_ERROR(ValidateSelection(query.selection));
+  const auto& cols = query.selection.columns;
+  if ((!query.global && query.group_index >= cols.size()) ||
+      query.agg_index >= cols.size()) {
+    return Status::InvalidArgument("group/agg index out of range");
+  }
+  auto plan = std::make_unique<Plan>();
+
+  if (IsLate(strategy)) {
+    CSTORE_ASSIGN_OR_RETURN(
+        exec::MultiColumnOp * stream,
+        BuildLatePositionStream(query.selection, strategy, config,
+                                plan.get()));
+    // The aggregator consumes positions + mini-columns directly; no tuples
+    // are constructed below it.
+    uint32_t gidx = query.global ? query.agg_index : query.group_index;
+    exec::LateAggOp::ColumnSource group{gidx, cols[gidx].reader};
+    exec::LateAggOp::ColumnSource agg{query.agg_index,
+                                      cols[query.agg_index].reader};
+    plan->SetRoot(plan->Own(std::make_unique<exec::LateAggOp>(
+        stream, group, agg, query.func, query.global, &plan->stats())));
+  } else {
+    CSTORE_ASSIGN_OR_RETURN(
+        exec::TupleOp * stream,
+        BuildEarlyTupleStream(query.selection, strategy, plan.get()));
+    plan->SetRoot(plan->Own(std::make_unique<exec::HashAggOp>(
+        stream, query.global ? query.agg_index : query.group_index,
+        query.agg_index, query.func, query.global, &plan->stats())));
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
+                                            exec::JoinRightMode mode,
+                                            const PlanConfig& config) {
+  (void)config;
+  if (query.left_key == nullptr || query.left_payload == nullptr ||
+      query.right_key == nullptr || query.right_payload == nullptr) {
+    return Status::InvalidArgument("join query has null column readers");
+  }
+  if (query.left_key->num_values() != query.left_payload->num_values()) {
+    return Status::InvalidArgument("left columns must have equal length");
+  }
+  if (query.right_key->num_values() != query.right_payload->num_values()) {
+    return Status::InvalidArgument("right columns must have equal length");
+  }
+  auto plan = std::make_unique<Plan>();
+  exec::HashJoinOp::Spec spec;
+  spec.left_key = query.left_key;
+  spec.left_pred = query.left_pred;
+  spec.left_payload = query.left_payload;
+  spec.right_key = query.right_key;
+  spec.right_payload = query.right_payload;
+  spec.mode = mode;
+  spec.left_mode = query.left_mode;
+  plan->SetRoot(
+      plan->Own(std::make_unique<exec::HashJoinOp>(spec, &plan->stats())));
+  return plan;
+}
+
+}  // namespace plan
+}  // namespace cstore

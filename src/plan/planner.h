@@ -1,0 +1,69 @@
+// Plan builders: translate a query description + strategy into an operator
+// tree (Figures 7 and 8 of the paper).
+
+#ifndef CSTORE_PLAN_PLANNER_H_
+#define CSTORE_PLAN_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+#include "plan/query.h"
+#include "plan/strategy.h"
+
+namespace cstore {
+namespace plan {
+
+/// An executable plan: owns its operator tree and execution counters.
+class Plan {
+ public:
+  exec::TupleOp* root() const { return root_; }
+  exec::ExecStats& stats() { return stats_; }
+  const exec::ExecStats& stats() const { return stats_; }
+
+  /// Takes ownership of an operator and returns the raw pointer for wiring.
+  template <typename T>
+  T* Own(std::unique_ptr<T> op) {
+    T* raw = op.get();
+    if constexpr (std::is_base_of_v<exec::MultiColumnOp, T>) {
+      mc_ops_.push_back(std::move(op));
+    } else {
+      tuple_ops_.push_back(std::move(op));
+    }
+    return raw;
+  }
+
+  void SetRoot(exec::TupleOp* root) { root_ = root; }
+
+ private:
+  std::vector<std::unique_ptr<exec::MultiColumnOp>> mc_ops_;
+  std::vector<std::unique_ptr<exec::TupleOp>> tuple_ops_;
+  exec::TupleOp* root_ = nullptr;
+  exec::ExecStats stats_;
+};
+
+/// Builds the operator tree for a selection query under `strategy`.
+/// Fails with NotSupported for LM-pipelined over bit-vector columns beyond
+/// the first (position filtering on bit-vector data is not supported —
+/// Section 4.1).
+Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
+                                                 Strategy strategy,
+                                                 const PlanConfig& config);
+
+/// Builds the aggregation query plan: the selection pipeline feeding either
+/// a hash aggregator over tuples (EM) or a late aggregator over positions +
+/// mini-columns (LM).
+Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
+                                           Strategy strategy,
+                                           const PlanConfig& config);
+
+/// Builds the join plan with the chosen inner-table representation.
+Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
+                                            exec::JoinRightMode mode,
+                                            const PlanConfig& config);
+
+}  // namespace plan
+}  // namespace cstore
+
+#endif  // CSTORE_PLAN_PLANNER_H_

@@ -1,0 +1,65 @@
+// Typed query descriptions — the interface level at which the paper's
+// executor experiments operate (two fixed query shapes plus a star join).
+
+#ifndef CSTORE_PLAN_QUERY_H_
+#define CSTORE_PLAN_QUERY_H_
+
+#include <vector>
+
+#include "codec/column_reader.h"
+#include "codec/predicate.h"
+#include "exec/aggregate.h"
+#include "exec/join.h"
+
+namespace cstore {
+namespace plan {
+
+/// SELECT col_1, ..., col_k FROM projection WHERE pred_1(col_1) AND ... —
+/// every listed column is both filtered (pred may be True) and output.
+struct SelectionQuery {
+  struct Column {
+    const codec::ColumnReader* reader = nullptr;
+    codec::Predicate pred;
+  };
+  std::vector<Column> columns;
+};
+
+/// SELECT group_col, AGG(agg_col) FROM projection WHERE ... GROUP BY
+/// group_col. `group_index` / `agg_index` identify columns of `selection`.
+struct AggQuery {
+  SelectionQuery selection;
+  uint32_t group_index = 0;
+  uint32_t agg_index = 1;
+  exec::AggFunc func = exec::AggFunc::kSum;
+  // Global aggregation (no GROUP BY): one output row; group_index ignored.
+  bool global = false;
+};
+
+/// SELECT left_payload, right_payload FROM L, R
+/// WHERE L.key = R.key AND pred(L.key)  — R.key unique.
+struct JoinQuery {
+  const codec::ColumnReader* left_key = nullptr;
+  codec::Predicate left_pred;
+  const codec::ColumnReader* left_payload = nullptr;
+  const codec::ColumnReader* right_key = nullptr;
+  const codec::ColumnReader* right_payload = nullptr;
+  // Outer-side materialization (Section 4.3 discusses both).
+  exec::JoinLeftMode left_mode = exec::JoinLeftMode::kLate;
+};
+
+/// Plan-construction knobs.
+struct PlanConfig {
+  // Attach mini-columns to DS1 outputs (the multi-column optimization of
+  // Section 3.6). Disabling it forces Merge/aggregate to re-fetch columns
+  // through the buffer pool — the A-2 ablation.
+  bool use_multicolumn = true;
+  // Derive positions from the column index when a column is sorted and the
+  // predicate is a value range (Section 2.1.1: "the original column values
+  // never have to be accessed"). LM plans only.
+  bool use_sorted_index = true;
+};
+
+}  // namespace plan
+}  // namespace cstore
+
+#endif  // CSTORE_PLAN_QUERY_H_

@@ -1,0 +1,53 @@
+// The four materialization strategies of paper Section 3.5.
+
+#ifndef CSTORE_PLAN_STRATEGY_H_
+#define CSTORE_PLAN_STRATEGY_H_
+
+namespace cstore {
+namespace plan {
+
+enum class Strategy {
+  // Tuples built incrementally: DS2 leaf, then one DS4 per further column,
+  // each applying its predicate to input tuples' positions only.
+  kEmPipelined,
+  // Tuples built at the leaf by a single SPC over all columns.
+  kEmParallel,
+  // Positions flow one column at a time (DS1 → pipelined DS1 ...), no AND
+  // needed; tuples built by Merge at the top.
+  kLmPipelined,
+  // One DS1 per column in parallel, AND intersects, Merge constructs.
+  kLmParallel,
+};
+
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kEmPipelined:
+      return "EM-pipelined";
+    case Strategy::kEmParallel:
+      return "EM-parallel";
+    case Strategy::kLmPipelined:
+      return "LM-pipelined";
+    case Strategy::kLmParallel:
+      return "LM-parallel";
+  }
+  return "?";
+}
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kEmPipelined,
+    Strategy::kEmParallel,
+    Strategy::kLmPipelined,
+    Strategy::kLmParallel,
+};
+
+inline bool IsLate(Strategy s) {
+  return s == Strategy::kLmPipelined || s == Strategy::kLmParallel;
+}
+inline bool IsPipelined(Strategy s) {
+  return s == Strategy::kEmPipelined || s == Strategy::kLmPipelined;
+}
+
+}  // namespace plan
+}  // namespace cstore
+
+#endif  // CSTORE_PLAN_STRATEGY_H_

@@ -1,0 +1,108 @@
+#include "position/bitmap.h"
+
+#include <algorithm>
+
+namespace cstore {
+namespace position {
+
+void Bitmap::SetRange(Position b, Position e) {
+  b = std::max(b, base_);
+  e = std::min(e, end());
+  if (b >= e) return;
+  size_t first = b - base_;
+  size_t last = e - base_;  // exclusive
+  size_t first_word = bit_util::WordIndex(first);
+  size_t last_word = bit_util::WordIndex(last - 1);
+  if (first_word == last_word) {
+    uint64_t mask = bit_util::LowBitsMask(last - last_word * 64) &
+                    ~bit_util::LowBitsMask(first - first_word * 64);
+    words_[first_word] |= mask;
+    return;
+  }
+  words_[first_word] |= ~bit_util::LowBitsMask(first - first_word * 64);
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    words_[w] = ~uint64_t{0};
+  }
+  words_[last_word] |= bit_util::LowBitsMask(last - last_word * 64);
+}
+
+Bitmap Bitmap::And(const Bitmap& a, const Bitmap& b) {
+  CSTORE_CHECK(a.base_ == b.base_ && a.nbits_ == b.nbits_)
+      << "bitmap AND requires identical windows";
+  Bitmap out(a.base_, a.nbits_);
+  for (size_t w = 0; w < out.words_.size(); ++w) {
+    out.words_[w] = a.words_[w] & b.words_[w];
+  }
+  return out;
+}
+
+Bitmap Bitmap::Or(const Bitmap& a, const Bitmap& b) {
+  CSTORE_CHECK(a.base_ == b.base_ && a.nbits_ == b.nbits_)
+      << "bitmap OR requires identical windows";
+  Bitmap out(a.base_, a.nbits_);
+  for (size_t w = 0; w < out.words_.size(); ++w) {
+    out.words_[w] = a.words_[w] | b.words_[w];
+  }
+  return out;
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  CSTORE_CHECK(base_ == other.base_ && nbits_ == other.nbits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  CSTORE_CHECK(base_ == other.base_ && nbits_ == other.nbits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+size_t Bitmap::CountRuns(size_t limit) const {
+  size_t runs = 0;
+  bool in_run = false;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    if (word == 0) {
+      in_run = false;
+      continue;
+    }
+    if (word == ~uint64_t{0}) {
+      if (!in_run) {
+        if (++runs > limit) return runs;
+        in_run = true;
+      }
+      continue;
+    }
+    for (int bit = 0; bit < static_cast<int>(bit_util::kBitsPerWord); ++bit) {
+      bool set = (word >> bit) & 1;
+      if (set && !in_run) {
+        if (++runs > limit) return runs;
+      }
+      in_run = set;
+    }
+  }
+  return runs;
+}
+
+void Bitmap::MaskToRange(Position b, Position e) {
+  b = std::max(b, base_);
+  e = std::min(e, end());
+  if (b >= e) {
+    std::fill(words_.begin(), words_.end(), 0);
+    return;
+  }
+  size_t first = b - base_;
+  size_t last = e - base_;
+  size_t first_word = bit_util::WordIndex(first);
+  size_t last_word = bit_util::WordIndex(last - 1);
+  for (size_t w = 0; w < first_word; ++w) words_[w] = 0;
+  for (size_t w = last_word + 1; w < words_.size(); ++w) words_[w] = 0;
+  words_[first_word] &= ~bit_util::LowBitsMask(first - first_word * 64);
+  words_[last_word] &= bit_util::LowBitsMask(last - last_word * 64);
+}
+
+}  // namespace position
+}  // namespace cstore

@@ -1,0 +1,31 @@
+#include "position/pos_list.h"
+
+#include <algorithm>
+
+namespace cstore {
+namespace position {
+
+bool PosList::Contains(Position p) const {
+  return std::binary_search(positions_.begin(), positions_.end(), p);
+}
+
+PosList PosList::Intersect(const PosList& a, const PosList& b) {
+  PosList out;
+  out.positions_.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.positions_.begin(), a.positions_.end(),
+                        b.positions_.begin(), b.positions_.end(),
+                        std::back_inserter(out.positions_));
+  return out;
+}
+
+PosList PosList::Union(const PosList& a, const PosList& b) {
+  PosList out;
+  out.positions_.reserve(a.size() + b.size());
+  std::set_union(a.positions_.begin(), a.positions_.end(),
+                 b.positions_.begin(), b.positions_.end(),
+                 std::back_inserter(out.positions_));
+  return out;
+}
+
+}  // namespace position
+}  // namespace cstore

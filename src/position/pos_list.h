@@ -1,0 +1,53 @@
+// Listed position representation: an explicit sorted list of valid
+// positions, "particularly useful when few positions inside a multi-column
+// are valid" (Section 3.6).
+
+#ifndef CSTORE_POSITION_POS_LIST_H_
+#define CSTORE_POSITION_POS_LIST_H_
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace position {
+
+class PosList {
+ public:
+  PosList() = default;
+  explicit PosList(std::vector<Position> positions)
+      : positions_(std::move(positions)) {
+#ifndef NDEBUG
+    for (size_t i = 1; i < positions_.size(); ++i) {
+      CSTORE_DCHECK(positions_[i - 1] < positions_[i]);
+    }
+#endif
+  }
+
+  /// Appends a position; must be strictly greater than the last one.
+  void Append(Position p) {
+    CSTORE_DCHECK(positions_.empty() || positions_.back() < p);
+    positions_.push_back(p);
+  }
+
+  const std::vector<Position>& positions() const { return positions_; }
+  size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  bool Contains(Position p) const;
+
+  /// Merge-intersection of two sorted lists.
+  static PosList Intersect(const PosList& a, const PosList& b);
+
+  /// Merge-union of two sorted lists.
+  static PosList Union(const PosList& a, const PosList& b);
+
+ private:
+  std::vector<Position> positions_;
+};
+
+}  // namespace position
+}  // namespace cstore
+
+#endif  // CSTORE_POSITION_POS_LIST_H_

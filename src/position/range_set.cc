@@ -1,0 +1,53 @@
+#include "position/range_set.h"
+
+#include <algorithm>
+
+namespace cstore {
+namespace position {
+
+bool RangeSet::Contains(Position p) const {
+  // Binary search: first range with end > p.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), p,
+      [](Position pos, const Range& r) { return pos < r.end; });
+  return it != ranges_.end() && it->Contains(p);
+}
+
+RangeSet RangeSet::Intersect(const RangeSet& a, const RangeSet& b) {
+  RangeSet out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.ranges_.size() && j < b.ranges_.size()) {
+    const Range& ra = a.ranges_[i];
+    const Range& rb = b.ranges_[j];
+    Position lo = std::max(ra.begin, rb.begin);
+    Position hi = std::min(ra.end, rb.end);
+    if (lo < hi) out.Append(lo, hi);
+    if (ra.end < rb.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+RangeSet RangeSet::Union(const RangeSet& a, const RangeSet& b) {
+  RangeSet out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.ranges_.size() || j < b.ranges_.size()) {
+    const Range* next = nullptr;
+    if (i < a.ranges_.size() &&
+        (j >= b.ranges_.size() || a.ranges_[i].begin <= b.ranges_[j].begin)) {
+      next = &a.ranges_[i++];
+    } else {
+      next = &b.ranges_[j++];
+    }
+    out.Append(next->begin, next->end);
+  }
+  return out;
+}
+
+}  // namespace position
+}  // namespace cstore

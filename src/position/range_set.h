@@ -1,0 +1,77 @@
+// Ranged position representation: a sorted list of disjoint half-open
+// position ranges ("runs of consecutive positions can be represented using
+// position ranges of the form [startpos, endpos]", Section 2.1.1).
+
+#ifndef CSTORE_POSITION_RANGE_SET_H_
+#define CSTORE_POSITION_RANGE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace position {
+
+/// Half-open range [begin, end) of positions.
+struct Range {
+  Position begin = 0;
+  Position end = 0;
+
+  uint64_t length() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool Contains(Position p) const { return p >= begin && p < end; }
+
+  friend bool operator==(const Range& a, const Range& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Sorted, disjoint, non-adjacent list of ranges.
+class RangeSet {
+ public:
+  RangeSet() = default;
+
+  /// Appends a range; must start at or after the end of the last range.
+  /// Adjacent/overlapping appends are coalesced.
+  void Append(Position begin, Position end) {
+    if (begin >= end) return;
+    if (!ranges_.empty() && begin <= ranges_.back().end) {
+      CSTORE_DCHECK(begin >= ranges_.back().begin);
+      if (end > ranges_.back().end) ranges_.back().end = end;
+      return;
+    }
+    ranges_.push_back(Range{begin, end});
+  }
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+  size_t num_ranges() const { return ranges_.size(); }
+  bool empty() const { return ranges_.empty(); }
+
+  uint64_t Cardinality() const {
+    uint64_t n = 0;
+    for (const Range& r : ranges_) n += r.length();
+    return n;
+  }
+
+  bool Contains(Position p) const;
+
+  /// Streaming intersection of two sorted range lists.
+  static RangeSet Intersect(const RangeSet& a, const RangeSet& b);
+
+  /// Streaming union of two sorted range lists.
+  static RangeSet Union(const RangeSet& a, const RangeSet& b);
+
+  friend bool operator==(const RangeSet& a, const RangeSet& b) {
+    return a.ranges_ == b.ranges_;
+  }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace position
+}  // namespace cstore
+
+#endif  // CSTORE_POSITION_RANGE_SET_H_

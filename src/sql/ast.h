@@ -1,0 +1,60 @@
+// Parsed representation of the supported SQL dialect:
+//
+//   SELECT item [, item]* FROM table
+//   [WHERE cond [AND cond]*]
+//   [GROUP BY column]
+//
+//   item := column | * | SUM(column) | COUNT(column) | MIN(..) | MAX(..)
+//   cond := column (< | <= | = | <> | >= | >) literal
+//         | column BETWEEN literal AND literal
+//   literal := integer | 'YYYY-MM-DD'
+//
+// This covers the paper's evaluation queries (Section 4) plus the obvious
+// variations.
+
+#ifndef CSTORE_SQL_AST_H_
+#define CSTORE_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "util/common.h"
+
+namespace cstore {
+namespace sql {
+
+struct SelectItem {
+  std::string column;      // empty + star=true for '*'
+  bool star = false;
+  bool aggregated = false;
+  exec::AggFunc func = exec::AggFunc::kSum;  // valid when aggregated
+};
+
+struct Literal {
+  bool is_date = false;
+  int64_t int_value = 0;
+  std::string date_text;  // original spelling for error messages
+};
+
+struct Condition {
+  enum class Op { kLess, kLessEq, kEq, kNotEq, kGreaterEq, kGreater,
+                  kBetween };
+  std::string column;
+  Op op = Op::kLess;
+  Literal a;
+  Literal b;  // kBetween upper bound
+};
+
+struct ParsedQuery {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Condition> conditions;
+  std::optional<std::string> group_by;
+};
+
+}  // namespace sql
+}  // namespace cstore
+
+#endif  // CSTORE_SQL_AST_H_

@@ -1,0 +1,385 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "model/calibrate.h"
+#include "sql/parser.h"
+#include "tpch/dates.h"
+
+namespace cstore {
+namespace sql {
+
+namespace {
+
+Result<Value> LiteralValue(const Literal& lit) {
+  if (!lit.is_date) return lit.int_value;
+  int32_t day = tpch::StringToDay(lit.date_text);
+  if (day < 0) {
+    return Status::InvalidArgument("bad date literal '" + lit.date_text +
+                                   "' (expected 'YYYY-MM-DD', 1992+)");
+  }
+  return static_cast<Value>(day);
+}
+
+/// Per-column accumulated bounds from one or more WHERE conditions.
+struct Bounds {
+  bool has_lower = false;
+  Value lower = 0;  // inclusive
+  bool has_upper = false;
+  Value upper = 0;  // inclusive
+  bool has_not_eq = false;
+  Value neq_value = 0;
+
+  Status Add(Condition::Op op, Value a, Value b) {
+    switch (op) {
+      case Condition::Op::kLess:
+        return AddUpper(a - 1);
+      case Condition::Op::kLessEq:
+        return AddUpper(a);
+      case Condition::Op::kGreater:
+        return AddLower(a + 1);
+      case Condition::Op::kGreaterEq:
+        return AddLower(a);
+      case Condition::Op::kEq:
+        CSTORE_RETURN_IF_ERROR(AddLower(a));
+        return AddUpper(a);
+      case Condition::Op::kBetween:
+        CSTORE_RETURN_IF_ERROR(AddLower(a));
+        return AddUpper(b);
+      case Condition::Op::kNotEq:
+        if (has_not_eq) {
+          return Status::NotSupported(
+              "multiple <> conditions on one column");
+        }
+        has_not_eq = true;
+        neq_value = a;
+        return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status AddLower(Value v) {
+    lower = has_lower ? std::max(lower, v) : v;
+    has_lower = true;
+    return Status::OK();
+  }
+  Status AddUpper(Value v) {
+    upper = has_upper ? std::min(upper, v) : v;
+    has_upper = true;
+    return Status::OK();
+  }
+
+  Result<codec::Predicate> ToPredicate() const {
+    if (has_not_eq) {
+      if (has_lower || has_upper) {
+        return Status::NotSupported(
+            "mixing <> with range conditions on one column");
+      }
+      return codec::Predicate::NotEqual(neq_value);
+    }
+    if (has_lower && has_upper) {
+      if (lower == upper) return codec::Predicate::Equal(lower);
+      return codec::Predicate::Between(lower, upper);
+    }
+    if (has_lower) return codec::Predicate::GreaterEqual(lower);
+    if (has_upper) return codec::Predicate::LessEqual(upper);
+    return codec::Predicate::True();
+  }
+};
+
+}  // namespace
+
+double Engine::EstimateSelectivity(const codec::ColumnMeta& meta,
+                                   const codec::Predicate& pred) {
+  if (meta.num_values == 0) return 0.0;
+  const double lo = static_cast<double>(meta.min_value);
+  const double hi = static_cast<double>(meta.max_value);
+  const double width = hi - lo + 1.0;
+  auto frac_below = [&](double x) {  // P(v < x) under uniformity
+    return std::clamp((x - lo) / width, 0.0, 1.0);
+  };
+  using Op = codec::Predicate::Op;
+  switch (pred.op()) {
+    case Op::kTrue:
+      return 1.0;
+    case Op::kLess:
+      return frac_below(static_cast<double>(pred.bound_a()));
+    case Op::kLessEq:
+      return frac_below(static_cast<double>(pred.bound_a()) + 1.0);
+    case Op::kGreaterEq:
+      return 1.0 - frac_below(static_cast<double>(pred.bound_a()));
+    case Op::kGreater:
+      return 1.0 - frac_below(static_cast<double>(pred.bound_a()) + 1.0);
+    case Op::kEqual: {
+      double d = meta.num_distinct > 0 ? static_cast<double>(meta.num_distinct)
+                                       : width;
+      return std::clamp(1.0 / std::max(1.0, d), 0.0, 1.0);
+    }
+    case Op::kNotEqual: {
+      double d = meta.num_distinct > 0 ? static_cast<double>(meta.num_distinct)
+                                       : width;
+      return 1.0 - std::clamp(1.0 / std::max(1.0, d), 0.0, 1.0);
+    }
+    case Op::kBetween:
+      return std::clamp(frac_below(static_cast<double>(pred.bound_b()) + 1.0) -
+                            frac_below(static_cast<double>(pred.bound_a())),
+                        0.0, 1.0);
+  }
+  return 1.0;
+}
+
+Result<Engine::BoundQuery> Engine::Bind(const ParsedQuery& q) {
+  BoundQuery bound;
+  if (!db_->HasTable(q.table)) {
+    return Status::NotFound("unknown table '" + q.table + "'");
+  }
+
+  // Expand the select list.
+  std::vector<SelectItem> items;
+  for (const SelectItem& item : q.items) {
+    if (item.star) {
+      CSTORE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                              db_->TableColumns(q.table));
+      for (const std::string& c : cols) {
+        SelectItem expanded;
+        expanded.column = c;
+        items.push_back(expanded);
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+
+  // Combine WHERE conditions per column into single predicates.
+  std::map<std::string, Bounds> bounds;
+  for (const Condition& cond : q.conditions) {
+    CSTORE_ASSIGN_OR_RETURN(Value a, LiteralValue(cond.a));
+    Value b = 0;
+    if (cond.op == Condition::Op::kBetween) {
+      CSTORE_ASSIGN_OR_RETURN(b, LiteralValue(cond.b));
+    }
+    CSTORE_RETURN_IF_ERROR(bounds[cond.column].Add(cond.op, a, b));
+  }
+
+  // The scan column list: select-list columns first (deduplicated), then
+  // WHERE-only columns.
+  auto add_scan_column = [&](const std::string& name) -> Result<uint32_t> {
+    for (uint32_t i = 0; i < bound.scan_column_names.size(); ++i) {
+      if (bound.scan_column_names[i] == name) return i;
+    }
+    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                            db_->GetTableColumn(q.table, name));
+    plan::SelectionQuery::Column col;
+    col.reader = reader;
+    auto it = bounds.find(name);
+    if (it != bounds.end()) {
+      CSTORE_ASSIGN_OR_RETURN(col.pred, it->second.ToPredicate());
+    }
+    bound.scan_column_names.push_back(name);
+    bound.selection.columns.push_back(col);
+    return static_cast<uint32_t>(bound.scan_column_names.size() - 1);
+  };
+
+  // Aggregate vs. plain selection.
+  uint32_t num_agg = 0;
+  for (const SelectItem& item : items) {
+    if (item.aggregated) ++num_agg;
+  }
+  bound.is_aggregate = num_agg > 0 || q.group_by.has_value();
+
+  if (bound.is_aggregate) {
+    // Global aggregate: SELECT AGG(a) FROM t [WHERE ...] — no GROUP BY.
+    if (!q.group_by.has_value()) {
+      if (num_agg != 1 || items.size() != 1) {
+        return Status::NotSupported(
+            "without GROUP BY, the select list must be exactly one "
+            "aggregate");
+      }
+      const SelectItem& agg_item = items[0];
+      CSTORE_ASSIGN_OR_RETURN(uint32_t aidx, add_scan_column(agg_item.column));
+      for (const auto& [col, b] : bounds) {
+        CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
+        (void)idx;
+      }
+      bound.agg.selection = bound.selection;
+      bound.agg.agg_index = aidx;
+      bound.agg.func = agg_item.func;
+      bound.agg.global = true;
+      // Aggregate output tuples are (group=0, value); project the value.
+      bound.output_slots.push_back(1);
+      bound.output_names.push_back(std::string("agg(") + agg_item.column +
+                                   ")");
+      return bound;
+    }
+    if (num_agg != 1 || items.size() != 2) {
+      return Status::NotSupported(
+          "aggregate queries must have the form SELECT g, AGG(a) ... "
+          "GROUP BY g");
+    }
+    const SelectItem* group_item = nullptr;
+    const SelectItem* agg_item = nullptr;
+    for (const SelectItem& item : items) {
+      (item.aggregated ? agg_item : group_item) = &item;
+    }
+    CSTORE_CHECK(group_item != nullptr && agg_item != nullptr);
+    if (group_item->column != *q.group_by) {
+      return Status::InvalidArgument(
+          "selected column '" + group_item->column +
+          "' must match GROUP BY column '" + *q.group_by + "'");
+    }
+    CSTORE_ASSIGN_OR_RETURN(uint32_t gidx, add_scan_column(group_item->column));
+    CSTORE_ASSIGN_OR_RETURN(uint32_t aidx, add_scan_column(agg_item->column));
+    if (gidx == aidx) {
+      return Status::NotSupported("GROUP BY column equal to aggregate input");
+    }
+    for (const auto& [col, b] : bounds) {
+      CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
+      (void)idx;
+    }
+    bound.agg.selection = bound.selection;
+    bound.agg.group_index = gidx;
+    bound.agg.agg_index = aidx;
+    bound.agg.func = agg_item->func;
+    // Output order follows the select list.
+    for (const SelectItem& item : items) {
+      bound.output_slots.push_back(item.aggregated ? 1 : 0);
+      bound.output_names.push_back(
+          item.aggregated ? std::string("agg(") + item.column + ")"
+                          : item.column);
+    }
+    return bound;
+  }
+
+  for (const SelectItem& item : items) {
+    CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(item.column));
+    bound.output_slots.push_back(idx);
+    bound.output_names.push_back(item.column);
+  }
+  for (const auto& [col, b] : bounds) {
+    CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
+    (void)idx;
+  }
+  return bound;
+}
+
+const model::CostParams& Engine::Params() {
+  if (!params_.has_value()) {
+    model::Calibrator::Options opts;
+    opts.loop_size = 1 << 19;  // quick calibration, done once per engine
+    opts.repetitions = 2;
+    model::Calibrator calibrator(opts);
+    params_ = calibrator.Run(*db_->disk_model());
+  }
+  return *params_;
+}
+
+model::SelectionModelInput Engine::ModelInputFor(const BoundQuery& bound) {
+  const plan::SelectionQuery& sel =
+      bound.is_aggregate ? bound.agg.selection : bound.selection;
+  model::SelectionModelInput input;
+  input.col1 = model::ColumnStats::FromMeta(sel.columns[0].reader->meta());
+  input.sf1 =
+      EstimateSelectivity(sel.columns[0].reader->meta(), sel.columns[0].pred);
+  input.col1_clustered = sel.columns[0].reader->meta().sorted;
+  const auto& second =
+      sel.columns.size() > 1 ? sel.columns[1] : sel.columns[0];
+  input.col2 = model::ColumnStats::FromMeta(second.reader->meta());
+  input.sf2 = sel.columns.size() > 1
+                  ? EstimateSelectivity(second.reader->meta(), second.pred)
+                  : 1.0;
+  return input;
+}
+
+double Engine::GroupEstimateFor(const BoundQuery& bound) {
+  if (bound.agg.global) return 1.0;
+  const plan::SelectionQuery& sel = bound.agg.selection;
+  const codec::ColumnMeta& gmeta =
+      sel.columns[bound.agg.group_index].reader->meta();
+  return gmeta.num_distinct > 0
+             ? static_cast<double>(gmeta.num_distinct)
+             : std::min<double>(1000.0,
+                                static_cast<double>(gmeta.max_value -
+                                                    gmeta.min_value + 1));
+}
+
+Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound) {
+  const plan::SelectionQuery& sel =
+      bound.is_aggregate ? bound.agg.selection : bound.selection;
+  if (sel.columns.size() == 1 && !bound.is_aggregate) {
+    // Degenerate single-column plans differ little; LM-parallel avoids
+    // constructing non-matching tuples.
+    return plan::Strategy::kLmParallel;
+  }
+  model::SelectionModelInput input = ModelInputFor(bound);
+  model::Advisor advisor(Params());
+  if (bound.is_aggregate) {
+    return advisor.ChooseAggregation(input, GroupEstimateFor(bound));
+  }
+  return advisor.ChooseSelection(input);
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) {
+  CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
+  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
+  model::SelectionModelInput input = ModelInputFor(bound);
+  model::Advisor advisor(Params());
+  if (bound.is_aggregate) {
+    return advisor.ExplainAggregation(input, GroupEstimateFor(bound));
+  }
+  return advisor.ExplainSelection(input);
+}
+
+Result<SqlResult> Engine::Execute(const std::string& sql,
+                                  std::optional<plan::Strategy> strategy) {
+  CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
+  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
+
+  plan::Strategy chosen;
+  if (strategy.has_value()) {
+    chosen = *strategy;
+  } else {
+    CSTORE_ASSIGN_OR_RETURN(chosen, ChooseStrategy(bound));
+  }
+
+  Result<db::QueryResult> result =
+      bound.is_aggregate ? db_->RunAgg(bound.agg, chosen)
+                         : db_->RunSelection(bound.selection, chosen);
+  CSTORE_RETURN_IF_ERROR(result.status());
+
+  SqlResult out;
+  out.column_names = bound.output_names;
+  out.stats = result->stats;
+  out.strategy = chosen;
+
+  // Project the scan tuples onto the select list.
+  const exec::TupleChunk& in = result->tuples;
+  bool identity = in.width() == bound.output_slots.size();
+  if (identity) {
+    for (uint32_t i = 0; i < bound.output_slots.size(); ++i) {
+      if (bound.output_slots[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+  }
+  if (identity) {
+    out.tuples = std::move(result->tuples);
+    return out;
+  }
+  out.tuples.Reset(static_cast<uint32_t>(bound.output_slots.size()));
+  out.tuples.Reserve(in.num_tuples());
+  for (size_t i = 0; i < in.num_tuples(); ++i) {
+    Value* slots = out.tuples.AppendTuple(in.position(i));
+    for (uint32_t c = 0; c < bound.output_slots.size(); ++c) {
+      slots[c] = in.value(i, bound.output_slots[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace cstore

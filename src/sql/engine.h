@@ -1,0 +1,76 @@
+// SQL engine: parse → bind against the database catalog → pick a
+// materialization strategy (explicitly, or via the analytical model with
+// optimizer-style statistics estimates) → execute → project the results.
+//
+// This is the "standards-compliant relational interface" loop the paper's
+// introduction motivates: the query comes in as SQL, executes column-wise,
+// and leaves as row-store-style tuples.
+
+#ifndef CSTORE_SQL_ENGINE_H_
+#define CSTORE_SQL_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "model/advisor.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace sql {
+
+struct SqlResult {
+  std::vector<std::string> column_names;
+  exec::TupleChunk tuples;
+  plan::RunStats stats;
+  plan::Strategy strategy;  // what actually ran
+};
+
+class Engine {
+ public:
+  explicit Engine(db::Database* db) : db_(db) {}
+
+  /// Executes `sql`. When `strategy` is not given, the engine estimates
+  /// predicate selectivities from column statistics (uniform-distribution
+  /// interpolation over [min, max]) and lets the model-based Advisor choose.
+  Result<SqlResult> Execute(
+      const std::string& sql,
+      std::optional<plan::Strategy> strategy = std::nullopt);
+
+  /// Statistics-based selectivity estimate for a bound predicate (exposed
+  /// for tests).
+  static double EstimateSelectivity(const codec::ColumnMeta& meta,
+                                    const codec::Predicate& pred);
+
+  /// EXPLAIN: the advisor's per-strategy cost report for `sql`, without
+  /// executing it.
+  Result<std::string> Explain(const std::string& sql);
+
+ private:
+  struct BoundQuery {
+    std::vector<std::string> scan_column_names;
+    plan::SelectionQuery selection;
+    bool is_aggregate = false;
+    plan::AggQuery agg;
+    // Output projection: for selections, indices into scan columns; for
+    // aggregates, 0 = group value, 1 = aggregate value.
+    std::vector<uint32_t> output_slots;
+    std::vector<std::string> output_names;
+  };
+
+  Result<BoundQuery> Bind(const ParsedQuery& q);
+  Result<plan::Strategy> ChooseStrategy(const BoundQuery& bound);
+  model::SelectionModelInput ModelInputFor(const BoundQuery& bound);
+  double GroupEstimateFor(const BoundQuery& bound);
+  const model::CostParams& Params();
+
+  db::Database* db_;
+  std::optional<model::CostParams> params_;
+};
+
+}  // namespace sql
+}  // namespace cstore
+
+#endif  // CSTORE_SQL_ENGINE_H_

@@ -1,0 +1,181 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace cstore {
+namespace sql {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenType>& Keywords() {
+  static const auto* kKeywords = new std::unordered_map<std::string, TokenType>{
+      {"select", TokenType::kSelect}, {"from", TokenType::kFrom},
+      {"where", TokenType::kWhere},   {"and", TokenType::kAnd},
+      {"group", TokenType::kGroup},   {"by", TokenType::kBy},
+      {"between", TokenType::kBetween},
+      {"sum", TokenType::kSum},       {"count", TokenType::kCount},
+      {"min", TokenType::kMin},       {"max", TokenType::kMax},
+      {"avg", TokenType::kAvg},
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kInteger: return "integer";
+    case TokenType::kString: return "string";
+    case TokenType::kComma: return "','";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kLess: return "'<'";
+    case TokenType::kLessEq: return "'<='";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNotEq: return "'<>'";
+    case TokenType::kGreaterEq: return "'>='";
+    case TokenType::kGreater: return "'>'";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kBy: return "BY";
+    case TokenType::kBetween: return "BETWEEN";
+    case TokenType::kSum: return "SUM";
+    case TokenType::kCount: return "COUNT";
+    case TokenType::kMin: return "MIN";
+    case TokenType::kMax: return "MAX";
+    case TokenType::kAvg: return "AVG";
+    case TokenType::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '.')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      auto kw = Keywords().find(Lower(word));
+      if (kw != Keywords().end()) {
+        tokens.push_back(Token{kw->second, word, 0, start});
+      } else {
+        tokens.push_back(Token{TokenType::kIdentifier, word, 0, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      Token t{TokenType::kInteger, input.substr(i, j - i), 0, start};
+      t.number = std::stoll(t.text);
+      tokens.push_back(t);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j == n) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(i));
+      }
+      tokens.push_back(
+          Token{TokenType::kString, input.substr(i + 1, j - i - 1), 0,
+                start});
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back(Token{TokenType::kComma, ",", 0, start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back(Token{TokenType::kLParen, "(", 0, start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back(Token{TokenType::kRParen, ")", 0, start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back(Token{TokenType::kStar, "*", 0, start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back(Token{TokenType::kEq, "=", 0, start});
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(Token{TokenType::kLessEq, "<=", 0, start});
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tokens.push_back(Token{TokenType::kNotEq, "<>", 0, start});
+          i += 2;
+        } else {
+          tokens.push_back(Token{TokenType::kLess, "<", 0, start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(Token{TokenType::kGreaterEq, ">=", 0, start});
+          i += 2;
+        } else {
+          tokens.push_back(Token{TokenType::kGreater, ">", 0, start});
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tokens.push_back(Token{TokenType::kNotEq, "!=", 0, start});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("stray '!' at offset " +
+                                       std::to_string(i));
+      case ';':
+        ++i;  // a trailing semicolon is tolerated
+        continue;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(i));
+    }
+  }
+  tokens.push_back(Token{TokenType::kEof, "", 0, n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace cstore

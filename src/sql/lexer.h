@@ -1,0 +1,64 @@
+// SQL lexer for the warehouse-query dialect the paper's workloads use.
+//
+// Token classes: keywords (SELECT, FROM, WHERE, AND, GROUP, BY, BETWEEN,
+// aggregate function names), identifiers, integer literals, quoted date
+// literals ('YYYY-MM-DD'), comparison operators and punctuation.
+
+#ifndef CSTORE_SQL_LEXER_H_
+#define CSTORE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cstore {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,
+  kInteger,
+  kString,   // contents of a '...' literal (quotes stripped)
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kLess,     // <
+  kLessEq,   // <=
+  kEq,       // =
+  kNotEq,    // <> or !=
+  kGreaterEq,
+  kGreater,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kGroup,
+  kBy,
+  kBetween,
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,
+  kEof,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // identifier / literal spelling
+  int64_t number = 0; // valid for kInteger
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`. Keywords are case-insensitive; identifiers keep their
+/// spelling but compare case-sensitively downstream.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace sql
+}  // namespace cstore
+
+#endif  // CSTORE_SQL_LEXER_H_

@@ -1,0 +1,187 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace cstore {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery q;
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+    CSTORE_RETURN_IF_ERROR(ParseSelectList(&q));
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+    CSTORE_ASSIGN_OR_RETURN(q.table, ExpectIdentifier());
+    if (Accept(TokenType::kWhere)) {
+      do {
+        Condition cond;
+        CSTORE_RETURN_IF_ERROR(ParseCondition(&cond));
+        q.conditions.push_back(std::move(cond));
+      } while (Accept(TokenType::kAnd));
+    }
+    if (Accept(TokenType::kGroup)) {
+      CSTORE_RETURN_IF_ERROR(Expect(TokenType::kBy));
+      CSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      q.group_by = std::move(col);
+    }
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kEof));
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  bool Accept(TokenType t) {
+    if (Peek().type == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenType t) {
+    if (!Accept(t)) {
+      return Status::InvalidArgument(
+          std::string("expected ") + TokenTypeName(t) + " but found " +
+          TokenTypeName(Peek().type) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument(
+          std::string("expected identifier but found ") +
+          TokenTypeName(Peek().type) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    return tokens_[pos_++].text;
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    do {
+      SelectItem item;
+      switch (Peek().type) {
+        case TokenType::kStar:
+          ++pos_;
+          item.star = true;
+          break;
+        case TokenType::kSum:
+        case TokenType::kCount:
+        case TokenType::kMin:
+        case TokenType::kMax:
+        case TokenType::kAvg: {
+          TokenType fn = Peek().type;
+          ++pos_;
+          item.aggregated = true;
+          switch (fn) {
+            case TokenType::kSum:
+              item.func = exec::AggFunc::kSum;
+              break;
+            case TokenType::kCount:
+              item.func = exec::AggFunc::kCount;
+              break;
+            case TokenType::kMin:
+              item.func = exec::AggFunc::kMin;
+              break;
+            case TokenType::kAvg:
+              item.func = exec::AggFunc::kAvg;
+              break;
+            default:
+              item.func = exec::AggFunc::kMax;
+              break;
+          }
+          CSTORE_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+          CSTORE_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+          CSTORE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+          break;
+        }
+        default: {
+          CSTORE_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+          break;
+        }
+      }
+      q->items.push_back(std::move(item));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    if (Peek().type == TokenType::kInteger) {
+      lit.int_value = Peek().number;
+      ++pos_;
+      return lit;
+    }
+    if (Peek().type == TokenType::kString) {
+      lit.is_date = true;
+      lit.date_text = Peek().text;
+      ++pos_;
+      return lit;
+    }
+    return Status::InvalidArgument(
+        std::string("expected literal but found ") +
+        TokenTypeName(Peek().type) + " at offset " +
+        std::to_string(Peek().offset));
+  }
+
+  Status ParseCondition(Condition* cond) {
+    CSTORE_ASSIGN_OR_RETURN(cond->column, ExpectIdentifier());
+    switch (Peek().type) {
+      case TokenType::kLess:
+        cond->op = Condition::Op::kLess;
+        break;
+      case TokenType::kLessEq:
+        cond->op = Condition::Op::kLessEq;
+        break;
+      case TokenType::kEq:
+        cond->op = Condition::Op::kEq;
+        break;
+      case TokenType::kNotEq:
+        cond->op = Condition::Op::kNotEq;
+        break;
+      case TokenType::kGreaterEq:
+        cond->op = Condition::Op::kGreaterEq;
+        break;
+      case TokenType::kGreater:
+        cond->op = Condition::Op::kGreater;
+        break;
+      case TokenType::kBetween: {
+        cond->op = Condition::Op::kBetween;
+        ++pos_;
+        CSTORE_ASSIGN_OR_RETURN(cond->a, ParseLiteral());
+        CSTORE_RETURN_IF_ERROR(Expect(TokenType::kAnd));
+        CSTORE_ASSIGN_OR_RETURN(cond->b, ParseLiteral());
+        return Status::OK();
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("expected comparison operator but found ") +
+            TokenTypeName(Peek().type) + " at offset " +
+            std::to_string(Peek().offset));
+    }
+    ++pos_;
+    CSTORE_ASSIGN_OR_RETURN(cond->a, ParseLiteral());
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> Parse(const std::string& input) {
+  CSTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace sql
+}  // namespace cstore

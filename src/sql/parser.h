@@ -1,0 +1,19 @@
+// Recursive-descent parser for the dialect described in sql/ast.h.
+
+#ifndef CSTORE_SQL_PARSER_H_
+#define CSTORE_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace sql {
+
+Result<ParsedQuery> Parse(const std::string& input);
+
+}  // namespace sql
+}  // namespace cstore
+
+#endif  // CSTORE_SQL_PARSER_H_

@@ -1,0 +1,168 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace storage {
+
+PageRef::PageRef(BufferPool* pool, uint32_t frame)
+    : pool_(pool), frame_(frame) {}
+
+PageRef::~PageRef() { Release(); }
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = UINT32_MAX;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = UINT32_MAX;
+  }
+  return *this;
+}
+
+const Page& PageRef::page() const {
+  CSTORE_DCHECK(valid());
+  return pool_->frames_[frame_].page;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = UINT32_MAX;
+  }
+}
+
+BufferPool::BufferPool(FileManager* files, size_t capacity_frames,
+                       const DiskModel* disk_model)
+    : files_(files), disk_model_(disk_model), frames_(capacity_frames) {
+  CSTORE_CHECK(capacity_frames > 0);
+  free_frames_.reserve(capacity_frames);
+  for (size_t i = 0; i < capacity_frames; ++i) {
+    frames_[i].lru_it = lru_.end();
+    free_frames_.push_back(static_cast<uint32_t>(capacity_frames - 1 - i));
+  }
+}
+
+void BufferPool::Pin(uint32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.pin_count == 0 && f.lru_it != lru_.end()) {
+    lru_.erase(f.lru_it);
+    f.lru_it = lru_.end();
+  }
+  ++f.pin_count;
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  Frame& f = frames_[frame];
+  CSTORE_DCHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    f.lru_it = lru_.insert(lru_.end(), frame);
+  }
+}
+
+Result<uint32_t> BufferPool::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    uint32_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::Internal(
+        "buffer pool exhausted: all frames pinned (capacity " +
+        std::to_string(frames_.size()) + ")");
+  }
+  uint32_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[victim];
+  CSTORE_DCHECK(f.pin_count == 0);
+  f.lru_it = lru_.end();
+  if (f.valid) {
+    map_.erase(Key{f.file.id, f.block_no});
+    f.valid = false;
+    ++stats_.evictions;
+  }
+  return victim;
+}
+
+Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
+  Key key{file.id, block_no};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.cache_hits;
+    Pin(it->second);
+    return PageRef(this, it->second);
+  }
+
+  CSTORE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
+  Frame& f = frames_[frame];
+  Status st = files_->ReadBlock(file, block_no, &f.page);
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+
+  ++stats_.physical_reads;
+  bool sequential = false;
+  auto last_it = last_read_block_.find(file.id);
+  if (last_it != last_read_block_.end() && last_it->second + 1 == block_no) {
+    sequential = true;
+  }
+  if (!sequential) ++stats_.seeks;
+  last_read_block_[file.id] = block_no;
+  if (disk_model_ != nullptr) {
+    stats_.charged_io_micros += disk_model_->CostForRead(sequential);
+  }
+
+  f.file = file;
+  f.block_no = block_no;
+  f.valid = true;
+  f.pin_count = 0;
+  map_[key] = frame;
+  Pin(frame);
+  return PageRef(this, frame);
+}
+
+void BufferPool::Clear() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    CSTORE_CHECK(f.pin_count == 0) << "Clear() with pinned pages";
+    if (f.valid) {
+      map_.erase(Key{f.file.id, f.block_no});
+      f.valid = false;
+    }
+    if (f.lru_it != lru_.end()) {
+      lru_.erase(f.lru_it);
+      f.lru_it = lru_.end();
+    }
+    free_frames_.push_back(static_cast<uint32_t>(i));
+  }
+  // Deduplicate free list (frames already free stay free).
+  std::sort(free_frames_.begin(), free_frames_.end());
+  free_frames_.erase(std::unique(free_frames_.begin(), free_frames_.end()),
+                     free_frames_.end());
+  last_read_block_.clear();
+  CSTORE_CHECK(map_.empty());
+}
+
+double BufferPool::ResidentFraction(FileId file,
+                                    uint64_t total_blocks) const {
+  if (total_blocks == 0) return 1.0;
+  uint64_t resident = 0;
+  for (const auto& [key, frame] : map_) {
+    if (key.file == file.id) ++resident;
+  }
+  return static_cast<double>(resident) / static_cast<double>(total_blocks);
+}
+
+}  // namespace storage
+}  // namespace cstore

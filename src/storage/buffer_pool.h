@@ -1,0 +1,124 @@
+// BufferPool: fixed-capacity cache of 64 KB pages with LRU replacement and
+// pin counting.
+//
+// The paper's cost model exposes the buffer pool through the factor F
+// ("fraction of pages of a column in the buffer pool"): a properly pipelined
+// LM plan re-accesses columns while their blocks are still resident, making
+// the re-access I/O-free (Section 2.2). The pool records hits, physical
+// reads and seeks so that experiments can verify this behaviour, and charges
+// the DiskModel for cold reads.
+
+#ifndef CSTORE_STORAGE_BUFFER_POOL_H_
+#define CSTORE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_model.h"
+#include "storage/file_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace storage {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageRef is alive the underlying frame
+/// cannot be evicted. Movable, not copyable.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, uint32_t frame);
+  ~PageRef();
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  const Page& page() const;
+  const BlockHeader* header() const { return page().header(); }
+  const char* payload() const { return page().payload(); }
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = UINT32_MAX;
+};
+
+class BufferPool {
+ public:
+  /// `capacity_frames` 64 KB frames; `disk_model` may be null (no charging).
+  BufferPool(FileManager* files, size_t capacity_frames,
+             const DiskModel* disk_model = nullptr);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches (pinning) the given block, reading it from disk on a miss.
+  Result<PageRef> Fetch(FileId file, uint64_t block_no);
+
+  /// Drops every cached page (all pins must be released). Used by benchmarks
+  /// to measure cold-cache behaviour.
+  void Clear();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t num_cached() const { return map_.size(); }
+
+  /// Fraction of `total_blocks` currently cached for `file` — the model's F.
+  double ResidentFraction(FileId file, uint64_t total_blocks) const;
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    Page page;
+    FileId file;
+    uint64_t block_no = 0;
+    uint32_t pin_count = 0;
+    bool valid = false;
+    // Position in lru_ when unpinned; lru_.end() otherwise.
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  struct Key {
+    uint32_t file;
+    uint64_t block;
+    bool operator==(const Key& o) const {
+      return file == o.file && block == o.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()((uint64_t{k.file} << 40) ^ k.block);
+    }
+  };
+
+  void Pin(uint32_t frame);
+  void Unpin(uint32_t frame);
+  Result<uint32_t> GetFreeFrame();
+
+  FileManager* files_;
+  const DiskModel* disk_model_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::list<uint32_t> lru_;  // front = least recently used, unpinned only
+  std::unordered_map<Key, uint32_t, KeyHash> map_;
+  // Last physically-read block per file, for seek detection.
+  std::unordered_map<uint32_t, uint64_t> last_read_block_;
+  IoStats stats_;
+};
+
+}  // namespace storage
+}  // namespace cstore
+
+#endif  // CSTORE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,168 @@
+#include "storage/file_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace storage {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileManager>> FileManager::Open(
+    const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("mkdir " + dir));
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+  return std::unique_ptr<FileManager>(new FileManager(dir));
+}
+
+FileManager::~FileManager() {
+  for (auto& f : files_) {
+    if (f.fd >= 0) ::close(f.fd);
+  }
+}
+
+std::string FileManager::PathFor(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+const FileManager::OpenFile* FileManager::GetFile(FileId file) const {
+  if (!file.valid() || file.id >= files_.size()) return nullptr;
+  return &files_[file.id];
+}
+
+Result<FileId> FileManager::Create(const std::string& name) {
+  int fd = ::open(PathFor(name).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("create " + name));
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    // Re-created: replace the stale descriptor.
+    OpenFile& of = files_[it->second];
+    if (of.fd >= 0) ::close(of.fd);
+    of.fd = fd;
+    of.num_blocks = 0;
+    return FileId{it->second};
+  }
+  FileId id{static_cast<uint32_t>(files_.size())};
+  files_.push_back(OpenFile{fd, 0, name});
+  by_name_[name] = id.id;
+  return id;
+}
+
+Result<FileId> FileManager::OpenExisting(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return FileId{it->second};
+  int fd = ::open(PathFor(name).c_str(), O_RDWR);
+  if (fd < 0) return Status::NotFound(ErrnoMessage("open " + name));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("stat " + name));
+  }
+  if (st.st_size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption(name + " is not a whole number of blocks");
+  }
+  FileId id{static_cast<uint32_t>(files_.size())};
+  files_.push_back(
+      OpenFile{fd, static_cast<uint64_t>(st.st_size) / kPageSize, name});
+  by_name_[name] = id.id;
+  return id;
+}
+
+bool FileManager::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(PathFor(name).c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileManager::AppendBlock(FileId file, const Page& page) {
+  OpenFile* of = const_cast<OpenFile*>(GetFile(file));
+  if (of == nullptr || of->fd < 0) {
+    return Status::InvalidArgument("invalid file handle");
+  }
+  off_t offset = static_cast<off_t>(of->num_blocks) * kPageSize;
+  ssize_t n = ::pwrite(of->fd, page.data(), kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(ErrnoMessage("write " + of->name));
+  }
+  return of->num_blocks++;
+}
+
+Status FileManager::ReadBlock(FileId file, uint64_t block_no,
+                              Page* page) const {
+  const OpenFile* of = GetFile(file);
+  if (of == nullptr || of->fd < 0) {
+    return Status::InvalidArgument("invalid file handle");
+  }
+  if (block_no >= of->num_blocks) {
+    return Status::OutOfRange("block " + std::to_string(block_no) +
+                              " beyond end of " + of->name);
+  }
+  off_t offset = static_cast<off_t>(block_no) * kPageSize;
+  ssize_t n = ::pread(of->fd, page->data(), kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(ErrnoMessage("read " + of->name));
+  }
+  if (page->header()->magic != BlockHeader::kMagic) {
+    return Status::Corruption("bad block magic in " + of->name);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileManager::NumBlocks(FileId file) const {
+  const OpenFile* of = GetFile(file);
+  if (of == nullptr) return Status::InvalidArgument("invalid file handle");
+  return of->num_blocks;
+}
+
+Status FileManager::WriteSidecar(const std::string& name,
+                                 const std::vector<char>& bytes) {
+  std::string path = PathFor(name) + ".meta";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("create " + path));
+  ssize_t n = ::write(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  if (n != static_cast<ssize_t>(bytes.size())) {
+    return Status::IOError(ErrnoMessage("write " + path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<char>> FileManager::ReadSidecar(
+    const std::string& name) const {
+  std::string path = PathFor(name) + ".meta";
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound(ErrnoMessage("open " + path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  std::vector<char> bytes(static_cast<size_t>(st.st_size));
+  ssize_t n = ::read(fd, bytes.data(), bytes.size());
+  ::close(fd);
+  if (n != st.st_size) return Status::IOError(ErrnoMessage("read " + path));
+  return bytes;
+}
+
+}  // namespace storage
+}  // namespace cstore

@@ -1,0 +1,81 @@
+// FileManager owns the column files of a database directory. Each column of
+// a projection lives in its own file, a dense sequence of 64 KB blocks.
+
+#ifndef CSTORE_STORAGE_FILE_MANAGER_H_
+#define CSTORE_STORAGE_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace storage {
+
+/// Opaque handle to an open column file.
+struct FileId {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+  friend bool operator==(FileId a, FileId b) { return a.id == b.id; }
+};
+
+class FileManager {
+ public:
+  /// Creates a manager rooted at `dir` (created if missing).
+  static Result<std::unique_ptr<FileManager>> Open(const std::string& dir);
+
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Creates (truncating if present) a column file.
+  Result<FileId> Create(const std::string& name);
+
+  /// Opens an existing column file.
+  Result<FileId> OpenExisting(const std::string& name);
+
+  /// True if `name` exists in the directory.
+  bool Exists(const std::string& name) const;
+
+  /// Appends a 64 KB page; returns the block number it was written at.
+  Result<uint64_t> AppendBlock(FileId file, const Page& page);
+
+  /// Reads block `block_no` into `*page`.
+  Status ReadBlock(FileId file, uint64_t block_no, Page* page) const;
+
+  /// Number of 64 KB blocks in the file.
+  Result<uint64_t> NumBlocks(FileId file) const;
+
+  /// Durably writes a small sidecar blob (column metadata) next to a column
+  /// file.
+  Status WriteSidecar(const std::string& name,
+                      const std::vector<char>& bytes);
+  Result<std::vector<char>> ReadSidecar(const std::string& name) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit FileManager(std::string dir) : dir_(std::move(dir)) {}
+
+  struct OpenFile {
+    int fd = -1;
+    uint64_t num_blocks = 0;
+    std::string name;
+  };
+
+  std::string PathFor(const std::string& name) const;
+  const OpenFile* GetFile(FileId file) const;
+
+  std::string dir_;
+  std::vector<OpenFile> files_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+};
+
+}  // namespace storage
+}  // namespace cstore
+
+#endif  // CSTORE_STORAGE_FILE_MANAGER_H_

@@ -1,0 +1,42 @@
+// Counters describing the I/O behaviour of a query run. The buffer pool
+// updates these; the plan executor snapshots them into RunStats so that
+// benchmarks can report both CPU time and (simulated) I/O cost.
+
+#ifndef CSTORE_STORAGE_IO_STATS_H_
+#define CSTORE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace cstore {
+namespace storage {
+
+struct IoStats {
+  // Block requests that were served from the buffer pool.
+  uint64_t cache_hits = 0;
+  // Block requests that required reading from the file system.
+  uint64_t physical_reads = 0;
+  // Physical reads that were not sequential with the previous read of the
+  // same file (the analytical model charges SEEK for these).
+  uint64_t seeks = 0;
+  // Frames reclaimed from the LRU list to serve a miss.
+  uint64_t evictions = 0;
+  // Microseconds of simulated disk time charged by the DiskModel.
+  double charged_io_micros = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.cache_hits = cache_hits - other.cache_hits;
+    d.physical_reads = physical_reads - other.physical_reads;
+    d.seeks = seeks - other.seeks;
+    d.evictions = evictions - other.evictions;
+    d.charged_io_micros = charged_io_micros - other.charged_io_micros;
+    return d;
+  }
+
+  void Reset() { *this = IoStats(); }
+};
+
+}  // namespace storage
+}  // namespace cstore
+
+#endif  // CSTORE_STORAGE_IO_STATS_H_

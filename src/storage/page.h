@@ -1,0 +1,65 @@
+// A Page is one fixed-size 64 KB on-disk block. Every column is stored as a
+// series of such blocks (paper Section 1.1). The first bytes of each page
+// hold a BlockHeader describing the encoded payload that follows.
+
+#ifndef CSTORE_STORAGE_PAGE_H_
+#define CSTORE_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "util/common.h"
+#include "util/logging.h"
+
+namespace cstore {
+namespace storage {
+
+/// Header at the start of every 64 KB block of a column file.
+struct BlockHeader {
+  static constexpr uint32_t kMagic = 0x43535442;  // "CSTB"
+
+  uint32_t magic = kMagic;
+  uint8_t encoding = 0;     // codec::Encoding value
+  uint8_t reserved[3] = {};
+  uint32_t num_values = 0;  // logical values (positions) covered by the block
+  uint32_t payload_len = 0; // bytes of encoded payload after the header
+  uint64_t start_pos = 0;   // first position covered by this block
+};
+
+static_assert(sizeof(BlockHeader) == 24, "BlockHeader layout must be stable");
+
+/// Usable payload bytes per page.
+inline constexpr size_t kPagePayloadSize = kPageSize - sizeof(BlockHeader);
+
+/// Heap-allocated 64 KB page buffer.
+class Page {
+ public:
+  Page() : data_(new char[kPageSize]) { std::memset(data_.get(), 0, kPageSize); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+
+  BlockHeader* header() { return reinterpret_cast<BlockHeader*>(data_.get()); }
+  const BlockHeader* header() const {
+    return reinterpret_cast<const BlockHeader*>(data_.get());
+  }
+
+  char* payload() { return data_.get() + sizeof(BlockHeader); }
+  const char* payload() const { return data_.get() + sizeof(BlockHeader); }
+
+  void Clear() { std::memset(data_.get(), 0, kPageSize); }
+
+ private:
+  std::unique_ptr<char[]> data_;
+};
+
+}  // namespace storage
+}  // namespace cstore
+
+#endif  // CSTORE_STORAGE_PAGE_H_

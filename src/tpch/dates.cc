@@ -1,0 +1,60 @@
+#include "tpch/dates.h"
+
+#include <cstdio>
+
+namespace cstore {
+namespace tpch {
+
+namespace {
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+}  // namespace
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+std::string DayToString(int32_t day) {
+  int year = 1992;
+  while (true) {
+    int ydays = IsLeap(year) ? 366 : 365;
+    if (day < ydays) break;
+    day -= ydays;
+    ++year;
+  }
+  int month = 1;
+  while (day >= DaysInMonth(year, month)) {
+    day -= DaysInMonth(year, month);
+    ++month;
+  }
+  // Sized for the formatter's theoretical worst case so -Wformat-truncation
+  // can prove no truncation (actual output is always 10 characters).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day + 1);
+  return buf;
+}
+
+int32_t StringToDay(const std::string& date) {
+  int year;
+  int month;
+  int dom;
+  if (std::sscanf(date.c_str(), "%d-%d-%d", &year, &month, &dom) != 3) {
+    return -1;
+  }
+  if (year < 1992 || month < 1 || month > 12 || dom < 1 ||
+      dom > DaysInMonth(year, month)) {
+    return -1;
+  }
+  int32_t day = 0;
+  for (int y = 1992; y < year; ++y) day += IsLeap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) day += DaysInMonth(year, m);
+  return day + dom - 1;
+}
+
+}  // namespace tpch
+}  // namespace cstore

@@ -1,0 +1,37 @@
+// Date handling for the TPC-H-like generator: dates are stored as integer
+// day offsets since 1992-01-01 (the start of the TPC-H order calendar).
+
+#ifndef CSTORE_TPCH_DATES_H_
+#define CSTORE_TPCH_DATES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.h"
+
+namespace cstore {
+namespace tpch {
+
+/// Day 0 of the generated calendar.
+inline constexpr const char* kEpochDate = "1992-01-01";
+
+/// Highest order date (TPC-H: 1998-08-02) as a day offset; shipdate can be
+/// up to 121 days later.
+inline constexpr int32_t kMaxOrderDay = 2405;   // 1998-08-02
+inline constexpr int32_t kMaxShipDelay = 121;
+inline constexpr int32_t kMaxShipDay = kMaxOrderDay + kMaxShipDelay;
+
+/// Days in a month of a (possibly leap) year.
+int DaysInMonth(int year, int month);
+
+/// Converts a day offset since 1992-01-01 to "YYYY-MM-DD".
+std::string DayToString(int32_t day);
+
+/// Converts "YYYY-MM-DD" (1992+) to the day offset; returns -1 on parse
+/// failure.
+int32_t StringToDay(const std::string& date);
+
+}  // namespace tpch
+}  // namespace cstore
+
+#endif  // CSTORE_TPCH_DATES_H_

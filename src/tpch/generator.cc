@@ -1,0 +1,114 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tpch/dates.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace cstore {
+namespace tpch {
+
+namespace {
+
+// Receipt cutoff for RETURNFLAG: 1995-06-17 (TPC-H rule: flags R/A are
+// assigned to lineitems received before this date).
+const int32_t kReturnFlagCutoffDay = StringToDay("1995-06-17");
+
+}  // namespace
+
+LineitemData GenerateLineitem(double scale_factor, uint64_t seed) {
+  const uint64_t rows =
+      static_cast<uint64_t>(scale_factor * kLineitemRowsPerSF);
+  CSTORE_CHECK(rows > 0) << "scale factor too small";
+  Random rng(seed);
+
+  struct Row {
+    int8_t returnflag;
+    int32_t shipdate;
+    int8_t linenum;
+    int8_t quantity;
+  };
+  std::vector<Row> data;
+  data.reserve(rows);
+
+  // Generate order by order (1..7 lines each, uniform) so LINENUM gets its
+  // natural skew: P(LINENUM = l) = (8 - l) / 28.
+  while (data.size() < rows) {
+    int32_t orderdate = static_cast<int32_t>(rng.Uniform(kMaxOrderDay + 1));
+    int nlines = static_cast<int>(rng.UniformRange(1, 7));
+    for (int l = 1; l <= nlines && data.size() < rows; ++l) {
+      Row r;
+      r.linenum = static_cast<int8_t>(l);
+      int32_t ship_delay = static_cast<int32_t>(rng.UniformRange(1, 121));
+      r.shipdate = orderdate + ship_delay;
+      int32_t receipt_delay = static_cast<int32_t>(rng.UniformRange(1, 30));
+      int32_t receiptdate = r.shipdate + receipt_delay;
+      if (receiptdate <= kReturnFlagCutoffDay) {
+        r.returnflag = rng.Bernoulli(0.5) ? kFlagR : kFlagA;
+      } else {
+        r.returnflag = kFlagN;
+      }
+      r.quantity = static_cast<int8_t>(rng.UniformRange(1, 50));
+      data.push_back(r);
+    }
+  }
+
+  // C-Store projection sort order: (RETURNFLAG, SHIPDATE, LINENUM).
+  std::sort(data.begin(), data.end(), [](const Row& a, const Row& b) {
+    if (a.returnflag != b.returnflag) return a.returnflag < b.returnflag;
+    if (a.shipdate != b.shipdate) return a.shipdate < b.shipdate;
+    return a.linenum < b.linenum;
+  });
+
+  LineitemData out;
+  out.returnflag.reserve(rows);
+  out.shipdate.reserve(rows);
+  out.linenum.reserve(rows);
+  out.quantity.reserve(rows);
+  for (const Row& r : data) {
+    out.returnflag.push_back(r.returnflag);
+    out.shipdate.push_back(r.shipdate);
+    out.linenum.push_back(r.linenum);
+    out.quantity.push_back(r.quantity);
+  }
+  return out;
+}
+
+JoinTablesData GenerateJoinTables(double scale_factor, uint64_t seed) {
+  const uint64_t norders =
+      static_cast<uint64_t>(scale_factor * kOrdersRowsPerSF);
+  const uint64_t ncust =
+      static_cast<uint64_t>(scale_factor * kCustomerRowsPerSF);
+  CSTORE_CHECK(norders > 0 && ncust > 0) << "scale factor too small";
+  Random rng(seed ^ 0x6a09e667f3bcc908ULL);
+
+  JoinTablesData out;
+
+  // Customer: dense primary key 1..N, uniform nation codes.
+  out.customer_custkey.reserve(ncust);
+  out.customer_nationcode.reserve(ncust);
+  for (uint64_t i = 0; i < ncust; ++i) {
+    out.customer_custkey.push_back(static_cast<Value>(i + 1));
+    out.customer_nationcode.push_back(
+        static_cast<Value>(rng.Uniform(25)));
+  }
+
+  // Orders: custkey uniform in [1, ncust], *unsorted* — matching positions
+  // scatter across the table, so the join's right-side output positions are
+  // genuinely out of order (the asymmetry Section 4.3 analyzes). The
+  // predicate custkey < X still has selectivity X/ncust by uniformity.
+  out.orders_custkey.reserve(norders);
+  out.orders_shipdate.reserve(norders);
+  for (uint64_t i = 0; i < norders; ++i) {
+    out.orders_custkey.push_back(
+        static_cast<Value>(rng.UniformRange(1, static_cast<int64_t>(ncust))));
+    out.orders_shipdate.push_back(
+        static_cast<Value>(rng.Uniform(kMaxShipDay + 1)));
+  }
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace cstore

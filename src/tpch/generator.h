@@ -1,0 +1,67 @@
+// TPC-H-like data generation (substitute for the non-redistributable
+// dbgen): produces exactly the columns and distributions the paper's
+// experiments depend on.
+//
+// Lineitem projection (Section 4): (RETURNFLAG, SHIPDATE, LINENUM,
+// QUANTITY), sorted primarily on RETURNFLAG, secondarily on SHIPDATE,
+// tertiarily on LINENUM. Distributions follow TPC-H's generation rules:
+//   RETURNFLAG  R/A for receipts before 1995-06-17 (≈49%, split evenly),
+//               N otherwise — three big sorted groups.
+//   SHIPDATE    order date uniform over 1992-01-01..1998-08-02 plus a
+//               1..121-day shipping delay.
+//   LINENUM     line l of an order with 1..7 lines (uniform order sizes) ⇒
+//               P(LINENUM = l) = (8 - l) / 28; LINENUM < 7 ≈ 96.4% —
+//               the paper's "96% selectivity" Y = 7 predicate.
+//   QUANTITY    uniform 1..50.
+//
+// Join tables (Section 4.3): orders(custkey FK, shipdate) sorted by
+// custkey, customer(custkey PK dense 1..N, nationcode 0..24).
+
+#ifndef CSTORE_TPCH_GENERATOR_H_
+#define CSTORE_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cstore {
+namespace tpch {
+
+/// Rows per unit scale factor (TPC-H lineitem ≈ 6M rows at SF 1).
+inline constexpr uint64_t kLineitemRowsPerSF = 6'000'000;
+inline constexpr uint64_t kOrdersRowsPerSF = 1'500'000;
+inline constexpr uint64_t kCustomerRowsPerSF = 150'000;
+
+/// RETURNFLAG codes (sorted order A < N < R as in ASCII).
+enum ReturnFlag : int64_t { kFlagA = 0, kFlagN = 1, kFlagR = 2 };
+
+struct LineitemData {
+  std::vector<Value> returnflag;
+  std::vector<Value> shipdate;  // day offsets since 1992-01-01
+  std::vector<Value> linenum;   // 1..7
+  std::vector<Value> quantity;  // 1..50
+
+  uint64_t num_rows() const { return returnflag.size(); }
+};
+
+/// Generates the lineitem projection, sorted by (RETURNFLAG, SHIPDATE,
+/// LINENUM). Deterministic in (scale_factor, seed).
+LineitemData GenerateLineitem(double scale_factor, uint64_t seed = 42);
+
+struct JoinTablesData {
+  // orders, sorted by custkey.
+  std::vector<Value> orders_custkey;
+  std::vector<Value> orders_shipdate;
+  // customer, custkey dense ascending 1..N.
+  std::vector<Value> customer_custkey;
+  std::vector<Value> customer_nationcode;  // 0..24
+};
+
+/// Generates the star-join tables of the Figure 13 experiment.
+JoinTablesData GenerateJoinTables(double scale_factor, uint64_t seed = 42);
+
+}  // namespace tpch
+}  // namespace cstore
+
+#endif  // CSTORE_TPCH_GENERATOR_H_

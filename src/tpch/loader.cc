@@ -1,0 +1,119 @@
+#include "tpch/loader.h"
+
+#include <algorithm>
+
+namespace cstore {
+namespace tpch {
+
+namespace {
+
+/// Column files are tagged with the generation parameters so a database
+/// directory can be reused across benchmark invocations.
+std::string Tag(const std::string& base, double sf, uint64_t seed) {
+  int sf_milli = static_cast<int>(sf * 1000 + 0.5);
+  return base + ".sf" + std::to_string(sf_milli) + ".s" +
+         std::to_string(seed);
+}
+
+Status EnsureColumn(db::Database* db, const std::string& name,
+                    codec::Encoding enc, const std::vector<Value>& values) {
+  if (db->HasColumn(name)) return Status::OK();
+  return db->CreateColumn(name, enc, values);
+}
+
+}  // namespace
+
+Result<LineitemColumns> LoadLineitem(db::Database* db, double scale_factor,
+                                     uint64_t seed) {
+  const std::string rf = Tag("lineitem.returnflag.rle", scale_factor, seed);
+  const std::string sd = Tag("lineitem.shipdate.rle", scale_factor, seed);
+  const std::string lp = Tag("lineitem.linenum.plain", scale_factor, seed);
+  const std::string lr = Tag("lineitem.linenum.rle", scale_factor, seed);
+  const std::string lb = Tag("lineitem.linenum.bv", scale_factor, seed);
+  const std::string ld = Tag("lineitem.linenum.dict", scale_factor, seed);
+  const std::string qt = Tag("lineitem.quantity.plain", scale_factor, seed);
+
+  bool all_present = db->HasColumn(rf) && db->HasColumn(sd) &&
+                     db->HasColumn(lp) && db->HasColumn(lr) &&
+                     db->HasColumn(lb) && db->HasColumn(ld) &&
+                     db->HasColumn(qt);
+  if (!all_present) {
+    LineitemData data = GenerateLineitem(scale_factor, seed);
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, rf, codec::Encoding::kRle, data.returnflag));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, sd, codec::Encoding::kRle, data.shipdate));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, lp, codec::Encoding::kUncompressed, data.linenum));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, lr, codec::Encoding::kRle, data.linenum));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, lb, codec::Encoding::kBitVector, data.linenum));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, ld, codec::Encoding::kDict, data.linenum));
+    CSTORE_RETURN_IF_ERROR(
+        EnsureColumn(db, qt, codec::Encoding::kUncompressed, data.quantity));
+  }
+
+  LineitemColumns cols;
+  CSTORE_ASSIGN_OR_RETURN(cols.returnflag, db->GetColumn(rf));
+  CSTORE_ASSIGN_OR_RETURN(cols.shipdate, db->GetColumn(sd));
+  CSTORE_ASSIGN_OR_RETURN(cols.linenum_plain, db->GetColumn(lp));
+  CSTORE_ASSIGN_OR_RETURN(cols.linenum_rle, db->GetColumn(lr));
+  CSTORE_ASSIGN_OR_RETURN(cols.linenum_bv, db->GetColumn(lb));
+  CSTORE_ASSIGN_OR_RETURN(cols.linenum_dict, db->GetColumn(ld));
+  CSTORE_ASSIGN_OR_RETURN(cols.quantity, db->GetColumn(qt));
+  cols.num_rows = cols.shipdate->num_values();
+  cols.max_shipdate = cols.shipdate->meta().max_value;
+
+  // Register the projection for the SQL front end. `linenum` defaults to
+  // the RLE copy; the redundant encodings are exposed under suffixed names.
+  CSTORE_RETURN_IF_ERROR(db->RegisterTable("lineitem",
+                                           {{"returnflag", rf},
+                                            {"shipdate", sd},
+                                            {"linenum", lr},
+                                            {"linenum_plain", lp},
+                                            {"linenum_bv", lb},
+                                            {"linenum_dict", ld},
+                                            {"quantity", qt}}));
+  return cols;
+}
+
+Result<JoinColumns> LoadJoinTables(db::Database* db, double scale_factor,
+                                   uint64_t seed) {
+  const std::string ok = Tag("orders.custkey.plain", scale_factor, seed);
+  const std::string os = Tag("orders.shipdate.plain", scale_factor, seed);
+  const std::string ck = Tag("customer.custkey.plain", scale_factor, seed);
+  const std::string cn = Tag("customer.nationcode.plain", scale_factor, seed);
+
+  bool all_present = db->HasColumn(ok) && db->HasColumn(os) &&
+                     db->HasColumn(ck) && db->HasColumn(cn);
+  if (!all_present) {
+    JoinTablesData data = GenerateJoinTables(scale_factor, seed);
+    CSTORE_RETURN_IF_ERROR(EnsureColumn(db, ok, codec::Encoding::kUncompressed,
+                                        data.orders_custkey));
+    CSTORE_RETURN_IF_ERROR(EnsureColumn(db, os, codec::Encoding::kUncompressed,
+                                        data.orders_shipdate));
+    CSTORE_RETURN_IF_ERROR(EnsureColumn(db, ck, codec::Encoding::kUncompressed,
+                                        data.customer_custkey));
+    CSTORE_RETURN_IF_ERROR(EnsureColumn(db, cn, codec::Encoding::kUncompressed,
+                                        data.customer_nationcode));
+  }
+
+  JoinColumns cols;
+  CSTORE_ASSIGN_OR_RETURN(cols.orders_custkey, db->GetColumn(ok));
+  CSTORE_ASSIGN_OR_RETURN(cols.orders_shipdate, db->GetColumn(os));
+  CSTORE_ASSIGN_OR_RETURN(cols.customer_custkey, db->GetColumn(ck));
+  CSTORE_ASSIGN_OR_RETURN(cols.customer_nationcode, db->GetColumn(cn));
+  cols.num_orders = cols.orders_custkey->num_values();
+  cols.num_customers = cols.customer_custkey->num_values();
+
+  CSTORE_RETURN_IF_ERROR(db->RegisterTable(
+      "orders", {{"custkey", ok}, {"shipdate", os}}));
+  CSTORE_RETURN_IF_ERROR(db->RegisterTable(
+      "customer", {{"custkey", ck}, {"nationcode", cn}}));
+  return cols;
+}
+
+}  // namespace tpch
+}  // namespace cstore

@@ -1,0 +1,64 @@
+// Loads generated TPC-H-like data into a Database with the paper's storage
+// layout: RETURNFLAG and SHIPDATE RLE-compressed; LINENUM stored redundantly
+// in uncompressed, RLE, and bit-vector encodings; QUANTITY uncompressed
+// (Section 4).
+
+#ifndef CSTORE_TPCH_LOADER_H_
+#define CSTORE_TPCH_LOADER_H_
+
+#include <string>
+
+#include "db/database.h"
+#include "tpch/generator.h"
+
+namespace cstore {
+namespace tpch {
+
+struct LineitemColumns {
+  const codec::ColumnReader* returnflag = nullptr;   // RLE
+  const codec::ColumnReader* shipdate = nullptr;     // RLE
+  const codec::ColumnReader* linenum_plain = nullptr;
+  const codec::ColumnReader* linenum_rle = nullptr;
+  const codec::ColumnReader* linenum_bv = nullptr;
+  const codec::ColumnReader* linenum_dict = nullptr;
+  const codec::ColumnReader* quantity = nullptr;     // uncompressed
+  uint64_t num_rows = 0;
+  int64_t max_shipdate = 0;
+
+  /// Picks the LINENUM column by encoding.
+  const codec::ColumnReader* linenum(codec::Encoding e) const {
+    switch (e) {
+      case codec::Encoding::kUncompressed:
+        return linenum_plain;
+      case codec::Encoding::kRle:
+        return linenum_rle;
+      case codec::Encoding::kBitVector:
+        return linenum_bv;
+      case codec::Encoding::kDict:
+        return linenum_dict;
+    }
+    return nullptr;
+  }
+};
+
+/// Generates (or reuses on-disk files from a previous run with the same
+/// parameters) the lineitem projection at `scale_factor`.
+Result<LineitemColumns> LoadLineitem(db::Database* db, double scale_factor,
+                                     uint64_t seed = 42);
+
+struct JoinColumns {
+  const codec::ColumnReader* orders_custkey = nullptr;    // uncompressed
+  const codec::ColumnReader* orders_shipdate = nullptr;   // uncompressed
+  const codec::ColumnReader* customer_custkey = nullptr;  // uncompressed
+  const codec::ColumnReader* customer_nationcode = nullptr;
+  uint64_t num_orders = 0;
+  uint64_t num_customers = 0;
+};
+
+Result<JoinColumns> LoadJoinTables(db::Database* db, double scale_factor,
+                                   uint64_t seed = 42);
+
+}  // namespace tpch
+}  // namespace cstore
+
+#endif  // CSTORE_TPCH_LOADER_H_

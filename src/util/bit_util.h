@@ -1,0 +1,64 @@
+// Word-level bit helpers used by bitmaps and the bit-vector codec.
+
+#ifndef CSTORE_UTIL_BIT_UTIL_H_
+#define CSTORE_UTIL_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace cstore {
+namespace bit_util {
+
+inline constexpr size_t kBitsPerWord = 64;
+
+/// Number of 64-bit words needed to hold n bits.
+inline constexpr size_t WordsForBits(size_t n) {
+  return (n + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+inline constexpr size_t WordIndex(size_t bit) { return bit / kBitsPerWord; }
+inline constexpr uint64_t WordMask(size_t bit) {
+  return uint64_t{1} << (bit % kBitsPerWord);
+}
+
+inline bool GetBit(const uint64_t* words, size_t bit) {
+  return (words[WordIndex(bit)] & WordMask(bit)) != 0;
+}
+
+inline void SetBit(uint64_t* words, size_t bit) {
+  words[WordIndex(bit)] |= WordMask(bit);
+}
+
+inline void ClearBit(uint64_t* words, size_t bit) {
+  words[WordIndex(bit)] &= ~WordMask(bit);
+}
+
+inline int PopCount(uint64_t word) { return std::popcount(word); }
+
+/// Count set bits in words[0..nwords).
+inline size_t PopCountWords(const uint64_t* words, size_t nwords) {
+  size_t total = 0;
+  for (size_t i = 0; i < nwords; ++i) total += std::popcount(words[i]);
+  return total;
+}
+
+/// Mask with the low n bits set (n in [0, 64]).
+inline constexpr uint64_t LowBitsMask(size_t n) {
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/// Index of the lowest set bit; undefined for word == 0.
+inline int CountTrailingZeros(uint64_t word) {
+  return std::countr_zero(word);
+}
+
+/// Round x up to the next multiple of align (align must be a power of two).
+inline constexpr size_t AlignUp(size_t x, size_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+}  // namespace bit_util
+}  // namespace cstore
+
+#endif  // CSTORE_UTIL_BIT_UTIL_H_

@@ -1,0 +1,42 @@
+// Core shared typedefs and constants for the cstore library.
+//
+// Positions are 0-based ordinal offsets of values within a column (the paper
+// calls these "positions" and the tuple-reconstruction join is an equi-join
+// on them). All column values are physically stored as int64_t codes; the
+// catalog carries the logical type (date, char, int) of each column.
+
+#ifndef CSTORE_UTIL_COMMON_H_
+#define CSTORE_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cstore {
+
+// Physical value representation for all columns.
+using Value = int64_t;
+
+// 0-based ordinal offset of a value within a column.
+using Position = uint64_t;
+
+// Sentinel for "no position".
+inline constexpr Position kInvalidPosition = ~Position{0};
+
+// On-disk block size (the paper stores each column as a series of 64KB
+// blocks, Section 1.1).
+inline constexpr size_t kPageSize = 64 * 1024;
+
+// Number of positions covered by one execution chunk. Every
+// position-producing operator emits chunks aligned to windows of this many
+// positions so that multi-input operators (AND, Merge) can zip their inputs
+// without realignment. A chunk may span several storage blocks.
+inline constexpr Position kChunkPositions = 64 * 1024;
+
+// Machine word size in bits, used for word-at-a-time position intersection
+// ("32 (or 64 depending on processor word size) positions can be intersected
+// at once", Section 1).
+inline constexpr int kWordBits = 64;
+
+}  // namespace cstore
+
+#endif  // CSTORE_UTIL_COMMON_H_

@@ -1,0 +1,72 @@
+// Minimal logging and invariant-checking macros.
+//
+// CSTORE_CHECK(cond) aborts with a message when cond is false (always on).
+// CSTORE_DCHECK(cond) is compiled out in NDEBUG builds.
+
+#ifndef CSTORE_UTIL_LOGGING_H_
+#define CSTORE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cstore {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+/// Stream sink that aborts on destruction; lets CHECK carry a message:
+///   CSTORE_CHECK(x > 0) << "x was " << x;
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageSink() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Lowers the streamed sink expression to void so it can sit in the else
+/// branch of the CHECK ternary ('&' binds looser than '<<').
+struct Voidify {
+  void operator&(CheckMessageSink&) {}
+  void operator&(CheckMessageSink&&) {}
+};
+
+}  // namespace internal
+}  // namespace cstore
+
+#define CSTORE_CHECK(cond)                                       \
+  (cond) ? (void)0                                               \
+         : ::cstore::internal::Voidify() &                       \
+               ::cstore::internal::CheckMessageSink(__FILE__, __LINE__, #cond)
+
+#define CSTORE_CHECK_OK(expr)                                   \
+  do {                                                          \
+    ::cstore::Status _st = (expr);                              \
+    CSTORE_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define CSTORE_DCHECK(cond) \
+  while (false) CSTORE_CHECK(cond)
+#else
+#define CSTORE_DCHECK(cond) CSTORE_CHECK(cond)
+#endif
+
+#endif  // CSTORE_UTIL_LOGGING_H_

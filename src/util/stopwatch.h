@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the benchmark harness and RunStats.
+
+#ifndef CSTORE_UTIL_STOPWATCH_H_
+#define CSTORE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cstore {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds since construction or last Restart().
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cstore
+
+#endif  // CSTORE_UTIL_STOPWATCH_H_

@@ -1,0 +1,436 @@
+// Operator-level tests: DS1/DS1-pipelined/DS2/DS4/SPC/AND/Merge behaviour,
+// mini-column pass-through, and the executor's statistics.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exec/and_op.h"
+#include "exec/ds_scan.h"
+#include "exec/gather.h"
+#include "exec/merge_op.h"
+#include "test_util.h"
+
+namespace cstore {
+namespace {
+
+using codec::Encoding;
+using codec::Predicate;
+using exec::ExecStats;
+using exec::MultiColumnChunk;
+using exec::TupleChunk;
+using testing::TempDir;
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Database::Options opts;
+    opts.dir = dir_.path();
+    opts.pool_frames = 1024;
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  const codec::ColumnReader* Load(const std::string& name, Encoding enc,
+                                  const std::vector<Value>& vals) {
+    Status st = db_->CreateColumn(name, enc, vals);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto r = db_->GetColumn(name);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  /// Drains a MultiColumnOp, returning all valid positions.
+  std::vector<Position> DrainPositions(exec::MultiColumnOp* op) {
+    std::vector<Position> out;
+    MultiColumnChunk chunk;
+    while (true) {
+      auto has = op->Next(&chunk);
+      EXPECT_TRUE(has.ok()) << has.status().ToString();
+      if (!*has) break;
+      chunk.desc.ForEachPosition([&](Position p) { out.push_back(p); });
+    }
+    return out;
+  }
+
+  /// Drains a TupleOp, returning (position, row) pairs.
+  std::vector<std::pair<Position, std::vector<Value>>> DrainTuples(
+      exec::TupleOp* op) {
+    std::vector<std::pair<Position, std::vector<Value>>> out;
+    TupleChunk chunk;
+    while (true) {
+      auto has = op->Next(&chunk);
+      EXPECT_TRUE(has.ok()) << has.status().ToString();
+      if (!*has) break;
+      for (size_t i = 0; i < chunk.num_tuples(); ++i) {
+        std::vector<Value> row(chunk.tuple(i),
+                               chunk.tuple(i) + chunk.width());
+        out.emplace_back(chunk.position(i), std::move(row));
+      }
+    }
+    return out;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST_F(ExecTest, DS1ScanEmitsMatchingPositions) {
+  std::vector<Value> vals = testing::RunnyValues(150000, 100, 1.0, 3);
+  const auto* col = Load("c", Encoding::kUncompressed, vals);
+  ExecStats stats;
+  exec::DS1Scan scan(col, 0, Predicate::LessThan(40), true, &stats);
+  std::vector<Position> got = DrainPositions(&scan);
+  EXPECT_EQ(got, testing::NaiveMatches(vals, Predicate::LessThan(40)));
+  // Every block is fetched at least once; blocks straddling window
+  // boundaries are fetched (as pool hits) by both windows.
+  EXPECT_GE(stats.blocks_fetched, col->num_blocks());
+  EXPECT_GE(stats.predicate_evals, vals.size());
+}
+
+TEST_F(ExecTest, DS1ScanAttachesMiniColumns) {
+  std::vector<Value> vals = testing::RunnyValues(70000, 10, 4.0, 5);
+  const auto* col = Load("c", Encoding::kRle, vals);
+  ExecStats stats;
+  exec::DS1Scan scan(col, 7, Predicate::True(), true, &stats);
+  MultiColumnChunk chunk;
+  ASSERT_OK_AND_ASSIGN(bool has, scan.Next(&chunk));
+  ASSERT_TRUE(has);
+  ASSERT_EQ(chunk.minis.size(), 1u);
+  EXPECT_EQ(chunk.minis[0].column(), 7u);
+  EXPECT_NE(chunk.FindMini(7), nullptr);
+  EXPECT_EQ(chunk.FindMini(3), nullptr);
+  // The mini-column serves values without touching the reader.
+  std::vector<Value> gathered;
+  chunk.FindMini(7)->GatherValues(chunk.desc, &gathered);
+  EXPECT_EQ(gathered.size(), chunk.desc.Cardinality());
+}
+
+TEST_F(ExecTest, DS1ScanWithoutMiniAttachesNothing) {
+  std::vector<Value> vals = testing::RunnyValues(20000, 10, 1.0, 7);
+  const auto* col = Load("c", Encoding::kUncompressed, vals);
+  ExecStats stats;
+  exec::DS1Scan scan(col, 0, Predicate::True(), false, &stats);
+  MultiColumnChunk chunk;
+  ASSERT_OK_AND_ASSIGN(bool has, scan.Next(&chunk));
+  ASSERT_TRUE(has);
+  EXPECT_TRUE(chunk.minis.empty());
+}
+
+TEST_F(ExecTest, DS1PipelinedRefinesAndSkips) {
+  const size_t n = 300000;
+  // Column a: sorted → highly selective prefix predicate clusters matches.
+  std::vector<Value> a = testing::SortedRunnyValues(n, 10000, 2.0, 11);
+  std::vector<Value> b = testing::RunnyValues(n, 100, 1.0, 13);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  const auto* cb = Load("b", Encoding::kUncompressed, b);
+
+  ExecStats stats;
+  exec::DS1Scan first(ca, 0, Predicate::LessThan(100), true, &stats);
+  exec::DS1PipelinedScan second(&first, cb, 1, Predicate::LessThan(50), true,
+                                &stats);
+  std::vector<Position> got = DrainPositions(&second);
+
+  std::vector<Position> expected;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < 100 && b[i] < 50) expected.push_back(i);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(stats.blocks_skipped, 0u);
+}
+
+TEST_F(ExecTest, DS2ScanProducesPosValueTuples) {
+  std::vector<Value> vals = testing::RunnyValues(60000, 50, 1.0, 17);
+  const auto* col = Load("c", Encoding::kUncompressed, vals);
+  ExecStats stats;
+  exec::DS2Scan scan(col, Predicate::GreaterEqual(25), &stats);
+  auto got = DrainTuples(&scan);
+  auto expected = testing::NaiveMatches(vals, Predicate::GreaterEqual(25));
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, expected[i]);
+    EXPECT_EQ(got[i].second[0], vals[expected[i]]);
+  }
+  EXPECT_EQ(stats.tuples_constructed, got.size());
+}
+
+TEST_F(ExecTest, DS4ExtendsTuplesAndSkipsBlocks) {
+  const size_t n = 200000;
+  std::vector<Value> a = testing::SortedRunnyValues(n, 1000, 2.0, 19);
+  std::vector<Value> b = testing::RunnyValues(n, 10, 1.0, 23);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  const auto* cb = Load("b", Encoding::kUncompressed, b);
+
+  ExecStats stats;
+  exec::DS2Scan leaf(ca, Predicate::LessThan(20), &stats);  // ~2% cluster
+  exec::DS4ScanMerge ds4(&leaf, cb, Predicate::LessThan(5), &stats);
+  auto got = DrainTuples(&ds4);
+
+  size_t expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < 20 && b[i] < 5) {
+      ASSERT_LT(expected, got.size());
+      EXPECT_EQ(got[expected].first, i);
+      EXPECT_EQ(got[expected].second[0], a[i]);
+      EXPECT_EQ(got[expected].second[1], b[i]);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(got.size(), expected);
+  // The clustered 2% predicate leaves most of b's blocks untouched: only
+  // a's full scan plus the handful of b blocks containing candidates are
+  // fetched.
+  EXPECT_LT(stats.blocks_fetched, ca->num_blocks() + 5);
+}
+
+TEST_F(ExecTest, SpcConstructsShortCircuit) {
+  const size_t n = 100000;
+  std::vector<Value> a = testing::RunnyValues(n, 10, 1.0, 29);
+  std::vector<Value> b = testing::RunnyValues(n, 10, 1.0, 31);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  const auto* cb = Load("b", Encoding::kRle, b);
+
+  ExecStats stats;
+  exec::SpcScan spc({{ca, Predicate::LessThan(3)}, {cb, Predicate::LessThan(9)}},
+                    &stats);
+  auto got = DrainTuples(&spc);
+  size_t count = 0;
+  size_t evals_expected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ++evals_expected;  // pred a always evaluated
+    if (a[i] < 3) {
+      ++evals_expected;  // pred b only when a passes (short-circuit)
+      if (b[i] < 9) ++count;
+    }
+  }
+  EXPECT_EQ(got.size(), count);
+  EXPECT_EQ(stats.predicate_evals, evals_expected);
+}
+
+TEST_F(ExecTest, AndIntersectsAlignedChunks) {
+  const size_t n = 250000;
+  std::vector<Value> a = testing::RunnyValues(n, 100, 1.0, 37);
+  std::vector<Value> b = testing::RunnyValues(n, 100, 1.0, 41);
+  std::vector<Value> c = testing::RunnyValues(n, 100, 1.0, 43);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  const auto* cb = Load("b", Encoding::kUncompressed, b);
+  const auto* cc = Load("c", Encoding::kUncompressed, c);
+
+  ExecStats stats;
+  exec::DS1Scan s1(ca, 0, Predicate::LessThan(50), true, &stats);
+  exec::DS1Scan s2(cb, 1, Predicate::LessThan(70), true, &stats);
+  exec::DS1Scan s3(cc, 2, Predicate::GreaterEqual(20), true, &stats);
+  exec::AndOp and_op({&s1, &s2, &s3}, &stats);
+
+  // Check positions and that all three mini-columns arrive merged.
+  std::vector<Position> got;
+  MultiColumnChunk chunk;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(bool has, and_op.Next(&chunk));
+    if (!has) break;
+    EXPECT_EQ(chunk.minis.size(), 3u);
+    chunk.desc.ForEachPosition([&](Position p) { got.push_back(p); });
+  }
+  std::vector<Position> expected;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < 50 && b[i] < 70 && c[i] >= 20) expected.push_back(i);
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(stats.position_ands, 0u);
+}
+
+TEST_F(ExecTest, MergeStitchesFromMinisWithoutRefetch) {
+  const size_t n = 150000;
+  std::vector<Value> a = testing::SortedRunnyValues(n, 300, 8.0, 47);
+  std::vector<Value> b = testing::RunnyValues(n, 7, 2.0, 53);
+  const auto* ca = Load("a", Encoding::kRle, a);
+  const auto* cb = Load("b", Encoding::kUncompressed, b);
+
+  ExecStats stats;
+  exec::DS1Scan s1(ca, 0, Predicate::LessThan(150), true, &stats);
+  exec::DS1Scan s2(cb, 1, Predicate::LessThan(6), true, &stats);
+  exec::AndOp and_op({&s1, &s2}, &stats);
+  exec::MergeOp merge(&and_op, {{0, nullptr}, {1, nullptr}}, &stats);
+  // Null fallback readers prove the mini-columns carry all needed data.
+  auto got = DrainTuples(&merge);
+
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < 150 && b[i] < 6) {
+      ASSERT_LT(j, got.size());
+      EXPECT_EQ(got[j].first, i);
+      EXPECT_EQ(got[j].second[0], a[i]);
+      EXPECT_EQ(got[j].second[1], b[i]);
+      ++j;
+    }
+  }
+  EXPECT_EQ(got.size(), j);
+}
+
+TEST_F(ExecTest, GatherFallsBackToReaderWithoutMini) {
+  const size_t n = 50000;
+  std::vector<Value> a = testing::RunnyValues(n, 100, 1.0, 59);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+
+  ExecStats stats;
+  MultiColumnChunk chunk;
+  chunk.begin = 0;
+  chunk.end = n;
+  position::SetBuilder builder(0, n);
+  for (Position p = 100; p < 200; ++p) builder.Add(p);
+  for (Position p = 40000; p < 40010; ++p) builder.Add(p);
+  chunk.desc = std::move(builder).Build();
+
+  std::vector<Value> got;
+  ASSERT_OK(exec::GatherColumnValues(chunk, 0, ca, &stats, &got));
+  ASSERT_EQ(got.size(), 110u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], a[100 + i]);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[100 + i], a[40000 + i]);
+  EXPECT_GT(stats.blocks_fetched, 0u);
+}
+
+TEST_F(ExecTest, BlocksCoveringPositionsDeduplicates) {
+  std::vector<Value> a(30000, 1);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  position::SetBuilder builder(0, 30000);
+  builder.AddRange(0, 10);       // block 0
+  builder.AddRange(100, 200);    // block 0 again
+  builder.AddRange(9000, 9010);  // block 1
+  auto sel = std::move(builder).Build();
+  auto blocks = exec::BlocksCoveringPositions(ca, sel);
+  EXPECT_EQ(blocks, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST_F(ExecTest, IndexScanLeafEmitsRangeWithoutFetches) {
+  const size_t n = 200000;
+  std::vector<Value> a(n);
+  for (size_t i = 0; i < n; ++i) a[i] = static_cast<Value>(i / 100);
+  const auto* ca = Load("ix", Encoding::kUncompressed, a);
+  ASSERT_TRUE(ca->meta().sorted);
+
+  ExecStats stats;
+  auto range_r = ca->PositionRangeFor(Predicate::LessThan(500));
+  ASSERT_TRUE(range_r.ok());
+  exec::IndexScan scan(ca, *range_r, &stats);
+  std::vector<Position> got = DrainPositions(&scan);
+  ASSERT_EQ(got.size(), 50000u);
+  EXPECT_EQ(got.front(), 0u);
+  EXPECT_EQ(got.back(), 49999u);
+  // The whole point: no blocks read at execution time.
+  EXPECT_EQ(stats.blocks_fetched, 0u);
+}
+
+TEST_F(ExecTest, IndexScanPipelinedIntersectsInput) {
+  const size_t n = 150000;
+  std::vector<Value> a = testing::RunnyValues(n, 100, 1.0, 77);
+  std::vector<Value> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = static_cast<Value>(i / 10);
+  const auto* ca = Load("ipa", Encoding::kUncompressed, a);
+  const auto* cs = Load("ips", Encoding::kUncompressed, sorted);
+
+  ExecStats stats;
+  exec::DS1Scan first(ca, 0, Predicate::LessThan(30), true, &stats);
+  auto range_r = cs->PositionRangeFor(Predicate::Between(2000, 9999));
+  ASSERT_TRUE(range_r.ok());
+  exec::IndexScan second(&first, cs, *range_r, &stats);
+  std::vector<Position> got = DrainPositions(&second);
+
+  std::vector<Position> expected;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < 30 && sorted[i] >= 2000 && sorted[i] <= 9999) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ExecTest, TupleChunkLayout) {
+  exec::TupleChunk chunk(3);
+  EXPECT_TRUE(chunk.empty());
+  Value row1[3] = {1, 2, 3};
+  chunk.AppendTuple(10, row1);
+  Value* slots = chunk.AppendTuple(20);
+  slots[0] = 4;
+  slots[1] = 5;
+  slots[2] = 6;
+  ASSERT_EQ(chunk.num_tuples(), 2u);
+  EXPECT_EQ(chunk.position(0), 10u);
+  EXPECT_EQ(chunk.position(1), 20u);
+  EXPECT_EQ(chunk.value(0, 0), 1);
+  EXPECT_EQ(chunk.value(0, 2), 3);
+  EXPECT_EQ(chunk.value(1, 1), 5);
+  // Row-major contiguity.
+  EXPECT_EQ(chunk.data(),
+            (std::vector<Value>{1, 2, 3, 4, 5, 6}));
+  chunk.Reset(2);
+  EXPECT_EQ(chunk.width(), 2u);
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(ExecTest, ChunkTupleEmitterAppends) {
+  exec::TupleChunk chunk(2);
+  exec::ChunkTupleEmitter emitter(&chunk);
+  exec::TupleEmitter* sink = &emitter;
+  Value row[2] = {7, 8};
+  sink->Emit(42, row);
+  ASSERT_EQ(chunk.num_tuples(), 1u);
+  EXPECT_EQ(chunk.position(0), 42u);
+  EXPECT_EQ(chunk.value(0, 1), 8);
+}
+
+TEST_F(ExecTest, WindowCursorCoversColumnExactly) {
+  std::vector<Value> a(150000, 1);
+  const auto* ca = Load("wc", Encoding::kUncompressed, a);
+  exec::WindowCursor cursor(ca);
+  Position covered = 0;
+  int windows = 0;
+  while (!cursor.done()) {
+    EXPECT_EQ(cursor.begin(), covered);
+    EXPECT_GT(cursor.end(), cursor.begin());
+    EXPECT_LE(cursor.end(), a.size());
+    covered = cursor.end();
+    ++windows;
+    cursor.Advance();
+  }
+  EXPECT_EQ(covered, a.size());
+  EXPECT_EQ(windows, static_cast<int>(
+                         (a.size() + kChunkPositions - 1) / kChunkPositions));
+}
+
+TEST_F(ExecTest, MiniColumnValueAtAcrossBlocks) {
+  std::vector<Value> a = testing::RunnyValues(30000, 1000, 1.0, 79);
+  const auto* ca = Load("mv", Encoding::kUncompressed, a);
+  ExecStats stats;
+  exec::DS1Scan scan(ca, 0, Predicate::True(), true, &stats);
+  MultiColumnChunk chunk;
+  ASSERT_OK_AND_ASSIGN(bool has, scan.Next(&chunk));
+  ASSERT_TRUE(has);
+  const exec::MiniColumn* mini = chunk.FindMini(0);
+  ASSERT_NE(mini, nullptr);
+  for (Position p : {Position{0}, Position{8127}, Position{8128},
+                     Position{20000}}) {
+    EXPECT_EQ(mini->ValueAt(p), a[p]) << p;
+  }
+}
+
+TEST_F(ExecTest, EmptyColumnChunking) {
+  // A column with exactly one chunk window worth of values.
+  std::vector<Value> a(static_cast<size_t>(kChunkPositions), 5);
+  const auto* ca = Load("a", Encoding::kUncompressed, a);
+  ExecStats stats;
+  exec::DS1Scan scan(ca, 0, Predicate::Equal(5), false, &stats);
+  MultiColumnChunk chunk;
+  ASSERT_OK_AND_ASSIGN(bool has, scan.Next(&chunk));
+  ASSERT_TRUE(has);
+  EXPECT_EQ(chunk.begin, 0u);
+  EXPECT_EQ(chunk.end, kChunkPositions);
+  EXPECT_EQ(chunk.desc.Cardinality(), kChunkPositions);
+  ASSERT_OK_AND_ASSIGN(bool more, scan.Next(&chunk));
+  EXPECT_FALSE(more);
+}
+
+}  // namespace
+}  // namespace cstore

@@ -1,0 +1,298 @@
+// Cost-model tests: formula sanity (Figures 1-6), monotonicity properties,
+// plan-prediction behaviour matching the paper's qualitative claims, the
+// calibrator, and the advisor's choices.
+
+#include <gtest/gtest.h>
+
+#include "model/advisor.h"
+#include "model/calibrate.h"
+#include "model/cost_model.h"
+#include "test_util.h"
+
+namespace cstore {
+namespace {
+
+using model::Advisor;
+using model::ColumnStats;
+using model::Cost;
+using model::CostParams;
+using model::SelectionModelInput;
+using plan::Strategy;
+
+ColumnStats MakeCol(double blocks, double tuples, double rl = 1.0,
+                    codec::Encoding enc = codec::Encoding::kUncompressed) {
+  ColumnStats c;
+  c.num_blocks = blocks;
+  c.num_tuples = tuples;
+  c.run_length = rl;
+  c.encoding = enc;
+  return c;
+}
+
+CostParams Paper() { return CostParams::Paper2006(); }
+
+TEST(CostModelTest, DS1MatchesHandComputedFormula) {
+  CostParams p = Paper();
+  ColumnStats col = MakeCol(10, 80000, 4.0);
+  col.fraction_cached = 0.0;
+  Cost c = model::DS1Cost(col, 0.5, p);
+  double cpu = 10 * p.bic + 80000 * (p.tic_col + p.fc) / 4.0 +
+               0.5 * 80000 * p.fc;
+  double io = (10 / p.pf * p.seek + 10 * p.read);
+  EXPECT_DOUBLE_EQ(c.cpu, cpu);
+  EXPECT_DOUBLE_EQ(c.io, io);
+}
+
+TEST(CostModelTest, DS2ChargesTupleIteratorOnOutput) {
+  CostParams p = Paper();
+  ColumnStats col = MakeCol(10, 80000);
+  Cost c1 = model::DS1Cost(col, 0.5, p);
+  Cost c2 = model::DS2Cost(col, 0.5, p);
+  // Case 2's step 5 costs (TIC_TUP + FC) instead of FC per match.
+  EXPECT_DOUBLE_EQ(c2.cpu - c1.cpu, 0.5 * 80000 * p.tic_tup);
+  EXPECT_DOUBLE_EQ(c2.io, c1.io);
+}
+
+TEST(CostModelTest, DS3IoZeroWhenAlreadyAccessed) {
+  CostParams p = Paper();
+  ColumnStats col = MakeCol(10, 80000);
+  Cost warm = model::DS3Cost(col, 1000, 10, 0.1, true, p);
+  Cost cold = model::DS3Cost(col, 1000, 10, 0.1, false, p);
+  EXPECT_DOUBLE_EQ(warm.io, 0.0);
+  EXPECT_GT(cold.io, 0.0);
+  EXPECT_DOUBLE_EQ(warm.cpu, cold.cpu);
+}
+
+TEST(CostModelTest, DS3RangedPositionsCheaperThanSingles) {
+  CostParams p = Paper();
+  ColumnStats col = MakeCol(10, 80000);
+  Cost ranged = model::DS3Cost(col, 10000, 10000, 1.0, true, p);
+  Cost singles = model::DS3Cost(col, 10000, 1, 1.0, true, p);
+  EXPECT_LT(ranged.cpu, singles.cpu);
+}
+
+TEST(CostModelTest, AndBitInputsUseWordParallelism) {
+  CostParams p = Paper();
+  // Fragmented lists: bit-string AND should be much cheaper than per-run
+  // iteration at run length 1.
+  Cost ranges = model::AndCost({50000, 50000}, {1.0, 1.0}, false, p);
+  Cost bits = model::AndCost({50000, 50000}, {1.0, 1.0}, true, p);
+  EXPECT_LT(bits.cpu, ranges.cpu / 4);
+}
+
+TEST(CostModelTest, MergeLinearInValuesAndWidth) {
+  CostParams p = Paper();
+  EXPECT_DOUBLE_EQ(model::MergeCost(1000, 2, p).cpu,
+                   2 * model::MergeCost(500, 2, p).cpu);
+  EXPECT_DOUBLE_EQ(model::MergeCost(1000, 4, p).cpu,
+                   2 * model::MergeCost(1000, 2, p).cpu);
+}
+
+TEST(CostModelTest, SpcShortCircuitReflectedInCost) {
+  CostParams p = Paper();
+  std::vector<ColumnStats> cols = {MakeCol(10, 80000), MakeCol(10, 80000)};
+  // A selective first predicate shrinks the work on the second column.
+  Cost selective = model::SpcCost(cols, {0.01, 0.9}, p);
+  Cost permissive = model::SpcCost(cols, {0.9, 0.01}, p);
+  EXPECT_LT(selective.cpu, permissive.cpu);
+  EXPECT_DOUBLE_EQ(selective.io, permissive.io);  // always a full scan
+}
+
+TEST(CostModelTest, PositionRunLength) {
+  EXPECT_DOUBLE_EQ(model::PositionRunLength(0.5, 100, true), 100.0);
+  EXPECT_DOUBLE_EQ(model::PositionRunLength(0.5, 100, false), 2.0);
+  EXPECT_NEAR(model::PositionRunLength(0.96, 100, false), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model::PositionRunLength(1.0, 100, false), 100.0);
+  EXPECT_DOUBLE_EQ(model::PositionRunLength(0.1, 0, false), 1.0);
+}
+
+class PredictionTest : public ::testing::Test {
+ protected:
+  SelectionModelInput RleInput() const {
+    // The paper's Section 3.7 setup: both columns RLE, col1 clustered.
+    SelectionModelInput in;
+    in.col1 = MakeCol(1, 600000, 80, codec::Encoding::kRle);
+    in.col2 = MakeCol(5, 600000, 12, codec::Encoding::kRle);
+    in.sf1 = 0.5;
+    in.sf2 = 0.96;
+    in.col1_clustered = true;
+    return in;
+  }
+};
+
+TEST_F(PredictionTest, AllStrategiesFiniteAndPositive) {
+  SelectionModelInput in = RleInput();
+  for (Strategy s : plan::kAllStrategies) {
+    Cost c = model::PredictSelection(s, in, Paper());
+    EXPECT_GT(c.total(), 0.0) << StrategyName(s);
+    EXPECT_LT(c.total(), 1e12) << StrategyName(s);
+  }
+}
+
+TEST_F(PredictionTest, MonotoneInSelectivity) {
+  SelectionModelInput in = RleInput();
+  for (Strategy s : plan::kAllStrategies) {
+    double prev = -1;
+    for (double sf1 : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      in.sf1 = sf1;
+      double t = model::PredictSelection(s, in, Paper()).total();
+      EXPECT_GE(t, prev) << StrategyName(s) << " at sf1=" << sf1;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(PredictionTest, LmPipelinedWinsAtLowSelectivityClustered) {
+  SelectionModelInput in = RleInput();
+  in.sf1 = 0.01;
+  CostParams p = Paper();
+  double lm_pipe =
+      model::PredictSelection(Strategy::kLmPipelined, in, p).total();
+  double em_par =
+      model::PredictSelection(Strategy::kEmParallel, in, p).total();
+  EXPECT_LT(lm_pipe, em_par);
+}
+
+TEST_F(PredictionTest, EmParallelIoIndependentOfSelectivity) {
+  SelectionModelInput in = RleInput();
+  CostParams p = Paper();
+  in.sf1 = 0.0;
+  double io_low = model::PredictSelection(Strategy::kEmParallel, in, p).io;
+  in.sf1 = 1.0;
+  double io_high = model::PredictSelection(Strategy::kEmParallel, in, p).io;
+  EXPECT_DOUBLE_EQ(io_low, io_high);
+}
+
+TEST_F(PredictionTest, LmPipelinedIoScalesWithSelectivity) {
+  SelectionModelInput in = RleInput();
+  in.col2 = MakeCol(74, 600000, 1, codec::Encoding::kUncompressed);
+  CostParams p = Paper();
+  in.sf1 = 0.01;
+  double io_low = model::PredictSelection(Strategy::kLmPipelined, in, p).io;
+  in.sf1 = 1.0;
+  double io_high = model::PredictSelection(Strategy::kLmPipelined, in, p).io;
+  EXPECT_LT(io_low, io_high / 10);
+}
+
+TEST_F(PredictionTest, AggregationMakesLmFlat) {
+  // The paper's Figure 12(b) shape: with aggregation, LM on RLE data is
+  // nearly selectivity-independent while EM keeps growing.
+  SelectionModelInput in = RleInput();
+  CostParams p = Paper();
+  double groups = 2500;
+
+  in.sf1 = 0.1;
+  double lm_low =
+      model::PredictAggregation(Strategy::kLmParallel, in, groups, p).total();
+  double em_low =
+      model::PredictAggregation(Strategy::kEmParallel, in, groups, p).total();
+  in.sf1 = 1.0;
+  double lm_high =
+      model::PredictAggregation(Strategy::kLmParallel, in, groups, p).total();
+  double em_high =
+      model::PredictAggregation(Strategy::kEmParallel, in, groups, p).total();
+
+  EXPECT_LT(lm_high, em_high);                 // LM beats EM
+  EXPECT_LT(lm_high - lm_low, em_high - em_low);  // and is flatter
+}
+
+TEST_F(PredictionTest, AggregationCheaperThanSelectionForLm) {
+  // Constructing only group tuples must not cost more than constructing
+  // every output tuple.
+  SelectionModelInput in = RleInput();
+  CostParams p = Paper();
+  double sel =
+      model::PredictSelection(Strategy::kLmParallel, in, p).total();
+  double agg =
+      model::PredictAggregation(Strategy::kLmParallel, in, 2500, p).total();
+  EXPECT_LT(agg, sel);
+}
+
+TEST(CalibratorTest, ProducesPlausibleConstants) {
+  model::Calibrator::Options opts;
+  opts.loop_size = 1 << 18;
+  opts.repetitions = 2;
+  model::Calibrator cal(opts);
+  storage::DiskModel disk;  // disabled
+  CostParams p = cal.Run(disk);
+  // All CPU constants positive and below a microsecond on any sane machine.
+  EXPECT_GT(p.fc, 0.0);
+  EXPECT_LT(p.fc, 1.0);
+  EXPECT_GT(p.tic_col, 0.0);
+  EXPECT_GT(p.tic_tup, 0.0);
+  EXPECT_GT(p.bic, 0.0);
+  // Disk off → I/O constants zero.
+  EXPECT_DOUBLE_EQ(p.seek, 0.0);
+  EXPECT_DOUBLE_EQ(p.read, 0.0);
+  EXPECT_EQ(p.word_bits, kWordBits);
+}
+
+TEST(CalibratorTest, UsesDiskModelWhenEnabled) {
+  model::Calibrator::Options opts;
+  opts.loop_size = 1 << 16;
+  opts.repetitions = 1;
+  model::Calibrator cal(opts);
+  storage::DiskModel::Params dp;
+  dp.enabled = true;
+  dp.seek_micros = 1234;
+  dp.read_micros = 567;
+  storage::DiskModel disk(dp);
+  CostParams p = cal.Run(disk);
+  EXPECT_DOUBLE_EQ(p.seek, 1234.0);
+  EXPECT_DOUBLE_EQ(p.read, 567.0);
+}
+
+TEST(AdvisorTest, RanksAllFourStrategies) {
+  Advisor advisor(Paper());
+  SelectionModelInput in;
+  in.col1 = MakeCol(3, 600000, 80, codec::Encoding::kRle);
+  in.col2 = MakeCol(74, 600000, 1, codec::Encoding::kUncompressed);
+  in.sf1 = 0.5;
+  in.sf2 = 0.96;
+  auto ranked = advisor.RankSelection(in);
+  ASSERT_EQ(ranked.size(), 4u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    if (ranked[i - 1].supported && ranked[i].supported) {
+      EXPECT_LE(ranked[i - 1].cost.total(), ranked[i].cost.total());
+    }
+  }
+}
+
+TEST(AdvisorTest, BitVectorDemotesLmPipelined) {
+  Advisor advisor(Paper());
+  SelectionModelInput in;
+  in.col1 = MakeCol(3, 600000, 80, codec::Encoding::kRle);
+  in.col2 = MakeCol(20, 600000, 1, codec::Encoding::kBitVector);
+  in.sf1 = 0.01;  // would otherwise favour pipelined LM
+  auto ranked = advisor.RankSelection(in);
+  EXPECT_FALSE(ranked.back().supported);
+  EXPECT_EQ(ranked.back().strategy, Strategy::kLmPipelined);
+  EXPECT_NE(advisor.ChooseSelection(in), Strategy::kLmPipelined);
+}
+
+TEST(AdvisorTest, HeuristicFollowsPaperConclusion) {
+  SelectionModelInput in;
+  in.col1 = MakeCol(74, 600000, 1, codec::Encoding::kUncompressed);
+  in.col2 = MakeCol(74, 600000, 1, codec::Encoding::kUncompressed);
+  in.col1_clustered = true;
+
+  // High selectivity, no aggregation, no compression → EM.
+  in.sf1 = 0.9;
+  in.sf2 = 0.96;
+  EXPECT_EQ(Advisor::Heuristic(in, false), Strategy::kEmParallel);
+
+  // Aggregated → LM.
+  EXPECT_TRUE(plan::IsLate(Advisor::Heuristic(in, true)));
+
+  // Highly selective → LM (pipelined for a clustered first predicate).
+  in.sf1 = 0.01;
+  EXPECT_EQ(Advisor::Heuristic(in, false), Strategy::kLmPipelined);
+
+  // Light-weight compression → LM.
+  in.sf1 = 0.9;
+  in.col1.encoding = codec::Encoding::kRle;
+  EXPECT_TRUE(plan::IsLate(Advisor::Heuristic(in, false)));
+}
+
+}  // namespace
+}  // namespace cstore

@@ -1,0 +1,381 @@
+// SQL front-end tests: lexer, parser, binder semantics, selectivity
+// estimation, end-to-end execution, and strategy auto-selection.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/engine.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace cstore {
+namespace {
+
+using sql::Condition;
+using sql::Engine;
+using sql::Parse;
+using sql::ParsedQuery;
+using sql::TokenType;
+using testing::TempDir;
+
+TEST(LexerTest, TokenizesQuery) {
+  auto tokens = sql::Tokenize(
+      "SELECT a, SUM(b) FROM t WHERE a < 10 AND b >= 'x' GROUP BY a");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const auto& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types,
+            (std::vector<TokenType>{
+                TokenType::kSelect, TokenType::kIdentifier, TokenType::kComma,
+                TokenType::kSum, TokenType::kLParen, TokenType::kIdentifier,
+                TokenType::kRParen, TokenType::kFrom, TokenType::kIdentifier,
+                TokenType::kWhere, TokenType::kIdentifier, TokenType::kLess,
+                TokenType::kInteger, TokenType::kAnd, TokenType::kIdentifier,
+                TokenType::kGreaterEq, TokenType::kString, TokenType::kGroup,
+                TokenType::kBy, TokenType::kIdentifier, TokenType::kEof}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = sql::Tokenize("select From WHERE and");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kSelect);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFrom);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kWhere);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kAnd);
+}
+
+TEST(LexerTest, NegativeIntegersAndOperators) {
+  auto tokens = sql::Tokenize("a <= -42 <> != >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kLessEq);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[2].number, -42);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNotEq);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kNotEq);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kGreaterEq);
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(sql::Tokenize("SELECT $ FROM t").ok());
+  EXPECT_FALSE(sql::Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(sql::Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, SimpleSelection) {
+  auto q = Parse("SELECT shipdate, linenum FROM lineitem "
+                 "WHERE shipdate < 100 AND linenum < 7");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->table, "lineitem");
+  ASSERT_EQ(q->items.size(), 2u);
+  EXPECT_EQ(q->items[0].column, "shipdate");
+  EXPECT_FALSE(q->items[0].aggregated);
+  ASSERT_EQ(q->conditions.size(), 2u);
+  EXPECT_EQ(q->conditions[0].column, "shipdate");
+  EXPECT_EQ(q->conditions[0].op, Condition::Op::kLess);
+  EXPECT_EQ(q->conditions[0].a.int_value, 100);
+  EXPECT_FALSE(q->group_by.has_value());
+}
+
+TEST(ParserTest, AggregateWithGroupBy) {
+  auto q = Parse("SELECT shipdate, SUM(linenum) FROM lineitem "
+                 "WHERE linenum < 7 GROUP BY shipdate");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->items.size(), 2u);
+  EXPECT_TRUE(q->items[1].aggregated);
+  EXPECT_EQ(q->items[1].func, exec::AggFunc::kSum);
+  ASSERT_TRUE(q->group_by.has_value());
+  EXPECT_EQ(*q->group_by, "shipdate");
+}
+
+TEST(ParserTest, BetweenSwallowsItsAnd) {
+  auto q = Parse("SELECT a FROM t WHERE a BETWEEN 5 AND 10 AND b = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->conditions.size(), 2u);
+  EXPECT_EQ(q->conditions[0].op, Condition::Op::kBetween);
+  EXPECT_EQ(q->conditions[0].a.int_value, 5);
+  EXPECT_EQ(q->conditions[0].b.int_value, 10);
+  EXPECT_EQ(q->conditions[1].op, Condition::Op::kEq);
+}
+
+TEST(ParserTest, DateLiteralsAndStar) {
+  auto q = Parse("SELECT * FROM lineitem WHERE shipdate < '1995-01-01'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->items[0].star);
+  EXPECT_TRUE(q->conditions[0].a.is_date);
+  EXPECT_EQ(q->conditions[0].a.date_text, "1995-01-01");
+}
+
+TEST(ParserTest, RejectsMalformed) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a t WHERE x < 1").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a <").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(a FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t trailing garbage").ok());
+}
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Database::Options opts;
+    opts.dir = dir_.path();
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+
+    const size_t n = 60000;
+    a_ = testing::SortedRunnyValues(n, 500, 8.0, 1);
+    b_ = testing::RunnyValues(n, 7, 2.0, 2);
+    c_ = testing::RunnyValues(n, 100, 1.0, 3);
+    ASSERT_OK(db_->CreateColumn("t.a", codec::Encoding::kRle, a_));
+    ASSERT_OK(db_->CreateColumn("t.b", codec::Encoding::kUncompressed, b_));
+    ASSERT_OK(db_->CreateColumn("t.c", codec::Encoding::kUncompressed, c_));
+    ASSERT_OK(db_->RegisterTable(
+        "t", {{"a", "t.a"}, {"b", "t.b"}, {"c", "t.c"}}));
+    engine_ = std::make_unique<Engine>(db_.get());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<db::Database> db_;
+  std::vector<Value> a_, b_, c_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SqlEngineTest, SelectionEndToEnd) {
+  auto r = engine_->Execute("SELECT a, b FROM t WHERE a < 100 AND b < 6",
+                            plan::Strategy::kLmParallel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->column_names, (std::vector<std::string>{"a", "b"}));
+  uint64_t expected = 0;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (a_[i] < 100 && b_[i] < 6) ++expected;
+  }
+  EXPECT_EQ(r->tuples.num_tuples(), expected);
+}
+
+TEST_F(SqlEngineTest, WhereOnlyColumnsProjectedOut) {
+  auto r = engine_->Execute("SELECT b FROM t WHERE a < 50",
+                            plan::Strategy::kEmParallel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.width(), 1u);
+  size_t j = 0;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (a_[i] < 50) {
+      ASSERT_LT(j, r->tuples.num_tuples());
+      EXPECT_EQ(r->tuples.value(j, 0), b_[i]);
+      ++j;
+    }
+  }
+  EXPECT_EQ(r->tuples.num_tuples(), j);
+}
+
+TEST_F(SqlEngineTest, StarExpandsAllColumns) {
+  auto r = engine_->Execute("SELECT * FROM t WHERE a = 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->column_names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r->tuples.width(), 3u);
+}
+
+TEST_F(SqlEngineTest, RangeConditionsMergeIntoBetween) {
+  auto r = engine_->Execute(
+      "SELECT a FROM t WHERE a >= 100 AND a < 200",
+      plan::Strategy::kLmParallel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  uint64_t expected = 0;
+  for (Value v : a_) {
+    if (v >= 100 && v < 200) ++expected;
+  }
+  EXPECT_EQ(r->tuples.num_tuples(), expected);
+}
+
+TEST_F(SqlEngineTest, AggregateEndToEnd) {
+  auto r = engine_->Execute(
+      "SELECT a, SUM(b) FROM t WHERE b < 6 GROUP BY a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::map<Value, int64_t> expected;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (b_[i] < 6) expected[a_[i]] += b_[i];
+  }
+  ASSERT_EQ(r->tuples.num_tuples(), expected.size());
+  size_t i = 0;
+  for (const auto& [g, s] : expected) {
+    EXPECT_EQ(r->tuples.value(i, 0), g);
+    EXPECT_EQ(r->tuples.value(i, 1), s);
+    ++i;
+  }
+}
+
+TEST_F(SqlEngineTest, AggregateColumnOrderFollowsSelectList) {
+  auto r = engine_->Execute(
+      "SELECT COUNT(b), a FROM t GROUP BY a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->column_names[0], "agg(b)");
+  EXPECT_EQ(r->column_names[1], "a");
+  std::map<Value, int64_t> counts;
+  for (size_t i = 0; i < a_.size(); ++i) ++counts[a_[i]];
+  ASSERT_EQ(r->tuples.num_tuples(), counts.size());
+  size_t i = 0;
+  for (const auto& [g, c] : counts) {
+    EXPECT_EQ(r->tuples.value(i, 0), c);  // aggregate first per select list
+    EXPECT_EQ(r->tuples.value(i, 1), g);
+    ++i;
+  }
+}
+
+TEST_F(SqlEngineTest, GlobalAggregates) {
+  // No GROUP BY: a single aggregate over the filtered rows.
+  int64_t sum = 0;
+  int64_t count = 0;
+  Value vmin = 0;
+  Value vmax = 0;
+  bool first = true;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (a_[i] >= 100) continue;
+    sum += b_[i];
+    ++count;
+    vmin = first ? b_[i] : std::min(vmin, b_[i]);
+    vmax = first ? b_[i] : std::max(vmax, b_[i]);
+    first = false;
+  }
+
+  struct Case {
+    const char* sql;
+    int64_t expected;
+  };
+  const Case cases[] = {
+      {"SELECT SUM(b) FROM t WHERE a < 100", sum},
+      {"SELECT COUNT(b) FROM t WHERE a < 100", count},
+      {"SELECT MIN(b) FROM t WHERE a < 100", vmin},
+      {"SELECT MAX(b) FROM t WHERE a < 100", vmax},
+      {"SELECT AVG(b) FROM t WHERE a < 100", count ? sum / count : 0},
+  };
+  for (const Case& c : cases) {
+    for (plan::Strategy s :
+         {plan::Strategy::kEmParallel, plan::Strategy::kLmParallel,
+          plan::Strategy::kLmPipelined}) {
+      auto r = engine_->Execute(c.sql, s);
+      ASSERT_TRUE(r.ok()) << c.sql << ": " << r.status().ToString();
+      ASSERT_EQ(r->tuples.num_tuples(), 1u) << c.sql;
+      EXPECT_EQ(r->tuples.value(0, 0), c.expected)
+          << c.sql << " via " << StrategyName(s);
+    }
+  }
+}
+
+TEST_F(SqlEngineTest, AvgWithGroupBy) {
+  auto r = engine_->Execute("SELECT a, AVG(c) FROM t GROUP BY a",
+                            plan::Strategy::kLmParallel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::map<Value, std::pair<int64_t, int64_t>> acc;  // sum, count
+  for (size_t i = 0; i < a_.size(); ++i) {
+    acc[a_[i]].first += c_[i];
+    acc[a_[i]].second += 1;
+  }
+  ASSERT_EQ(r->tuples.num_tuples(), acc.size());
+  size_t i = 0;
+  for (const auto& [g, sc] : acc) {
+    EXPECT_EQ(r->tuples.value(i, 0), g);
+    EXPECT_EQ(r->tuples.value(i, 1), sc.first / sc.second);
+    ++i;
+  }
+}
+
+TEST_F(SqlEngineTest, GlobalAggregateRejectsExtraItems) {
+  EXPECT_TRUE(
+      engine_->Execute("SELECT a, SUM(b) FROM t").status().IsNotSupported());
+  EXPECT_TRUE(engine_->Execute("SELECT SUM(a), SUM(b) FROM t")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(SqlEngineTest, AutoStrategyRunsAndAgreesWithExplicit) {
+  const char* query = "SELECT a, b FROM t WHERE a < 250 AND b < 7";
+  auto auto_r = engine_->Execute(query);
+  ASSERT_TRUE(auto_r.ok()) << auto_r.status().ToString();
+  auto explicit_r = engine_->Execute(query, plan::Strategy::kEmParallel);
+  ASSERT_TRUE(explicit_r.ok());
+  EXPECT_EQ(auto_r->stats.checksum, explicit_r->stats.checksum);
+  EXPECT_EQ(auto_r->tuples.num_tuples(), explicit_r->tuples.num_tuples());
+}
+
+TEST_F(SqlEngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(engine_->Execute("SELECT a FROM missing").status().IsNotFound());
+  EXPECT_TRUE(
+      engine_->Execute("SELECT ghost FROM t").status().IsNotFound());
+  EXPECT_FALSE(engine_->Execute("SELECT a FROM t WHERE a < 'not-a-date'")
+                   .ok());
+  EXPECT_TRUE(engine_->Execute("SELECT SUM(a), SUM(b) FROM t GROUP BY a")
+                  .status()
+                  .IsNotSupported());
+  EXPECT_FALSE(
+      engine_->Execute("SELECT b, SUM(b) FROM t GROUP BY a").ok());
+}
+
+TEST_F(SqlEngineTest, SelectivityEstimates) {
+  codec::ColumnMeta meta;
+  meta.num_values = 1000;
+  meta.min_value = 0;
+  meta.max_value = 99;  // width 100
+  meta.num_distinct = 100;
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta,
+                                          codec::Predicate::LessThan(50)),
+              0.5, 1e-9);
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta,
+                                          codec::Predicate::GreaterEqual(90)),
+              0.1, 1e-9);
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta, codec::Predicate::Equal(5)),
+              0.01, 1e-9);
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta,
+                                          codec::Predicate::Between(10, 19)),
+              0.1, 1e-9);
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta, codec::Predicate::True()),
+              1.0, 1e-9);
+  // Out-of-domain thresholds clamp.
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta,
+                                          codec::Predicate::LessThan(-5)),
+              0.0, 1e-9);
+  EXPECT_NEAR(Engine::EstimateSelectivity(meta,
+                                          codec::Predicate::LessThan(1000)),
+              1.0, 1e-9);
+}
+
+TEST_F(SqlEngineTest, ExplainReportsAllStrategies) {
+  auto report =
+      engine_->Explain("SELECT a, b FROM t WHERE a < 100 AND b < 6");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (plan::Strategy s : plan::kAllStrategies) {
+    EXPECT_NE(report->find(StrategyName(s)), std::string::npos)
+        << *report;
+  }
+  EXPECT_NE(report->find("<- chosen"), std::string::npos);
+  EXPECT_NE(report->find("inputs:"), std::string::npos);
+
+  auto agg_report =
+      engine_->Explain("SELECT a, SUM(b) FROM t GROUP BY a");
+  ASSERT_TRUE(agg_report.ok());
+  EXPECT_NE(agg_report->find("groups:"), std::string::npos);
+
+  EXPECT_FALSE(engine_->Explain("SELECT nope FROM t").ok());
+}
+
+TEST_F(SqlEngineTest, DateLiteralBinding) {
+  // a's domain is 0..499 (day offsets); '1993-01-01' = day 366.
+  auto r = engine_->Execute(
+      "SELECT a FROM t WHERE a < '1993-01-01'",
+      plan::Strategy::kLmParallel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  uint64_t expected = 0;
+  for (Value v : a_) {
+    if (v < 366) ++expected;
+  }
+  EXPECT_EQ(r->tuples.num_tuples(), expected);
+}
+
+}  // namespace
+}  // namespace cstore

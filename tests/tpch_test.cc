@@ -1,0 +1,205 @@
+// Generator tests: determinism, projection sort order, the distributions
+// the paper's experiments rely on (96% LINENUM < 7 selectivity, RLE-friendly
+// SHIPDATE runs), and the loader's storage layout.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tpch/dates.h"
+#include "tpch/generator.h"
+#include "tpch/loader.h"
+
+namespace cstore {
+namespace {
+
+using testing::TempDir;
+
+TEST(DatesTest, RoundTrip) {
+  EXPECT_EQ(tpch::StringToDay("1992-01-01"), 0);
+  EXPECT_EQ(tpch::DayToString(0), "1992-01-01");
+  EXPECT_EQ(tpch::StringToDay("1992-12-31"), 365);  // 1992 is a leap year
+  EXPECT_EQ(tpch::DayToString(365), "1992-12-31");
+  EXPECT_EQ(tpch::DayToString(366), "1993-01-01");
+  for (int32_t day : {1, 100, 500, 1000, 2000, tpch::kMaxShipDay}) {
+    EXPECT_EQ(tpch::StringToDay(tpch::DayToString(day)), day) << day;
+  }
+  EXPECT_EQ(tpch::StringToDay("1998-08-02"), tpch::kMaxOrderDay);
+}
+
+TEST(DatesTest, RejectsBadDates) {
+  EXPECT_EQ(tpch::StringToDay("not-a-date"), -1);
+  EXPECT_EQ(tpch::StringToDay("1991-01-01"), -1);
+  EXPECT_EQ(tpch::StringToDay("1993-02-29"), -1);  // not a leap year
+  EXPECT_EQ(tpch::StringToDay("1992-13-01"), -1);
+}
+
+TEST(DatesTest, LeapYearHandling) {
+  EXPECT_EQ(tpch::DaysInMonth(1992, 2), 29);
+  EXPECT_EQ(tpch::DaysInMonth(1993, 2), 28);
+  EXPECT_EQ(tpch::DaysInMonth(1996, 2), 29);
+  EXPECT_NE(tpch::StringToDay("1992-02-29"), -1);
+}
+
+TEST(LineitemGenTest, Deterministic) {
+  auto a = tpch::GenerateLineitem(0.001, 42);
+  auto b = tpch::GenerateLineitem(0.001, 42);
+  EXPECT_EQ(a.shipdate, b.shipdate);
+  EXPECT_EQ(a.linenum, b.linenum);
+  EXPECT_EQ(a.returnflag, b.returnflag);
+  EXPECT_EQ(a.quantity, b.quantity);
+  auto c = tpch::GenerateLineitem(0.001, 43);
+  EXPECT_NE(a.shipdate, c.shipdate);
+}
+
+TEST(LineitemGenTest, RowCountScales) {
+  auto d = tpch::GenerateLineitem(0.001, 1);
+  EXPECT_EQ(d.num_rows(), 6000u);
+  EXPECT_EQ(d.shipdate.size(), 6000u);
+  EXPECT_EQ(d.linenum.size(), 6000u);
+  EXPECT_EQ(d.quantity.size(), 6000u);
+}
+
+TEST(LineitemGenTest, SortedByProjectionKeys) {
+  auto d = tpch::GenerateLineitem(0.005, 7);
+  for (size_t i = 1; i < d.num_rows(); ++i) {
+    if (d.returnflag[i - 1] != d.returnflag[i]) {
+      EXPECT_LT(d.returnflag[i - 1], d.returnflag[i]);
+      continue;
+    }
+    if (d.shipdate[i - 1] != d.shipdate[i]) {
+      EXPECT_LT(d.shipdate[i - 1], d.shipdate[i]);
+      continue;
+    }
+    EXPECT_LE(d.linenum[i - 1], d.linenum[i]);
+  }
+}
+
+TEST(LineitemGenTest, Distributions) {
+  auto d = tpch::GenerateLineitem(0.01, 11);  // 60k rows
+  const double n = static_cast<double>(d.num_rows());
+
+  // LINENUM < 7 ≈ 96.4% (the paper's Y = 7 predicate selectivity);
+  // P(LINENUM = l) = (8 - l)/28.
+  double linenum_lt7 = 0;
+  double linenum_is1 = 0;
+  for (Value l : d.linenum) {
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, 7);
+    if (l < 7) ++linenum_lt7;
+    if (l == 1) ++linenum_is1;
+  }
+  EXPECT_NEAR(linenum_lt7 / n, 1.0 - 1.0 / 28, 0.01);
+  EXPECT_NEAR(linenum_is1 / n, 7.0 / 28, 0.02);
+
+  // RETURNFLAG: ≈ 25/25/50 A/R/N with A, N, R codes.
+  double flag_n = 0;
+  for (Value f : d.returnflag) {
+    ASSERT_TRUE(f == tpch::kFlagA || f == tpch::kFlagN || f == tpch::kFlagR);
+    if (f == tpch::kFlagN) ++flag_n;
+  }
+  EXPECT_NEAR(flag_n / n, 0.5, 0.06);
+
+  // SHIPDATE within the calendar.
+  for (Value s : d.shipdate) {
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, tpch::kMaxShipDay);
+  }
+
+  // QUANTITY uniform 1..50.
+  double qsum = 0;
+  for (Value q : d.quantity) {
+    EXPECT_GE(q, 1);
+    EXPECT_LE(q, 50);
+    qsum += static_cast<double>(q);
+  }
+  EXPECT_NEAR(qsum / n, 25.5, 0.5);
+}
+
+TEST(JoinGenTest, CustomerKeysDenseAndOrdersInRange) {
+  auto d = tpch::GenerateJoinTables(0.01, 3);
+  ASSERT_EQ(d.customer_custkey.size(), 1500u);
+  ASSERT_EQ(d.orders_custkey.size(), 15000u);
+  for (size_t i = 0; i < d.customer_custkey.size(); ++i) {
+    EXPECT_EQ(d.customer_custkey[i], static_cast<Value>(i + 1));
+    EXPECT_GE(d.customer_nationcode[i], 0);
+    EXPECT_LT(d.customer_nationcode[i], 25);
+  }
+  for (Value k : d.orders_custkey) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 1500);
+  }
+}
+
+TEST(JoinGenTest, OrdersUnsorted) {
+  // Out-of-order right positions are the premise of the Figure 13
+  // experiment; sorted orders would defeat it.
+  auto d = tpch::GenerateJoinTables(0.01, 3);
+  bool sorted = true;
+  for (size_t i = 1; i < d.orders_custkey.size(); ++i) {
+    if (d.orders_custkey[i - 1] > d.orders_custkey[i]) {
+      sorted = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(sorted);
+}
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Database::Options opts;
+    opts.dir = dir_.path();
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST_F(LoaderTest, LineitemLayoutMatchesPaper) {
+  ASSERT_OK_AND_ASSIGN(tpch::LineitemColumns li,
+                       tpch::LoadLineitem(db_.get(), 0.002, 42));
+  EXPECT_EQ(li.num_rows, 12000u);
+  EXPECT_EQ(li.returnflag->meta().encoding, codec::Encoding::kRle);
+  EXPECT_EQ(li.shipdate->meta().encoding, codec::Encoding::kRle);
+  EXPECT_EQ(li.linenum_plain->meta().encoding,
+            codec::Encoding::kUncompressed);
+  EXPECT_EQ(li.linenum_rle->meta().encoding, codec::Encoding::kRle);
+  EXPECT_EQ(li.linenum_bv->meta().encoding, codec::Encoding::kBitVector);
+  EXPECT_EQ(li.linenum_dict->meta().encoding, codec::Encoding::kDict);
+  EXPECT_EQ(li.quantity->meta().encoding, codec::Encoding::kUncompressed);
+  // All LINENUM representations hold the same logical column.
+  EXPECT_EQ(li.linenum_plain->num_values(), li.num_rows);
+  EXPECT_EQ(li.linenum_rle->num_values(), li.num_rows);
+  EXPECT_EQ(li.linenum_bv->num_values(), li.num_rows);
+  EXPECT_EQ(li.linenum_dict->num_values(), li.num_rows);
+  // RETURNFLAG has 3 giant runs.
+  EXPECT_LE(li.returnflag->meta().num_runs, 3u);
+  // Encoding selector works.
+  EXPECT_EQ(li.linenum(codec::Encoding::kRle), li.linenum_rle);
+}
+
+TEST_F(LoaderTest, ReusesExistingFiles) {
+  ASSERT_OK_AND_ASSIGN(tpch::LineitemColumns a,
+                       tpch::LoadLineitem(db_.get(), 0.002, 42));
+  // A second load with identical parameters must reuse the files.
+  ASSERT_OK_AND_ASSIGN(tpch::LineitemColumns b,
+                       tpch::LoadLineitem(db_.get(), 0.002, 42));
+  EXPECT_EQ(a.shipdate, b.shipdate);  // same reader instance from catalog
+}
+
+TEST_F(LoaderTest, JoinTablesLoad) {
+  ASSERT_OK_AND_ASSIGN(tpch::JoinColumns jc,
+                       tpch::LoadJoinTables(db_.get(), 0.01, 42));
+  EXPECT_EQ(jc.num_orders, 15000u);
+  EXPECT_EQ(jc.num_customers, 1500u);
+  EXPECT_EQ(jc.orders_custkey->num_values(), 15000u);
+  EXPECT_EQ(jc.customer_nationcode->num_values(), 1500u);
+}
+
+}  // namespace
+}  // namespace cstore

@@ -1,0 +1,189 @@
+// Tests for the util substrate: Status/Result, PRNG, bit utilities.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/bit_util.h"
+#include "util/common.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing column");
+  EXPECT_EQ(s.ToString(), "NotFound: missing column");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CSTORE_ASSIGN_OR_RETURN(int h, Half(x));
+  CSTORE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(RandomTest, DeterministicWithSameSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformRangeBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformCoversDomain) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, BernoulliApproximatesP) {
+  Random rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double p = static_cast<double>(hits) / n;
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(BitUtilTest, WordsForBits) {
+  EXPECT_EQ(bit_util::WordsForBits(0), 0u);
+  EXPECT_EQ(bit_util::WordsForBits(1), 1u);
+  EXPECT_EQ(bit_util::WordsForBits(64), 1u);
+  EXPECT_EQ(bit_util::WordsForBits(65), 2u);
+  EXPECT_EQ(bit_util::WordsForBits(128), 2u);
+}
+
+TEST(BitUtilTest, SetGetClear) {
+  uint64_t words[2] = {0, 0};
+  bit_util::SetBit(words, 0);
+  bit_util::SetBit(words, 63);
+  bit_util::SetBit(words, 64);
+  bit_util::SetBit(words, 127);
+  EXPECT_TRUE(bit_util::GetBit(words, 0));
+  EXPECT_TRUE(bit_util::GetBit(words, 63));
+  EXPECT_TRUE(bit_util::GetBit(words, 64));
+  EXPECT_TRUE(bit_util::GetBit(words, 127));
+  EXPECT_FALSE(bit_util::GetBit(words, 1));
+  EXPECT_FALSE(bit_util::GetBit(words, 65));
+  bit_util::ClearBit(words, 63);
+  EXPECT_FALSE(bit_util::GetBit(words, 63));
+}
+
+TEST(BitUtilTest, PopCountWords) {
+  uint64_t words[3] = {~uint64_t{0}, 0, 0x5555555555555555ULL};
+  EXPECT_EQ(bit_util::PopCountWords(words, 3), 64u + 0u + 32u);
+}
+
+TEST(BitUtilTest, LowBitsMask) {
+  EXPECT_EQ(bit_util::LowBitsMask(0), 0u);
+  EXPECT_EQ(bit_util::LowBitsMask(1), 1u);
+  EXPECT_EQ(bit_util::LowBitsMask(8), 0xFFu);
+  EXPECT_EQ(bit_util::LowBitsMask(64), ~uint64_t{0});
+}
+
+TEST(BitUtilTest, CountTrailingZeros) {
+  EXPECT_EQ(bit_util::CountTrailingZeros(1), 0);
+  EXPECT_EQ(bit_util::CountTrailingZeros(0x8000000000000000ULL), 63);
+  EXPECT_EQ(bit_util::CountTrailingZeros(0b1000), 3);
+}
+
+TEST(BitUtilTest, AlignUp) {
+  EXPECT_EQ(bit_util::AlignUp(0, 64), 0u);
+  EXPECT_EQ(bit_util::AlignUp(1, 64), 64u);
+  EXPECT_EQ(bit_util::AlignUp(64, 64), 64u);
+  EXPECT_EQ(bit_util::AlignUp(65, 64), 128u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  int64_t x = 0;
+  for (int i = 0; i < 1000000; ++i) x += i;
+  asm volatile("" : : "r"(x) : "memory");  // keep the loop
+  double us = sw.ElapsedMicros();
+  EXPECT_GT(us, 0.0);
+  // The two reads happen at different instants; they must agree to within
+  // the time the calls themselves take.
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedMicros() / 1000.0, 0.05);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMicros(), us + 1.0);
+}
+
+}  // namespace
+}  // namespace cstore
