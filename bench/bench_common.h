@@ -9,6 +9,10 @@
 //   --dir=<path>      database directory (default /tmp/cstore_bench_data,
 //                     reused across runs)
 //   --runs=<int>      timed repetitions per point, minimum reported (default 1)
+//   --workers=<list>  comma-separated morsel-worker counts to sweep
+//                     (default "1"; e.g. --workers=1,2,4,8 makes
+//                     bench_fig11_selection print per-strategy scaling
+//                     curves)
 //
 // Output format: one whitespace-aligned table per figure panel with a
 // `# fig=...` header line, mirroring the paper's series.
@@ -35,6 +39,8 @@ struct BenchOptions {
   bool simulate_disk = true;
   std::string dir = "/tmp/cstore_bench_data";
   int runs = 1;
+  // Morsel-worker counts to sweep; {1} = classic serial benchmarks.
+  std::vector<int> worker_sweep = {1};
 };
 
 inline BenchOptions ParseArgs(int argc, char** argv) {
@@ -51,6 +57,16 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
       opts.dir = a + 6;
     } else if (std::strncmp(a, "--runs=", 7) == 0) {
       opts.runs = std::max(1, std::atoi(a + 7));
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      opts.worker_sweep.clear();
+      for (const char* p = a + 10; *p != '\0';) {
+        int w = std::atoi(p);
+        if (w >= 1) opts.worker_sweep.push_back(w);
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) break;
+        p = comma + 1;
+      }
+      if (opts.worker_sweep.empty()) opts.worker_sweep = {1};
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }

@@ -86,5 +86,50 @@ int main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+
+  // Morsel-parallel scaling curves (beyond the paper): one selectivity point
+  // per strategy, swept over --workers=... thread counts. Uses the
+  // uncompressed LINENUM panel at the sweep's midpoint.
+  if (opts.worker_sweep.size() > 1) {
+    const SelectivityPoint& mid = sweep[sweep.size() / 2];
+    plan::SelectionQuery q;
+    q.columns.push_back(
+        {li.shipdate, codec::Predicate::LessThan(mid.threshold)});
+    q.columns.push_back({li.linenum_plain, codec::Predicate::LessThan(7)});
+
+    // Wall time only: the simulated charged-I/O component is by design
+    // unchanged by parallelism and would flatten the curves.
+    std::printf("# fig=ext-parallel-scaling (selectivity=%.3f, wall ms)\n",
+                mid.actual);
+    std::vector<std::string> headers = {"workers", "EM-pipelined",
+                                        "EM-parallel", "LM-parallel",
+                                        "LM-pipelined"};
+    TablePrinter table(headers);
+    for (int workers : opts.worker_sweep) {
+      plan::PlanConfig config;
+      config.num_workers = workers;
+      // One chunk window per morsel: maximizes the number of morsels so
+      // requested workers get work (still clamped to one worker when the
+      // table has fewer rows than a 64K-position window — use sf >= 0.1
+      // for a genuine multi-threaded sweep).
+      config.morsel_positions = kChunkPositions;
+      std::vector<std::string> row = {std::to_string(workers)};
+      for (plan::Strategy s :
+           {plan::Strategy::kEmPipelined, plan::Strategy::kEmParallel,
+            plan::Strategy::kLmParallel, plan::Strategy::kLmPipelined}) {
+        double best_wall = 1e100;
+        for (int r = 0; r < opts.runs; ++r) {
+          db->DropCaches();
+          auto result = db->RunSelection(q, s, config);
+          CSTORE_CHECK(result.ok()) << result.status().ToString();
+          best_wall = std::min(best_wall, result->stats.wall_micros / 1000.0);
+        }
+        row.push_back(Fmt(best_wall));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
   return 0;
 }

@@ -11,6 +11,8 @@
 // Dates are written as 'YYYY-MM-DD'. The engine picks the materialization
 // strategy with the paper's analytical model unless you prefix the query
 // with one of: em-pipelined:, em-parallel:, lm-pipelined:, lm-parallel:.
+// A 'workers=N:' prefix (combinable with a strategy prefix, in any order)
+// runs the plan morsel-parallel on N threads; EXPLAIN honours it too.
 
 #include <cstdio>
 #include <iostream>
@@ -46,9 +48,31 @@ std::optional<plan::Strategy> StripStrategyPrefix(std::string* sql) {
   return std::nullopt;
 }
 
+void TrimLeading(std::string* s) {
+  size_t i = s->find_first_not_of(" \t");
+  s->erase(0, i == std::string::npos ? s->size() : i);
+}
+
+/// Strips a leading "workers=N:"; returns 1 (serial) when absent or bad.
+int StripWorkersPrefix(std::string* sql) {
+  if (sql->rfind("workers=", 0) != 0) return 1;
+  size_t colon = sql->find(':');
+  if (colon == std::string::npos) return 1;
+  int workers = std::atoi(sql->c_str() + 8);
+  if (workers < 1) {
+    std::printf("(ignoring workers prefix: need a count >= 1)\n");
+    workers = 1;
+  }
+  sql->erase(0, colon + 1);
+  return workers;
+}
+
 void RunOne(sql::Engine* engine, std::string sql) {
+  TrimLeading(&sql);
+  int workers = StripWorkersPrefix(&sql);
+  TrimLeading(&sql);
   if (sql.rfind("explain ", 0) == 0 || sql.rfind("EXPLAIN ", 0) == 0) {
-    auto report = engine->Explain(sql.substr(8));
+    auto report = engine->Explain(sql.substr(8), workers);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
     } else {
@@ -57,7 +81,10 @@ void RunOne(sql::Engine* engine, std::string sql) {
     return;
   }
   std::optional<plan::Strategy> strategy = StripStrategyPrefix(&sql);
-  auto r = engine->Execute(sql, strategy);
+  TrimLeading(&sql);
+  if (workers == 1) workers = StripWorkersPrefix(&sql);  // either order
+  TrimLeading(&sql);
+  auto r = engine->Execute(sql, strategy, workers);
   if (!r.ok()) {
     std::printf("error: %s\n", r.status().ToString().c_str());
     return;
@@ -79,9 +106,9 @@ void RunOne(sql::Engine* engine, std::string sql) {
     std::printf("... (%llu rows total)\n",
                 static_cast<unsigned long long>(r->tuples.num_tuples()));
   }
-  std::printf("-- %llu rows, %.1f ms, strategy %s\n",
+  std::printf("-- %llu rows, %.1f ms, strategy %s, workers %d\n",
               static_cast<unsigned long long>(r->stats.output_tuples),
-              r->stats.TotalMillis(), StrategyName(r->strategy));
+              r->stats.TotalMillis(), StrategyName(r->strategy), workers);
 }
 
 }  // namespace

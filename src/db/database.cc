@@ -140,11 +140,13 @@ Result<std::vector<std::string>> Database::TableColumns(
   return out;
 }
 
-Result<QueryResult> Database::Execute(plan::Plan* plan) {
+Result<QueryResult> Database::ExecuteTemplate(const plan::PlanTemplate& tmpl) {
   QueryResult result;
   bool first = true;
-  Status st = plan::ExecutePlan(
-      plan, pool_.get(), &result.stats,
+  // The sink runs serialized (ExecuteParallel locks around it), so plain
+  // appends are safe even with multiple workers.
+  Status st = plan::ExecuteParallel(
+      tmpl, pool_.get(), &result.stats,
       [&](const exec::TupleChunk& chunk) {
         if (first) {
           result.tuples.Reset(chunk.width());
@@ -161,25 +163,20 @@ Result<QueryResult> Database::Execute(plan::Plan* plan) {
 Result<QueryResult> Database::RunSelection(const plan::SelectionQuery& query,
                                            plan::Strategy strategy,
                                            const plan::PlanConfig& config) {
-  CSTORE_ASSIGN_OR_RETURN(auto plan,
-                          plan::BuildSelectionPlan(query, strategy, config));
-  return Execute(plan.get());
+  return ExecuteTemplate(
+      plan::PlanTemplate::Selection(query, strategy, config));
 }
 
 Result<QueryResult> Database::RunAgg(const plan::AggQuery& query,
                                      plan::Strategy strategy,
                                      const plan::PlanConfig& config) {
-  CSTORE_ASSIGN_OR_RETURN(auto plan,
-                          plan::BuildAggPlan(query, strategy, config));
-  return Execute(plan.get());
+  return ExecuteTemplate(plan::PlanTemplate::Agg(query, strategy, config));
 }
 
 Result<QueryResult> Database::RunJoin(const plan::JoinQuery& query,
                                       exec::JoinRightMode mode,
                                       const plan::PlanConfig& config) {
-  CSTORE_ASSIGN_OR_RETURN(auto plan,
-                          plan::BuildJoinPlan(query, mode, config));
-  return Execute(plan.get());
+  return ExecuteTemplate(plan::PlanTemplate::Join(query, mode, config));
 }
 
 }  // namespace db

@@ -13,6 +13,7 @@
 #include "codec/column_reader.h"
 #include "codec/column_writer.h"
 #include "plan/executor.h"
+#include "plan/parallel.h"
 #include "plan/planner.h"
 #include "plan/query.h"
 #include "storage/buffer_pool.h"
@@ -79,7 +80,10 @@ class Database {
   /// Drops all cached pages (for cold-cache measurements).
   void DropCaches() { pool_->Clear(); }
 
-  /// Convenience wrappers: build + execute in one call.
+  /// Convenience wrappers: build + execute in one call. With
+  /// `config.num_workers > 1` the query runs morsel-parallel; result bags
+  /// (tuples, checksum, aggregate groups) are identical for every worker
+  /// count, but selection tuple order is only deterministic at 1 worker.
   Result<QueryResult> RunSelection(const plan::SelectionQuery& query,
                                    plan::Strategy strategy,
                                    const plan::PlanConfig& config = {});
@@ -93,7 +97,7 @@ class Database {
  private:
   Database() = default;
 
-  Result<QueryResult> Execute(plan::Plan* plan);
+  Result<QueryResult> ExecuteTemplate(const plan::PlanTemplate& tmpl);
   Status LoadCatalog();
   Status SaveCatalog() const;
 

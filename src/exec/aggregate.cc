@@ -28,6 +28,33 @@ void GroupAccumulator::Add(Value group, Value v, uint64_t count) {
   s.initialized = true;
 }
 
+void GroupAccumulator::MergeFrom(const GroupAccumulator& other) {
+  CSTORE_CHECK(func_ == other.func_) << "merging mismatched aggregates";
+  for (const auto& [g, s] : other.groups_) {
+    if (!s.initialized) continue;
+    State& d = groups_[g];
+    if (!d.initialized) {
+      d = s;
+      continue;
+    }
+    switch (func_) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        d.acc += s.acc;
+        break;
+      case AggFunc::kCount:
+        break;  // count tracked below
+      case AggFunc::kMin:
+        d.acc = std::min(d.acc, s.acc);
+        break;
+      case AggFunc::kMax:
+        d.acc = std::max(d.acc, s.acc);
+        break;
+    }
+    d.count += s.count;
+  }
+}
+
 void GroupAccumulator::Emit(TupleChunk* out) const {
   std::vector<std::pair<Value, const State*>> sorted;
   sorted.reserve(groups_.size());
@@ -69,9 +96,10 @@ Result<bool> HashAggOp::Next(TupleChunk* out) {
                1);
     }
   }
+  done_ = true;
+  if (!emit_final_) return false;
   acc_.Emit(out);
   stats_->tuples_constructed += out->num_tuples();
-  done_ = true;
   return true;
 }
 
@@ -197,9 +225,10 @@ Result<bool> LateAggOp::Next(TupleChunk* out) {
     if (!has) break;
     CSTORE_RETURN_IF_ERROR(ConsumeChunk(in));
   }
+  done_ = true;
+  if (!emit_final_) return false;
   acc_.Emit(out);
   stats_->tuples_constructed += out->num_tuples();
-  done_ = true;
   return true;
 }
 

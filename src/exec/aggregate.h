@@ -51,6 +51,12 @@ class GroupAccumulator {
 
   void Add(Value group, Value v, uint64_t count);
 
+  /// Folds another accumulator (a morsel worker's partial aggregate) into
+  /// this one. Sum/count/avg states add, min/max states combine — all
+  /// commutative, so merged results are independent of worker scheduling
+  /// and equal to a serial run over the same rows.
+  void MergeFrom(const GroupAccumulator& other);
+
   /// Emits (group, aggregate) tuples sorted by group value.
   void Emit(TupleChunk* out) const;
 
@@ -67,19 +73,41 @@ class GroupAccumulator {
   std::unordered_map<Value, State> groups_;
 };
 
+/// Common base of the aggregation operators: owns the accumulator and the
+/// switch the parallel executor uses to run an operator as a pure
+/// partial-aggregate producer.
+class GroupAggOp {
+ public:
+  explicit GroupAggOp(AggFunc func) : acc_(func) {}
+  virtual ~GroupAggOp() = default;
+
+  /// Partial-aggregate state, exposed so the parallel executor can merge
+  /// per-morsel accumulators before emitting final groups.
+  const GroupAccumulator& accumulator() const { return acc_; }
+
+  /// Parallel workers: accumulate only. Next() consumes the whole input but
+  /// never sorts/emits the (partial) group table — the executor merges
+  /// accumulators across morsels and emits the final groups exactly once.
+  void DisableFinalEmit() { emit_final_ = false; }
+
+ protected:
+  GroupAccumulator acc_;
+  bool emit_final_ = true;
+};
+
 /// Aggregation over constructed tuples (EM side).
-class HashAggOp : public TupleOp {
+class HashAggOp : public TupleOp, public GroupAggOp {
  public:
   /// `group_col` / `agg_col` are slot indices in the input tuples. With
   /// `global`, every row lands in one group (no GROUP BY) and `group_col`
   /// is ignored.
   HashAggOp(TupleOp* input, uint32_t group_col, uint32_t agg_col,
             AggFunc func, bool global, ExecStats* stats)
-      : input_(input),
+      : GroupAggOp(func),
+        input_(input),
         group_col_(group_col),
         agg_col_(agg_col),
         global_(global),
-        acc_(func),
         stats_(stats) {}
 
   Result<bool> Next(TupleChunk* out) override;
@@ -89,14 +117,13 @@ class HashAggOp : public TupleOp {
   uint32_t group_col_;
   uint32_t agg_col_;
   bool global_;
-  GroupAccumulator acc_;
   ExecStats* stats_;
   bool done_ = false;
 };
 
 /// Aggregation over position streams (LM side), reading group/aggregate
 /// values from mini-columns (or re-fetching via the fallback readers).
-class LateAggOp : public TupleOp {
+class LateAggOp : public TupleOp, public GroupAggOp {
  public:
   struct ColumnSource {
     ColumnId column;
@@ -107,11 +134,11 @@ class LateAggOp : public TupleOp {
   /// into one group.
   LateAggOp(MultiColumnOp* input, ColumnSource group, ColumnSource agg,
             AggFunc func, bool global, ExecStats* stats)
-      : input_(input),
+      : GroupAggOp(func),
+        input_(input),
         group_(group),
         agg_(agg),
         global_(global),
-        acc_(func),
         stats_(stats) {}
 
   Result<bool> Next(TupleChunk* out) override;
@@ -126,7 +153,6 @@ class LateAggOp : public TupleOp {
   ColumnSource group_;
   ColumnSource agg_;
   bool global_ = false;
-  GroupAccumulator acc_;
   ExecStats* stats_;
   bool done_ = false;
   std::vector<Value> gbuf_;

@@ -26,13 +26,14 @@ uint64_t PredicateEvalsFor(const codec::BlockView& view) {
 // ---------------------------------------------------------------------------
 
 DS1Scan::DS1Scan(const codec::ColumnReader* reader, ColumnId column,
-                 codec::Predicate pred, bool attach_mini, ExecStats* stats)
+                 codec::Predicate pred, bool attach_mini, ExecStats* stats,
+                 position::Range scan_range)
     : reader_(reader),
       column_(column),
       pred_(pred),
       attach_mini_(attach_mini),
       stats_(stats),
-      cursor_(reader) {}
+      cursor_(reader, kChunkPositions, scan_range) {}
 
 Result<bool> DS1Scan::Next(MultiColumnChunk* out) {
   if (cursor_.done()) return false;
@@ -91,31 +92,29 @@ Result<bool> DS1Scan::Next(MultiColumnChunk* out) {
 // ---------------------------------------------------------------------------
 
 IndexScan::IndexScan(const codec::ColumnReader* reader,
-                     position::Range range, ExecStats* stats)
+                     position::Range range, ExecStats* stats,
+                     position::Range scan_range)
     : input_(nullptr),
       range_(range),
       stats_(stats),
-      total_(reader->num_values()) {}
+      cursor_(reader, kChunkPositions, scan_range) {}
 
 IndexScan::IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
                      position::Range range, ExecStats* stats)
-    : input_(input),
-      range_(range),
-      stats_(stats),
-      total_(reader->num_values()) {}
+    : input_(input), range_(range), stats_(stats), cursor_(reader) {}
 
 Result<bool> IndexScan::Next(MultiColumnChunk* out) {
   if (input_ == nullptr) {
-    if (begin_ >= total_) return false;
-    Position wb = begin_;
-    Position we = std::min(begin_ + kChunkPositions, total_);
+    if (cursor_.done()) return false;
+    Position wb = cursor_.begin();
+    Position we = cursor_.end();
     position::RangeSet rs;
     rs.Append(std::max(range_.begin, wb), std::min(range_.end, we));
     out->begin = wb;
     out->end = we;
     out->desc = position::PositionSet::FromRanges(wb, we, std::move(rs));
     out->minis.clear();
-    begin_ += kChunkPositions;
+    cursor_.Advance();
     return true;
   }
 
@@ -219,8 +218,11 @@ Result<bool> DS1PipelinedScan::Next(MultiColumnChunk* out) {
 // ---------------------------------------------------------------------------
 
 DS2Scan::DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
-                 ExecStats* stats)
-    : reader_(reader), pred_(pred), stats_(stats), cursor_(reader) {}
+                 ExecStats* stats, position::Range scan_range)
+    : reader_(reader),
+      pred_(pred),
+      stats_(stats),
+      cursor_(reader, kChunkPositions, scan_range) {}
 
 Result<bool> DS2Scan::Next(TupleChunk* out) {
   if (cursor_.done()) return false;
@@ -300,10 +302,11 @@ Result<bool> DS4ScanMerge::Next(TupleChunk* out) {
 // SpcScan
 // ---------------------------------------------------------------------------
 
-SpcScan::SpcScan(std::vector<Input> inputs, ExecStats* stats)
+SpcScan::SpcScan(std::vector<Input> inputs, ExecStats* stats,
+                 position::Range scan_range)
     : inputs_(std::move(inputs)),
       stats_(stats),
-      cursor_(inputs_.front().reader) {
+      cursor_(inputs_.front().reader, kChunkPositions, scan_range) {
   scratch_.resize(inputs_.size());
 #ifndef NDEBUG
   for (const Input& in : inputs_) {

@@ -30,11 +30,13 @@ namespace exec {
 /// DS Case 1: scans a column, applying a predicate, producing one
 /// position-descriptor chunk per window. When `attach_mini` is set the
 /// scanned blocks are attached as a mini-column so downstream operators can
-/// re-access the column for free.
+/// re-access the column for free. `scan_range` restricts the scan to a
+/// morsel of the position space (kChunkPositions-aligned begin).
 class DS1Scan : public MultiColumnOp {
  public:
   DS1Scan(const codec::ColumnReader* reader, ColumnId column,
-          codec::Predicate pred, bool attach_mini, ExecStats* stats);
+          codec::Predicate pred, bool attach_mini, ExecStats* stats,
+          position::Range scan_range = kFullScanRange);
 
   Result<bool> Next(MultiColumnChunk* out) override;
 
@@ -55,9 +57,9 @@ class DS1Scan : public MultiColumnOp {
 /// with the range (pipelined form).
 class IndexScan : public MultiColumnOp {
  public:
-  /// Leaf form.
+  /// Leaf form. `scan_range` restricts the emitted windows to a morsel.
   IndexScan(const codec::ColumnReader* reader, position::Range range,
-            ExecStats* stats);
+            ExecStats* stats, position::Range scan_range = kFullScanRange);
   /// Pipelined form: refines `input`'s descriptors.
   IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
             position::Range range, ExecStats* stats);
@@ -68,8 +70,7 @@ class IndexScan : public MultiColumnOp {
   MultiColumnOp* input_;
   position::Range range_;
   ExecStats* stats_;
-  Position total_;
-  Position begin_ = 0;
+  WindowCursor cursor_;  // leaf form only (never fetches blocks)
 };
 
 /// LM-pipelined second stage: consumes position chunks, fetches only the
@@ -98,7 +99,7 @@ class DS1PipelinedScan : public MultiColumnOp {
 class DS2Scan : public TupleOp {
  public:
   DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
-          ExecStats* stats);
+          ExecStats* stats, position::Range scan_range = kFullScanRange);
 
   Result<bool> Next(TupleChunk* out) override;
 
@@ -149,7 +150,8 @@ class SpcScan : public TupleOp {
     codec::Predicate pred;
   };
 
-  SpcScan(std::vector<Input> inputs, ExecStats* stats);
+  SpcScan(std::vector<Input> inputs, ExecStats* stats,
+          position::Range scan_range = kFullScanRange);
 
   Result<bool> Next(TupleChunk* out) override;
 

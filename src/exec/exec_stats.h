@@ -25,6 +25,17 @@ struct ExecStats {
   uint64_t position_ands = 0;
 
   void Reset() { *this = ExecStats(); }
+
+  /// Folds another worker's counters into this one (all counters are sums,
+  /// so per-worker stats merge associatively in any order).
+  void Merge(const ExecStats& o) {
+    blocks_fetched += o.blocks_fetched;
+    blocks_skipped += o.blocks_skipped;
+    predicate_evals += o.predicate_evals;
+    values_gathered += o.values_gathered;
+    tuples_constructed += o.tuples_constructed;
+    position_ands += o.position_ands;
+  }
 };
 
 }  // namespace exec

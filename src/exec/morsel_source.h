@@ -1,0 +1,77 @@
+// MorselSource: lock-free work distribution for morsel-driven parallel
+// scans. The column's position space [0, total) is partitioned into fixed
+// morsels whose size is a multiple of kChunkPositions, so every worker's
+// chunk windows coincide exactly with the windows a serial scan would emit —
+// per-window operator output (and therefore the order-independent result
+// checksum) is bit-identical regardless of worker count.
+//
+// Workers call Next() until it returns false; claiming is a single
+// fetch_add, so morsels are handed out dynamically (fast workers take more),
+// which is the load-balancing property morsel-driven schedulers are built
+// for.
+
+#ifndef CSTORE_EXEC_MORSEL_SOURCE_H_
+#define CSTORE_EXEC_MORSEL_SOURCE_H_
+
+#include <algorithm>
+#include <atomic>
+
+#include "position/range_set.h"
+#include "util/common.h"
+
+namespace cstore {
+namespace exec {
+
+/// Scan-range value meaning "the whole column" (the end is clamped to the
+/// column length by whoever consumes the range).
+inline constexpr position::Range kFullScanRange{0, kInvalidPosition};
+
+/// Default morsel size: 16 chunk windows (= 1 M positions). Small enough to
+/// balance load across workers, large enough that per-morsel plan
+/// instantiation is noise.
+inline constexpr Position kDefaultMorselPositions = 16 * kChunkPositions;
+
+class MorselSource {
+ public:
+  /// Partitions [0, total). `morsel_positions` is rounded up to a multiple
+  /// of kChunkPositions (and to at least one window).
+  MorselSource(Position total,
+               Position morsel_positions = kDefaultMorselPositions)
+      : total_(total), morsel_(AlignToChunks(morsel_positions)) {}
+
+  /// Claims the next morsel. Returns false when the position space is
+  /// exhausted or the source has been cancelled.
+  bool Next(position::Range* out) {
+    if (cancelled_.load(std::memory_order_relaxed)) return false;
+    Position begin = next_.fetch_add(morsel_, std::memory_order_relaxed);
+    if (begin >= total_) return false;
+    out->begin = begin;
+    out->end = std::min(begin + morsel_, total_);
+    return true;
+  }
+
+  /// Makes all subsequent Next() calls return false (error propagation:
+  /// the first failing worker cancels the scan).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  Position morsel_positions() const { return morsel_; }
+  uint64_t num_morsels() const {
+    return total_ == 0 ? 0 : (total_ + morsel_ - 1) / morsel_;
+  }
+
+  static Position AlignToChunks(Position n) {
+    if (n < kChunkPositions) return kChunkPositions;
+    return (n + kChunkPositions - 1) / kChunkPositions * kChunkPositions;
+  }
+
+ private:
+  const Position total_;
+  const Position morsel_;
+  std::atomic<Position> next_{0};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace exec
+}  // namespace cstore
+
+#endif  // CSTORE_EXEC_MORSEL_SOURCE_H_

@@ -2,14 +2,22 @@
 // fetching (through the buffer pool) the blocks that overlap each window.
 // All position-producing operators share this discipline so their chunks
 // align.
+//
+// A cursor may be restricted to a sub-range of the position space (a
+// morsel). The restriction must start on a window boundary so that a
+// restricted cursor visits exactly the windows the full scan would — this is
+// what makes morsel-parallel runs chunk-identical to serial ones.
 
 #ifndef CSTORE_EXEC_WINDOW_CURSOR_H_
 #define CSTORE_EXEC_WINDOW_CURSOR_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "codec/column_reader.h"
+#include "exec/morsel_source.h"
+#include "position/range_set.h"
 #include "util/common.h"
 #include "util/status.h"
 
@@ -19,10 +27,15 @@ namespace exec {
 class WindowCursor {
  public:
   explicit WindowCursor(const codec::ColumnReader* reader,
-                        Position window_positions = kChunkPositions)
+                        Position window_positions = kChunkPositions,
+                        position::Range scan_range = kFullScanRange)
       : reader_(reader),
         window_(window_positions),
-        total_(reader->num_values()) {}
+        total_(std::min<Position>(scan_range.end, reader->num_values())),
+        begin_(std::min<Position>(scan_range.begin, total_)) {
+    CSTORE_DCHECK(begin_ % window_ == 0)
+        << "scan range must start on a window boundary";
+  }
 
   bool done() const { return begin_ >= total_; }
   Position begin() const { return begin_; }

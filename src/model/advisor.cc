@@ -9,7 +9,7 @@ namespace model {
 namespace {
 
 std::string DescribeInput(const SelectionModelInput& in) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "inputs: col1{%s, |C|=%.0f, ||C||=%.0f, RL=%.1f, sf=%.3f, "
                 "%s} col2{%s, |C|=%.0f, RL=%.1f, sf=%.3f}\n",
@@ -18,7 +18,14 @@ std::string DescribeInput(const SelectionModelInput& in) {
                 in.col1_clustered ? "clustered" : "unclustered",
                 codec::EncodingName(in.col2.encoding), in.col2.num_blocks,
                 in.col2.run_length, in.sf2);
-  return buf;
+  std::string out = buf;
+  if (in.num_workers > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "parallel: %d morsel workers (cpu x%.3f, io unchanged)\n",
+                  in.num_workers, ParallelCpuFactor(in.num_workers));
+    out += buf;
+  }
+  return out;
 }
 
 std::string FormatRanking(const std::vector<StrategyPrediction>& ranked) {

@@ -119,8 +119,23 @@ Cost SpcCost(const std::vector<ColumnStats>& cols,
   return c;
 }
 
-Cost PredictSelection(plan::Strategy strategy,
-                      const SelectionModelInput& in, const CostParams& p) {
+double ParallelCpuFactor(int workers) {
+  if (workers <= 1) return 1.0;
+  // Linear speedup on work that is 2% per-extra-worker heavier from
+  // coordination (morsel claiming, stats and accumulator merges). Keeps
+  // EXPLAIN honest: 4 workers predict ~3.8x, not 4x — and the factor is
+  // monotonically decreasing, so more workers never predict more CPU time.
+  const double w = static_cast<double>(workers);
+  return (1.0 + 0.02 * (w - 1.0)) / w;
+}
+
+namespace {
+
+/// Serial (1-worker) selection prediction; the public entry point applies
+/// the parallel CPU discount exactly once on top of this.
+Cost PredictSelectionSerial(plan::Strategy strategy,
+                            const SelectionModelInput& in,
+                            const CostParams& p) {
   const double n = in.col1.num_tuples;
   const double matches1 = in.sf1 * n;
   const double num_out = in.sf1 * in.sf2 * n;
@@ -197,6 +212,15 @@ Cost PredictSelection(plan::Strategy strategy,
   return Cost{};
 }
 
+}  // namespace
+
+Cost PredictSelection(plan::Strategy strategy,
+                      const SelectionModelInput& in, const CostParams& p) {
+  Cost c = PredictSelectionSerial(strategy, in, p);
+  c.cpu *= ParallelCpuFactor(in.num_workers);
+  return c;
+}
+
 Cost PredictAggregation(plan::Strategy strategy,
                         const SelectionModelInput& in, double groups,
                         const CostParams& p) {
@@ -209,14 +233,16 @@ Cost PredictAggregation(plan::Strategy strategy,
     // EM: the selection plan runs unchanged; the aggregator's input
     // iteration replaces the output iteration (same per-tuple cost), plus a
     // hash update per input tuple and the (small) group-result iteration.
-    Cost sel = PredictSelection(strategy, in, p);
+    Cost sel = PredictSelectionSerial(strategy, in, p);
     sel.cpu += num_out * p.fc;  // hash add per consumed tuple
-    return sel + group_iter;
+    Cost total = sel + group_iter;
+    total.cpu *= ParallelCpuFactor(in.num_workers);
+    return total;
   }
 
   // LM: position stream as in selection, but the aggregator replaces
   // DS3 + Merge + output iteration, operating directly on compressed data.
-  Cost sel = PredictSelection(strategy, in, p);
+  Cost sel = PredictSelectionSerial(strategy, in, p);
   const double matches1 = in.sf1 * n;
   double rl_out = PositionRunLength(in.sf2, num_out,
                                     in.col1_clustered && in.sf2 >= 1.0);
@@ -242,7 +268,9 @@ Cost PredictAggregation(plan::Strategy strategy,
     // Gather both columns (per-range extraction) + hash add per row.
     agg.cpu = ds3_1.cpu + ds3_2.cpu + num_out * 2 * p.fc;
   }
-  return sel + agg + group_iter;
+  Cost total = sel + agg + group_iter;
+  total.cpu *= ParallelCpuFactor(in.num_workers);
+  return total;
 }
 
 }  // namespace model

@@ -83,7 +83,18 @@ struct SelectionModelInput {
   // on a sort key), letting ranged position lists represent them and
   // pipelined plans touch only matching blocks of col2.
   bool col1_clustered = true;
+  // Morsel workers the plan will run with. The model discounts the CPU
+  // component by the parallel efficiency (ParallelCpuFactor); the I/O
+  // component is unchanged — workers share one buffer pool and one
+  // (simulated) disk.
+  int num_workers = 1;
 };
+
+/// Fraction of serial CPU time a `workers`-way morsel run is charged:
+/// an idealized linear speedup plus a small per-worker coordination tax
+/// (morsel claiming, stats/accumulator merging), so adding workers is never
+/// modelled as free. 1.0 for workers <= 1.
+double ParallelCpuFactor(int workers);
 
 /// Predicted end-to-end cost (including the final output-tuple iteration,
 /// numOutTuples * TIC_TUP, which both the paper's model and experiments

@@ -5,11 +5,6 @@
 namespace cstore {
 namespace plan {
 
-namespace {
-
-// Mixes one tuple into an order-independent digest: tuples are hashed
-// individually (position-insensitive) and combined with addition so that
-// strategies emitting identical bags in different chunkings agree.
 uint64_t TupleDigest(const exec::TupleChunk& chunk, size_t i) {
   uint64_t h = 0x9e3779b97f4a7c15ULL;
   const Value* row = chunk.tuple(i);
@@ -22,7 +17,11 @@ uint64_t TupleDigest(const exec::TupleChunk& chunk, size_t i) {
   return h;
 }
 
-}  // namespace
+uint64_t ChunkDigest(const exec::TupleChunk& chunk) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < chunk.num_tuples(); ++i) sum += TupleDigest(chunk, i);
+  return sum;
+}
 
 Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
                    const std::function<void(const exec::TupleChunk&)>& sink) {

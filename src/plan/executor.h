@@ -32,6 +32,15 @@ struct RunStats {
   double TotalMillis() const { return TotalMicros() / 1000.0; }
 };
 
+/// Mixes tuple `i` of `chunk` into an order-independent digest: tuples are
+/// hashed individually (position-insensitive) and combined with wrapping
+/// addition, so strategies — and parallel workers — emitting identical bags
+/// in different chunkings/orders agree.
+uint64_t TupleDigest(const exec::TupleChunk& chunk, size_t i);
+
+/// Sum of TupleDigest over every tuple in `chunk`.
+uint64_t ChunkDigest(const exec::TupleChunk& chunk);
+
 /// Runs `plan` to completion. If `sink` is provided it is invoked for every
 /// output chunk (after the checksum walk).
 Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,

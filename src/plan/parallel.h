@@ -1,0 +1,86 @@
+// Morsel-driven parallel plan execution.
+//
+// A PlanTemplate is the reusable description of a query (query shape +
+// strategy + config); a *plan instance* is one operator tree built from the
+// template by the existing BuildSelectionPlan/BuildAggPlan/BuildJoinPlan
+// factories, restricted to one morsel of the position space. ExecuteParallel
+// runs `config.num_workers` workers that repeatedly claim morsels from a
+// shared MorselSource, instantiate and drain a plan per morsel, and merge
+// the results:
+//
+//   * counters       — summed (ExecStats::Merge, order-independent)
+//   * checksum       — wrapping addition of per-tuple digests, so the merged
+//                      digest is bit-identical to a serial run's
+//   * output tuples  — streamed to the sink under a lock (bag semantics:
+//                      chunk *order* across workers is not deterministic)
+//   * aggregations   — per-morsel partial GroupAccumulators are merged and
+//                      final groups emitted once, exactly as a serial
+//                      aggregation over the same rows would
+//   * I/O stats      — snapshotted around the whole run from the (atomic)
+//                      buffer-pool counters
+//
+// num_workers == 1 bypasses all of this and runs the classic serial pull
+// executor over the full position space — bit-identical to the
+// pre-parallel-refactor engine, including chunk order. Joins always take
+// the serial path (the hash join materializes its own inner table and is
+// not position-partitionable yet).
+
+#ifndef CSTORE_PLAN_PARALLEL_H_
+#define CSTORE_PLAN_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "plan/query.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace plan {
+
+/// Reusable query description: everything needed to build one plan instance
+/// per morsel. Column readers are borrowed (not owned) just as in the
+/// query structs themselves.
+struct PlanTemplate {
+  enum class Kind { kSelection, kAgg, kJoin };
+
+  Kind kind = Kind::kSelection;
+  SelectionQuery selection;  // kSelection
+  AggQuery agg;              // kAgg
+  JoinQuery join;            // kJoin
+  exec::JoinRightMode join_mode = exec::JoinRightMode::kMaterialized;
+  Strategy strategy = Strategy::kLmParallel;
+  PlanConfig config;
+
+  static PlanTemplate Selection(SelectionQuery query, Strategy strategy,
+                                PlanConfig config = {});
+  static PlanTemplate Agg(AggQuery query, Strategy strategy,
+                          PlanConfig config = {});
+  static PlanTemplate Join(JoinQuery query, exec::JoinRightMode mode,
+                           PlanConfig config = {});
+
+  /// Size of the position space morsels partition (the scanned projection's
+  /// row count). 0 for joins.
+  Position TotalPositions() const;
+
+  /// Builds one plan instance restricted to `morsel` (which must be
+  /// kChunkPositions-aligned at its begin, per MorselSource).
+  Result<std::unique_ptr<Plan>> Instantiate(position::Range morsel) const;
+};
+
+/// Runs the templated query with `template.config.num_workers` workers and
+/// fills `stats` with the merged RunStats. `sink` (optional) receives every
+/// output chunk; with multiple workers it is serialized by a lock but the
+/// chunk arrival order is unspecified. For aggregations the sink receives
+/// exactly one chunk: the final merged groups.
+Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
+                       RunStats* stats,
+                       const std::function<void(const exec::TupleChunk&)>&
+                           sink = nullptr);
+
+}  // namespace plan
+}  // namespace cstore
+
+#endif  // CSTORE_PLAN_PARALLEL_H_

@@ -50,10 +50,11 @@ Result<exec::MultiColumnOp*> BuildLatePositionStream(
         CSTORE_ASSIGN_OR_RETURN(position::Range range,
                                 col.reader->PositionRangeFor(col.pred));
         scans.push_back(plan->Own(std::make_unique<exec::IndexScan>(
-            col.reader, range, &plan->stats())));
+            col.reader, range, &plan->stats(), config.scan_range)));
       } else {
         scans.push_back(plan->Own(std::make_unique<exec::DS1Scan>(
-            col.reader, c, col.pred, attach, &plan->stats())));
+            col.reader, c, col.pred, attach, &plan->stats(),
+            config.scan_range)));
       }
     }
     if (scans.size() == 1) return scans[0];
@@ -81,11 +82,11 @@ Result<exec::MultiColumnOp*> BuildLatePositionStream(
         position::Range range,
         query.columns[0].reader->PositionRangeFor(query.columns[0].pred));
     stream = plan->Own(std::make_unique<exec::IndexScan>(
-        query.columns[0].reader, range, &plan->stats()));
+        query.columns[0].reader, range, &plan->stats(), config.scan_range));
   } else {
     stream = plan->Own(std::make_unique<exec::DS1Scan>(
         query.columns[0].reader, 0, query.columns[0].pred, attach,
-        &plan->stats()));
+        &plan->stats(), config.scan_range));
   }
   for (uint32_t c = 1; c < query.columns.size(); ++c) {
     const auto& col = query.columns[c];
@@ -103,20 +104,24 @@ Result<exec::MultiColumnOp*> BuildLatePositionStream(
 }
 
 Result<exec::TupleOp*> BuildEarlyTupleStream(const SelectionQuery& query,
-                                             Strategy strategy, Plan* plan) {
+                                             Strategy strategy,
+                                             const PlanConfig& config,
+                                             Plan* plan) {
   if (strategy == Strategy::kEmParallel) {
     std::vector<exec::SpcScan::Input> inputs;
     inputs.reserve(query.columns.size());
     for (const auto& col : query.columns) {
       inputs.push_back(exec::SpcScan::Input{col.reader, col.pred});
     }
-    return static_cast<exec::TupleOp*>(plan->Own(
-        std::make_unique<exec::SpcScan>(std::move(inputs), &plan->stats())));
+    return static_cast<exec::TupleOp*>(
+        plan->Own(std::make_unique<exec::SpcScan>(
+            std::move(inputs), &plan->stats(), config.scan_range)));
   }
 
   CSTORE_CHECK(strategy == Strategy::kEmPipelined);
   exec::TupleOp* stream = plan->Own(std::make_unique<exec::DS2Scan>(
-      query.columns[0].reader, query.columns[0].pred, &plan->stats()));
+      query.columns[0].reader, query.columns[0].pred, &plan->stats(),
+      config.scan_range));
   for (uint32_t c = 1; c < query.columns.size(); ++c) {
     stream = plan->Own(std::make_unique<exec::DS4ScanMerge>(
         stream, query.columns[c].reader, query.columns[c].pred,
@@ -145,9 +150,9 @@ Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
     plan->SetRoot(plan->Own(std::make_unique<exec::MergeOp>(
         stream, std::move(outs), &plan->stats())));
   } else {
-    CSTORE_ASSIGN_OR_RETURN(exec::TupleOp * stream,
-                            BuildEarlyTupleStream(query, strategy,
-                                                  plan.get()));
+    CSTORE_ASSIGN_OR_RETURN(
+        exec::TupleOp * stream,
+        BuildEarlyTupleStream(query, strategy, config, plan.get()));
     plan->SetRoot(stream);
   }
   return plan;
@@ -175,15 +180,19 @@ Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
     exec::LateAggOp::ColumnSource group{gidx, cols[gidx].reader};
     exec::LateAggOp::ColumnSource agg{query.agg_index,
                                       cols[query.agg_index].reader};
-    plan->SetRoot(plan->Own(std::make_unique<exec::LateAggOp>(
-        stream, group, agg, query.func, query.global, &plan->stats())));
+    exec::LateAggOp* root = plan->Own(std::make_unique<exec::LateAggOp>(
+        stream, group, agg, query.func, query.global, &plan->stats()));
+    plan->SetRoot(root);
+    plan->SetAggOp(root);
   } else {
     CSTORE_ASSIGN_OR_RETURN(
         exec::TupleOp * stream,
-        BuildEarlyTupleStream(query.selection, strategy, plan.get()));
-    plan->SetRoot(plan->Own(std::make_unique<exec::HashAggOp>(
+        BuildEarlyTupleStream(query.selection, strategy, config, plan.get()));
+    exec::HashAggOp* root = plan->Own(std::make_unique<exec::HashAggOp>(
         stream, query.global ? query.agg_index : query.group_index,
-        query.agg_index, query.func, query.global, &plan->stats())));
+        query.agg_index, query.func, query.global, &plan->stats()));
+    plan->SetRoot(root);
+    plan->SetAggOp(root);
   }
   return plan;
 }

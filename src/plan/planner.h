@@ -36,10 +36,18 @@ class Plan {
 
   void SetRoot(exec::TupleOp* root) { root_ = root; }
 
+  /// For aggregation plans: the root aggregate operator, so the parallel
+  /// executor can merge per-morsel partial accumulators (and suppress the
+  /// per-instance final emit) instead of treating the root's emitted tuples
+  /// as final. Null for other plans.
+  void SetAggOp(exec::GroupAggOp* op) { agg_op_ = op; }
+  exec::GroupAggOp* agg_op() const { return agg_op_; }
+
  private:
   std::vector<std::unique_ptr<exec::MultiColumnOp>> mc_ops_;
   std::vector<std::unique_ptr<exec::TupleOp>> tuple_ops_;
   exec::TupleOp* root_ = nullptr;
+  exec::GroupAggOp* agg_op_ = nullptr;
   exec::ExecStats stats_;
 };
 

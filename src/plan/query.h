@@ -10,6 +10,8 @@
 #include "codec/predicate.h"
 #include "exec/aggregate.h"
 #include "exec/join.h"
+#include "exec/morsel_source.h"
+#include "position/range_set.h"
 
 namespace cstore {
 namespace plan {
@@ -57,6 +59,21 @@ struct PlanConfig {
   // predicate is a value range (Section 2.1.1: "the original column values
   // never have to be accessed"). LM plans only.
   bool use_sorted_index = true;
+
+  // --- Morsel-driven parallel execution -----------------------------------
+  // Worker threads used by ExecuteParallel. 1 runs the classic serial pull
+  // loop (bit-identical to the pre-parallel executor); joins always run
+  // serially. Values > 1 split the scan into morsels executed by a pool of
+  // threads; result *bags* (output_tuples, checksum, aggregate groups) are
+  // identical for every worker count, but selection chunk order is not.
+  int num_workers = 1;
+  // Positions per morsel; rounded up to a multiple of kChunkPositions so
+  // worker-local chunk windows coincide with the serial executor's.
+  Position morsel_positions = exec::kDefaultMorselPositions;
+  // Scan restriction [begin, end) used internally by the parallel executor
+  // to hand one morsel to one plan instance. `begin` must be
+  // kChunkPositions-aligned; the default covers the whole column.
+  position::Range scan_range = exec::kFullScanRange;
 };
 
 }  // namespace plan

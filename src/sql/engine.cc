@@ -277,10 +277,12 @@ const model::CostParams& Engine::Params() {
   return *params_;
 }
 
-model::SelectionModelInput Engine::ModelInputFor(const BoundQuery& bound) {
+model::SelectionModelInput Engine::ModelInputFor(const BoundQuery& bound,
+                                                 int num_workers) {
   const plan::SelectionQuery& sel =
       bound.is_aggregate ? bound.agg.selection : bound.selection;
   model::SelectionModelInput input;
+  input.num_workers = num_workers;
   input.col1 = model::ColumnStats::FromMeta(sel.columns[0].reader->meta());
   input.sf1 =
       EstimateSelectivity(sel.columns[0].reader->meta(), sel.columns[0].pred);
@@ -306,7 +308,8 @@ double Engine::GroupEstimateFor(const BoundQuery& bound) {
                                                     gmeta.min_value + 1));
 }
 
-Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound) {
+Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound,
+                                              int num_workers) {
   const plan::SelectionQuery& sel =
       bound.is_aggregate ? bound.agg.selection : bound.selection;
   if (sel.columns.size() == 1 && !bound.is_aggregate) {
@@ -314,7 +317,7 @@ Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound) {
     // constructing non-matching tuples.
     return plan::Strategy::kLmParallel;
   }
-  model::SelectionModelInput input = ModelInputFor(bound);
+  model::SelectionModelInput input = ModelInputFor(bound, num_workers);
   model::Advisor advisor(Params());
   if (bound.is_aggregate) {
     return advisor.ChooseAggregation(input, GroupEstimateFor(bound));
@@ -322,10 +325,10 @@ Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound) {
   return advisor.ChooseSelection(input);
 }
 
-Result<std::string> Engine::Explain(const std::string& sql) {
+Result<std::string> Engine::Explain(const std::string& sql, int num_workers) {
   CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
   CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
-  model::SelectionModelInput input = ModelInputFor(bound);
+  model::SelectionModelInput input = ModelInputFor(bound, num_workers);
   model::Advisor advisor(Params());
   if (bound.is_aggregate) {
     return advisor.ExplainAggregation(input, GroupEstimateFor(bound));
@@ -334,7 +337,8 @@ Result<std::string> Engine::Explain(const std::string& sql) {
 }
 
 Result<SqlResult> Engine::Execute(const std::string& sql,
-                                  std::optional<plan::Strategy> strategy) {
+                                  std::optional<plan::Strategy> strategy,
+                                  int num_workers) {
   CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
   CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
 
@@ -342,12 +346,14 @@ Result<SqlResult> Engine::Execute(const std::string& sql,
   if (strategy.has_value()) {
     chosen = *strategy;
   } else {
-    CSTORE_ASSIGN_OR_RETURN(chosen, ChooseStrategy(bound));
+    CSTORE_ASSIGN_OR_RETURN(chosen, ChooseStrategy(bound, num_workers));
   }
 
+  plan::PlanConfig config;
+  config.num_workers = num_workers;
   Result<db::QueryResult> result =
-      bound.is_aggregate ? db_->RunAgg(bound.agg, chosen)
-                         : db_->RunSelection(bound.selection, chosen);
+      bound.is_aggregate ? db_->RunAgg(bound.agg, chosen, config)
+                         : db_->RunSelection(bound.selection, chosen, config);
   CSTORE_RETURN_IF_ERROR(result.status());
 
   SqlResult out;

@@ -35,9 +35,12 @@ class Engine {
   /// Executes `sql`. When `strategy` is not given, the engine estimates
   /// predicate selectivities from column statistics (uniform-distribution
   /// interpolation over [min, max]) and lets the model-based Advisor choose.
+  /// `num_workers > 1` runs the plan morsel-parallel; result bags are
+  /// worker-count independent but selection row order is not.
   Result<SqlResult> Execute(
       const std::string& sql,
-      std::optional<plan::Strategy> strategy = std::nullopt);
+      std::optional<plan::Strategy> strategy = std::nullopt,
+      int num_workers = 1);
 
   /// Statistics-based selectivity estimate for a bound predicate (exposed
   /// for tests).
@@ -45,8 +48,9 @@ class Engine {
                                     const codec::Predicate& pred);
 
   /// EXPLAIN: the advisor's per-strategy cost report for `sql`, without
-  /// executing it.
-  Result<std::string> Explain(const std::string& sql);
+  /// executing it. `num_workers` applies the model's parallel CPU discount
+  /// so the report matches how Execute(sql, ..., num_workers) would run.
+  Result<std::string> Explain(const std::string& sql, int num_workers = 1);
 
  private:
   struct BoundQuery {
@@ -61,8 +65,10 @@ class Engine {
   };
 
   Result<BoundQuery> Bind(const ParsedQuery& q);
-  Result<plan::Strategy> ChooseStrategy(const BoundQuery& bound);
-  model::SelectionModelInput ModelInputFor(const BoundQuery& bound);
+  Result<plan::Strategy> ChooseStrategy(const BoundQuery& bound,
+                                        int num_workers);
+  model::SelectionModelInput ModelInputFor(const BoundQuery& bound,
+                                           int num_workers);
   double GroupEstimateFor(const BoundQuery& bound);
   const model::CostParams& Params();
 

@@ -53,6 +53,25 @@ BufferPool::BufferPool(FileManager* files, size_t capacity_frames,
   }
 }
 
+IoStats BufferPool::stats() const {
+  IoStats out;
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.physical_reads = stats_.physical_reads.load(std::memory_order_relaxed);
+  out.seeks = stats_.seeks.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.charged_io_micros =
+      stats_.charged_io_micros.load(std::memory_order_relaxed);
+  return out;
+}
+
+void BufferPool::ResetStats() {
+  stats_.cache_hits.store(0, std::memory_order_relaxed);
+  stats_.physical_reads.store(0, std::memory_order_relaxed);
+  stats_.seeks.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.charged_io_micros.store(0.0, std::memory_order_relaxed);
+}
+
 void BufferPool::Pin(uint32_t frame) {
   Frame& f = frames_[frame];
   if (f.pin_count == 0 && f.lru_it != lru_.end()) {
@@ -63,6 +82,7 @@ void BufferPool::Pin(uint32_t frame) {
 }
 
 void BufferPool::Unpin(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame];
   CSTORE_DCHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
@@ -89,50 +109,88 @@ Result<uint32_t> BufferPool::GetFreeFrame() {
   if (f.valid) {
     map_.erase(Key{f.file.id, f.block_no});
     f.valid = false;
-    ++stats_.evictions;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   return victim;
 }
 
 Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
+  std::unique_lock<std::mutex> lock(mutex_);
   Key key{file.id, block_no};
   auto it = map_.find(key);
   if (it != map_.end()) {
-    ++stats_.cache_hits;
-    Pin(it->second);
-    return PageRef(this, it->second);
+    uint32_t frame = it->second;
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    Pin(frame);
+    // Another worker is still reading this block; wait until its payload is
+    // complete. The pin taken above keeps the frame from being evicted.
+    loaded_cv_.wait(lock, [&] { return !frames_[frame].loading; });
+    if (!frames_[frame].valid) {
+      // The loader failed and withdrew the block; retry from scratch.
+      lock.unlock();
+      Unpin(frame);
+      return Fetch(file, block_no);
+    }
+    return PageRef(this, frame);
   }
 
   CSTORE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
   Frame& f = frames_[frame];
-  Status st = files_->ReadBlock(file, block_no, &f.page);
-  if (!st.ok()) {
-    free_frames_.push_back(frame);
-    return st;
-  }
-
-  ++stats_.physical_reads;
-  bool sequential = false;
-  auto last_it = last_read_block_.find(file.id);
-  if (last_it != last_read_block_.end() && last_it->second + 1 == block_no) {
-    sequential = true;
-  }
-  if (!sequential) ++stats_.seeks;
-  last_read_block_[file.id] = block_no;
-  if (disk_model_ != nullptr) {
-    stats_.charged_io_micros += disk_model_->CostForRead(sequential);
-  }
-
   f.file = file;
   f.block_no = block_no;
-  f.valid = true;
+  f.valid = false;
+  f.loading = true;
   f.pin_count = 0;
   map_[key] = frame;
   Pin(frame);
+
+  // Account the read while still ordered by the lock. A read is sequential
+  // when it continues any active stream of this file (its own worker's
+  // previous claim + 1); otherwise it starts a new stream and is a seek.
+  stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint64_t>& streams = next_sequential_[file.id];
+  bool sequential = false;
+  for (uint64_t& next : streams) {
+    if (next == block_no) {
+      next = block_no + 1;
+      sequential = true;
+      break;
+    }
+  }
+  if (!sequential) {
+    stats_.seeks.fetch_add(1, std::memory_order_relaxed);
+    streams.push_back(block_no + 1);
+    if (streams.size() > kMaxSeekStreams) streams.erase(streams.begin());
+  }
+  if (disk_model_ != nullptr) {
+    stats_.AddChargedMicros(disk_model_->CostForRead(sequential));
+  }
+
+  // The actual file read runs without the pool lock so concurrent workers
+  // overlap their I/O. The pinned+loading frame cannot be evicted or
+  // re-claimed meanwhile.
+  lock.unlock();
+  Status st = files_->ReadBlock(file, block_no, &f.page);
+  lock.lock();
+
+  f.loading = false;
+  if (!st.ok()) {
+    // Withdraw the block: waiters see valid == false and retry.
+    map_.erase(key);
+    CSTORE_DCHECK(f.pin_count > 0);
+    if (--f.pin_count == 0) {
+      free_frames_.push_back(frame);
+    }
+    loaded_cv_.notify_all();
+    return st;
+  }
+  f.valid = true;
+  loaded_cv_.notify_all();
   return PageRef(this, frame);
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     CSTORE_CHECK(f.pin_count == 0) << "Clear() with pinned pages";
@@ -150,13 +208,14 @@ void BufferPool::Clear() {
   std::sort(free_frames_.begin(), free_frames_.end());
   free_frames_.erase(std::unique(free_frames_.begin(), free_frames_.end()),
                      free_frames_.end());
-  last_read_block_.clear();
+  next_sequential_.clear();
   CSTORE_CHECK(map_.empty());
 }
 
 double BufferPool::ResidentFraction(FileId file,
                                     uint64_t total_blocks) const {
   if (total_blocks == 0) return 1.0;
+  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t resident = 0;
   for (const auto& [key, frame] : map_) {
     if (key.file == file.id) ++resident;

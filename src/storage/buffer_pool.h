@@ -7,12 +7,25 @@
 // the re-access I/O-free (Section 2.2). The pool records hits, physical
 // reads and seeks so that experiments can verify this behaviour, and charges
 // the DiskModel for cold reads.
+//
+// Thread safety: Fetch / PageRef release / Clear may be called concurrently
+// from morsel workers. A single mutex guards the frame table, LRU list and
+// block map; statistics counters are atomics so stats() snapshots without
+// taking the lock. Page payloads are read lock-free — frames_ never resizes
+// and a pinned frame cannot be evicted or overwritten. The physical file
+// read on a miss happens *outside* the mutex (the frame is pinned and
+// flagged `loading`; concurrent requesters of the same block wait on a
+// condition variable), so cold scans from multiple workers overlap their
+// I/O instead of serializing on the pool lock.
 
 #ifndef CSTORE_STORAGE_BUFFER_POOL_H_
 #define CSTORE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -68,11 +81,16 @@ class BufferPool {
   /// to measure cold-cache behaviour.
   void Clear();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Consistent-enough snapshot of the I/O counters (each counter is read
+  /// atomically; cross-counter skew is possible while scans are in flight).
+  IoStats stats() const;
+  void ResetStats();
 
   size_t capacity() const { return frames_.size(); }
-  size_t num_cached() const { return map_.size(); }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
 
   /// Fraction of `total_blocks` currently cached for `file` — the model's F.
   double ResidentFraction(FileId file, uint64_t total_blocks) const;
@@ -86,6 +104,9 @@ class BufferPool {
     uint64_t block_no = 0;
     uint32_t pin_count = 0;
     bool valid = false;
+    // A physical read is in flight (frame pinned, mutex released);
+    // same-block requesters wait on loaded_cv_.
+    bool loading = false;
     // Position in lru_ when unpinned; lru_.end() otherwise.
     std::list<uint32_t>::iterator lru_it;
   };
@@ -103,19 +124,43 @@ class BufferPool {
     }
   };
 
-  void Pin(uint32_t frame);
-  void Unpin(uint32_t frame);
-  Result<uint32_t> GetFreeFrame();
+  // Atomic mirror of IoStats; charged time uses a CAS loop (fetch_add on
+  // atomic<double> is C++20).
+  struct AtomicIoStats {
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> seeks{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<double> charged_io_micros{0.0};
+
+    void AddChargedMicros(double micros) {
+      double cur = charged_io_micros.load(std::memory_order_relaxed);
+      while (!charged_io_micros.compare_exchange_weak(
+          cur, cur + micros, std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  void Pin(uint32_t frame);    // requires mutex_ held
+  void Unpin(uint32_t frame);  // takes mutex_
+  Result<uint32_t> GetFreeFrame();  // requires mutex_ held
 
   FileManager* files_;
   const DiskModel* disk_model_;
+  mutable std::mutex mutex_;
+  std::condition_variable loaded_cv_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
   std::list<uint32_t> lru_;  // front = least recently used, unpinned only
   std::unordered_map<Key, uint32_t, KeyHash> map_;
-  // Last physically-read block per file, for seek detection.
-  std::unordered_map<uint32_t, uint64_t> last_read_block_;
-  IoStats stats_;
+  // Seek detection: the next block each active sequential stream of a file
+  // expects. Concurrent morsel workers each advance their own stream, so an
+  // interleaved parallel scan is charged the same seeks as its serial
+  // counterpart (one per stream start) rather than one per block. Bounded
+  // per file; oldest stream evicted beyond kMaxSeekStreams.
+  static constexpr size_t kMaxSeekStreams = 64;
+  std::unordered_map<uint32_t, std::vector<uint64_t>> next_sequential_;
+  AtomicIoStats stats_;
 };
 
 }  // namespace storage
