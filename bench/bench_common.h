@@ -13,6 +13,9 @@
 //                     (default "1"; e.g. --workers=1,2,4,8 makes
 //                     bench_fig11_selection print per-strategy scaling
 //                     curves)
+//   --concurrency=<list>  comma-separated in-flight query counts for
+//                     bench_throughput's mixed-workload batches (default
+//                     "8"; ignored by the figure benches)
 //
 // Output format: one whitespace-aligned table per figure panel with a
 // `# fig=...` header line, mirroring the paper's series.
@@ -41,7 +44,21 @@ struct BenchOptions {
   int runs = 1;
   // Morsel-worker counts to sweep; {1} = classic serial benchmarks.
   std::vector<int> worker_sweep = {1};
+  // Concurrent in-flight query counts (bench_throughput only).
+  std::vector<int> concurrency_sweep = {8};
 };
+
+inline std::vector<int> ParseIntList(const char* list) {
+  std::vector<int> out;
+  for (const char* p = list; *p != '\0';) {
+    int v = std::atoi(p);
+    if (v >= 1) out.push_back(v);
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return out;
+}
 
 inline BenchOptions ParseArgs(int argc, char** argv) {
   BenchOptions opts;
@@ -58,15 +75,11 @@ inline BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(a, "--runs=", 7) == 0) {
       opts.runs = std::max(1, std::atoi(a + 7));
     } else if (std::strncmp(a, "--workers=", 10) == 0) {
-      opts.worker_sweep.clear();
-      for (const char* p = a + 10; *p != '\0';) {
-        int w = std::atoi(p);
-        if (w >= 1) opts.worker_sweep.push_back(w);
-        const char* comma = std::strchr(p, ',');
-        if (comma == nullptr) break;
-        p = comma + 1;
-      }
+      opts.worker_sweep = ParseIntList(a + 10);
       if (opts.worker_sweep.empty()) opts.worker_sweep = {1};
+    } else if (std::strncmp(a, "--concurrency=", 14) == 0) {
+      opts.concurrency_sweep = ParseIntList(a + 14);
+      if (opts.concurrency_sweep.empty()) opts.concurrency_sweep = {8};
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", a);
     }

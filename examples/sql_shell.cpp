@@ -2,8 +2,9 @@
 // command line — the row-store-compatible interface the paper's
 // introduction demands of column stores, end to end.
 //
-//   build/examples/sql_shell                       # interactive REPL
-//   build/examples/sql_shell "SELECT ... FROM lineitem ..."
+//   build/sql_shell                                # interactive REPL
+//   build/sql_shell "SELECT ... FROM lineitem ..."
+//   build/sql_shell --script=queries.sql --pool=8  # concurrent batch
 //
 // Tables: lineitem(returnflag, shipdate, linenum, linenum_plain,
 //         linenum_bv, quantity), orders(custkey, shipdate),
@@ -13,15 +14,25 @@
 // with one of: em-pipelined:, em-parallel:, lm-pipelined:, lm-parallel:.
 // A 'workers=N:' prefix (combinable with a strategy prefix, in any order)
 // runs the plan morsel-parallel on N threads; EXPLAIN honours it too.
+//
+// Script mode launches every statement of the file (one per line; blank
+// lines and #-comments skipped; strategy prefixes honoured per line)
+// concurrently on one shared sched::Scheduler pool of --pool=N workers, and
+// prints per-statement latency plus batch throughput — the heavy-traffic
+// shape the scheduler exists for.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "sched/scheduler.h"
 #include "sql/engine.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
+#include "util/stopwatch.h"
 
 using namespace cstore;  // NOLINT
 
@@ -111,9 +122,86 @@ void RunOne(sql::Engine* engine, std::string sql) {
               r->stats.TotalMillis(), StrategyName(r->strategy), workers);
 }
 
+/// Script mode: submit every statement at once to one shared pool, then
+/// report results in statement order.
+int RunScript(sql::Engine* engine, const std::string& path,
+              int pool_workers) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open script '%s'\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> statements;
+  std::vector<std::optional<plan::Strategy>> strategies;
+  std::string line;
+  while (std::getline(file, line)) {
+    TrimLeading(&line);
+    if (line.empty() || line[0] == '#') continue;
+    std::optional<plan::Strategy> strategy = StripStrategyPrefix(&line);
+    TrimLeading(&line);
+    statements.push_back(line);
+    strategies.push_back(strategy);
+  }
+  if (statements.empty()) {
+    std::printf("(script is empty)\n");
+    return 0;
+  }
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = pool_workers;
+  sched::Scheduler scheduler(opts);
+  std::printf("launching %zu statements on a %d-worker pool ...\n",
+              statements.size(), scheduler.num_workers());
+
+  Stopwatch batch;
+  std::vector<sql::Engine::Pending> pendings;
+  pendings.reserve(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    // One SubmitAll per statement so each keeps its own strategy prefix;
+    // they all land in the same scheduler and interleave regardless.
+    std::vector<sql::Engine::Pending> one =
+        engine->SubmitAll({statements[i]}, &scheduler, strategies[i]);
+    pendings.push_back(std::move(one[0]));
+  }
+
+  int failures = 0;
+  for (size_t i = 0; i < pendings.size(); ++i) {
+    auto r = pendings[i].Wait();
+    if (!r.ok()) {
+      std::printf("[%zu] error: %s\n    %s\n", i,
+                  r.status().ToString().c_str(), statements[i].c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("[%zu] %llu rows  %8.1f ms  %-12s  %s\n", i,
+                static_cast<unsigned long long>(r->stats.output_tuples),
+                r->stats.wall_micros / 1000.0, StrategyName(r->strategy),
+                statements[i].c_str());
+  }
+  double wall_ms = batch.ElapsedMillis();
+  std::printf("-- batch: %zu statements in %.1f ms (%.1f qps), %d failed\n",
+              statements.size(), wall_ms,
+              statements.size() * 1000.0 / wall_ms, failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string script;
+  int pool_workers = 0;  // 0 = hardware concurrency
+  std::string one_shot;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--script=", 0) == 0) {
+      script = a.substr(9);
+    } else if (a.rfind("--pool=", 0) == 0) {
+      pool_workers = std::atoi(a.c_str() + 7);
+    } else {
+      one_shot = a;
+    }
+  }
+
   db::Database::Options opts;
   opts.dir = "/tmp/cstore_sql_shell";
   opts.disk.enabled = false;  // interactive: no simulated-disk charges
@@ -126,8 +214,9 @@ int main(int argc, char** argv) {
   CSTORE_CHECK(tpch::LoadJoinTables(db.get(), 0.02).ok());
   sql::Engine engine(db.get());
 
-  if (argc > 1) {
-    RunOne(&engine, argv[1]);
+  if (!script.empty()) return RunScript(&engine, script, pool_workers);
+  if (!one_shot.empty()) {
+    RunOne(&engine, one_shot);
     return 0;
   }
 

@@ -140,6 +140,35 @@ Result<std::vector<std::string>> Database::TableColumns(
   return out;
 }
 
+Result<QueryResult> PendingQuery::Wait() {
+  const sched::ExecResult& r = ticket_.Wait();
+  CSTORE_RETURN_IF_ERROR(r.status);
+  buffer_->stats = r.stats;
+  return std::move(*buffer_);
+}
+
+PendingQuery Database::Submit(const plan::PlanTemplate& tmpl,
+                              sched::Scheduler* scheduler, int priority) {
+  PendingQuery pending;
+  pending.buffer_ = std::make_shared<QueryResult>();
+  std::shared_ptr<QueryResult> buffer = pending.buffer_;
+  // The sink runs sequentially at finalization (scheduler contract), so the
+  // captured per-query state needs no lock.
+  pending.ticket_ = scheduler->Submit(
+      tmpl, pool_.get(),
+      [buffer, first = true](const exec::TupleChunk& chunk) mutable {
+        if (first) {
+          buffer->tuples.Reset(chunk.width());
+          first = false;
+        }
+        for (size_t i = 0; i < chunk.num_tuples(); ++i) {
+          buffer->tuples.AppendTuple(chunk.position(i), chunk.tuple(i));
+        }
+      },
+      priority);
+  return pending;
+}
+
 Result<QueryResult> Database::ExecuteTemplate(const plan::PlanTemplate& tmpl) {
   QueryResult result;
   bool first = true;

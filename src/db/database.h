@@ -16,6 +16,7 @@
 #include "plan/parallel.h"
 #include "plan/planner.h"
 #include "plan/query.h"
+#include "sched/scheduler.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/file_manager.h"
@@ -28,6 +29,26 @@ namespace db {
 struct QueryResult {
   exec::TupleChunk tuples;  // concatenation of all output chunks
   plan::RunStats stats;
+};
+
+/// A query submitted to a shared sched::Scheduler: waitable handle that
+/// materializes the result on completion. Obtained from Database::Submit.
+class PendingQuery {
+ public:
+  PendingQuery() = default;
+
+  /// Blocks until the query finishes and returns its materialized result
+  /// (or the first error). Single use: the tuple buffer is moved out.
+  Result<QueryResult> Wait();
+
+  bool Done() const { return ticket_.Done(); }
+  bool valid() const { return ticket_.valid(); }
+
+ private:
+  friend class Database;
+  sched::QueryTicket ticket_;
+  // Filled by the scheduler's (sequentially invoked) finalization sink.
+  std::shared_ptr<QueryResult> buffer_;
 };
 
 class Database {
@@ -93,6 +114,14 @@ class Database {
   Result<QueryResult> RunJoin(const plan::JoinQuery& query,
                               exec::JoinRightMode mode,
                               const plan::PlanConfig& config = {});
+
+  /// Submits a query to `scheduler`'s shared worker pool and returns
+  /// immediately. Many submitted queries interleave at morsel granularity;
+  /// call PendingQuery::Wait() for the materialized result. `priority >= 1`
+  /// gives the query that many consecutive morsel claims per scheduler
+  /// rotation.
+  PendingQuery Submit(const plan::PlanTemplate& tmpl,
+                      sched::Scheduler* scheduler, int priority = 1);
 
  private:
   Database() = default;

@@ -54,6 +54,13 @@ class MorselSource {
   /// the first failing worker cancels the scan).
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
+  /// True once Next() can never hand out another morsel (position space
+  /// fully claimed, or cancelled). Claimed morsels may still be executing.
+  bool Exhausted() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           next_.load(std::memory_order_relaxed) >= total_ || total_ == 0;
+  }
+
   Position morsel_positions() const { return morsel_; }
   uint64_t num_morsels() const {
     return total_ == 0 ? 0 : (total_ + morsel_ - 1) / morsel_;
@@ -70,6 +77,19 @@ class MorselSource {
   std::atomic<Position> next_{0};
   std::atomic<bool> cancelled_{false};
 };
+
+/// Morsel size for a `total`-position scan across `workers` threads when
+/// the caller left PlanConfig::morsel_positions at the default: targets at
+/// least 4 morsels per worker (load balancing within a query, fair
+/// cross-query interleaving under the scheduler) so small tables stop
+/// clamping to one default-sized morsel — and therefore one effective
+/// worker. Never below one chunk window, never above the default size.
+inline Position AutoMorselPositions(Position total, int workers) {
+  if (total == 0 || workers <= 0) return kDefaultMorselPositions;
+  Position target = total / (4 * static_cast<Position>(workers));
+  target = std::min(target, kDefaultMorselPositions);
+  return MorselSource::AlignToChunks(target);  // clamps up to one window
+}
 
 }  // namespace exec
 }  // namespace cstore

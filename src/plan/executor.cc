@@ -37,9 +37,7 @@ Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
     if (!has) break;
     // Iterate through the output tuples (tuple-at-a-time, as the paper's
     // top-of-plan iteration does).
-    for (size_t i = 0; i < chunk.num_tuples(); ++i) {
-      checksum += TupleDigest(chunk, i);
-    }
+    checksum += ChunkDigest(chunk);
     tuples += chunk.num_tuples();
     if (sink) sink(chunk);
   }

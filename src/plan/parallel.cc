@@ -1,12 +1,9 @@
 #include "plan/parallel.h"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "exec/morsel_source.h"
-#include "util/stopwatch.h"
+#include "sched/scheduler.h"
 
 namespace cstore {
 namespace plan {
@@ -72,76 +69,23 @@ Result<std::unique_ptr<Plan>> PlanTemplate::Instantiate(
   return Status::Internal("unreachable template kind");
 }
 
-namespace {
-
-/// Per-worker partial results, merged under ExecuteParallel's lock.
-struct WorkerResult {
-  uint64_t checksum = 0;
-  uint64_t tuples = 0;
-  exec::ExecStats exec;
-  Status status;
-};
-
-/// One worker: claim morsels, instantiate + drain a plan per morsel, fold
-/// partials locally; only sink calls and the aggregate merge take the lock.
-void RunWorker(const PlanTemplate& tmpl, exec::MorselSource* source,
-               std::mutex* mu, exec::GroupAccumulator* merged_acc,
-               const std::function<void(const exec::TupleChunk&)>& sink,
-               WorkerResult* out) {
-  const bool is_agg = tmpl.kind == PlanTemplate::Kind::kAgg;
-  position::Range morsel;
-  while (source->Next(&morsel)) {
-    Result<std::unique_ptr<Plan>> plan_or = tmpl.Instantiate(morsel);
-    if (!plan_or.ok()) {
-      out->status = plan_or.status();
-      source->Cancel();
-      return;
-    }
-    Plan* plan = plan_or->get();
-    // Aggregate instances only accumulate: no per-morsel sort/emit of a
-    // partial group table that would be thrown away (and no inflated
-    // tuples_constructed from those emits).
-    if (is_agg) plan->agg_op()->DisableFinalEmit();
-    exec::TupleChunk chunk;
-    while (true) {
-      Result<bool> has = plan->root()->Next(&chunk);
-      if (!has.ok()) {
-        out->status = has.status();
-        source->Cancel();
-        return;
-      }
-      if (!*has) break;
-      out->checksum += ChunkDigest(chunk);
-      out->tuples += chunk.num_tuples();
-      if (sink) {
-        std::lock_guard<std::mutex> lock(*mu);
-        sink(chunk);
-      }
-    }
-    out->exec.Merge(plan->stats());
-    if (is_agg) {
-      std::lock_guard<std::mutex> lock(*mu);
-      merged_acc->MergeFrom(plan->agg_op()->accumulator());
-    }
-  }
-}
-
-}  // namespace
-
 Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
                        RunStats* stats,
                        const std::function<void(const exec::TupleChunk&)>&
                            sink) {
   const int requested = std::max(1, tmpl.config.num_workers);
   const Position total = tmpl.TotalPositions();
-  exec::MorselSource source(total, tmpl.config.morsel_positions);
+  Position morsel = tmpl.config.morsel_positions;
+  if (morsel == exec::kDefaultMorselPositions) {
+    morsel = exec::AutoMorselPositions(total, requested);
+  }
   // One worker per morsel at most; joins are not position-partitionable.
+  const uint64_t num_morsels = exec::MorselSource(total, morsel).num_morsels();
   const int workers =
       tmpl.kind == PlanTemplate::Kind::kJoin
           ? 1
-          : static_cast<int>(std::min<uint64_t>(requested,
-                                                std::max<uint64_t>(
-                                                    source.num_morsels(), 1)));
+          : static_cast<int>(std::min<uint64_t>(
+                requested, std::max<uint64_t>(num_morsels, 1)));
 
   if (workers == 1) {
     // Serial pull loop over the full position space: bit-identical to the
@@ -151,49 +95,15 @@ Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
     return ExecutePlan(plan.get(), pool, stats, sink);
   }
 
-  storage::IoStats io_before = pool->stats();
-  std::mutex mu;
-  exec::GroupAccumulator merged_acc(tmpl.agg.func);
-  std::vector<WorkerResult> results(workers);
-
-  Stopwatch timer;
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (int w = 1; w < workers; ++w) {
-    threads.emplace_back(RunWorker, std::cref(tmpl), &source, &mu,
-                         &merged_acc, std::cref(sink), &results[w]);
-  }
-  RunWorker(tmpl, &source, &mu, &merged_acc, sink, &results[0]);
-  for (std::thread& t : threads) t.join();
-
-  uint64_t checksum = 0;
-  uint64_t tuples = 0;
-  exec::ExecStats exec_total;
-  for (const WorkerResult& r : results) {
-    if (!r.status.ok()) return r.status;
-    checksum += r.checksum;
-    tuples += r.tuples;
-    exec_total.Merge(r.exec);
-  }
-
-  if (tmpl.kind == PlanTemplate::Kind::kAgg) {
-    // Final aggregate-merge step: emit the merged groups exactly once,
-    // counting them as constructed tuples just as a serial root would.
-    exec::TupleChunk out;
-    merged_acc.Emit(&out);
-    tuples = out.num_tuples();
-    checksum = ChunkDigest(out);
-    exec_total.tuples_constructed += out.num_tuples();
-    if (sink) sink(out);
-  }
-
-  stats->wall_micros = timer.ElapsedMicros();
-  stats->io = pool->stats() - io_before;
-  stats->charged_io_micros = stats->io.charged_io_micros;
-  stats->output_tuples = tuples;
-  stats->checksum = checksum;
-  stats->exec = exec_total;
-  return Status::OK();
+  // Submit-and-wait on an ephemeral pool sized to the request, so
+  // config.num_workers keeps meaning exactly what it says (worker-count
+  // sweeps in the benches stay honest). Batch workloads that want one
+  // process-wide pool submit to a shared sched::Scheduler directly.
+  sched::Scheduler scheduler({workers});
+  sched::QueryTicket ticket = scheduler.Submit(tmpl, pool, sink);
+  const sched::ExecResult& result = ticket.Wait();
+  *stats = result.stats;
+  return result.status;
 }
 
 }  // namespace plan

@@ -3,16 +3,21 @@
 // A PlanTemplate is the reusable description of a query (query shape +
 // strategy + config); a *plan instance* is one operator tree built from the
 // template by the existing BuildSelectionPlan/BuildAggPlan/BuildJoinPlan
-// factories, restricted to one morsel of the position space. ExecuteParallel
-// runs `config.num_workers` workers that repeatedly claim morsels from a
-// shared MorselSource, instantiate and drain a plan per morsel, and merge
-// the results:
+// factories, restricted to one morsel of the position space.
+//
+// ExecuteParallel is a thin submit-and-wait over the sched/ subsystem: it
+// spins up a sched::Scheduler with exactly `config.num_workers` workers,
+// submits the one query, and blocks on its ticket. The scheduler's workers
+// claim morsels, instantiate and drain a plan per morsel, and merge the
+// results:
 //
 //   * counters       — summed (ExecStats::Merge, order-independent)
 //   * checksum       — wrapping addition of per-tuple digests, so the merged
 //                      digest is bit-identical to a serial run's
-//   * output tuples  — streamed to the sink under a lock (bag semantics:
-//                      chunk *order* across workers is not deterministic)
+//   * output tuples  — buffered per worker and handed to the sink once, at
+//                      finalization, with no lock on the emit path (bag
+//                      semantics: chunk *order* across workers is not
+//                      deterministic)
 //   * aggregations   — per-morsel partial GroupAccumulators are merged and
 //                      final groups emitted once, exactly as a serial
 //                      aggregation over the same rows would
@@ -22,8 +27,13 @@
 // num_workers == 1 bypasses all of this and runs the classic serial pull
 // executor over the full position space — bit-identical to the
 // pre-parallel-refactor engine, including chunk order. Joins always take
-// the serial path (the hash join materializes its own inner table and is
-// not position-partitionable yet).
+// the serial path here (the hash join materializes its own inner table and
+// is not position-partitionable yet); under a shared scheduler they run as
+// single-task queries that overlap with other queries' morsels.
+//
+// Batch workloads should not call this in a loop: submit every query to one
+// shared sched::Scheduler (see Database::Submit / Engine::SubmitAll) so the
+// queries interleave on one pool instead of each spinning up its own.
 
 #ifndef CSTORE_PLAN_PARALLEL_H_
 #define CSTORE_PLAN_PARALLEL_H_
@@ -72,9 +82,12 @@ struct PlanTemplate {
 
 /// Runs the templated query with `template.config.num_workers` workers and
 /// fills `stats` with the merged RunStats. `sink` (optional) receives every
-/// output chunk; with multiple workers it is serialized by a lock but the
-/// chunk arrival order is unspecified. For aggregations the sink receives
-/// exactly one chunk: the final merged groups.
+/// output chunk; with multiple workers it is invoked sequentially after the
+/// last morsel completes (per-worker buffers, concatenated in worker order)
+/// and the chunk order is unspecified. For aggregations the sink receives
+/// exactly one chunk: the final merged groups. On error the sink is never
+/// invoked with multiple workers (serial runs may have streamed chunks
+/// before failing).
 Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
                        RunStats* stats,
                        const std::function<void(const exec::TupleChunk&)>&

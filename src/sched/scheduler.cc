@@ -1,0 +1,302 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "exec/aggregate.h"
+#include "exec/morsel_source.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace sched {
+
+namespace internal {
+
+/// All state of one submitted query. Mutable scheduling fields (in_flight,
+/// claim cursors, error) are guarded by the Scheduler's mutex; each entry of
+/// `partials` is written by exactly one worker and read by the finalizer,
+/// which observed every writer's completion under that mutex first.
+struct QueryState {
+  plan::PlanTemplate tmpl;
+  storage::BufferPool* pool = nullptr;
+  Scheduler::Sink sink;
+  int priority = 1;
+
+  // Work distribution. Joins (and empty scans) are one indivisible task;
+  // everything else claims chunk-aligned morsels from the source.
+  std::unique_ptr<exec::MorselSource> source;
+  bool single_task = false;
+  bool single_claimed = false;  // guarded by Scheduler::mu_
+  int in_flight = 0;            // claimed but not completed; guarded by mu_
+  bool finalized = false;       // guarded by mu_
+  Status error;                 // first failure; guarded by mu_
+
+  /// Per-worker partial results. Output chunks are buffered here instead of
+  /// being pushed through a locked sink on every emit — the whole point of
+  /// the per-worker-buffer design.
+  struct Partial {
+    uint64_t checksum = 0;
+    uint64_t tuples = 0;
+    exec::ExecStats exec;
+    std::unique_ptr<exec::GroupAccumulator> acc;  // aggregations only
+    std::vector<exec::TupleChunk> chunks;         // selections/joins w/ sink
+  };
+  std::vector<Partial> partials;
+
+  storage::IoStats io_before;
+  Stopwatch timer;  // submit → finalize
+
+  // Completion signal (its own mutex so Wait never contends with dispatch).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  ExecResult result;
+
+  /// True once no further task will ever be handed out (all morsels
+  /// claimed, or cancelled by an error). Caller holds Scheduler::mu_.
+  bool DrainedLocked() const {
+    if (single_task) return single_claimed;
+    return source->Exhausted();
+  }
+};
+
+}  // namespace internal
+
+using internal::QueryState;
+
+const ExecResult& QueryTicket::Wait() const {
+  QueryState* q = state_.get();
+  std::unique_lock<std::mutex> lock(q->done_mu);
+  q->done_cv.wait(lock, [q] { return q->done; });
+  return q->result;
+}
+
+bool QueryTicket::Done() const {
+  QueryState* q = state_.get();
+  std::lock_guard<std::mutex> lock(q->done_mu);
+  return q->done;
+}
+
+namespace {
+
+int ResolveWorkers(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+Scheduler::Scheduler() : Scheduler(Options{}) {}
+
+Scheduler::Scheduler(Options options)
+    : num_workers_(ResolveWorkers(options.num_workers)) {
+  pool_ = std::make_unique<WorkerPool>(
+      num_workers_, [this](int id) { WorkerLoop(id); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  pool_.reset();  // joins; workers drain all remaining queries first
+}
+
+Scheduler* Scheduler::Default() {
+  // Intentionally leaked: worker threads must outlive every static-duration
+  // ticket holder, and there is no safe destruction order at process exit.
+  static Scheduler* shared = new Scheduler(Options{});
+  return shared;
+}
+
+QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
+                              storage::BufferPool* pool, Sink sink,
+                              int priority) {
+  auto q = std::make_shared<QueryState>();
+  q->tmpl = tmpl;
+  q->pool = pool;
+  q->sink = std::move(sink);
+  q->priority = std::max(1, priority);
+  q->partials.resize(num_workers_);
+  const Position total = q->tmpl.TotalPositions();
+  if (q->tmpl.kind == plan::PlanTemplate::Kind::kJoin || total == 0) {
+    q->single_task = true;
+  } else {
+    Position morsel = q->tmpl.config.morsel_positions;
+    if (morsel == exec::kDefaultMorselPositions) {
+      morsel = exec::AutoMorselPositions(total, num_workers_);
+    }
+    q->source = std::make_unique<exec::MorselSource>(total, morsel);
+  }
+  q->io_before = pool->stats();
+  q->timer.Restart();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(q);
+  }
+  cv_.notify_all();
+  return QueryTicket(std::move(q));
+}
+
+bool Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
+  if (q->single_task) {
+    if (q->single_claimed || !q->error.ok()) return false;
+    q->single_claimed = true;
+    out->morsel = exec::kFullScanRange;
+  } else {
+    position::Range morsel;
+    if (!q->source->Next(&morsel)) return false;
+    out->morsel = morsel;
+  }
+  ++q->in_flight;
+  return true;
+}
+
+bool Scheduler::TryClaimLocked(Task* out) {
+  while (!active_.empty()) {
+    if (rr_ >= active_.size()) {
+      rr_ = 0;
+      credits_ = 0;
+    }
+    std::shared_ptr<QueryState>& q = active_[rr_];
+    if (credits_ <= 0) credits_ = q->priority;
+    if (ClaimFromLocked(q.get(), out)) {
+      out->query = q;
+      if (--credits_ <= 0) ++rr_;
+      return true;
+    }
+    // Exhausted (or cancelled): drop from the rotation. Completion of its
+    // in-flight morsels finalizes it; if none remain it is already done.
+    active_.erase(active_.begin() + rr_);
+    credits_ = 0;
+  }
+  return false;
+}
+
+void Scheduler::WorkerLoop(int worker_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (TryClaimLocked(&task)) {
+      lock.unlock();
+      RunTask(worker_id, task);
+      bool finalize;
+      lock.lock();
+      QueryState* q = task.query.get();
+      --q->in_flight;
+      finalize = !q->finalized && q->in_flight == 0 && q->DrainedLocked();
+      if (finalize) q->finalized = true;
+      if (finalize) {
+        lock.unlock();
+        Finalize(task.query);
+        lock.lock();
+      }
+      continue;
+    }
+    if (shutdown_) return;
+    cv_.wait(lock);
+  }
+}
+
+void Scheduler::FailQuery(QueryState* q, const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q->error.ok()) q->error = status;
+  if (q->source) q->source->Cancel();
+}
+
+void Scheduler::RunTask(int worker_id, const Task& task) {
+  QueryState* q = task.query.get();
+  QueryState::Partial& partial = q->partials[worker_id];
+  Result<std::unique_ptr<plan::Plan>> plan_or =
+      q->tmpl.Instantiate(task.morsel);
+  if (!plan_or.ok()) {
+    FailQuery(q, plan_or.status());
+    return;
+  }
+  plan::Plan* plan = plan_or->get();
+  const bool is_agg = q->tmpl.kind == plan::PlanTemplate::Kind::kAgg;
+  // Aggregate instances only accumulate; the merged groups are emitted once
+  // at finalization (and counted as constructed tuples there).
+  if (is_agg) plan->agg_op()->DisableFinalEmit();
+  const bool buffer_output = !is_agg && q->sink != nullptr;
+  exec::TupleChunk chunk;
+  while (true) {
+    Result<bool> has = plan->root()->Next(&chunk);
+    if (!has.ok()) {
+      FailQuery(q, has.status());
+      return;
+    }
+    if (!*has) break;
+    partial.checksum += plan::ChunkDigest(chunk);
+    partial.tuples += chunk.num_tuples();
+    if (buffer_output && !chunk.empty()) partial.chunks.push_back(chunk);
+  }
+  partial.exec.Merge(plan->stats());
+  if (is_agg) {
+    if (!partial.acc) {
+      partial.acc =
+          std::make_unique<exec::GroupAccumulator>(q->tmpl.agg.func);
+    }
+    partial.acc->MergeFrom(plan->agg_op()->accumulator());
+  }
+}
+
+void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
+  ExecResult result;
+  {
+    // Error is written under mu_ by workers; every worker that touched this
+    // query completed (observed under mu_) before finalization, so a plain
+    // read here would be safe — but take the lock to keep TSan and future
+    // refactors honest.
+    std::lock_guard<std::mutex> lock(mu_);
+    result.status = q->error;
+  }
+  uint64_t checksum = 0;
+  uint64_t tuples = 0;
+  exec::ExecStats exec_total;
+  for (const QueryState::Partial& p : q->partials) {
+    checksum += p.checksum;
+    tuples += p.tuples;
+    exec_total.Merge(p.exec);
+  }
+  if (result.status.ok()) {
+    if (q->tmpl.kind == plan::PlanTemplate::Kind::kAgg) {
+      exec::GroupAccumulator merged(q->tmpl.agg.func);
+      for (const QueryState::Partial& p : q->partials) {
+        if (p.acc) merged.MergeFrom(*p.acc);
+      }
+      exec::TupleChunk out;
+      merged.Emit(&out);
+      tuples = out.num_tuples();
+      checksum = plan::ChunkDigest(out);
+      exec_total.tuples_constructed += out.num_tuples();
+      if (q->sink) q->sink(out);
+    } else if (q->sink) {
+      // Per-worker buffers concatenated once, in worker order — the sink
+      // sees bag semantics without ever having serialized the workers.
+      for (const QueryState::Partial& p : q->partials) {
+        for (const exec::TupleChunk& chunk : p.chunks) q->sink(chunk);
+      }
+    }
+  }
+  result.stats.wall_micros = q->timer.ElapsedMicros();
+  result.stats.io = q->pool->stats() - q->io_before;
+  result.stats.charged_io_micros = result.stats.io.charged_io_micros;
+  result.stats.output_tuples = tuples;
+  result.stats.checksum = checksum;
+  result.stats.exec = exec_total;
+  {
+    std::lock_guard<std::mutex> lock(q->done_mu);
+    q->result = std::move(result);
+    q->done = true;
+  }
+  q->done_cv.notify_all();
+}
+
+}  // namespace sched
+}  // namespace cstore

@@ -1,0 +1,158 @@
+// Shared-pool query scheduler: many concurrent queries, one worker pool.
+//
+// PR 1's ExecuteParallel parallelized a single query — N threads drain one
+// query's morsels, then return. Under the north star's heavy-traffic
+// workload that shape serializes *queries*: a mixed batch runs back-to-back
+// even though its selections, aggregations, and joins (each with its own
+// best materialization strategy) could share the machine. The Scheduler
+// fixes that:
+//
+//   * Submit(PlanTemplate) enqueues a query and immediately returns a
+//     QueryTicket — a waitable handle resolving to the query's ExecResult
+//     (Status + RunStats). Many queries can be in flight at once.
+//   * Dispatch is fair at *morsel* granularity: workers claim the next
+//     morsel from the active queries in weighted round-robin order (a query
+//     with priority p takes p consecutive morsels per rotation, default 1),
+//     so K queries interleave instead of queueing behind each other. Joins
+//     and empty scans are single-task queries occupying one worker.
+//   * Results merge exactly as in the single-query executor: per-(query,
+//     worker) partials — checksum, tuple counts, ExecStats, aggregation
+//     accumulators, buffered output chunks — are combined once when the
+//     query's last morsel completes. No lock is taken on the output path
+//     during execution; the sink is invoked sequentially at finalization.
+//
+// Correctness contract (tests/sched_test.cc): for every query in a
+// concurrent mixed batch, output_tuples and the order-independent checksum
+// are bit-identical to that query's serial (workers=1) run, and per-query
+// ExecStats are not cross-contaminated. RunStats::io is the one shared
+// metric: it snapshots the (process-wide) buffer-pool counters around the
+// query's lifetime, so with concurrent neighbors it includes their I/O.
+//
+// wall_micros measures submit → finalize, i.e. queueing latency is part of
+// a query's reported latency — which is what a throughput bench wants.
+
+#ifndef CSTORE_SCHED_SCHEDULER_H_
+#define CSTORE_SCHED_SCHEDULER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "plan/parallel.h"
+#include "sched/worker_pool.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace sched {
+
+/// Final outcome of one submitted query.
+struct ExecResult {
+  Status status;
+  plan::RunStats stats;
+};
+
+namespace internal {
+struct QueryState;
+}  // namespace internal
+
+/// Waitable per-query handle returned by Scheduler::Submit. Copyable and
+/// cheap (shared state); outlives the Scheduler safely for queries that
+/// already finished (the Scheduler destructor drains all submitted work).
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  /// Blocks until the query finalizes and returns its result. Idempotent.
+  const ExecResult& Wait() const;
+
+  bool Done() const;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Scheduler;
+  explicit QueryTicket(std::shared_ptr<internal::QueryState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::QueryState> state_;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    // Worker threads in the pool. 0 = hardware concurrency.
+    int num_workers = 0;
+  };
+
+  /// Receives every output chunk of one query, invoked sequentially (no
+  /// locking needed inside) by the finalizing worker after the query's last
+  /// morsel completes. Aggregations deliver exactly one chunk (the merged
+  /// groups); selections deliver each worker's buffered chunks in worker
+  /// order. Not called at all if the query failed.
+  using Sink = std::function<void(const exec::TupleChunk&)>;
+
+  Scheduler();  // Options() — hardware-sized pool
+  explicit Scheduler(Options options);
+
+  /// Drains every submitted query (tickets all complete), then stops and
+  /// joins the workers.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a query for execution on the shared pool. `tmpl.config`'s
+  /// morsel size is honoured (auto-sized from the table and pool width when
+  /// left at the default); `tmpl.config.num_workers` is ignored — the pool
+  /// decides parallelism. `priority >= 1` gives the query that many
+  /// consecutive morsel claims per round-robin rotation.
+  QueryTicket Submit(const plan::PlanTemplate& tmpl,
+                     storage::BufferPool* pool, Sink sink = nullptr,
+                     int priority = 1);
+
+  int num_workers() const { return num_workers_; }
+
+  /// Process-wide shared instance sized to the hardware (created on first
+  /// use, never destroyed). The default pool for callers that don't manage
+  /// their own scheduler lifetime, e.g. Engine::SubmitAll(nullptr).
+  static Scheduler* Default();
+
+ private:
+  struct Task {
+    std::shared_ptr<internal::QueryState> query;
+    position::Range morsel;
+  };
+
+  void WorkerLoop(int worker_id);
+  /// Claims the next morsel in weighted round-robin order. Removes
+  /// exhausted queries from the rotation. Caller holds mu_.
+  bool TryClaimLocked(Task* out);
+  bool ClaimFromLocked(internal::QueryState* q, Task* out);
+  /// Executes one morsel into the worker's partial. Lock-free.
+  void RunTask(int worker_id, const Task& task);
+  void FailQuery(internal::QueryState* q, const Status& status);
+  /// Merges partials, runs the sink, fills the ticket. Called exactly once
+  /// per query, off the scheduler lock.
+  void Finalize(const std::shared_ptr<internal::QueryState>& q);
+
+  const int num_workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Round-robin rotation of queries that still have unclaimed morsels.
+  std::vector<std::shared_ptr<internal::QueryState>> active_;
+  size_t rr_ = 0;      // rotation cursor into active_
+  int credits_ = 0;    // remaining consecutive claims for active_[rr_]
+  bool shutdown_ = false;
+
+  // Last member: workers start in the constructor's final step and touch
+  // everything above, so the pool must be destroyed (joined) first.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace sched
+}  // namespace cstore
+
+#endif  // CSTORE_SCHED_SCHEDULER_H_

@@ -1,0 +1,51 @@
+// WorkerPool: a fixed set of long-lived worker threads. The pool itself is
+// policy-free — it spawns `num_workers` threads running the supplied loop
+// function (which is expected to block on a scheduler's condition variable
+// when idle and return only on shutdown) and joins them on destruction.
+// Worker ids are dense [0, size()), so per-worker state can live in plain
+// vectors indexed by id with no locking.
+
+#ifndef CSTORE_SCHED_WORKER_POOL_H_
+#define CSTORE_SCHED_WORKER_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cstore {
+namespace sched {
+
+class WorkerPool {
+ public:
+  using WorkerFn = std::function<void(int worker_id)>;
+
+  /// Spawns `num_workers` threads, each running `fn(worker_id)` to
+  /// completion. `fn` must outlive the pool.
+  WorkerPool(int num_workers, WorkerFn fn) : fn_(std::move(fn)) {
+    threads_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i) {
+      threads_.emplace_back([this, i] { fn_(i); });
+    }
+  }
+
+  /// Joins every worker. The owner must have arranged for the loop
+  /// functions to return (e.g. by setting a shutdown flag and signalling)
+  /// before destroying the pool.
+  ~WorkerPool() {
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  WorkerFn fn_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sched
+}  // namespace cstore
+
+#endif  // CSTORE_SCHED_WORKER_POOL_H_

@@ -88,6 +88,41 @@ struct Bounds {
   }
 };
 
+/// Projects the scan-wide result tuples onto the select list and assembles
+/// the SqlResult (shared by the synchronous and batch paths).
+SqlResult ProjectResult(const std::vector<uint32_t>& output_slots,
+                        std::vector<std::string> output_names,
+                        plan::Strategy strategy, db::QueryResult&& result) {
+  SqlResult out;
+  out.column_names = std::move(output_names);
+  out.stats = result.stats;
+  out.strategy = strategy;
+
+  const exec::TupleChunk& in = result.tuples;
+  bool identity = in.width() == output_slots.size();
+  if (identity) {
+    for (uint32_t i = 0; i < output_slots.size(); ++i) {
+      if (output_slots[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+  }
+  if (identity) {
+    out.tuples = std::move(result.tuples);
+    return out;
+  }
+  out.tuples.Reset(static_cast<uint32_t>(output_slots.size()));
+  out.tuples.Reserve(in.num_tuples());
+  for (size_t i = 0; i < in.num_tuples(); ++i) {
+    Value* slots = out.tuples.AppendTuple(in.position(i));
+    for (uint32_t c = 0; c < output_slots.size(); ++c) {
+      slots[c] = in.value(i, output_slots[c]);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 double Engine::EstimateSelectivity(const codec::ColumnMeta& meta,
@@ -356,33 +391,49 @@ Result<SqlResult> Engine::Execute(const std::string& sql,
                          : db_->RunSelection(bound.selection, chosen, config);
   CSTORE_RETURN_IF_ERROR(result.status());
 
-  SqlResult out;
-  out.column_names = bound.output_names;
-  out.stats = result->stats;
-  out.strategy = chosen;
+  return ProjectResult(bound.output_slots, bound.output_names, chosen,
+                       std::move(*result));
+}
 
-  // Project the scan tuples onto the select list.
-  const exec::TupleChunk& in = result->tuples;
-  bool identity = in.width() == bound.output_slots.size();
-  if (identity) {
-    for (uint32_t i = 0; i < bound.output_slots.size(); ++i) {
-      if (bound.output_slots[i] != i) {
-        identity = false;
-        break;
+Result<SqlResult> Engine::Pending::Wait() {
+  CSTORE_RETURN_IF_ERROR(early_);
+  CSTORE_ASSIGN_OR_RETURN(db::QueryResult result, query_.Wait());
+  return ProjectResult(output_slots_, std::move(output_names_), strategy_,
+                       std::move(result));
+}
+
+std::vector<Engine::Pending> Engine::SubmitAll(
+    const std::vector<std::string>& sqls, sched::Scheduler* scheduler,
+    std::optional<plan::Strategy> strategy) {
+  if (scheduler == nullptr) scheduler = sched::Scheduler::Default();
+  std::vector<Pending> out(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    Pending& pending = out[i];
+    // Prepare (parse/bind/advise) serially; failures are carried in the
+    // ticket so the caller drains the batch uniformly.
+    pending.early_ = [&]() -> Status {
+      CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sqls[i]));
+      CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
+      plan::Strategy chosen;
+      if (strategy.has_value()) {
+        chosen = *strategy;
+      } else {
+        CSTORE_ASSIGN_OR_RETURN(
+            chosen, ChooseStrategy(bound, scheduler->num_workers()));
       }
-    }
-  }
-  if (identity) {
-    out.tuples = std::move(result->tuples);
-    return out;
-  }
-  out.tuples.Reset(static_cast<uint32_t>(bound.output_slots.size()));
-  out.tuples.Reserve(in.num_tuples());
-  for (size_t i = 0; i < in.num_tuples(); ++i) {
-    Value* slots = out.tuples.AppendTuple(in.position(i));
-    for (uint32_t c = 0; c < bound.output_slots.size(); ++c) {
-      slots[c] = in.value(i, bound.output_slots[c]);
-    }
+      plan::PlanConfig config;
+      config.num_workers = scheduler->num_workers();
+      plan::PlanTemplate tmpl =
+          bound.is_aggregate
+              ? plan::PlanTemplate::Agg(bound.agg, chosen, config)
+              : plan::PlanTemplate::Selection(bound.selection, chosen,
+                                              config);
+      pending.output_slots_ = bound.output_slots;
+      pending.output_names_ = bound.output_names;
+      pending.strategy_ = chosen;
+      pending.query_ = db_->Submit(tmpl, scheduler);
+      return Status::OK();
+    }();
   }
   return out;
 }

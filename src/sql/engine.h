@@ -15,6 +15,7 @@
 
 #include "db/database.h"
 #include "model/advisor.h"
+#include "sched/scheduler.h"
 #include "sql/ast.h"
 #include "util/status.h"
 
@@ -51,6 +52,36 @@ class Engine {
   /// executing it. `num_workers` applies the model's parallel CPU discount
   /// so the report matches how Execute(sql, ..., num_workers) would run.
   Result<std::string> Explain(const std::string& sql, int num_workers = 1);
+
+  /// One statement of a SubmitAll batch: a waitable handle resolving to the
+  /// statement's SqlResult. Statements that failed to parse/bind report
+  /// their error from Wait() too, so a batch is always fully drainable.
+  class Pending {
+   public:
+    Pending() = default;
+
+    /// Blocks until the statement finishes; single use (moves the result).
+    Result<SqlResult> Wait();
+
+   private:
+    friend class Engine;
+    Status early_ = Status::Internal("default-constructed Pending");
+    db::PendingQuery query_;
+    std::vector<uint32_t> output_slots_;
+    std::vector<std::string> output_names_;
+    plan::Strategy strategy_ = plan::Strategy::kLmParallel;
+  };
+
+  /// Launches every statement concurrently on `scheduler`'s shared worker
+  /// pool (nullptr = the process-wide sched::Scheduler::Default()) and
+  /// returns one Pending per statement, in order. Statements are parsed,
+  /// bound, and strategy-advised serially at submit time (the catalog is
+  /// not thread-safe); execution interleaves at morsel granularity. When
+  /// `strategy` is not given, the model-based Advisor picks per statement.
+  std::vector<Pending> SubmitAll(
+      const std::vector<std::string>& sqls,
+      sched::Scheduler* scheduler = nullptr,
+      std::optional<plan::Strategy> strategy = std::nullopt);
 
  private:
   struct BoundQuery {

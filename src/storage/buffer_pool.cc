@@ -175,7 +175,32 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
 
   f.loading = false;
   if (!st.ok()) {
-    // Withdraw the block: waiters see valid == false and retry.
+    // Withdraw the block and its accounting: the read never happened, so
+    // the counters and the sequential-stream cursor must not keep it
+    // (best-effort for the stream — a concurrent claim may have advanced
+    // it past our entry meanwhile, in which case it stays).
+    stats_.physical_reads.fetch_sub(1, std::memory_order_relaxed);
+    if (disk_model_ != nullptr) {
+      stats_.AddChargedMicros(-disk_model_->CostForRead(sequential));
+    }
+    std::vector<uint64_t>& failed_streams = next_sequential_[file.id];
+    if (sequential) {
+      for (uint64_t& next : failed_streams) {
+        if (next == block_no + 1) {
+          next = block_no;  // rewind the stream we advanced
+          break;
+        }
+      }
+    } else {
+      stats_.seeks.fetch_sub(1, std::memory_order_relaxed);
+      for (size_t i = failed_streams.size(); i-- > 0;) {
+        if (failed_streams[i] == block_no + 1) {
+          failed_streams.erase(failed_streams.begin() + i);  // drop ours
+          break;
+        }
+      }
+    }
+    // Waiters see valid == false and retry.
     map_.erase(key);
     CSTORE_DCHECK(f.pin_count > 0);
     if (--f.pin_count == 0) {

@@ -1,0 +1,334 @@
+// Shared-pool scheduler: concurrent mixed-query execution tests.
+//
+// The contract under test (src/sched/scheduler.h): K concurrent queries of
+// mixed shapes (selections, aggregations, joins) and mixed materialization
+// strategies, sharing one worker pool, each produce output_tuples and an
+// order-independent checksum bit-identical to their serial (workers=1)
+// runs; every ticket completes even when queries far outnumber workers;
+// per-query ExecStats are not cross-contaminated by concurrent neighbors;
+// and errors surface through the failing query's ticket without disturbing
+// the rest of the batch.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "exec/morsel_source.h"
+#include "plan/parallel.h"
+#include "sched/scheduler.h"
+#include "sql/engine.h"
+#include "test_util.h"
+#include "tpch/loader.h"
+
+namespace cstore {
+namespace {
+
+using plan::Strategy;
+using testing::TempDir;
+
+// SF 0.1 ≈ 600 K lineitem rows ≈ 10 chunk windows: enough morsels that a
+// 4-worker pool genuinely interleaves queries.
+constexpr double kScaleFactor = 0.1;
+
+/// One database shared by the whole suite (loading dominates test time).
+class SchedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir();
+    db::Database::Options opts;
+    opts.dir = dir_->path();
+    opts.pool_frames = 4096;
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value().release();
+    auto li = tpch::LoadLineitem(db_, kScaleFactor);
+    ASSERT_TRUE(li.ok()) << li.status().ToString();
+    li_ = new tpch::LineitemColumns(*li);
+    auto jc = tpch::LoadJoinTables(db_, kScaleFactor);
+    ASSERT_TRUE(jc.ok()) << jc.status().ToString();
+    jc_ = new tpch::JoinColumns(*jc);
+  }
+
+  static void TearDownTestSuite() {
+    delete jc_;
+    delete li_;
+    delete db_;
+    delete dir_;
+    jc_ = nullptr;
+    li_ = nullptr;
+    db_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static plan::SelectionQuery MidSelectivityQuery() {
+    plan::SelectionQuery q;
+    Value mid = (li_->shipdate->meta().min_value +
+                 li_->shipdate->meta().max_value) /
+                2;
+    q.columns.push_back({li_->shipdate, codec::Predicate::LessThan(mid)});
+    q.columns.push_back({li_->quantity, codec::Predicate::LessThan(30)});
+    return q;
+  }
+
+  /// The mixed batch: selections and aggregations across all four
+  /// strategies plus a join — every query shape the engine has.
+  static std::vector<plan::PlanTemplate> MixedTemplates() {
+    std::vector<plan::PlanTemplate> templates;
+    plan::SelectionQuery sel = MidSelectivityQuery();
+    plan::AggQuery agg;
+    agg.selection = sel;
+    agg.group_index = 0;
+    agg.agg_index = 1;
+    agg.func = exec::AggFunc::kSum;
+    plan::JoinQuery join;
+    join.left_key = jc_->orders_custkey;
+    join.left_pred = codec::Predicate::LessThan(
+        (jc_->orders_custkey->meta().min_value +
+         jc_->orders_custkey->meta().max_value) /
+        2);
+    join.left_payload = jc_->orders_shipdate;
+    join.right_key = jc_->customer_custkey;
+    join.right_payload = jc_->customer_nationcode;
+    for (Strategy s : plan::kAllStrategies) {
+      templates.push_back(plan::PlanTemplate::Selection(sel, s));
+    }
+    for (Strategy s : plan::kAllStrategies) {
+      templates.push_back(plan::PlanTemplate::Agg(agg, s));
+    }
+    templates.push_back(plan::PlanTemplate::Join(
+        join, exec::JoinRightMode::kMaterialized));
+    return templates;
+  }
+
+  /// Serial (workers=1) ground truth for a template.
+  static plan::RunStats SerialRun(plan::PlanTemplate tmpl) {
+    tmpl.config.num_workers = 1;
+    plan::RunStats stats;
+    Status st = plan::ExecuteParallel(tmpl, db_->pool(), &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return stats;
+  }
+
+  static TempDir* dir_;
+  static db::Database* db_;
+  static tpch::LineitemColumns* li_;
+  static tpch::JoinColumns* jc_;
+};
+
+TempDir* SchedTest::dir_ = nullptr;
+db::Database* SchedTest::db_ = nullptr;
+tpch::LineitemColumns* SchedTest::li_ = nullptr;
+tpch::JoinColumns* SchedTest::jc_ = nullptr;
+
+TEST_F(SchedTest, ConcurrentMixedQueriesMatchSerialRuns) {
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  std::vector<plan::RunStats> serial;
+  serial.reserve(templates.size());
+  for (const plan::PlanTemplate& tmpl : templates) {
+    serial.push_back(SerialRun(tmpl));
+    EXPECT_GT(serial.back().output_tuples, 0u);
+  }
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  std::vector<db::PendingQuery> pending;
+  pending.reserve(templates.size());
+  for (const plan::PlanTemplate& tmpl : templates) {
+    pending.push_back(db_->Submit(tmpl, &scheduler));
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(db::QueryResult result, pending[i].Wait());
+    EXPECT_EQ(result.stats.checksum, serial[i].checksum) << "query " << i;
+    EXPECT_EQ(result.stats.output_tuples, serial[i].output_tuples)
+        << "query " << i;
+    EXPECT_EQ(result.tuples.num_tuples(), serial[i].output_tuples)
+        << "query " << i;
+  }
+}
+
+TEST_F(SchedTest, TicketsCompleteUnderQueuePressure) {
+  // Far more queries than workers: 27 queries on a 2-worker pool.
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  std::vector<uint64_t> checksums;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    checksums.push_back(SerialRun(tmpl).checksum);
+  }
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 2;
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  const int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const plan::PlanTemplate& tmpl : templates) {
+      tickets.push_back(scheduler.Submit(tmpl, db_->pool()));
+    }
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const sched::ExecResult& r = tickets[i].Wait();
+    ASSERT_TRUE(r.status.ok()) << "query " << i << ": "
+                               << r.status.ToString();
+    EXPECT_EQ(r.stats.checksum, checksums[i % checksums.size()])
+        << "query " << i;
+  }
+}
+
+TEST_F(SchedTest, ExecStatsNotCrossContaminated) {
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+
+  // Solo run of query 0 through its own pool: the per-query baseline with
+  // identical morsel sizing (same pool width → same auto-sized morsels).
+  exec::ExecStats solo;
+  {
+    sched::Scheduler scheduler(opts);
+    const sched::ExecResult& r =
+        scheduler.Submit(templates[0], db_->pool()).Wait();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    solo = r.stats.exec;
+  }
+
+  // The same query racing the whole mixed batch on a shared pool.
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    tickets.push_back(scheduler.Submit(tmpl, db_->pool()));
+  }
+  const sched::ExecResult& r = tickets[0].Wait();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.stats.exec.blocks_fetched, solo.blocks_fetched);
+  EXPECT_EQ(r.stats.exec.blocks_skipped, solo.blocks_skipped);
+  EXPECT_EQ(r.stats.exec.predicate_evals, solo.predicate_evals);
+  EXPECT_EQ(r.stats.exec.values_gathered, solo.values_gathered);
+  EXPECT_EQ(r.stats.exec.tuples_constructed, solo.tuples_constructed);
+  EXPECT_EQ(r.stats.exec.position_ands, solo.position_ands);
+  for (sched::QueryTicket& t : tickets) {
+    EXPECT_TRUE(t.Wait().status.ok());
+  }
+}
+
+TEST_F(SchedTest, PriorityQueriesCompleteAndStayCorrect) {
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  std::vector<uint64_t> checksums;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    checksums.push_back(SerialRun(tmpl).checksum);
+  }
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    // Alternate priorities 1..3: correctness must be priority-independent.
+    tickets.push_back(scheduler.Submit(templates[i], db_->pool(), nullptr,
+                                       1 + static_cast<int>(i % 3)));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const sched::ExecResult& r = tickets[i].Wait();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.stats.checksum, checksums[i]) << "query " << i;
+  }
+}
+
+TEST_F(SchedTest, InstantiationErrorSurfacesOnTicketOnly) {
+  // LM-pipelined over a bit-vector column beyond the first is NotSupported
+  // (Section 4.1) — every morsel's Instantiate fails.
+  plan::SelectionQuery bad;
+  bad.columns.push_back(
+      {li_->shipdate, codec::Predicate::LessThan(li_->max_shipdate)});
+  bad.columns.push_back({li_->linenum_bv, codec::Predicate::LessThan(5)});
+  plan::PlanTemplate bad_tmpl =
+      plan::PlanTemplate::Selection(bad, Strategy::kLmPipelined);
+  plan::PlanTemplate good_tmpl = MixedTemplates()[0];
+  uint64_t good_checksum = SerialRun(good_tmpl).checksum;
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  sched::QueryTicket bad_ticket = scheduler.Submit(bad_tmpl, db_->pool());
+  sched::QueryTicket good_ticket = scheduler.Submit(good_tmpl, db_->pool());
+  EXPECT_FALSE(bad_ticket.Wait().status.ok());
+  const sched::ExecResult& good = good_ticket.Wait();
+  ASSERT_TRUE(good.status.ok()) << good.status.ToString();
+  EXPECT_EQ(good.stats.checksum, good_checksum);
+}
+
+TEST_F(SchedTest, SchedulerDestructorDrainsUnwaitedTickets) {
+  plan::PlanTemplate tmpl = MixedTemplates()[0];
+  uint64_t checksum = SerialRun(tmpl).checksum;
+  sched::QueryTicket abandoned;
+  {
+    sched::Scheduler::Options opts;
+    opts.num_workers = 2;
+    sched::Scheduler scheduler(opts);
+    abandoned = scheduler.Submit(tmpl, db_->pool());
+    // Destructor runs with the query possibly still in flight.
+  }
+  const sched::ExecResult& r = abandoned.Wait();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.stats.checksum, checksum);
+}
+
+TEST_F(SchedTest, EngineSubmitAllMatchesSynchronousExecute) {
+  sql::Engine engine(db_);
+  const std::vector<std::string> sqls = {
+      "SELECT shipdate, quantity FROM lineitem WHERE quantity < 30",
+      "SELECT shipdate, SUM(quantity) FROM lineitem WHERE quantity < 40 "
+      "GROUP BY shipdate",
+      "SELECT SUM(quantity) FROM lineitem WHERE linenum < 4",
+      "SELECT bogus FROM nowhere",  // binds must fail, ticket must drain
+  };
+  std::vector<Result<sql::SqlResult>> serial;
+  for (const std::string& sql : sqls) {
+    serial.push_back(engine.Execute(sql));
+  }
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  std::vector<sql::Engine::Pending> pending =
+      engine.SubmitAll(sqls, &scheduler);
+  ASSERT_EQ(pending.size(), sqls.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    Result<sql::SqlResult> batch = pending[i].Wait();
+    ASSERT_EQ(batch.ok(), serial[i].ok()) << sqls[i];
+    if (!batch.ok()) continue;
+    EXPECT_EQ(batch->stats.checksum, serial[i]->stats.checksum) << sqls[i];
+    EXPECT_EQ(batch->stats.output_tuples, serial[i]->stats.output_tuples)
+        << sqls[i];
+    EXPECT_EQ(batch->column_names, serial[i]->column_names) << sqls[i];
+    EXPECT_EQ(batch->tuples.num_tuples(), serial[i]->tuples.num_tuples())
+        << sqls[i];
+  }
+}
+
+TEST(AutoMorselTest, SmallTablesGetMoreThanOneMorsel) {
+  // 10 windows, 4 workers: the old default (16-window morsels) clamped this
+  // to a single morsel — one effective worker. Auto-sizing must hand out at
+  // least min(4 * workers, num_windows) morsels.
+  const Position total = 10 * kChunkPositions;
+  Position morsel = exec::AutoMorselPositions(total, 4);
+  EXPECT_EQ(morsel, kChunkPositions);
+  EXPECT_EQ(exec::MorselSource(total, morsel).num_morsels(), 10u);
+}
+
+TEST(AutoMorselTest, LargeTablesKeepTheDefaultCap) {
+  // 4 M windows / 2 workers: target would exceed the default morsel size;
+  // cap at the default so per-morsel overhead stays amortized.
+  const Position total = 4096 * kChunkPositions;
+  EXPECT_EQ(exec::AutoMorselPositions(total, 2),
+            exec::kDefaultMorselPositions);
+}
+
+TEST(AutoMorselTest, DegenerateInputsFallBackToDefault) {
+  EXPECT_EQ(exec::AutoMorselPositions(0, 4), exec::kDefaultMorselPositions);
+  EXPECT_EQ(exec::AutoMorselPositions(10 * kChunkPositions, 0),
+            exec::kDefaultMorselPositions);
+}
+
+}  // namespace
+}  // namespace cstore
