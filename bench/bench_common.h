@@ -240,6 +240,75 @@ inline std::string Fmt(double v, int decimals = 1) {
   return buf;
 }
 
+/// p-quantile of a latency sample in milliseconds (sorts a copy once per
+/// call; pass the quantiles you need from one accumulated vector).
+inline double Percentile(std::vector<double> ms, double q) {
+  if (ms.empty()) return 0;
+  std::sort(ms.begin(), ms.end());
+  size_t idx = static_cast<size_t>(q * (ms.size() - 1));
+  return ms[idx];
+}
+
+/// Machine-readable bench output: collects flat records and writes them as
+/// a JSON array to BENCH_<name>.json in the working directory, so the perf
+/// trajectory of every run is trackable (QPS, p50, p99 per sweep point).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& Num(const char* key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Int(const char* key, uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& Str(const char* key, const std::string& v) {
+      fields_.emplace_back(key, "\"" + v + "\"");  // values are bench-internal
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json; returns the path ("" on failure).
+  std::string Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  {");
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "\"%s\": %s%s", fields[j].first.c_str(),
+                     fields[j].second.c_str(),
+                     j + 1 < fields.size() ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace bench
 }  // namespace cstore
 

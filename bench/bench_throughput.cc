@@ -88,13 +88,6 @@ std::vector<QuerySpec> BuildSpecs(const tpch::LineitemColumns& li,
   return specs;
 }
 
-double Percentile(std::vector<double> sorted_ms, double q) {
-  if (sorted_ms.empty()) return 0;
-  std::sort(sorted_ms.begin(), sorted_ms.end());
-  size_t idx = static_cast<size_t>(q * (sorted_ms.size() - 1));
-  return sorted_ms[idx];
-}
-
 }  // namespace
 }  // namespace bench
 }  // namespace cstore
@@ -132,6 +125,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(li->num_rows), opts.runs);
   TablePrinter table({"workers", "concurrency", "mode", "wall_ms", "qps",
                       "p50_ms", "p99_ms", "speedup"});
+  BenchJson json("throughput");
 
   int mismatches = 0;
   for (int workers : opts.worker_sweep) {
@@ -211,9 +205,29 @@ int main(int argc, char** argv) {
                     Fmt(Percentile(pooled_lat, 0.5)),
                     Fmt(Percentile(pooled_lat, 0.99)),
                     Fmt(serial_best / pooled_best, 2)});
+      json.AddRow()
+          .Int("workers", workers)
+          .Int("concurrency", concurrency)
+          .Str("mode", "back-to-back")
+          .Num("wall_ms", serial_best)
+          .Num("qps", serial_qps)
+          .Num("p50_ms", Percentile(serial_lat, 0.5))
+          .Num("p99_ms", Percentile(serial_lat, 0.99));
+      json.AddRow()
+          .Int("workers", workers)
+          .Int("concurrency", concurrency)
+          .Str("mode", "shared-pool")
+          .Num("wall_ms", pooled_best)
+          .Num("qps", pooled_qps)
+          .Num("p50_ms", Percentile(pooled_lat, 0.5))
+          .Num("p99_ms", Percentile(pooled_lat, 0.99));
     }
   }
   table.Print();
+  std::string json_path = json.Write();
+  if (!json_path.empty()) {
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
   if (mismatches > 0) {
     std::fprintf(stderr, "%d checksum mismatches\n", mismatches);
     return 1;

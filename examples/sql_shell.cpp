@@ -19,7 +19,14 @@
 // lines and #-comments skipped; strategy prefixes honoured per line)
 // concurrently on one shared sched::Scheduler pool of --pool=N workers, and
 // prints per-statement latency plus batch throughput — the heavy-traffic
-// shape the scheduler exists for.
+// shape the scheduler exists for. Any statement that fails to parse or
+// execute is reported with the offending SQL and the process exits
+// non-zero.
+//
+// Writes are supported everywhere: INSERT INTO t VALUES (...), (...) and
+// DELETE FROM t [WHERE ...] go to the table's write store; SELECTs see a
+// snapshot taken when they are submitted. In script mode writes execute at
+// submit time, so later statements of the script observe them.
 
 #include <cstdio>
 #include <fstream>
@@ -78,7 +85,7 @@ int StripWorkersPrefix(std::string* sql) {
   return workers;
 }
 
-void RunOne(sql::Engine* engine, std::string sql) {
+bool RunOne(sql::Engine* engine, std::string sql) {
   TrimLeading(&sql);
   int workers = StripWorkersPrefix(&sql);
   TrimLeading(&sql);
@@ -86,10 +93,10 @@ void RunOne(sql::Engine* engine, std::string sql) {
     auto report = engine->Explain(sql.substr(8), workers);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
-    } else {
-      std::printf("%s", report->c_str());
+      return false;
     }
-    return;
+    std::printf("%s", report->c_str());
+    return true;
   }
   std::optional<plan::Strategy> strategy = StripStrategyPrefix(&sql);
   TrimLeading(&sql);
@@ -97,8 +104,15 @@ void RunOne(sql::Engine* engine, std::string sql) {
   TrimLeading(&sql);
   auto r = engine->Execute(sql, strategy, workers);
   if (!r.ok()) {
-    std::printf("error: %s\n", r.status().ToString().c_str());
-    return;
+    std::printf("error: %s\n    %s\n", r.status().ToString().c_str(),
+                sql.c_str());
+    return false;
+  }
+  if (r->is_write) {
+    std::printf("-- %s: %llu rows, %.1f ms\n", r->column_names[0].c_str(),
+                static_cast<unsigned long long>(r->rows_affected),
+                r->stats.TotalMillis());
+    return true;
   }
   // Header.
   for (const std::string& name : r->column_names) {
@@ -120,6 +134,7 @@ void RunOne(sql::Engine* engine, std::string sql) {
   std::printf("-- %llu rows, %.1f ms, strategy %s, workers %d\n",
               static_cast<unsigned long long>(r->stats.output_tuples),
               r->stats.TotalMillis(), StrategyName(r->strategy), workers);
+  return true;
 }
 
 /// Script mode: submit every statement at once to one shared pool, then
@@ -165,12 +180,22 @@ int RunScript(sql::Engine* engine, const std::string& path,
   }
 
   int failures = 0;
+  size_t first_failure = 0;
   for (size_t i = 0; i < pendings.size(); ++i) {
     auto r = pendings[i].Wait();
     if (!r.ok()) {
       std::printf("[%zu] error: %s\n    %s\n", i,
                   r.status().ToString().c_str(), statements[i].c_str());
+      if (failures == 0) first_failure = i;
       ++failures;
+      continue;
+    }
+    if (r->is_write) {
+      std::printf("[%zu] %s %llu  %8.1f ms  %-12s  %s\n", i,
+                  r->column_names[0].c_str(),
+                  static_cast<unsigned long long>(r->rows_affected),
+                  r->stats.wall_micros / 1000.0, "write",
+                  statements[i].c_str());
       continue;
     }
     std::printf("[%zu] %llu rows  %8.1f ms  %-12s  %s\n", i,
@@ -182,7 +207,13 @@ int RunScript(sql::Engine* engine, const std::string& path,
   std::printf("-- batch: %zu statements in %.1f ms (%.1f qps), %d failed\n",
               statements.size(), wall_ms,
               statements.size() * 1000.0 / wall_ms, failures);
-  return failures == 0 ? 0 : 1;
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "script failed: %d statement(s); first at [%zu]: %s\n",
+                 failures, first_failure, statements[first_failure].c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -216,8 +247,7 @@ int main(int argc, char** argv) {
 
   if (!script.empty()) return RunScript(&engine, script, pool_workers);
   if (!one_shot.empty()) {
-    RunOne(&engine, one_shot);
-    return 0;
+    return RunOne(&engine, one_shot) ? 0 : 1;
   }
 
   std::printf(

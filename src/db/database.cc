@@ -1,5 +1,8 @@
 #include "db/database.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace cstore {
 namespace db {
 
@@ -7,6 +10,18 @@ namespace {
 // Sidecar name of the persisted table registry (one line per table column:
 // "table\tcolumn\tfile\n", registration order preserved).
 constexpr char kCatalogName[] = "_catalog";
+
+/// Strips a trailing ".g<digits>" generation suffix so compaction names
+/// grow as file.g1, file.g2, ... instead of file.g1.g2.
+std::string GenerationBaseName(const std::string& file) {
+  size_t dot = file.rfind(".g");
+  if (dot == std::string::npos || dot + 2 >= file.size()) return file;
+  for (size_t i = dot + 2; i < file.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(file[i]))) return file;
+  }
+  return file.substr(0, dot);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
@@ -19,6 +34,8 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   CSTORE_RETURN_IF_ERROR(db->LoadCatalog());
   return db;
 }
+
+Database::~Database() { DisableTupleMover(); }
 
 Status Database::LoadCatalog() {
   auto bytes = files_->ReadSidecar(kCatalogName);
@@ -39,15 +56,15 @@ Status Database::LoadCatalog() {
     std::string table = line.substr(0, t1);
     std::string column = line.substr(t1 + 1, t2 - t1 - 1);
     std::string file = line.substr(t2 + 1);
-    tables_[table].emplace_back(column, file);
+    tables_[table].columns.emplace_back(column, file);
   }
   return Status::OK();
 }
 
-Status Database::SaveCatalog() const {
+Status Database::SaveCatalogLocked() const {
   std::string text;
-  for (const auto& [table, cols] : tables_) {
-    for (const auto& [col, file] : cols) {
+  for (const auto& [table, info] : tables_) {
+    for (const auto& [col, file] : info.columns) {
       text += table;
       text += '\t';
       text += col;
@@ -63,7 +80,16 @@ Status Database::SaveCatalog() const {
 Status Database::CreateColumn(const std::string& name,
                               codec::Encoding encoding,
                               const std::vector<Value>& values) {
-  columns_.erase(name);  // invalidate any open reader
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    // Invalidate any open reader — parked, not destroyed: an in-flight
+    // query may still scan through it (same hazard CompactTable handles).
+    auto it = columns_.find(name);
+    if (it != columns_.end()) {
+      retired_.push_back(std::move(it->second));
+      columns_.erase(it);
+    }
+  }
   CSTORE_ASSIGN_OR_RETURN(auto writer,
                           codec::ColumnWriter::Create(files_.get(), name,
                                                       encoding));
@@ -75,7 +101,7 @@ Status Database::CreateColumn(const std::string& name,
   return Status::OK();
 }
 
-Result<const codec::ColumnReader*> Database::GetColumn(
+Result<const codec::ColumnReader*> Database::GetColumnLocked(
     const std::string& name) {
   auto it = columns_.find(name);
   if (it != columns_.end()) return it->second.get();
@@ -86,8 +112,18 @@ Result<const codec::ColumnReader*> Database::GetColumn(
   return raw;
 }
 
+Result<const codec::ColumnReader*> Database::GetColumn(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return GetColumnLocked(name);
+}
+
 bool Database::HasColumn(const std::string& name) const {
-  return columns_.count(name) > 0 || files_->Exists(name);
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (columns_.count(name) > 0) return true;
+  }
+  return files_->Exists(name);
 }
 
 Status Database::RegisterTable(
@@ -96,11 +132,12 @@ Status Database::RegisterTable(
   if (column_to_file.empty()) {
     return Status::InvalidArgument("table " + table + " needs >= 1 column");
   }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   uint64_t rows = 0;
   bool first = true;
   for (const auto& [col, file] : column_to_file) {
     CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
-                            GetColumn(file));
+                            GetColumnLocked(file));
     if (first) {
       rows = reader->num_values();
       first = false;
@@ -111,18 +148,27 @@ Status Database::RegisterTable(
           std::to_string(rows));
     }
   }
-  tables_[table] = column_to_file;
-  return SaveCatalog();
+  TableInfo& info = tables_[table];
+  info.columns = column_to_file;
+  info.ws.reset();  // re-registration resets any write state
+  info.generation = 0;
+  return SaveCatalogLocked();
+}
+
+bool Database::HasTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  return tables_.count(table) > 0;
 }
 
 Result<const codec::ColumnReader*> Database::GetTableColumn(
     const std::string& table, const std::string& column) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("unknown table '" + table + "'");
   }
-  for (const auto& [col, file] : it->second) {
-    if (col == column) return GetColumn(file);
+  for (const auto& [col, file] : it->second.columns) {
+    if (col == column) return GetColumnLocked(file);
   }
   return Status::NotFound("no column '" + column + "' in table '" + table +
                           "'");
@@ -130,15 +176,298 @@ Result<const codec::ColumnReader*> Database::GetTableColumn(
 
 Result<std::vector<std::string>> Database::TableColumns(
     const std::string& table) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("unknown table '" + table + "'");
   }
   std::vector<std::string> out;
-  out.reserve(it->second.size());
-  for (const auto& [col, file] : it->second) out.push_back(col);
+  out.reserve(it->second.columns.size());
+  for (const auto& [col, file] : it->second.columns) out.push_back(col);
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Result<write::WriteStore*> Database::EnsureWriteStoreLocked(
+    const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+  if (info.ws == nullptr) {
+    std::vector<std::string> names;
+    std::vector<std::string> files;
+    Position base = 0;
+    bool first = true;
+    for (const auto& [col, file] : info.columns) {
+      CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                              GetColumnLocked(file));
+      if (first) {
+        base = reader->num_values();
+        first = false;
+      }
+      names.push_back(col);
+      files.push_back(file);
+    }
+    info.ws = std::make_shared<write::WriteStore>(std::move(names),
+                                                  std::move(files), base);
+  }
+  return info.ws.get();
+}
+
+Status Database::Insert(const std::string& table,
+                        const std::vector<std::vector<Value>>& rows) {
+  std::shared_ptr<write::WriteStore> ws;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    CSTORE_RETURN_IF_ERROR(EnsureWriteStoreLocked(table).status());
+    ws = tables_.find(table)->second.ws;
+  }
+  return ws->Insert(rows);
+}
+
+Result<std::shared_ptr<const write::WriteSnapshot>> Database::SnapshotTable(
+    const std::string& table) {
+  std::shared_ptr<write::WriteStore> ws;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    CSTORE_RETURN_IF_ERROR(EnsureWriteStoreLocked(table).status());
+    ws = tables_.find(table)->second.ws;
+  }
+  return ws->Snapshot();
+}
+
+Result<uint64_t> Database::DeleteWhere(
+    const std::string& table,
+    const std::vector<std::pair<std::string, codec::Predicate>>& conds,
+    plan::RunStats* scan_stats) {
+  // Hold the store itself (not the table name) across the scan: if the
+  // table is re-registered concurrently, the delete lands in the store the
+  // scan actually saw instead of corrupting the new incarnation.
+  std::shared_ptr<write::WriteStore> ws;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    CSTORE_RETURN_IF_ERROR(EnsureWriteStoreLocked(table).status());
+    ws = tables_.find(table)->second.ws;
+  }
+  std::shared_ptr<const write::WriteSnapshot> snap = ws->Snapshot();
+
+  // Find the matching positions with a regular snapshot scan (LM-parallel:
+  // positions only, no wasted tuple construction beyond the scan columns).
+  plan::SelectionQuery query;
+  if (conds.empty()) {
+    int idx = 0;  // "delete everything": scan the first column with TRUE
+    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                            GetColumn(snap->column_files()[idx]));
+    query.columns.push_back({reader, codec::Predicate::True()});
+  } else {
+    for (const auto& [col, pred] : conds) {
+      int idx = snap->ColumnIndexForName(col);
+      if (idx < 0) {
+        return Status::NotFound("no column '" + col + "' in table '" + table +
+                                "'");
+      }
+      CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                              GetColumn(snap->column_files()[idx]));
+      query.columns.push_back({reader, pred});
+    }
+  }
+  plan::PlanConfig config;
+  config.snapshot = snap;
+  std::vector<Position> positions;
+  plan::RunStats stats;
+  CSTORE_RETURN_IF_ERROR(plan::ExecuteParallel(
+      plan::PlanTemplate::Selection(query, plan::Strategy::kLmParallel,
+                                    config),
+      pool_.get(), &stats, [&](const exec::TupleChunk& chunk) {
+        positions.insert(positions.end(), chunk.positions().begin(),
+                         chunk.positions().end());
+      }));
+  if (scan_stats != nullptr) *scan_stats = stats;
+
+  if (!positions.empty()) {
+    CSTORE_RETURN_IF_ERROR(ws->MarkDeleted(positions));
+  }
+  return positions.size();
+}
+
+uint64_t Database::PendingWriteRows(const std::string& table) const {
+  std::shared_ptr<write::WriteStore> ws;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end() || it->second.ws == nullptr) return 0;
+    ws = it->second.ws;
+  }
+  return ws->pending_rows();
+}
+
+std::vector<std::string> Database::WriteTables() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  std::vector<std::string> out;
+  for (const auto& [table, info] : tables_) {
+    if (info.ws != nullptr) out.push_back(table);
+  }
+  return out;
+}
+
+namespace {
+
+/// Streams every value of `reader`, then `tail`, into a fresh column file
+/// `new_file` with the given encoding.
+Status RewriteColumn(storage::FileManager* files,
+                     const codec::ColumnReader* reader,
+                     const std::vector<Value>& tail,
+                     const std::string& new_file, codec::Encoding encoding) {
+  CSTORE_ASSIGN_OR_RETURN(auto writer, codec::ColumnWriter::Create(
+                                           files, new_file, encoding));
+  std::vector<Value> scratch;
+  for (uint64_t b = 0; b < reader->num_blocks(); ++b) {
+    CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, reader->FetchBlock(b));
+    scratch.clear();
+    blk.view.Decompress(&scratch);
+    for (Value v : scratch) {
+      CSTORE_RETURN_IF_ERROR(writer->Append(v));
+    }
+  }
+  for (Value v : tail) {
+    CSTORE_RETURN_IF_ERROR(writer->Append(v));
+  }
+  return writer->Finish().status();
+}
+
+}  // namespace
+
+Result<uint64_t> Database::CompactTable(const std::string& table) {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+
+  std::shared_ptr<write::WriteStore> ws;
+  std::vector<std::pair<std::string, std::string>> old_columns;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::NotFound("unknown table '" + table + "'");
+    }
+    if (it->second.ws == nullptr) return 0;
+    ws = it->second.ws;
+    old_columns = it->second.columns;
+    generation = it->second.generation;
+  }
+
+  uint64_t moved = 0;
+  std::vector<std::vector<Value>> tail = ws->PeekPending(UINT64_MAX, &moved);
+  if (moved == 0) return 0;
+
+  // Re-encode each column (read store + moved rows) into the next
+  // generation. A column whose encoding can no longer hold the merged data
+  // (e.g. bit-vector with new distinct values) falls back to uncompressed.
+  std::vector<std::pair<std::string, std::string>> new_columns;
+  std::vector<std::string> new_files;
+  for (size_t c = 0; c < old_columns.size(); ++c) {
+    const auto& [col, file] = old_columns[c];
+    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                            GetColumn(file));
+    std::string new_file =
+        GenerationBaseName(file) + ".g" + std::to_string(generation + 1);
+    Status st = RewriteColumn(files_.get(), reader, tail[c], new_file,
+                              reader->meta().encoding);
+    if (!st.ok() && reader->meta().encoding != codec::Encoding::kUncompressed) {
+      st = RewriteColumn(files_.get(), reader, tail[c], new_file,
+                         codec::Encoding::kUncompressed);
+    }
+    CSTORE_RETURN_IF_ERROR(st);
+    new_columns.emplace_back(col, new_file);
+    new_files.push_back(new_file);
+  }
+
+  // Open the new generation's readers before taking the catalog lock (disk
+  // metadata reads; concurrent binds must not stall behind them). Also
+  // validates the rewrite output before any state changes.
+  std::vector<std::unique_ptr<codec::ColumnReader>> new_readers;
+  for (const std::string& file : new_files) {
+    CSTORE_ASSIGN_OR_RETURN(
+        auto reader,
+        codec::ColumnReader::Open(files_.get(), pool_.get(), file));
+    new_readers.push_back(std::move(reader));
+  }
+
+  // Swap the catalog to the new generation; retire the old readers (kept
+  // open — in-flight queries may still hold them).
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = tables_.find(table);
+    // If the table was re-registered while we rewrote (its write store was
+    // replaced), the compacted files describe a dead incarnation: abort
+    // without touching the new one. The .gN files become orphans.
+    if (it == tables_.end() || it->second.ws != ws) {
+      return Status::AlreadyExists(
+          "table '" + table + "' was re-registered during compaction");
+    }
+    TableInfo& info = it->second;
+    // Persist the new mapping first; on failure roll the in-memory state
+    // back so the pending rows are not duplicated by a retry against a
+    // catalog that already includes them.
+    info.columns = new_columns;
+    info.generation = generation + 1;
+    Status saved = SaveCatalogLocked();
+    if (!saved.ok()) {
+      info.columns = old_columns;
+      info.generation = generation;
+      Status restored = SaveCatalogLocked();  // best effort
+      (void)restored;
+      return saved;
+    }
+    // Install the pre-opened readers and retire the old generation's only
+    // once the swap is durable (any same-name stragglers — e.g. from an
+    // earlier failed attempt — are parked, never destroyed in place).
+    for (size_t c = 0; c < new_files.size(); ++c) {
+      std::unique_ptr<codec::ColumnReader>& slot = columns_[new_files[c]];
+      if (slot != nullptr) retired_.push_back(std::move(slot));
+      slot = std::move(new_readers[c]);
+    }
+    for (const auto& [col, file] : old_columns) {
+      auto old_it = columns_.find(file);
+      if (old_it != columns_.end()) {
+        retired_.push_back(std::move(old_it->second));
+        columns_.erase(old_it);
+      }
+    }
+  }
+  // Only now do new snapshots see the moved rows as read-store rows.
+  ws->MarkMoved(moved, std::move(new_files));
+  return moved;
+}
+
+Status Database::EnableTupleMover(sched::Scheduler* scheduler,
+                                  write::TupleMover::Options options) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("EnableTupleMover needs a scheduler");
+  }
+  DisableTupleMover();
+  write::TupleMover::Hooks hooks;
+  hooks.list_tables = [this] { return WriteTables(); };
+  hooks.pending_rows = [this](const std::string& table) {
+    return PendingWriteRows(table);
+  };
+  hooks.compact = [this](const std::string& table) {
+    return CompactTable(table).status();
+  };
+  mover_ = std::make_unique<write::TupleMover>(std::move(hooks), scheduler,
+                                               options);
+  return Status::OK();
+}
+
+void Database::DisableTupleMover() { mover_.reset(); }
+
+// ---------------------------------------------------------------------------
+// Query execution
+// ---------------------------------------------------------------------------
 
 Result<QueryResult> PendingQuery::Wait() {
   const sched::ExecResult& r = ticket_.Wait();

@@ -1,11 +1,22 @@
 // Database facade: owns the storage stack (file manager, disk model, buffer
-// pool) and a catalog of loaded columns, and runs queries through the plan
-// layer. This is the top-level entry point a library user sees.
+// pool), a catalog of loaded columns and tables, and the per-table write
+// stores. Runs queries through the plan layer. This is the top-level entry
+// point a library user sees.
+//
+// Reads and writes compose through snapshots: every query captures a
+// WriteSnapshot of its table at plan-build/submit time and sees exactly
+// that state; Insert/DeleteWhere mutate the table's WriteStore; the
+// TupleMover (see EnableTupleMover / CompactTable) re-encodes accumulated
+// write-store rows into a fresh generation of read-store column files,
+// preserving every row's logical position so results never change across a
+// compaction. Retired generations stay open until the Database closes, so
+// in-flight queries holding old readers stay valid.
 
 #ifndef CSTORE_DB_DATABASE_H_
 #define CSTORE_DB_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +32,8 @@
 #include "storage/disk_model.h"
 #include "storage/file_manager.h"
 #include "util/status.h"
+#include "write/tuple_mover.h"
+#include "write/write_store.h"
 
 namespace cstore {
 namespace db {
@@ -62,6 +75,7 @@ class Database {
   };
 
   static Result<std::unique_ptr<Database>> Open(const Options& options);
+  ~Database();
 
   storage::FileManager* files() { return files_.get(); }
   storage::BufferPool* pool() { return pool_.get(); }
@@ -86,17 +100,65 @@ class Database {
       const std::vector<std::pair<std::string, std::string>>&
           column_to_file);
 
-  bool HasTable(const std::string& table) const {
-    return tables_.count(table) > 0;
-  }
+  bool HasTable(const std::string& table) const;
 
-  /// Resolves table.column to its reader.
+  /// Resolves table.column to its reader (current generation).
   Result<const codec::ColumnReader*> GetTableColumn(
       const std::string& table, const std::string& column);
 
   /// Column names of a registered table, in registration order.
   Result<std::vector<std::string>> TableColumns(
       const std::string& table) const;
+
+  // --- Write path ----------------------------------------------------------
+
+  /// Appends `rows` (row-major; one value per table column, registration
+  /// order) to the table's write store. Visible to snapshots taken after
+  /// this returns; queries already in flight are unaffected. Not durable
+  /// until the tuple mover compacts (WAL/group-commit is a follow-up).
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows);
+
+  /// Deletes every row of `table` matching all of `conds` (column name →
+  /// predicate; empty = delete every row), as of a snapshot taken at entry.
+  /// Returns the number of rows deleted; `scan_stats` (optional) receives
+  /// the RunStats of the position-finding scan. Deleted rows keep their
+  /// logical positions; scans mask them from results.
+  Result<uint64_t> DeleteWhere(
+      const std::string& table,
+      const std::vector<std::pair<std::string, codec::Predicate>>& conds,
+      plan::RunStats* scan_stats = nullptr);
+
+  /// Captures the table's current write state (read-store generation,
+  /// visible write-store rows, delete epoch). Attach to
+  /// PlanConfig::snapshot so the plan sees exactly this state. Tables that
+  /// were never written return a valid, empty snapshot.
+  Result<std::shared_ptr<const write::WriteSnapshot>> SnapshotTable(
+      const std::string& table);
+
+  /// Synchronously compacts the table's pending write-store rows into a new
+  /// generation of encoded read-store column files (the tuple mover's unit
+  /// of work, callable directly as a deterministic test hook). Returns the
+  /// number of rows moved. Positions are preserved; results of concurrent
+  /// and future queries are unaffected.
+  Result<uint64_t> CompactTable(const std::string& table);
+
+  /// Rows inserted into `table` but not yet compacted (0 for unknown or
+  /// never-written tables).
+  uint64_t PendingWriteRows(const std::string& table) const;
+
+  /// Tables that currently have a write store.
+  std::vector<std::string> WriteTables() const;
+
+  /// Starts a TupleMover over this database's tables on `scheduler`
+  /// (compaction jobs run as low-priority scheduler work). The mover is
+  /// owned by the Database and stopped on destruction. `scheduler` must
+  /// outlive the Database or a preceding DisableTupleMover call.
+  Status EnableTupleMover(sched::Scheduler* scheduler,
+                          write::TupleMover::Options options =
+                              write::TupleMover::Options());
+  void DisableTupleMover();
+  write::TupleMover* tuple_mover() { return mover_.get(); }
 
   /// Drops all cached pages (for cold-cache measurements).
   void DropCaches() { pool_->Clear(); }
@@ -124,21 +186,41 @@ class Database {
                       sched::Scheduler* scheduler, int priority = 1);
 
  private:
+  struct TableInfo {
+    // Ordered (column name, file name) pairs — the current generation.
+    std::vector<std::pair<std::string, std::string>> columns;
+    std::shared_ptr<write::WriteStore> ws;  // lazily created on first write
+    uint64_t generation = 0;                // bumped by each compaction
+  };
+
   Database() = default;
 
   Result<QueryResult> ExecuteTemplate(const plan::PlanTemplate& tmpl);
   Status LoadCatalog();
-  Status SaveCatalog() const;
+  Status SaveCatalogLocked() const;
+  Result<const codec::ColumnReader*> GetColumnLocked(const std::string& name);
+  /// Creates the table's write store if absent. Caller holds catalog_mu_.
+  Result<write::WriteStore*> EnsureWriteStoreLocked(const std::string& table);
 
   std::unique_ptr<storage::FileManager> files_;
   storage::DiskModel disk_model_;
   std::unique_ptr<storage::BufferPool> pool_;
+
+  // Guards columns_, tables_, retired_. Held only for catalog operations —
+  // never across query execution or compaction I/O.
+  mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, std::unique_ptr<codec::ColumnReader>>
       columns_;
-  // table → ordered (column name, file name) pairs.
-  std::unordered_map<std::string,
-                     std::vector<std::pair<std::string, std::string>>>
-      tables_;
+  std::unordered_map<std::string, TableInfo> tables_;
+  // Readers of superseded generations: kept open until the Database closes
+  // so queries bound before a compaction stay valid.
+  std::vector<std::unique_ptr<codec::ColumnReader>> retired_;
+
+  // One compaction at a time (the mover and the CompactTable test hook can
+  // race otherwise).
+  std::mutex compact_mu_;
+
+  std::unique_ptr<write::TupleMover> mover_;
 };
 
 }  // namespace db

@@ -1,0 +1,185 @@
+#include "exec/ws_scan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace exec {
+
+namespace {
+
+/// [begin, end) of the snapshot tail restricted to `scan_range`.
+void TailRange(const write::WriteSnapshot& snap, position::Range scan_range,
+               Position* begin, Position* end) {
+  *begin = std::max<Position>(snap.base_rows(), scan_range.begin);
+  *end = std::min<Position>(snap.total_rows(), scan_range.end);
+  if (*end < *begin) *end = *begin;
+}
+
+/// End of the kChunkPositions-grid window containing `pos`, clamped.
+Position WindowEnd(Position pos, Position end) {
+  Position we = (pos / kChunkPositions + 1) * kChunkPositions;
+  return std::min(we, end);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WsScanPos
+// ---------------------------------------------------------------------------
+
+WsScanPos::WsScanPos(std::shared_ptr<const write::WriteSnapshot> snapshot,
+                     std::vector<WsScanColumn> columns, ExecStats* stats,
+                     position::Range scan_range)
+    : snapshot_(std::move(snapshot)),
+      columns_(std::move(columns)),
+      stats_(stats) {
+  TailRange(*snapshot_, scan_range, &cur_, &end_);
+}
+
+Result<bool> WsScanPos::Next(MultiColumnChunk* out) {
+  if (cur_ >= end_) return false;
+  const Position wb = cur_;
+  const Position we = WindowEnd(wb, end_);
+  const Position base = snapshot_->base_rows();
+
+  position::SetBuilder builder(wb, we);
+  for (Position p = wb; p < we; ++p) {
+    if (snapshot_->IsDeleted(p)) continue;
+    bool pass = true;
+    for (const WsScanColumn& col : columns_) {
+      ++stats_->predicate_evals;
+      if (!col.pred.Eval(snapshot_->tail_values(col.snap_index)[p - base])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) builder.Add(p);
+  }
+
+  out->begin = wb;
+  out->end = we;
+  out->desc = std::move(builder).Build().Compacted();
+  out->minis.clear();
+  // Attach every scanned column as an in-memory uncompressed mini-column so
+  // downstream value access (Merge, LateAgg) never falls back to a reader —
+  // write-store positions are beyond every reader's block range.
+  for (const WsScanColumn& col : columns_) {
+    MiniColumn mini(col.column, snapshot_->tail_meta(col.snap_index));
+    for (const auto& blk : snapshot_->tail_blocks(col.snap_index)) {
+      if (blk->view.end_pos() <= wb || blk->view.start_pos() >= we) continue;
+      mini.AddBlock(blk);
+    }
+    out->minis.push_back(std::move(mini));
+  }
+  cur_ = we;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// WsScanTuple
+// ---------------------------------------------------------------------------
+
+WsScanTuple::WsScanTuple(std::shared_ptr<const write::WriteSnapshot> snapshot,
+                         std::vector<WsScanColumn> columns, ExecStats* stats,
+                         position::Range scan_range)
+    : snapshot_(std::move(snapshot)),
+      columns_(std::move(columns)),
+      stats_(stats) {
+  TailRange(*snapshot_, scan_range, &cur_, &end_);
+}
+
+Result<bool> WsScanTuple::Next(TupleChunk* out) {
+  if (cur_ >= end_) return false;
+  const Position wb = cur_;
+  const Position we = WindowEnd(wb, end_);
+  const Position base = snapshot_->base_rows();
+  const size_t k = columns_.size();
+
+  out->Reset(static_cast<uint32_t>(k));
+  row_buf_.resize(k);
+  for (Position p = wb; p < we; ++p) {
+    if (snapshot_->IsDeleted(p)) continue;
+    bool pass = true;
+    for (size_t c = 0; c < k; ++c) {
+      ++stats_->predicate_evals;
+      Value v = snapshot_->tail_values(columns_[c].snap_index)[p - base];
+      if (!columns_[c].pred.Eval(v)) {
+        pass = false;
+        break;
+      }
+      row_buf_[c] = v;
+    }
+    if (!pass) continue;
+    out->AppendTuple(p, row_buf_.data());
+  }
+  stats_->tuples_constructed += out->num_tuples();
+  cur_ = we;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Delete masks
+// ---------------------------------------------------------------------------
+
+Result<bool> DeleteMaskOp::Next(MultiColumnChunk* out) {
+  MultiColumnChunk in;
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
+  if (!has) return false;
+  if (in.desc.IsEmpty() || !snapshot_->AnyDeletedIn(in.begin, in.end)) {
+    *out = std::move(in);
+    return true;
+  }
+  out->begin = in.begin;
+  out->end = in.end;
+  out->desc = position::PositionSet::Intersect(
+                  in.desc, snapshot_->LiveSet(in.begin, in.end))
+                  .Compacted();
+  out->minis = std::move(in.minis);
+  ++stats_->position_ands;
+  return true;
+}
+
+Result<bool> DeleteMaskTupleOp::Next(TupleChunk* out) {
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in_));
+  if (!has) return false;
+  if (in_.empty() ||
+      !snapshot_->AnyDeletedIn(in_.position(0),
+                               in_.position(in_.num_tuples() - 1) + 1)) {
+    *out = std::move(in_);
+    return true;
+  }
+  out->Reset(in_.width());
+  out->Reserve(in_.num_tuples());
+  for (size_t i = 0; i < in_.num_tuples(); ++i) {
+    if (snapshot_->IsDeleted(in_.position(i))) continue;
+    out->AppendTuple(in_.position(i), in_.tuple(i));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Concatenation
+// ---------------------------------------------------------------------------
+
+Result<bool> ConcatPosOp::Next(MultiColumnChunk* out) {
+  if (!first_done_) {
+    CSTORE_ASSIGN_OR_RETURN(bool has, first_->Next(out));
+    if (has) return true;
+    first_done_ = true;
+  }
+  return second_->Next(out);
+}
+
+Result<bool> ConcatTupleOp::Next(TupleChunk* out) {
+  if (!first_done_) {
+    CSTORE_ASSIGN_OR_RETURN(bool has, first_->Next(out));
+    if (has) return true;
+    first_done_ = true;
+  }
+  return second_->Next(out);
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -25,8 +25,13 @@ uint64_t ChunkDigest(const exec::TupleChunk& chunk) {
 
 Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
                    const std::function<void(const exec::TupleChunk&)>& sink) {
-  storage::IoStats io_before = pool->stats();
+  (void)pool;
   plan->stats().Reset();
+
+  // Attribute this thread's buffer-pool traffic to this query, so RunStats
+  // reports the query's own I/O even when other queries share the pool.
+  storage::IoStats io;
+  storage::BufferPool::ScopedIoAttribution attribution(&io);
 
   Stopwatch timer;
   exec::TupleChunk chunk;
@@ -43,7 +48,7 @@ Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
   }
   stats->wall_micros = timer.ElapsedMicros();
 
-  stats->io = pool->stats() - io_before;
+  stats->io = io;
   stats->charged_io_micros = stats->io.charged_io_micros;
   stats->output_tuples = tuples;
   stats->checksum = checksum;

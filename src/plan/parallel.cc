@@ -39,15 +39,19 @@ PlanTemplate PlanTemplate::Join(JoinQuery query, exec::JoinRightMode mode,
 }
 
 Position PlanTemplate::TotalPositions() const {
+  // With a write snapshot the scanned position space extends past the read
+  // store by the snapshot's tail rows, so morsels cover them too.
+  const Position tail =
+      config.snapshot != nullptr ? config.snapshot->tail_rows() : 0;
   switch (kind) {
     case Kind::kSelection:
-      return selection.columns.empty() ? 0
-                                       : selection.columns[0].reader
-                                             ->num_values();
+      return selection.columns.empty()
+                 ? 0
+                 : selection.columns[0].reader->num_values() + tail;
     case Kind::kAgg:
-      return agg.selection.columns.empty() ? 0
-                                           : agg.selection.columns[0]
-                                                 .reader->num_values();
+      return agg.selection.columns.empty()
+                 ? 0
+                 : agg.selection.columns[0].reader->num_values() + tail;
     case Kind::kJoin:
       return 0;
   }
@@ -90,9 +94,18 @@ Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
   if (workers == 1) {
     // Serial pull loop over the full position space: bit-identical to the
     // pre-parallel executor, including output chunk order.
-    CSTORE_ASSIGN_OR_RETURN(std::unique_ptr<Plan> plan,
-                            tmpl.Instantiate(exec::kFullScanRange));
-    return ExecutePlan(plan.get(), pool, stats, sink);
+    storage::IoStats build_io;
+    Result<std::unique_ptr<Plan>> plan = [&] {
+      // Plan construction may touch blocks (index boundary lookups);
+      // attribute that I/O to this query too, as the pooled path does.
+      storage::BufferPool::ScopedIoAttribution attribution(&build_io);
+      return tmpl.Instantiate(exec::kFullScanRange);
+    }();
+    CSTORE_RETURN_IF_ERROR(plan.status());
+    CSTORE_RETURN_IF_ERROR(ExecutePlan(plan->get(), pool, stats, sink));
+    stats->io += build_io;
+    stats->charged_io_micros = stats->io.charged_io_micros;
+    return Status::OK();
   }
 
   // Submit-and-wait on an ephemeral pool sized to the request, so

@@ -4,6 +4,7 @@
 #include "exec/and_op.h"
 #include "exec/ds_scan.h"
 #include "exec/merge_op.h"
+#include "exec/ws_scan.h"
 #include "util/logging.h"
 
 namespace cstore {
@@ -130,6 +131,100 @@ Result<exec::TupleOp*> BuildEarlyTupleStream(const SelectionQuery& query,
   return stream;
 }
 
+// --- Write-store integration ------------------------------------------------
+
+/// True when the plan must merge write-store state: a snapshot is attached
+/// and it actually holds deletes or tail rows (an empty snapshot builds the
+/// exact pre-write-path plan, keeping the serial path bit-identical).
+bool HasWriteState(const PlanConfig& config) {
+  return config.snapshot != nullptr &&
+         (config.snapshot->has_deletes() ||
+          config.snapshot->tail_rows() > 0);
+}
+
+/// Checks the snapshot matches the readers' generation.
+Status CheckSnapshotGeneration(const SelectionQuery& query,
+                               const write::WriteSnapshot& snap) {
+  if (snap.base_rows() != query.columns[0].reader->num_values()) {
+    return Status::InvalidArgument(
+        "write snapshot generation mismatch: snapshot has " +
+        std::to_string(snap.base_rows()) + " read-store rows, reader has " +
+        std::to_string(query.columns[0].reader->num_values()));
+  }
+  return Status::OK();
+}
+
+/// Maps each scan column to its snapshot schema column (readers are keyed
+/// by storage file). Only needed when a tail leaf is built.
+Result<std::vector<exec::WsScanColumn>> WsColumnsFor(
+    const SelectionQuery& query, const write::WriteSnapshot& snap) {
+  std::vector<exec::WsScanColumn> cols;
+  cols.reserve(query.columns.size());
+  for (uint32_t c = 0; c < query.columns.size(); ++c) {
+    int idx = snap.ColumnIndexForFile(query.columns[c].reader->name());
+    if (idx < 0) {
+      return Status::InvalidArgument(
+          "column file '" + query.columns[c].reader->name() +
+          "' is not part of the write snapshot's table");
+    }
+    cols.push_back(exec::WsScanColumn{c, static_cast<size_t>(idx),
+                                      query.columns[c].pred});
+  }
+  return cols;
+}
+
+/// True when the morsel `scan_range` overlaps the snapshot's tail rows.
+bool RangeTouchesTail(const write::WriteSnapshot& snap,
+                      position::Range scan_range) {
+  return snap.tail_rows() > 0 && scan_range.end > snap.base_rows() &&
+         scan_range.begin < snap.total_rows();
+}
+
+/// Wraps an LM position stream with the snapshot's delete mask and appends
+/// the write-store tail leaf. No-op without write state.
+Result<exec::MultiColumnOp*> ApplyWriteStatePos(exec::MultiColumnOp* stream,
+                                                const SelectionQuery& query,
+                                                const PlanConfig& config,
+                                                Plan* plan) {
+  if (!HasWriteState(config)) return stream;
+  const auto& snap = config.snapshot;
+  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *snap));
+  if (snap->has_deletes()) {
+    stream = plan->Own(
+        std::make_unique<exec::DeleteMaskOp>(stream, snap, &plan->stats()));
+  }
+  if (RangeTouchesTail(*snap, config.scan_range)) {
+    CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
+                            WsColumnsFor(query, *snap));
+    exec::MultiColumnOp* tail = plan->Own(std::make_unique<exec::WsScanPos>(
+        snap, std::move(cols), &plan->stats(), config.scan_range));
+    stream = plan->Own(std::make_unique<exec::ConcatPosOp>(stream, tail));
+  }
+  return stream;
+}
+
+/// EM counterpart of ApplyWriteStatePos.
+Result<exec::TupleOp*> ApplyWriteStateTuple(exec::TupleOp* stream,
+                                            const SelectionQuery& query,
+                                            const PlanConfig& config,
+                                            Plan* plan) {
+  if (!HasWriteState(config)) return stream;
+  const auto& snap = config.snapshot;
+  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *snap));
+  if (snap->has_deletes()) {
+    stream =
+        plan->Own(std::make_unique<exec::DeleteMaskTupleOp>(stream, snap));
+  }
+  if (RangeTouchesTail(*snap, config.scan_range)) {
+    CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
+                            WsColumnsFor(query, *snap));
+    exec::TupleOp* tail = plan->Own(std::make_unique<exec::WsScanTuple>(
+        snap, std::move(cols), &plan->stats(), config.scan_range));
+    stream = plan->Own(std::make_unique<exec::ConcatTupleOp>(stream, tail));
+  }
+  return stream;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
@@ -142,6 +237,8 @@ Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
     CSTORE_ASSIGN_OR_RETURN(
         exec::MultiColumnOp * stream,
         BuildLatePositionStream(query, strategy, config, plan.get()));
+    CSTORE_ASSIGN_OR_RETURN(
+        stream, ApplyWriteStatePos(stream, query, config, plan.get()));
     std::vector<exec::MergeOp::OutputColumn> outs;
     outs.reserve(query.columns.size());
     for (uint32_t c = 0; c < query.columns.size(); ++c) {
@@ -153,6 +250,8 @@ Result<std::unique_ptr<Plan>> BuildSelectionPlan(const SelectionQuery& query,
     CSTORE_ASSIGN_OR_RETURN(
         exec::TupleOp * stream,
         BuildEarlyTupleStream(query, strategy, config, plan.get()));
+    CSTORE_ASSIGN_OR_RETURN(
+        stream, ApplyWriteStateTuple(stream, query, config, plan.get()));
     plan->SetRoot(stream);
   }
   return plan;
@@ -174,6 +273,9 @@ Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
         exec::MultiColumnOp * stream,
         BuildLatePositionStream(query.selection, strategy, config,
                                 plan.get()));
+    CSTORE_ASSIGN_OR_RETURN(
+        stream,
+        ApplyWriteStatePos(stream, query.selection, config, plan.get()));
     // The aggregator consumes positions + mini-columns directly; no tuples
     // are constructed below it.
     uint32_t gidx = query.global ? query.agg_index : query.group_index;
@@ -188,6 +290,9 @@ Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
     CSTORE_ASSIGN_OR_RETURN(
         exec::TupleOp * stream,
         BuildEarlyTupleStream(query.selection, strategy, config, plan.get()));
+    CSTORE_ASSIGN_OR_RETURN(
+        stream,
+        ApplyWriteStateTuple(stream, query.selection, config, plan.get()));
     exec::HashAggOp* root = plan->Own(std::make_unique<exec::HashAggOp>(
         stream, query.global ? query.agg_index : query.group_index,
         query.agg_index, query.func, query.global, &plan->stats()));

@@ -4,6 +4,7 @@
 #ifndef CSTORE_PLAN_QUERY_H_
 #define CSTORE_PLAN_QUERY_H_
 
+#include <memory>
 #include <vector>
 
 #include "codec/column_reader.h"
@@ -12,6 +13,7 @@
 #include "exec/join.h"
 #include "exec/morsel_source.h"
 #include "position/range_set.h"
+#include "write/write_store.h"
 
 namespace cstore {
 namespace plan {
@@ -74,6 +76,17 @@ struct PlanConfig {
   // to hand one morsel to one plan instance. `begin` must be
   // kChunkPositions-aligned; the default covers the whole column.
   position::Range scan_range = exec::kFullScanRange;
+
+  // --- Write-store snapshot ----------------------------------------------
+  // When set, the built plan sees exactly this snapshot's state: scans mask
+  // its deleted positions and append its write-store tail rows (served from
+  // an uncompressed in-memory window) after the read store, extending the
+  // position space to snapshot->total_rows(). Null (the default) scans the
+  // read store alone — bit-identical to the pre-write-path engine. Captured
+  // at plan-build/submit time so concurrent writers never perturb an
+  // in-flight query. Ignored by join plans (join-side write visibility is a
+  // follow-up).
+  std::shared_ptr<const write::WriteSnapshot> snapshot;
 };
 
 }  // namespace plan

@@ -24,6 +24,8 @@ struct QueryState {
   storage::BufferPool* pool = nullptr;
   Scheduler::Sink sink;
   int priority = 1;
+  // Generic background work (SubmitJob): runs instead of a plan.
+  std::function<Status()> job;
 
   // Work distribution. Joins (and empty scans) are one indivisible task;
   // everything else claims chunk-aligned morsels from the source.
@@ -41,12 +43,14 @@ struct QueryState {
     uint64_t checksum = 0;
     uint64_t tuples = 0;
     exec::ExecStats exec;
+    // This worker's buffer-pool traffic for this query (attributed via the
+    // pool's thread-local sink, so concurrent neighbors never bleed in).
+    storage::IoStats io;
     std::unique_ptr<exec::GroupAccumulator> acc;  // aggregations only
     std::vector<exec::TupleChunk> chunks;         // selections/joins w/ sink
   };
   std::vector<Partial> partials;
 
-  storage::IoStats io_before;
   Stopwatch timer;  // submit → finalize
 
   // Completion signal (its own mutex so Wait never contends with dispatch).
@@ -67,11 +71,11 @@ struct QueryState {
 
 using internal::QueryState;
 
-const ExecResult& QueryTicket::Wait() const {
+ExecResult QueryTicket::Wait() const {
   QueryState* q = state_.get();
   std::unique_lock<std::mutex> lock(q->done_mu);
   q->done_cv.wait(lock, [q] { return q->done; });
-  return q->result;
+  return q->result;  // copied under the lock; see header
 }
 
 bool QueryTicket::Done() const {
@@ -133,7 +137,21 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
     }
     q->source = std::make_unique<exec::MorselSource>(total, morsel);
   }
-  q->io_before = pool->stats();
+  q->timer.Restart();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(q);
+  }
+  cv_.notify_all();
+  return QueryTicket(std::move(q));
+}
+
+QueryTicket Scheduler::SubmitJob(std::function<Status()> job, int priority) {
+  auto q = std::make_shared<QueryState>();
+  q->job = std::move(job);
+  q->priority = std::max(1, priority);
+  q->single_task = true;
+  q->partials.resize(num_workers_);
   q->timer.Restart();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -212,6 +230,16 @@ void Scheduler::FailQuery(QueryState* q, const Status& status) {
 void Scheduler::RunTask(int worker_id, const Task& task) {
   QueryState* q = task.query.get();
   QueryState::Partial& partial = q->partials[worker_id];
+  // Route this thread's buffer-pool traffic — plan construction included —
+  // to this (query, worker) partial.
+  storage::BufferPool::ScopedIoAttribution attribution(&partial.io);
+
+  if (q->job) {
+    Status st = q->job();
+    if (!st.ok()) FailQuery(q, st);
+    return;
+  }
+
   Result<std::unique_ptr<plan::Plan>> plan_or =
       q->tmpl.Instantiate(task.morsel);
   if (!plan_or.ok()) {
@@ -259,12 +287,14 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
   uint64_t checksum = 0;
   uint64_t tuples = 0;
   exec::ExecStats exec_total;
+  storage::IoStats io_total;
   for (const QueryState::Partial& p : q->partials) {
     checksum += p.checksum;
     tuples += p.tuples;
     exec_total.Merge(p.exec);
+    io_total += p.io;
   }
-  if (result.status.ok()) {
+  if (result.status.ok() && !q->job) {
     if (q->tmpl.kind == plan::PlanTemplate::Kind::kAgg) {
       exec::GroupAccumulator merged(q->tmpl.agg.func);
       for (const QueryState::Partial& p : q->partials) {
@@ -285,7 +315,7 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
     }
   }
   result.stats.wall_micros = q->timer.ElapsedMicros();
-  result.stats.io = q->pool->stats() - q->io_before;
+  result.stats.io = io_total;
   result.stats.charged_io_micros = result.stats.io.charged_io_micros;
   result.stats.output_tuples = tuples;
   result.stats.checksum = checksum;

@@ -24,9 +24,10 @@
 // Correctness contract (tests/sched_test.cc): for every query in a
 // concurrent mixed batch, output_tuples and the order-independent checksum
 // are bit-identical to that query's serial (workers=1) run, and per-query
-// ExecStats are not cross-contaminated. RunStats::io is the one shared
-// metric: it snapshots the (process-wide) buffer-pool counters around the
-// query's lifetime, so with concurrent neighbors it includes their I/O.
+// ExecStats are not cross-contaminated. RunStats::io is attributed per
+// (query, worker) through the buffer pool's thread-local sink and merged at
+// finalization, so a query's reported I/O is its own even with concurrent
+// neighbors hammering the shared pool.
 //
 // wall_micros measures submit → finalize, i.e. queueing latency is part of
 // a query's reported latency — which is what a throughput bench wants.
@@ -66,7 +67,11 @@ class QueryTicket {
   QueryTicket() = default;
 
   /// Blocks until the query finalizes and returns its result. Idempotent.
-  const ExecResult& Wait() const;
+  /// Returns by value so `scheduler.Submit(...).Wait()` — where the
+  /// temporary ticket (possibly the query state's last owner) dies at the
+  /// end of the expression — hands back a self-contained result instead of
+  /// a dangling reference.
+  ExecResult Wait() const;
 
   bool Done() const;
   bool valid() const { return state_ != nullptr; }
@@ -111,6 +116,14 @@ class Scheduler {
   QueryTicket Submit(const plan::PlanTemplate& tmpl,
                      storage::BufferPool* pool, Sink sink = nullptr,
                      int priority = 1);
+
+  /// Enqueues generic background work (e.g. a TupleMover compaction pass)
+  /// as a single indivisible task on the same pool: it interleaves with
+  /// query morsels under the usual weighted round-robin, so `priority = 1`
+  /// makes it the lowest-priority participant. The ticket resolves to the
+  /// job's returned Status (RunStats carries wall time and the job's own
+  /// attributed I/O).
+  QueryTicket SubmitJob(std::function<Status()> job, int priority = 1);
 
   int num_workers() const { return num_workers_; }
 

@@ -4,13 +4,16 @@
 //   [WHERE cond [AND cond]*]
 //   [GROUP BY column]
 //
+//   INSERT INTO table VALUES (literal [, literal]*) [, (...)]*
+//   DELETE FROM table [WHERE cond [AND cond]*]
+//
 //   item := column | * | SUM(column) | COUNT(column) | MIN(..) | MAX(..)
 //   cond := column (< | <= | = | <> | >= | >) literal
 //         | column BETWEEN literal AND literal
 //   literal := integer | 'YYYY-MM-DD'
 //
 // This covers the paper's evaluation queries (Section 4) plus the obvious
-// variations.
+// variations, and the write statements the write store serves.
 
 #ifndef CSTORE_SQL_AST_H_
 #define CSTORE_SQL_AST_H_
@@ -52,6 +55,27 @@ struct ParsedQuery {
   std::string table;
   std::vector<Condition> conditions;
   std::optional<std::string> group_by;
+};
+
+/// INSERT INTO table VALUES (...), (...): rows in table column order.
+struct ParsedInsert {
+  std::string table;
+  std::vector<std::vector<Literal>> rows;
+};
+
+/// DELETE FROM table [WHERE ...]; no conditions = delete every row.
+struct ParsedDelete {
+  std::string table;
+  std::vector<Condition> conditions;
+};
+
+/// One statement of any supported kind.
+struct ParsedStatement {
+  enum class Kind { kSelect, kInsert, kDelete };
+  Kind kind = Kind::kSelect;
+  ParsedQuery select;    // kSelect
+  ParsedInsert insert;   // kInsert
+  ParsedDelete del;      // kDelete
 };
 
 }  // namespace sql

@@ -88,6 +88,23 @@ struct Bounds {
   }
 };
 
+using BoundsMap = std::map<std::string, Bounds>;
+
+/// Folds WHERE conditions into per-column accumulated bounds (shared by
+/// SELECT binding and DELETE execution, so their semantics never diverge).
+Result<BoundsMap> FoldConditions(const std::vector<Condition>& conditions) {
+  BoundsMap bounds;
+  for (const Condition& cond : conditions) {
+    CSTORE_ASSIGN_OR_RETURN(Value a, LiteralValue(cond.a));
+    Value b = 0;
+    if (cond.op == Condition::Op::kBetween) {
+      CSTORE_ASSIGN_OR_RETURN(b, LiteralValue(cond.b));
+    }
+    CSTORE_RETURN_IF_ERROR(bounds[cond.column].Add(cond.op, a, b));
+  }
+  return bounds;
+}
+
 /// Projects the scan-wide result tuples onto the select list and assembles
 /// the SqlResult (shared by the synchronous and batch paths).
 SqlResult ProjectResult(const std::vector<uint32_t>& output_slots,
@@ -169,14 +186,17 @@ Result<Engine::BoundQuery> Engine::Bind(const ParsedQuery& q) {
   if (!db_->HasTable(q.table)) {
     return Status::NotFound("unknown table '" + q.table + "'");
   }
+  // Capture the table's write state once; columns are resolved from the
+  // snapshot's generation so the readers and the snapshot always agree,
+  // even if the tuple mover swaps the table mid-bind.
+  CSTORE_ASSIGN_OR_RETURN(bound.snapshot, db_->SnapshotTable(q.table));
+  const write::WriteSnapshot& snap = *bound.snapshot;
 
   // Expand the select list.
   std::vector<SelectItem> items;
   for (const SelectItem& item : q.items) {
     if (item.star) {
-      CSTORE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
-                              db_->TableColumns(q.table));
-      for (const std::string& c : cols) {
+      for (const std::string& c : snap.column_names()) {
         SelectItem expanded;
         expanded.column = c;
         items.push_back(expanded);
@@ -190,15 +210,7 @@ Result<Engine::BoundQuery> Engine::Bind(const ParsedQuery& q) {
   }
 
   // Combine WHERE conditions per column into single predicates.
-  std::map<std::string, Bounds> bounds;
-  for (const Condition& cond : q.conditions) {
-    CSTORE_ASSIGN_OR_RETURN(Value a, LiteralValue(cond.a));
-    Value b = 0;
-    if (cond.op == Condition::Op::kBetween) {
-      CSTORE_ASSIGN_OR_RETURN(b, LiteralValue(cond.b));
-    }
-    CSTORE_RETURN_IF_ERROR(bounds[cond.column].Add(cond.op, a, b));
-  }
+  CSTORE_ASSIGN_OR_RETURN(BoundsMap bounds, FoldConditions(q.conditions));
 
   // The scan column list: select-list columns first (deduplicated), then
   // WHERE-only columns.
@@ -206,8 +218,13 @@ Result<Engine::BoundQuery> Engine::Bind(const ParsedQuery& q) {
     for (uint32_t i = 0; i < bound.scan_column_names.size(); ++i) {
       if (bound.scan_column_names[i] == name) return i;
     }
+    int snap_idx = snap.ColumnIndexForName(name);
+    if (snap_idx < 0) {
+      return Status::NotFound("no column '" + name + "' in table '" +
+                              q.table + "'");
+    }
     CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
-                            db_->GetTableColumn(q.table, name));
+                            db_->GetColumn(snap.column_files()[snap_idx]));
     plan::SelectionQuery::Column col;
     col.reader = reader;
     auto it = bounds.find(name);
@@ -371,11 +388,71 @@ Result<std::string> Engine::Explain(const std::string& sql, int num_workers) {
   return advisor.ExplainSelection(input);
 }
 
+Result<SqlResult> Engine::ExecuteInsert(const ParsedInsert& ins) {
+  CSTORE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                          db_->TableColumns(ins.table));
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(ins.rows.size());
+  for (const std::vector<Literal>& row : ins.rows) {
+    if (row.size() != cols.size()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row.size()) + " values, table '" +
+          ins.table + "' has " + std::to_string(cols.size()) + " columns");
+    }
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (const Literal& lit : row) {
+      CSTORE_ASSIGN_OR_RETURN(Value v, LiteralValue(lit));
+      values.push_back(v);
+    }
+    rows.push_back(std::move(values));
+  }
+  CSTORE_RETURN_IF_ERROR(db_->Insert(ins.table, rows));
+  SqlResult out;
+  out.is_write = true;
+  out.rows_affected = rows.size();
+  out.column_names = {"rows_inserted"};
+  out.tuples.Reset(1);
+  Value n = static_cast<Value>(rows.size());
+  out.tuples.AppendTuple(0, &n);
+  out.stats.output_tuples = rows.size();
+  return out;
+}
+
+Result<SqlResult> Engine::ExecuteDelete(const ParsedDelete& del) {
+  CSTORE_ASSIGN_OR_RETURN(BoundsMap bounds, FoldConditions(del.conditions));
+  std::vector<std::pair<std::string, codec::Predicate>> conds;
+  for (const auto& [col, bound] : bounds) {
+    CSTORE_ASSIGN_OR_RETURN(codec::Predicate pred, bound.ToPredicate());
+    conds.emplace_back(col, pred);
+  }
+  plan::RunStats scan_stats;
+  CSTORE_ASSIGN_OR_RETURN(uint64_t deleted,
+                          db_->DeleteWhere(del.table, conds, &scan_stats));
+  SqlResult out;
+  out.is_write = true;
+  out.rows_affected = deleted;
+  out.column_names = {"rows_deleted"};
+  out.tuples.Reset(1);
+  Value n = static_cast<Value>(deleted);
+  out.tuples.AppendTuple(0, &n);
+  // Report the position-finding scan's cost — a DELETE is that scan.
+  out.stats = scan_stats;
+  out.stats.output_tuples = deleted;
+  return out;
+}
+
 Result<SqlResult> Engine::Execute(const std::string& sql,
                                   std::optional<plan::Strategy> strategy,
                                   int num_workers) {
-  CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
-  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
+  CSTORE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql));
+  if (stmt.kind == ParsedStatement::Kind::kInsert) {
+    return ExecuteInsert(stmt.insert);
+  }
+  if (stmt.kind == ParsedStatement::Kind::kDelete) {
+    return ExecuteDelete(stmt.del);
+  }
+  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(stmt.select));
 
   plan::Strategy chosen;
   if (strategy.has_value()) {
@@ -386,6 +463,7 @@ Result<SqlResult> Engine::Execute(const std::string& sql,
 
   plan::PlanConfig config;
   config.num_workers = num_workers;
+  config.snapshot = bound.snapshot;
   Result<db::QueryResult> result =
       bound.is_aggregate ? db_->RunAgg(bound.agg, chosen, config)
                          : db_->RunSelection(bound.selection, chosen, config);
@@ -397,6 +475,7 @@ Result<SqlResult> Engine::Execute(const std::string& sql,
 
 Result<SqlResult> Engine::Pending::Wait() {
   CSTORE_RETURN_IF_ERROR(early_);
+  if (immediate_.has_value()) return std::move(*immediate_);
   CSTORE_ASSIGN_OR_RETURN(db::QueryResult result, query_.Wait());
   return ProjectResult(output_slots_, std::move(output_names_), strategy_,
                        std::move(result));
@@ -410,10 +489,21 @@ std::vector<Engine::Pending> Engine::SubmitAll(
   for (size_t i = 0; i < sqls.size(); ++i) {
     Pending& pending = out[i];
     // Prepare (parse/bind/advise) serially; failures are carried in the
-    // ticket so the caller drains the batch uniformly.
+    // ticket so the caller drains the batch uniformly. Write statements
+    // execute here, at submit time — later statements of the batch bind
+    // snapshots that already include them.
     pending.early_ = [&]() -> Status {
-      CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sqls[i]));
-      CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
+      CSTORE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sqls[i]));
+      if (stmt.kind != ParsedStatement::Kind::kSelect) {
+        CSTORE_ASSIGN_OR_RETURN(
+            SqlResult result,
+            stmt.kind == ParsedStatement::Kind::kInsert
+                ? ExecuteInsert(stmt.insert)
+                : ExecuteDelete(stmt.del));
+        pending.immediate_ = std::move(result);
+        return Status::OK();
+      }
+      CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(stmt.select));
       plan::Strategy chosen;
       if (strategy.has_value()) {
         chosen = *strategy;
@@ -423,6 +513,7 @@ std::vector<Engine::Pending> Engine::SubmitAll(
       }
       plan::PlanConfig config;
       config.num_workers = scheduler->num_workers();
+      config.snapshot = bound.snapshot;
       plan::PlanTemplate tmpl =
           bound.is_aggregate
               ? plan::PlanTemplate::Agg(bound.agg, chosen, config)

@@ -26,16 +26,23 @@ struct SqlResult {
   std::vector<std::string> column_names;
   exec::TupleChunk tuples;
   plan::RunStats stats;
-  plan::Strategy strategy;  // what actually ran
+  plan::Strategy strategy;  // what actually ran (selects only)
+  // Write statements (INSERT / DELETE): rows affected; tuples holds one row
+  // with the same count.
+  bool is_write = false;
+  uint64_t rows_affected = 0;
 };
 
 class Engine {
  public:
   explicit Engine(db::Database* db) : db_(db) {}
 
-  /// Executes `sql`. When `strategy` is not given, the engine estimates
-  /// predicate selectivities from column statistics (uniform-distribution
-  /// interpolation over [min, max]) and lets the model-based Advisor choose.
+  /// Executes `sql` — SELECT, INSERT INTO ... VALUES, or DELETE FROM.
+  /// Every SELECT runs against a write snapshot captured at bind time, so
+  /// it sees all writes executed before this call and none after. When
+  /// `strategy` is not given, the engine estimates predicate selectivities
+  /// from column statistics (uniform-distribution interpolation over
+  /// [min, max]) and lets the model-based Advisor choose.
   /// `num_workers > 1` runs the plan morsel-parallel; result bags are
   /// worker-count independent but selection row order is not.
   Result<SqlResult> Execute(
@@ -70,6 +77,9 @@ class Engine {
     std::vector<uint32_t> output_slots_;
     std::vector<std::string> output_names_;
     plan::Strategy strategy_ = plan::Strategy::kLmParallel;
+    // Write statements execute at submit time; their result is carried
+    // here and Wait() returns it without touching the scheduler.
+    std::optional<SqlResult> immediate_;
   };
 
   /// Launches every statement concurrently on `scheduler`'s shared worker
@@ -93,9 +103,14 @@ class Engine {
     // aggregates, 0 = group value, 1 = aggregate value.
     std::vector<uint32_t> output_slots;
     std::vector<std::string> output_names;
+    // The table's write state as of bind time; attached to the plan so the
+    // query sees exactly this snapshot.
+    std::shared_ptr<const write::WriteSnapshot> snapshot;
   };
 
   Result<BoundQuery> Bind(const ParsedQuery& q);
+  Result<SqlResult> ExecuteInsert(const ParsedInsert& ins);
+  Result<SqlResult> ExecuteDelete(const ParsedDelete& del);
   Result<plan::Strategy> ChooseStrategy(const BoundQuery& bound,
                                         int num_workers);
   model::SelectionModelInput ModelInputFor(const BoundQuery& bound,

@@ -23,6 +23,8 @@ const std::unordered_map<std::string, TokenType>& Keywords() {
       {"sum", TokenType::kSum},       {"count", TokenType::kCount},
       {"min", TokenType::kMin},       {"max", TokenType::kMax},
       {"avg", TokenType::kAvg},
+      {"insert", TokenType::kInsert}, {"into", TokenType::kInto},
+      {"values", TokenType::kValues}, {"delete", TokenType::kDelete},
   };
   return *kKeywords;
 }
@@ -56,6 +58,10 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kMin: return "MIN";
     case TokenType::kMax: return "MAX";
     case TokenType::kAvg: return "AVG";
+    case TokenType::kInsert: return "INSERT";
+    case TokenType::kInto: return "INTO";
+    case TokenType::kValues: return "VALUES";
+    case TokenType::kDelete: return "DELETE";
     case TokenType::kEof: return "end of input";
   }
   return "?";

@@ -42,6 +42,10 @@ enum class TokenType {
   kMin,
   kMax,
   kAvg,
+  kInsert,
+  kInto,
+  kValues,
+  kDelete,
   kEof,
 };
 

@@ -11,29 +11,82 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<ParsedQuery> Run() {
-    ParsedQuery q;
+  Result<ParsedStatement> Run() {
+    ParsedStatement stmt;
+    switch (Peek().type) {
+      case TokenType::kInsert: {
+        stmt.kind = ParsedStatement::Kind::kInsert;
+        CSTORE_RETURN_IF_ERROR(ParseInsert(&stmt.insert));
+        break;
+      }
+      case TokenType::kDelete: {
+        stmt.kind = ParsedStatement::Kind::kDelete;
+        CSTORE_RETURN_IF_ERROR(ParseDelete(&stmt.del));
+        break;
+      }
+      default: {
+        stmt.kind = ParsedStatement::Kind::kSelect;
+        CSTORE_RETURN_IF_ERROR(ParseSelect(&stmt.select));
+        break;
+      }
+    }
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kEof));
+    return stmt;
+  }
+
+ private:
+  Status ParseSelect(ParsedQuery* q) {
     CSTORE_RETURN_IF_ERROR(Expect(TokenType::kSelect));
-    CSTORE_RETURN_IF_ERROR(ParseSelectList(&q));
+    CSTORE_RETURN_IF_ERROR(ParseSelectList(q));
     CSTORE_RETURN_IF_ERROR(Expect(TokenType::kFrom));
-    CSTORE_ASSIGN_OR_RETURN(q.table, ExpectIdentifier());
+    CSTORE_ASSIGN_OR_RETURN(q->table, ExpectIdentifier());
     if (Accept(TokenType::kWhere)) {
       do {
         Condition cond;
         CSTORE_RETURN_IF_ERROR(ParseCondition(&cond));
-        q.conditions.push_back(std::move(cond));
+        q->conditions.push_back(std::move(cond));
       } while (Accept(TokenType::kAnd));
     }
     if (Accept(TokenType::kGroup)) {
       CSTORE_RETURN_IF_ERROR(Expect(TokenType::kBy));
       CSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
-      q.group_by = std::move(col);
+      q->group_by = std::move(col);
     }
-    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kEof));
-    return q;
+    return Status::OK();
   }
 
- private:
+  Status ParseInsert(ParsedInsert* ins) {
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kInsert));
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kInto));
+    CSTORE_ASSIGN_OR_RETURN(ins->table, ExpectIdentifier());
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kValues));
+    do {
+      CSTORE_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      std::vector<Literal> row;
+      do {
+        CSTORE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        row.push_back(std::move(lit));
+      } while (Accept(TokenType::kComma));
+      CSTORE_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      ins->rows.push_back(std::move(row));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseDelete(ParsedDelete* del) {
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kDelete));
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+    CSTORE_ASSIGN_OR_RETURN(del->table, ExpectIdentifier());
+    if (Accept(TokenType::kWhere)) {
+      do {
+        Condition cond;
+        CSTORE_RETURN_IF_ERROR(ParseCondition(&cond));
+        del->conditions.push_back(std::move(cond));
+      } while (Accept(TokenType::kAnd));
+    }
+    return Status::OK();
+  }
+
   const Token& Peek() const { return tokens_[pos_]; }
 
   bool Accept(TokenType t) {
@@ -177,10 +230,18 @@ class Parser {
 
 }  // namespace
 
-Result<ParsedQuery> Parse(const std::string& input) {
+Result<ParsedStatement> ParseStatement(const std::string& input) {
   CSTORE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   Parser parser(std::move(tokens));
   return parser.Run();
+}
+
+Result<ParsedQuery> Parse(const std::string& input) {
+  CSTORE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(input));
+  if (stmt.kind != ParsedStatement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
 }
 
 }  // namespace sql

@@ -11,7 +11,12 @@
 namespace cstore {
 namespace sql {
 
+/// Parses a SELECT statement (errors on write statements).
 Result<ParsedQuery> Parse(const std::string& input);
+
+/// Parses any supported statement: SELECT, INSERT INTO ... VALUES,
+/// DELETE FROM ... [WHERE ...].
+Result<ParsedStatement> ParseStatement(const std::string& input);
 
 }  // namespace sql
 }  // namespace cstore

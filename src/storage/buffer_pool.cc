@@ -7,6 +7,25 @@
 namespace cstore {
 namespace storage {
 
+namespace {
+// Per-thread attribution sink (see BufferPool::SetThreadAttribution). A
+// worker executes one query task at a time, so routing this thread's
+// counter updates to the task's own IoStats attributes I/O per query even
+// when many queries share the pool.
+thread_local IoStats* t_io_sink = nullptr;
+}  // namespace
+
+void BufferPool::SetThreadAttribution(IoStats* sink) { t_io_sink = sink; }
+
+BufferPool::ScopedIoAttribution::ScopedIoAttribution(IoStats* sink)
+    : previous_(t_io_sink) {
+  t_io_sink = sink;
+}
+
+BufferPool::ScopedIoAttribution::~ScopedIoAttribution() {
+  t_io_sink = previous_;
+}
+
 PageRef::PageRef(BufferPool* pool, uint32_t frame)
     : pool_(pool), frame_(frame) {}
 
@@ -110,6 +129,7 @@ Result<uint32_t> BufferPool::GetFreeFrame() {
     map_.erase(Key{f.file.id, f.block_no});
     f.valid = false;
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) ++t_io_sink->evictions;
   }
   return victim;
 }
@@ -121,6 +141,7 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
   if (it != map_.end()) {
     uint32_t frame = it->second;
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) ++t_io_sink->cache_hits;
     Pin(frame);
     // Another worker is still reading this block; wait until its payload is
     // complete. The pin taken above keeps the frame from being evicted.
@@ -148,6 +169,7 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
   // when it continues any active stream of this file (its own worker's
   // previous claim + 1); otherwise it starts a new stream and is a seek.
   stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
+  if (t_io_sink != nullptr) ++t_io_sink->physical_reads;
   std::vector<uint64_t>& streams = next_sequential_[file.id];
   bool sequential = false;
   for (uint64_t& next : streams) {
@@ -159,11 +181,14 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
   }
   if (!sequential) {
     stats_.seeks.fetch_add(1, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) ++t_io_sink->seeks;
     streams.push_back(block_no + 1);
     if (streams.size() > kMaxSeekStreams) streams.erase(streams.begin());
   }
   if (disk_model_ != nullptr) {
-    stats_.AddChargedMicros(disk_model_->CostForRead(sequential));
+    double micros = disk_model_->CostForRead(sequential);
+    stats_.AddChargedMicros(micros);
+    if (t_io_sink != nullptr) t_io_sink->charged_io_micros += micros;
   }
 
   // The actual file read runs without the pool lock so concurrent workers
@@ -180,8 +205,11 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
     // (best-effort for the stream — a concurrent claim may have advanced
     // it past our entry meanwhile, in which case it stays).
     stats_.physical_reads.fetch_sub(1, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) --t_io_sink->physical_reads;
     if (disk_model_ != nullptr) {
-      stats_.AddChargedMicros(-disk_model_->CostForRead(sequential));
+      double micros = disk_model_->CostForRead(sequential);
+      stats_.AddChargedMicros(-micros);
+      if (t_io_sink != nullptr) t_io_sink->charged_io_micros -= micros;
     }
     std::vector<uint64_t>& failed_streams = next_sequential_[file.id];
     if (sequential) {
@@ -193,6 +221,7 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
       }
     } else {
       stats_.seeks.fetch_sub(1, std::memory_order_relaxed);
+      if (t_io_sink != nullptr) --t_io_sink->seeks;
       for (size_t i = failed_streams.size(); i-- > 0;) {
         if (failed_streams[i] == block_no + 1) {
           failed_streams.erase(failed_streams.begin() + i);  // drop ours

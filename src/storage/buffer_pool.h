@@ -86,6 +86,26 @@ class BufferPool {
   IoStats stats() const;
   void ResetStats();
 
+  /// Per-query I/O attribution: while set, every counter update performed
+  /// *by the calling thread* (on any BufferPool) is also added to `*sink`.
+  /// Thread-local, so concurrent queries on a shared pool each see exactly
+  /// their own I/O instead of a snapshot of the process-wide counters.
+  /// Pass nullptr to detach. Prefer ScopedIoAttribution.
+  static void SetThreadAttribution(IoStats* sink);
+
+  /// RAII attachment of the calling thread's I/O to `sink` (restores the
+  /// previous attribution on destruction, so scopes nest).
+  class ScopedIoAttribution {
+   public:
+    explicit ScopedIoAttribution(IoStats* sink);
+    ~ScopedIoAttribution();
+    ScopedIoAttribution(const ScopedIoAttribution&) = delete;
+    ScopedIoAttribution& operator=(const ScopedIoAttribution&) = delete;
+
+   private:
+    IoStats* previous_;
+  };
+
   size_t capacity() const { return frames_.size(); }
   size_t num_cached() const {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -39,6 +39,7 @@ FileManager::~FileManager() {
   for (auto& f : files_) {
     if (f.fd >= 0) ::close(f.fd);
   }
+  for (int fd : retired_fds_) ::close(fd);
 }
 
 std::string FileManager::PathFor(const std::string& name) const {
@@ -53,11 +54,14 @@ const FileManager::OpenFile* FileManager::GetFile(FileId file) const {
 Result<FileId> FileManager::Create(const std::string& name) {
   int fd = ::open(PathFor(name).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("create " + name));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
-    // Re-created: replace the stale descriptor.
+    // Re-created: replace the stale descriptor. The old fd is parked, not
+    // closed — a concurrent ReadBlock may hold a copy of it outside the
+    // lock, and closing here would hand its pread a recycled descriptor.
     OpenFile& of = files_[it->second];
-    if (of.fd >= 0) ::close(of.fd);
+    if (of.fd >= 0) retired_fds_.push_back(of.fd);
     of.fd = fd;
     of.num_blocks = 0;
     return FileId{it->second};
@@ -69,6 +73,7 @@ Result<FileId> FileManager::Create(const std::string& name) {
 }
 
 Result<FileId> FileManager::OpenExisting(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return FileId{it->second};
   int fd = ::open(PathFor(name).c_str(), O_RDWR);
@@ -95,6 +100,7 @@ bool FileManager::Exists(const std::string& name) const {
 }
 
 Result<uint64_t> FileManager::AppendBlock(FileId file, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   OpenFile* of = const_cast<OpenFile*>(GetFile(file));
   if (of == nullptr || of->fd < 0) {
     return Status::InvalidArgument("invalid file handle");
@@ -109,26 +115,35 @@ Result<uint64_t> FileManager::AppendBlock(FileId file, const Page& page) {
 
 Status FileManager::ReadBlock(FileId file, uint64_t block_no,
                               Page* page) const {
-  const OpenFile* of = GetFile(file);
-  if (of == nullptr || of->fd < 0) {
-    return Status::InvalidArgument("invalid file handle");
+  int fd = -1;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const OpenFile* of = GetFile(file);
+    if (of == nullptr || of->fd < 0) {
+      return Status::InvalidArgument("invalid file handle");
+    }
+    if (block_no >= of->num_blocks) {
+      return Status::OutOfRange("block " + std::to_string(block_no) +
+                                " beyond end of " + of->name);
+    }
+    fd = of->fd;
+    name = of->name;
   }
-  if (block_no >= of->num_blocks) {
-    return Status::OutOfRange("block " + std::to_string(block_no) +
-                              " beyond end of " + of->name);
-  }
+  // pread outside the lock: concurrent readers overlap their I/O.
   off_t offset = static_cast<off_t>(block_no) * kPageSize;
-  ssize_t n = ::pread(of->fd, page->data(), kPageSize, offset);
+  ssize_t n = ::pread(fd, page->data(), kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError(ErrnoMessage("read " + of->name));
+    return Status::IOError(ErrnoMessage("read " + name));
   }
   if (page->header()->magic != BlockHeader::kMagic) {
-    return Status::Corruption("bad block magic in " + of->name);
+    return Status::Corruption("bad block magic in " + name);
   }
   return Status::OK();
 }
 
 Result<uint64_t> FileManager::NumBlocks(FileId file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const OpenFile* of = GetFile(file);
   if (of == nullptr) return Status::InvalidArgument("invalid file handle");
   return of->num_blocks;

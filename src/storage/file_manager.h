@@ -1,10 +1,16 @@
 // FileManager owns the column files of a database directory. Each column of
 // a projection lives in its own file, a dense sequence of 64 KB blocks.
+//
+// Thread safety: all operations may be called concurrently (the tuple mover
+// creates and appends new column generations while query workers read
+// existing files). A single mutex guards the registry; block reads copy the
+// descriptor under the lock and pread outside it.
 
 #ifndef CSTORE_STORAGE_FILE_MANAGER_H_
 #define CSTORE_STORAGE_FILE_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -68,11 +74,15 @@ class FileManager {
   };
 
   std::string PathFor(const std::string& name) const;
-  const OpenFile* GetFile(FileId file) const;
+  const OpenFile* GetFile(FileId file) const;  // requires mu_ held
 
   std::string dir_;
+  mutable std::mutex mu_;  // guards files_, by_name_, retired_fds_
   std::vector<OpenFile> files_;
   std::unordered_map<std::string, uint32_t> by_name_;
+  // Descriptors of re-created files: parked until destruction because a
+  // concurrent reader may still pread a copied fd outside the lock.
+  std::vector<int> retired_fds_;
 };
 
 }  // namespace storage

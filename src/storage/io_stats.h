@@ -23,6 +23,15 @@ struct IoStats {
   // Microseconds of simulated disk time charged by the DiskModel.
   double charged_io_micros = 0;
 
+  IoStats& operator+=(const IoStats& other) {
+    cache_hits += other.cache_hits;
+    physical_reads += other.physical_reads;
+    seeks += other.seeks;
+    evictions += other.evictions;
+    charged_io_micros += other.charged_io_micros;
+    return *this;
+  }
+
   IoStats operator-(const IoStats& other) const {
     IoStats d;
     d.cache_hits = cache_hits - other.cache_hits;

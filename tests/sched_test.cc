@@ -212,6 +212,46 @@ TEST_F(SchedTest, ExecStatsNotCrossContaminated) {
   }
 }
 
+TEST_F(SchedTest, IoStatsAttributedPerQueryNotPerPool) {
+  // RunStats::io must be the query's own buffer-pool traffic, not a
+  // snapshot of the shared counters: total block requests (hits +
+  // physical reads) per query are deterministic — the same windows fetch
+  // the same blocks — so a query racing a noisy batch must report exactly
+  // what it reports running alone.
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+
+  uint64_t solo_requests = 0;
+  {
+    sched::Scheduler scheduler(opts);
+    const sched::ExecResult& r =
+        scheduler.Submit(templates[0], db_->pool()).Wait();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    solo_requests = r.stats.io.cache_hits + r.stats.io.physical_reads;
+  }
+  ASSERT_GT(solo_requests, 0u);
+
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    tickets.push_back(scheduler.Submit(tmpl, db_->pool()));
+  }
+  const sched::ExecResult& r = tickets[0].Wait();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.stats.io.cache_hits + r.stats.io.physical_reads,
+            solo_requests);
+  // The neighbors collectively touched far more blocks than query 0; with
+  // pool-snapshot attribution their traffic would have bled into it.
+  uint64_t batch_requests = 0;
+  for (sched::QueryTicket& t : tickets) {
+    const sched::ExecResult& tr = t.Wait();
+    EXPECT_TRUE(tr.status.ok());
+    batch_requests += tr.stats.io.cache_hits + tr.stats.io.physical_reads;
+  }
+  EXPECT_GT(batch_requests, solo_requests);
+}
+
 TEST_F(SchedTest, PriorityQueriesCompleteAndStayCorrect) {
   std::vector<plan::PlanTemplate> templates = MixedTemplates();
   std::vector<uint64_t> checksums;
