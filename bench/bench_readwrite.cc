@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/connection.h"
 #include "bench_common.h"
 #include "sched/scheduler.h"
 #include "util/random.h"
@@ -93,27 +94,27 @@ struct WaveResult {
   std::vector<double> lat_ms;
 };
 
-WaveResult RunWaves(db::Database* db, sched::Scheduler* scheduler,
+WaveResult RunWaves(db::Database* db, api::Connection* conn,
                     const std::vector<Spec>& specs, Value shipdate_mid,
                     int concurrency, int waves) {
   WaveResult out;
   Stopwatch wall;
   int total = 0;
   for (int w = 0; w < waves; ++w) {
-    std::vector<sched::QueryTicket> tickets;
+    std::vector<api::PendingResult> pending;
     for (int i = 0; i < concurrency; ++i) {
       auto snap = db->SnapshotTable("lineitem");
       CSTORE_CHECK(snap.ok()) << snap.status().ToString();
       auto tmpl = BindTemplate(db, specs[i % specs.size()], shipdate_mid,
                                std::move(*snap));
       CSTORE_CHECK(tmpl.ok()) << tmpl.status().ToString();
-      tickets.push_back(scheduler->Submit(*tmpl, db->pool()));
+      pending.push_back(conn->Submit(*tmpl, /*materialize=*/false));
       ++total;
     }
-    for (sched::QueryTicket& t : tickets) {
-      const sched::ExecResult& r = t.Wait();
-      CSTORE_CHECK(r.status.ok()) << r.status.ToString();
-      out.lat_ms.push_back(r.stats.wall_micros / 1000.0);
+    for (api::PendingResult& p : pending) {
+      auto r = p.Wait();
+      CSTORE_CHECK(r.ok()) << r.status().ToString();
+      out.lat_ms.push_back(r->stats.wall_micros / 1000.0);
     }
   }
   out.qps = total * 1000.0 / wall.ElapsedMillis();
@@ -167,19 +168,19 @@ int SelfVerify(db::Database* db, const std::vector<Spec>& specs,
   sched::Scheduler::Options so;
   so.num_workers = workers;
   sched::Scheduler scheduler(so);
+  api::Connection serial(db);
+  api::Connection pooled(db, &scheduler);
   for (const Spec& spec : specs) {
     auto tmpl = BindTemplate(db, spec, shipdate_mid, *snap);
     CSTORE_CHECK(tmpl.ok()) << tmpl.status().ToString();
     plan::PlanTemplate serial_tmpl = *tmpl;
     serial_tmpl.config.num_workers = 1;
-    plan::RunStats serial_stats;
-    Status st = plan::ExecuteParallel(serial_tmpl, db->pool(), &serial_stats);
-    CSTORE_CHECK(st.ok()) << st.ToString();
-    const sched::ExecResult& pooled =
-        scheduler.Submit(*tmpl, db->pool()).Wait();
-    CSTORE_CHECK(pooled.status.ok()) << pooled.status.ToString();
-    if (pooled.stats.checksum != serial_stats.checksum ||
-        pooled.stats.output_tuples != serial_stats.output_tuples) {
+    auto serial_r = serial.Query(serial_tmpl);
+    CSTORE_CHECK(serial_r.ok()) << serial_r.status().ToString();
+    auto pooled_r = pooled.Submit(*tmpl).Wait();
+    CSTORE_CHECK(pooled_r.ok()) << pooled_r.status().ToString();
+    if (pooled_r->stats.checksum != serial_r->stats.checksum ||
+        pooled_r->stats.output_tuples != serial_r->stats.output_tuples) {
       std::fprintf(stderr, "MISMATCH %s: pooled vs quiesced serial\n",
                    spec.name.c_str());
       ++mismatches;
@@ -224,6 +225,7 @@ int main(int argc, char** argv) {
       sched::Scheduler::Options so;
       so.num_workers = workers;
       sched::Scheduler scheduler(so);
+      api::Connection conn(db.get(), &scheduler);
 
       // Phase A: write store growing under the target write rate.
       std::atomic<bool> stop{false};
@@ -235,7 +237,7 @@ int main(int argc, char** argv) {
         // Let the write store accumulate a real tail first.
         std::this_thread::sleep_for(std::chrono::milliseconds(150));
       }
-      WaveResult tail = RunWaves(db.get(), &scheduler, specs, shipdate_mid,
+      WaveResult tail = RunWaves(db.get(), &conn, specs, shipdate_mid,
                                  opts.concurrency_sweep[0], waves);
       uint64_t ws_rows = db->PendingWriteRows("lineitem");
       if (rate > 0) {
@@ -258,7 +260,7 @@ int main(int argc, char** argv) {
       // Phase B: quiesced + compacted — what the tuple mover buys back.
       auto moved = db->CompactTable("lineitem");
       CSTORE_CHECK(moved.ok()) << moved.status().ToString();
-      WaveResult compacted = RunWaves(db.get(), &scheduler, specs,
+      WaveResult compacted = RunWaves(db.get(), &conn, specs,
                                       shipdate_mid,
                                       opts.concurrency_sweep[0], waves);
       table.AddRow({std::to_string(workers), std::to_string(rate),

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "api/connection.h"
 #include "bench_common.h"
 #include "sched/scheduler.h"
 #include "util/stopwatch.h"
@@ -107,15 +108,15 @@ int main(int argc, char** argv) {
   std::vector<QuerySpec> specs = BuildSpecs(*li, *jc);
 
   // Serial ground truth (also warms the buffer pool — throughput batches
-  // measure scheduling, not first-touch I/O).
+  // measure scheduling, not first-touch I/O), via a standalone connection.
+  api::Connection conn(db.get());
   for (QuerySpec& spec : specs) {
     plan::PlanTemplate tmpl = spec.tmpl;
     tmpl.config.num_workers = 1;
-    plan::RunStats stats;
-    Status st = plan::ExecuteParallel(tmpl, db->pool(), &stats);
-    CSTORE_CHECK(st.ok()) << spec.name << ": " << st.ToString();
-    spec.checksum = stats.checksum;
-    spec.output_tuples = stats.output_tuples;
+    auto r = conn.Query(tmpl);
+    CSTORE_CHECK(r.ok()) << spec.name << ": " << r.status().ToString();
+    spec.checksum = r->stats.checksum;
+    spec.output_tuples = r->stats.output_tuples;
   }
 
   std::printf(
@@ -147,12 +148,11 @@ int main(int argc, char** argv) {
         for (const QuerySpec* spec : batch) {
           plan::PlanTemplate tmpl = spec->tmpl;
           tmpl.config.num_workers = workers;
-          plan::RunStats stats;
-          Status st = plan::ExecuteParallel(tmpl, db->pool(), &stats);
-          CSTORE_CHECK(st.ok()) << spec->name << ": " << st.ToString();
-          lat.push_back(stats.wall_micros / 1000.0);
-          if (stats.checksum != spec->checksum ||
-              stats.output_tuples != spec->output_tuples) {
+          auto r = conn.Query(tmpl);
+          CSTORE_CHECK(r.ok()) << spec->name << ": " << r.status().ToString();
+          lat.push_back(r->stats.wall_micros / 1000.0);
+          if (r->stats.checksum != spec->checksum ||
+              r->stats.output_tuples != spec->output_tuples) {
             std::fprintf(stderr, "MISMATCH (back-to-back) %s\n",
                          spec->name.c_str());
             ++mismatches;
@@ -166,22 +166,24 @@ int main(int argc, char** argv) {
         // Shared pool: all K queries in flight on the same W workers.
         lat.clear();
         Stopwatch pooled_wall;
-        std::vector<sched::QueryTicket> tickets;
         {
           sched::Scheduler::Options so;
           so.num_workers = workers;
           sched::Scheduler scheduler(so);
-          tickets.reserve(batch.size());
+          api::Connection pooled(db.get(), &scheduler);
+          std::vector<api::PendingResult> pending;
+          pending.reserve(batch.size());
           for (const QuerySpec* spec : batch) {
-            tickets.push_back(scheduler.Submit(spec->tmpl, db->pool()));
+            pending.push_back(
+                pooled.Submit(spec->tmpl, /*materialize=*/false));
           }
-          for (size_t i = 0; i < tickets.size(); ++i) {
-            const sched::ExecResult& r = tickets[i].Wait();
-            CSTORE_CHECK(r.status.ok())
-                << batch[i]->name << ": " << r.status.ToString();
-            lat.push_back(r.stats.wall_micros / 1000.0);
-            if (r.stats.checksum != batch[i]->checksum ||
-                r.stats.output_tuples != batch[i]->output_tuples) {
+          for (size_t i = 0; i < pending.size(); ++i) {
+            auto r = pending[i].Wait();
+            CSTORE_CHECK(r.ok())
+                << batch[i]->name << ": " << r.status().ToString();
+            lat.push_back(r->stats.wall_micros / 1000.0);
+            if (r->stats.checksum != batch[i]->checksum ||
+                r->stats.output_tuples != batch[i]->output_tuples) {
               std::fprintf(stderr, "MISMATCH (shared-pool) %s\n",
                            batch[i]->name.c_str());
               ++mismatches;

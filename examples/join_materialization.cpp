@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/connection.h"
 #include "db/database.h"
 #include "tpch/loader.h"
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   q.right_key = jc.customer_custkey;
   q.right_payload = jc.customer_nationcode;
 
+  api::Connection conn(db.get());
   std::printf("%-22s %10s %10s %14s %16s\n", "inner-table mode", "rows",
               "time(ms)", "tuples-built", "values-gathered");
   const exec::JoinRightMode modes[] = {exec::JoinRightMode::kMaterialized,
@@ -49,7 +51,7 @@ int main(int argc, char** argv) {
                                        exec::JoinRightMode::kSingleColumn};
   for (exec::JoinRightMode mode : modes) {
     db->DropCaches();
-    auto r = db->RunJoin(q, mode);
+    auto r = conn.Query(plan::PlanTemplate::Join(q, mode));
     CSTORE_CHECK(r.ok()) << r.status().ToString();
     std::printf("%-22s %10llu %10.1f %14llu %16llu\n",
                 JoinRightModeName(mode),

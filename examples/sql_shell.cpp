@@ -1,6 +1,6 @@
 // SQL shell: run warehouse queries against the TPC-H-like database from the
 // command line — the row-store-compatible interface the paper's
-// introduction demands of column stores, end to end.
+// introduction demands of column stores, end to end, on api::Connection.
 //
 //   build/sql_shell                                # interactive REPL
 //   build/sql_shell "SELECT ... FROM lineitem ..."
@@ -17,16 +17,17 @@
 //
 // Script mode launches every statement of the file (one per line; blank
 // lines and #-comments skipped; strategy prefixes honoured per line)
-// concurrently on one shared sched::Scheduler pool of --pool=N workers, and
-// prints per-statement latency plus batch throughput — the heavy-traffic
-// shape the scheduler exists for. Any statement that fails to parse or
-// execute is reported with the offending SQL and the process exits
+// concurrently through one pooled api::Connection over a --pool=N-worker
+// scheduler, and prints per-statement latency plus batch throughput — the
+// heavy-traffic shape the scheduler exists for. Any statement that fails to
+// parse or execute is reported with the offending SQL and the process exits
 // non-zero.
 //
-// Writes are supported everywhere: INSERT INTO t VALUES (...), (...) and
-// DELETE FROM t [WHERE ...] go to the table's write store; SELECTs see a
-// snapshot taken when they are submitted. In script mode writes execute at
-// submit time, so later statements of the script observe them.
+// Writes are supported everywhere: INSERT INTO t VALUES (...), (...),
+// DELETE FROM t [WHERE ...], and UPDATE t SET c = v [WHERE ...] go to the
+// table's write store; SELECTs see a snapshot taken when they are
+// submitted. In script mode writes execute at submit time, so later
+// statements of the script observe them.
 
 #include <cstdio>
 #include <fstream>
@@ -35,8 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "api/connection.h"
 #include "sched/scheduler.h"
-#include "sql/engine.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
 #include "util/stopwatch.h"
@@ -85,12 +86,12 @@ int StripWorkersPrefix(std::string* sql) {
   return workers;
 }
 
-bool RunOne(sql::Engine* engine, std::string sql) {
+bool RunOne(api::Connection* conn, std::string sql) {
   TrimLeading(&sql);
   int workers = StripWorkersPrefix(&sql);
   TrimLeading(&sql);
   if (sql.rfind("explain ", 0) == 0 || sql.rfind("EXPLAIN ", 0) == 0) {
-    auto report = engine->Explain(sql.substr(8), workers);
+    auto report = conn->Explain(sql.substr(8), workers);
     if (!report.ok()) {
       std::printf("error: %s\n", report.status().ToString().c_str());
       return false;
@@ -102,7 +103,7 @@ bool RunOne(sql::Engine* engine, std::string sql) {
   TrimLeading(&sql);
   if (workers == 1) workers = StripWorkersPrefix(&sql);  // either order
   TrimLeading(&sql);
-  auto r = engine->Execute(sql, strategy, workers);
+  auto r = conn->Query(sql, strategy, workers);
   if (!r.ok()) {
     std::printf("error: %s\n    %s\n", r.status().ToString().c_str(),
                 sql.c_str());
@@ -137,10 +138,9 @@ bool RunOne(sql::Engine* engine, std::string sql) {
   return true;
 }
 
-/// Script mode: submit every statement at once to one shared pool, then
-/// report results in statement order.
-int RunScript(sql::Engine* engine, const std::string& path,
-              int pool_workers) {
+/// Script mode: submit every statement at once through one pooled
+/// connection, then report results in statement order.
+int RunScript(db::Database* db, const std::string& path, int pool_workers) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot open script '%s'\n", path.c_str());
@@ -165,18 +165,15 @@ int RunScript(sql::Engine* engine, const std::string& path,
   sched::Scheduler::Options opts;
   opts.num_workers = pool_workers;
   sched::Scheduler scheduler(opts);
+  api::Connection conn(db, &scheduler);
   std::printf("launching %zu statements on a %d-worker pool ...\n",
               statements.size(), scheduler.num_workers());
 
   Stopwatch batch;
-  std::vector<sql::Engine::Pending> pendings;
+  std::vector<api::PendingResult> pendings;
   pendings.reserve(statements.size());
   for (size_t i = 0; i < statements.size(); ++i) {
-    // One SubmitAll per statement so each keeps its own strategy prefix;
-    // they all land in the same scheduler and interleave regardless.
-    std::vector<sql::Engine::Pending> one =
-        engine->SubmitAll({statements[i]}, &scheduler, strategies[i]);
-    pendings.push_back(std::move(one[0]));
+    pendings.push_back(conn.Submit(statements[i], strategies[i]));
   }
 
   int failures = 0;
@@ -243,11 +240,12 @@ int main(int argc, char** argv) {
   std::printf("loading TPC-H-like tables (sf 0.02) ...\n");
   CSTORE_CHECK(tpch::LoadLineitem(db.get(), 0.02).ok());
   CSTORE_CHECK(tpch::LoadJoinTables(db.get(), 0.02).ok());
-  sql::Engine engine(db.get());
 
-  if (!script.empty()) return RunScript(&engine, script, pool_workers);
+  if (!script.empty()) return RunScript(db.get(), script, pool_workers);
+
+  api::Connection conn(db.get());
   if (!one_shot.empty()) {
-    return RunOne(&engine, one_shot) ? 0 : 1;
+    return RunOne(&conn, one_shot) ? 0 : 1;
   }
 
   std::printf(
@@ -256,6 +254,7 @@ int main(int argc, char** argv) {
       "customer(custkey, nationcode)\n"
       "example: SELECT shipdate, SUM(linenum) FROM lineitem WHERE shipdate "
       "< '1994-01-01' AND linenum < 7 GROUP BY shipdate\n"
+      "writes:  UPDATE lineitem SET quantity = 1 WHERE linenum = 7\n"
       "prefix with 'explain ' for the advisor's cost report; ctrl-d to "
       "exit\n");
   std::string line;
@@ -264,7 +263,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
-    RunOne(&engine, line);
+    RunOne(&conn, line);
   }
   std::printf("\n");
   return 0;

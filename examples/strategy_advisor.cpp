@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/connection.h"
 #include "db/database.h"
 #include "model/advisor.h"
 #include "model/calibrate.h"
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
   model::Advisor advisor(params);
   std::printf("calibrated: %s\n\n", params.ToString().c_str());
 
+  api::Connection conn(db.get());
+
   // Advise across operating points: vary the shipdate threshold.
   struct Scenario {
     const char* name;
@@ -103,7 +106,7 @@ int main(int argc, char** argv) {
         continue;
       }
       db->DropCaches();
-      auto r = db->RunSelection(q, pred.strategy);
+      auto r = conn.Query(plan::PlanTemplate::Selection(q, pred.strategy));
       CSTORE_CHECK(r.ok()) << r.status().ToString();
       double actual = r->stats.TotalMillis();
       if (actual < best_actual) {

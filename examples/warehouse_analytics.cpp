@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/connection.h"
 #include "db/database.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
@@ -16,7 +17,8 @@ using namespace cstore;  // NOLINT
 
 namespace {
 
-void RunSelectionAt(db::Database* db, const tpch::LineitemColumns& li,
+void RunSelectionAt(db::Database* db, api::Connection* conn,
+                    const tpch::LineitemColumns& li,
                     const char* date, Value threshold) {
   plan::SelectionQuery q;
   q.columns.push_back({li.shipdate, codec::Predicate::LessThan(threshold)});
@@ -29,7 +31,7 @@ void RunSelectionAt(db::Database* db, const tpch::LineitemColumns& li,
   std::printf("%-14s %10s %10s\n", "strategy", "rows", "time(ms)");
   for (plan::Strategy s : plan::kAllStrategies) {
     db->DropCaches();
-    auto r = db->RunSelection(q, s);
+    auto r = conn->Query(plan::PlanTemplate::Selection(q, s));
     CSTORE_CHECK(r.ok()) << r.status().ToString();
     std::printf("%-14s %10llu %10.1f\n", StrategyName(s),
                 static_cast<unsigned long long>(r->stats.output_tuples),
@@ -37,7 +39,8 @@ void RunSelectionAt(db::Database* db, const tpch::LineitemColumns& li,
   }
 }
 
-void RunAggAt(db::Database* db, const tpch::LineitemColumns& li,
+void RunAggAt(db::Database* db, api::Connection* conn,
+              const tpch::LineitemColumns& li,
               const char* date, Value threshold) {
   plan::AggQuery q;
   q.selection.columns.push_back(
@@ -54,10 +57,10 @@ void RunAggAt(db::Database* db, const tpch::LineitemColumns& li,
       date);
   std::printf("%-14s %10s %10s\n", "strategy", "groups", "time(ms)");
   uint64_t shown = 0;
-  db::QueryResult sample;
+  api::QueryResult sample;
   for (plan::Strategy s : plan::kAllStrategies) {
     db->DropCaches();
-    auto r = db->RunAgg(q, s);
+    auto r = conn->Query(plan::PlanTemplate::Agg(q, s));
     CSTORE_CHECK(r.ok()) << r.status().ToString();
     std::printf("%-14s %10llu %10.1f\n", StrategyName(s),
                 static_cast<unsigned long long>(r->stats.output_tuples),
@@ -95,14 +98,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(li.shipdate->num_blocks()),
               static_cast<unsigned long long>(li.linenum_rle->num_blocks()));
 
+  api::Connection conn(db.get());
+
   // A very selective date (early in the calendar) and a permissive one.
   Value selective = tpch::StringToDay("1992-06-01");
   Value permissive = tpch::StringToDay("1998-01-01");
 
-  RunSelectionAt(db.get(), li, "1992-06-01", selective);
-  RunSelectionAt(db.get(), li, "1998-01-01", permissive);
-  RunAggAt(db.get(), li, "1992-06-01", selective);
-  RunAggAt(db.get(), li, "1998-01-01", permissive);
+  RunSelectionAt(db.get(), &conn, li, "1992-06-01", selective);
+  RunSelectionAt(db.get(), &conn, li, "1998-01-01", permissive);
+  RunAggAt(db.get(), &conn, li, "1992-06-01", selective);
+  RunAggAt(db.get(), &conn, li, "1998-01-01", permissive);
 
   std::printf(
       "\nRule of thumb (paper Section 6): aggregation, selective predicates\n"

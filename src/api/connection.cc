@@ -1,0 +1,548 @@
+#include "api/connection.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/calibrate.h"
+#include "sql/parser.h"
+
+namespace cstore {
+namespace api {
+
+using internal::BoundSelect;
+using internal::FoldConditions;
+using internal::LiteralValue;
+using internal::ResolvedSelect;
+
+Connection::Connection(db::Database* db, sched::Scheduler* scheduler)
+    : Connection(db, scheduler, Settings()) {}
+
+Connection::Connection(db::Database* db, sched::Scheduler* scheduler,
+                       Settings settings)
+    : db_(db),
+      scheduler_(scheduler),
+      settings_(std::move(settings)),
+      cost_cache_(std::make_shared<CostCache>()) {}
+
+int Connection::EffectiveWorkers(int per_call) const {
+  if (per_call > 0) return per_call;
+  if (scheduler_ != nullptr) return scheduler_->num_workers();
+  return std::max(1, settings_.num_workers);
+}
+
+int Connection::SubmitWorkers() const {
+  // Submitted queries run on the session's scheduler or, for standalone
+  // sessions, the process-wide default pool — advise the strategy for the
+  // pool that will actually execute it.
+  return (scheduler_ != nullptr ? scheduler_ : sched::Scheduler::Default())
+      ->num_workers();
+}
+
+const model::CostParams& Connection::Params() {
+  std::lock_guard<std::mutex> lock(cost_cache_->mu);
+  if (!cost_cache_->params.has_value()) {
+    model::Calibrator::Options opts;
+    opts.loop_size = 1 << 19;  // quick calibration, done once per cache
+    opts.repetitions = 2;
+    model::Calibrator calibrator(opts);
+    cost_cache_->params = calibrator.Run(*db_->disk_model());
+  }
+  return *cost_cache_->params;
+}
+
+model::SelectionModelInput Connection::ModelInputFor(
+    const plan::SelectionQuery& sel, int num_workers) {
+  model::SelectionModelInput input;
+  input.num_workers = num_workers;
+  input.col1 = model::ColumnStats::FromMeta(sel.columns[0].reader->meta());
+  input.sf1 =
+      EstimateSelectivity(sel.columns[0].reader->meta(), sel.columns[0].pred);
+  input.col1_clustered = sel.columns[0].reader->meta().sorted;
+  const auto& second =
+      sel.columns.size() > 1 ? sel.columns[1] : sel.columns[0];
+  input.col2 = model::ColumnStats::FromMeta(second.reader->meta());
+  input.sf2 = sel.columns.size() > 1
+                  ? EstimateSelectivity(second.reader->meta(), second.pred)
+                  : 1.0;
+  return input;
+}
+
+double Connection::GroupEstimateFor(const plan::AggQuery& agg) {
+  if (agg.global) return 1.0;
+  const plan::SelectionQuery& sel = agg.selection;
+  const codec::ColumnMeta& gmeta =
+      sel.columns[agg.group_index].reader->meta();
+  return gmeta.num_distinct > 0
+             ? static_cast<double>(gmeta.num_distinct)
+             : std::min<double>(1000.0,
+                                static_cast<double>(gmeta.max_value -
+                                                    gmeta.min_value + 1));
+}
+
+Result<plan::Strategy> Connection::ChooseStrategy(
+    const plan::SelectionQuery& scan, const plan::AggQuery* agg,
+    std::optional<plan::Strategy> per_call, int num_workers) {
+  if (per_call.has_value()) return *per_call;
+  if (settings_.strategy.has_value()) return *settings_.strategy;
+  if (scan.columns.size() == 1 && agg == nullptr) {
+    // Degenerate single-column plans differ little; LM-parallel avoids
+    // constructing non-matching tuples.
+    return plan::Strategy::kLmParallel;
+  }
+  model::SelectionModelInput input = ModelInputFor(scan, num_workers);
+  model::Advisor advisor(Params());
+  if (agg != nullptr) {
+    return advisor.ChooseAggregation(input, GroupEstimateFor(*agg));
+  }
+  return advisor.ChooseSelection(input);
+}
+
+Result<Connection::Runnable> Connection::MakeRunnable(
+    BoundSelect* bound, const ResolvedSelect& resolved,
+    std::optional<plan::Strategy> per_call, int num_workers) {
+  Runnable run;
+  CSTORE_ASSIGN_OR_RETURN(
+      run.strategy,
+      ChooseStrategy(resolved.scan(),
+                     resolved.is_aggregate ? &resolved.agg : nullptr,
+                     per_call, num_workers));
+  plan::PlanConfig config;
+  config.num_workers = num_workers;
+  config.snapshot = resolved.snapshot;
+  run.tmpl = resolved.is_aggregate
+                 ? plan::PlanTemplate::Agg(resolved.agg, run.strategy, config)
+                 : plan::PlanTemplate::Selection(resolved.selection,
+                                                 run.strategy, config);
+  run.output_slots = bound->output_slots;
+  run.output_names = bound->output_names;
+  return run;
+}
+
+// --- Write statements -------------------------------------------------------
+
+namespace {
+
+/// One-row result ("rows_inserted: 3" style) every write statement returns.
+QueryResult WriteResult(const char* counter_name, uint64_t n) {
+  QueryResult out;
+  out.is_write = true;
+  out.rows_affected = n;
+  out.column_names = {counter_name};
+  out.tuples.Reset(1);
+  Value v = static_cast<Value>(n);
+  out.tuples.AppendTuple(0, &v);
+  out.stats.output_tuples = n;
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResult> Connection::ExecuteWrite(
+    const sql::ParsedStatement& stmt, const std::vector<Value>& params) {
+  using Kind = sql::ParsedStatement::Kind;
+  if (stmt.kind == Kind::kInsert) {
+    const sql::ParsedInsert& ins = stmt.insert;
+    CSTORE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
+                            db_->TableColumns(ins.table));
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(ins.rows.size());
+    for (const std::vector<sql::Literal>& row : ins.rows) {
+      if (row.size() != cols.size()) {
+        return Status::InvalidArgument(
+            "INSERT row has " + std::to_string(row.size()) +
+            " values, table '" + ins.table + "' has " +
+            std::to_string(cols.size()) + " columns");
+      }
+      std::vector<Value> values;
+      values.reserve(row.size());
+      for (const sql::Literal& lit : row) {
+        CSTORE_ASSIGN_OR_RETURN(Value v, LiteralValue(lit, params));
+        values.push_back(v);
+      }
+      rows.push_back(std::move(values));
+    }
+    CSTORE_RETURN_IF_ERROR(db_->Insert(ins.table, rows));
+    return WriteResult("rows_inserted", rows.size());
+  }
+
+  if (stmt.kind == Kind::kDelete) {
+    CSTORE_ASSIGN_OR_RETURN(auto conds,
+                            FoldConditions(stmt.del.conditions, params));
+    plan::RunStats scan_stats;
+    CSTORE_ASSIGN_OR_RETURN(
+        uint64_t deleted, db_->DeleteWhere(stmt.del.table, conds,
+                                           &scan_stats));
+    QueryResult out = WriteResult("rows_deleted", deleted);
+    // Report the position-finding scan's cost — a DELETE is that scan.
+    out.stats = scan_stats;
+    out.stats.output_tuples = deleted;
+    return out;
+  }
+
+  if (stmt.kind == Kind::kUpdate) {
+    const sql::ParsedUpdate& upd = stmt.update;
+    CSTORE_ASSIGN_OR_RETURN(auto conds,
+                            FoldConditions(upd.conditions, params));
+    std::vector<std::pair<std::string, Value>> sets;
+    sets.reserve(upd.sets.size());
+    for (const auto& [col, lit] : upd.sets) {
+      CSTORE_ASSIGN_OR_RETURN(Value v, LiteralValue(lit, params));
+      sets.emplace_back(col, v);
+    }
+    plan::RunStats scan_stats;
+    CSTORE_ASSIGN_OR_RETURN(
+        uint64_t updated,
+        db_->UpdateWhere(upd.table, sets, conds, &scan_stats));
+    QueryResult out = WriteResult("rows_updated", updated);
+    out.stats = scan_stats;
+    out.stats.output_tuples = updated;
+    return out;
+  }
+
+  return Status::Internal("not a write statement");
+}
+
+// --- Execution back ends ----------------------------------------------------
+
+Result<QueryResult> Connection::RunTemplateSync(
+    const plan::PlanTemplate& tmpl) {
+  if (scheduler_ != nullptr) {
+    return Submit(tmpl).Wait();
+  }
+  QueryResult result;
+  bool first = true;
+  // The sink runs serialized (ExecuteParallel locks around it), so plain
+  // appends are safe even with multiple workers.
+  Status st = plan::ExecuteParallel(
+      tmpl, db_->pool(), &result.stats,
+      [&](const exec::TupleChunk& chunk) {
+        AppendChunk(&result.tuples, &first, chunk);
+      });
+  CSTORE_RETURN_IF_ERROR(st);
+  return result;
+}
+
+Result<QueryResult> Connection::RunRunnableSync(const Runnable& run) {
+  CSTORE_ASSIGN_OR_RETURN(QueryResult result, RunTemplateSync(run.tmpl));
+  result.tuples = ProjectChunk(run.output_slots, std::move(result.tuples));
+  result.column_names = run.output_names;
+  result.strategy = run.strategy;
+  return result;
+}
+
+PendingResult Connection::SubmitRunnable(const Runnable& run,
+                                         bool materialize) {
+  sched::Scheduler* scheduler =
+      scheduler_ != nullptr ? scheduler_ : sched::Scheduler::Default();
+  PendingResult pending;
+  pending.engaged_ = true;
+  pending.early_ = Status::OK();
+  pending.buffer_ = std::make_shared<QueryResult>();
+  pending.output_slots_ = run.output_slots;
+  pending.column_names_ = run.output_names;
+  pending.strategy_ = run.strategy;
+  sched::Scheduler::SubmitOptions options;
+  options.priority = settings_.priority;
+  if (materialize) {
+    std::shared_ptr<QueryResult> buffer = pending.buffer_;
+    // The sink runs sequentially at finalization (scheduler contract), so
+    // the captured per-query state needs no lock.
+    options.sink =
+        [buffer, first = true](const exec::TupleChunk& chunk) mutable {
+          AppendChunk(&buffer->tuples, &first, chunk);
+        };
+  }
+  pending.ticket_ =
+      scheduler->Submit(run.tmpl, db_->pool(), std::move(options));
+  return pending;
+}
+
+Result<RowCursor> Connection::StreamRunnable(const Runnable& run) {
+  RowCursor cursor;
+  cursor.queue_ =
+      std::make_shared<ChunkQueue>(std::max<size_t>(1,
+                                                    settings_.stream_queue_chunks));
+  cursor.output_slots_ = run.output_slots;
+  cursor.column_names_ = run.output_names;
+  cursor.strategy_ = run.strategy;
+
+  sched::Scheduler* scheduler = scheduler_;
+  if (scheduler == nullptr) {
+    // Standalone session: a private pool sized to the statement keeps the
+    // stream independent of other sessions (and serial chunk order intact
+    // at one worker).
+    sched::Scheduler::Options so;
+    so.num_workers = std::max(1, run.tmpl.config.num_workers);
+    cursor.own_scheduler_ = std::make_shared<sched::Scheduler>(so);
+    scheduler = cursor.own_scheduler_.get();
+  }
+
+  std::shared_ptr<ChunkQueue> queue = cursor.queue_;
+  sched::Scheduler::SubmitOptions options;
+  options.priority = settings_.priority;
+  options.stream_sink = [queue](const exec::TupleChunk& chunk) {
+    return queue->Push(chunk);
+  };
+  options.on_complete = [queue] { queue->Finish(); };
+  cursor.ticket_ = scheduler->Submit(run.tmpl, db_->pool(),
+                                     std::move(options));
+  return cursor;
+}
+
+// --- SQL entry points -------------------------------------------------------
+
+Result<QueryResult> Connection::Query(const std::string& sql,
+                                      std::optional<plan::Strategy> strategy,
+                                      int num_workers) {
+  CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
+                          sql::ParseStatement(sql));
+  if (stmt.param_count > 0) {
+    return Status::InvalidArgument(
+        "statement has ? parameters; use Connection::Prepare");
+  }
+  if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
+    return ExecuteWrite(stmt, {});
+  }
+  CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
+                          internal::BindSelect(db_, stmt.select));
+  CSTORE_ASSIGN_OR_RETURN(
+      ResolvedSelect resolved,
+      internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+  CSTORE_ASSIGN_OR_RETURN(
+      Runnable run,
+      MakeRunnable(&bound, resolved, strategy, EffectiveWorkers(num_workers)));
+  return RunRunnableSync(run);
+}
+
+PendingResult Connection::Submit(const std::string& sql,
+                                 std::optional<plan::Strategy> strategy) {
+  // Prepare (parse/bind/advise) now; failures are carried in the handle so
+  // the caller drains a batch uniformly. Write statements execute here, at
+  // submit time — later statements bind snapshots that include them.
+  PendingResult pending;
+  pending.engaged_ = true;
+  pending.early_ = [&]() -> Status {
+    CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
+                            sql::ParseStatement(sql));
+    if (stmt.param_count > 0) {
+      return Status::InvalidArgument(
+          "statement has ? parameters; use Connection::Prepare");
+    }
+    if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
+      CSTORE_ASSIGN_OR_RETURN(QueryResult result, ExecuteWrite(stmt, {}));
+      pending.immediate_ = std::move(result);
+      return Status::OK();
+    }
+    CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
+                            internal::BindSelect(db_, stmt.select));
+    CSTORE_ASSIGN_OR_RETURN(
+        ResolvedSelect resolved,
+        internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+    CSTORE_ASSIGN_OR_RETURN(
+        Runnable run,
+        MakeRunnable(&bound, resolved, strategy, SubmitWorkers()));
+    pending = SubmitRunnable(run);
+    return Status::OK();
+  }();
+  return pending;
+}
+
+Result<RowCursor> Connection::Stream(const std::string& sql,
+                                     std::optional<plan::Strategy> strategy) {
+  CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
+                          sql::ParseStatement(sql));
+  if (stmt.param_count > 0) {
+    return Status::InvalidArgument(
+        "statement has ? parameters; use Connection::Prepare");
+  }
+  if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
+    return Status::InvalidArgument("cannot stream a write statement");
+  }
+  CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
+                          internal::BindSelect(db_, stmt.select));
+  CSTORE_ASSIGN_OR_RETURN(
+      ResolvedSelect resolved,
+      internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+  CSTORE_ASSIGN_OR_RETURN(
+      Runnable run,
+      MakeRunnable(&bound, resolved, strategy, EffectiveWorkers(0)));
+  return StreamRunnable(run);
+}
+
+Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
+  PreparedStatement prepared;
+  prepared.conn_ = this;
+  CSTORE_ASSIGN_OR_RETURN(prepared.stmt_, sql::ParseStatement(sql));
+  if (prepared.stmt_.kind == sql::ParsedStatement::Kind::kSelect) {
+    CSTORE_ASSIGN_OR_RETURN(
+        prepared.bound_, internal::BindSelect(db_, prepared.stmt_.select));
+    // A prepared statement holds no bind-time snapshot: every execution
+    // captures its own.
+    prepared.bound_.bind_snapshot.reset();
+  } else {
+    // Writes: validate the target table now so Prepare fails fast.
+    if (!db_->HasTable(prepared.stmt_.kind ==
+                               sql::ParsedStatement::Kind::kInsert
+                           ? prepared.stmt_.insert.table
+                           : prepared.stmt_.kind ==
+                                     sql::ParsedStatement::Kind::kDelete
+                                 ? prepared.stmt_.del.table
+                                 : prepared.stmt_.update.table)) {
+      return Status::NotFound("unknown table in write statement");
+    }
+  }
+  return prepared;
+}
+
+Result<std::string> Connection::Explain(const std::string& sql,
+                                        int num_workers) {
+  CSTORE_ASSIGN_OR_RETURN(sql::ParsedQuery parsed, sql::Parse(sql));
+  CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
+                          internal::BindSelect(db_, parsed));
+  CSTORE_ASSIGN_OR_RETURN(
+      ResolvedSelect resolved,
+      internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+  model::SelectionModelInput input =
+      ModelInputFor(resolved.scan(), EffectiveWorkers(num_workers));
+  model::Advisor advisor(Params());
+  if (resolved.is_aggregate) {
+    return advisor.ExplainAggregation(input, GroupEstimateFor(resolved.agg));
+  }
+  return advisor.ExplainSelection(input);
+}
+
+// --- Typed-plan entry points ------------------------------------------------
+
+Result<QueryResult> Connection::Query(const plan::PlanTemplate& tmpl) {
+  CSTORE_ASSIGN_OR_RETURN(QueryResult result, RunTemplateSync(tmpl));
+  result.strategy = tmpl.strategy;  // report what ran, as the pooled path does
+  return result;
+}
+
+PendingResult Connection::Submit(const plan::PlanTemplate& tmpl,
+                                 bool materialize) {
+  Runnable run;
+  run.tmpl = tmpl;
+  run.strategy = tmpl.strategy;
+  return SubmitRunnable(run, materialize);
+}
+
+Result<RowCursor> Connection::Stream(const plan::PlanTemplate& tmpl) {
+  Runnable run;
+  run.tmpl = tmpl;
+  run.strategy = tmpl.strategy;
+  return StreamRunnable(run);
+}
+
+// --- PreparedStatement back ends --------------------------------------------
+
+Status Connection::PrepareRun(PreparedStatement* stmt,
+                              const std::vector<Value>& params,
+                              int num_workers) {
+  BoundSelect& bound = stmt->bound_;
+  CSTORE_ASSIGN_OR_RETURN(auto snapshot, db_->SnapshotTable(bound.table));
+
+  if (!stmt->has_template_) {
+    // First execution: build the template through the generic path.
+    CSTORE_ASSIGN_OR_RETURN(
+        ResolvedSelect resolved,
+        internal::ResolveSelect(db_, &bound, params, std::move(snapshot)));
+    CSTORE_ASSIGN_OR_RETURN(
+        Runnable run, MakeRunnable(&bound, resolved, std::nullopt,
+                                   num_workers));
+    stmt->template_ = std::move(run.tmpl);
+    stmt->has_template_ = true;
+    return Status::OK();
+  }
+
+  // Steady state: mutate the cached template in place — no re-bind, no
+  // plan-description rebuild.
+  plan::PlanTemplate& tmpl = stmt->template_;
+  const bool is_agg = tmpl.kind == plan::PlanTemplate::Kind::kAgg;
+  plan::SelectionQuery& scan = is_agg ? tmpl.agg.selection : tmpl.selection;
+
+  CSTORE_ASSIGN_OR_RETURN(bool refreshed,
+                          internal::RefreshReaders(db_, &bound, *snapshot));
+  if (refreshed) {
+    for (size_t i = 0; i < bound.readers.size(); ++i) {
+      scan.columns[i].reader = bound.readers[i];
+    }
+  }
+
+  // Fold the parameterized conditions straight into the scan columns via
+  // the bind-time slot mapping — no names, no allocations.
+  stmt->bounds_scratch_.assign(scan.columns.size(), internal::Bounds());
+  for (size_t j = 0; j < bound.conditions.size(); ++j) {
+    const sql::Condition& cond = bound.conditions[j];
+    CSTORE_ASSIGN_OR_RETURN(Value a, LiteralValue(cond.a, params));
+    Value b = 0;
+    if (cond.op == sql::Condition::Op::kBetween) {
+      CSTORE_ASSIGN_OR_RETURN(b, LiteralValue(cond.b, params));
+    }
+    CSTORE_RETURN_IF_ERROR(
+        stmt->bounds_scratch_[bound.condition_slots[j]].Add(cond.op, a, b));
+  }
+  for (size_t i = 0; i < scan.columns.size(); ++i) {
+    CSTORE_ASSIGN_OR_RETURN(scan.columns[i].pred,
+                            stmt->bounds_scratch_[i].ToPredicate());
+  }
+  tmpl.config.snapshot = std::move(snapshot);
+  tmpl.config.num_workers = num_workers;
+  CSTORE_ASSIGN_OR_RETURN(
+      tmpl.strategy, ChooseStrategy(scan, is_agg ? &tmpl.agg : nullptr,
+                                    std::nullopt, num_workers));
+  return Status::OK();
+}
+
+Result<QueryResult> Connection::ExecutePrepared(
+    PreparedStatement* stmt, const std::vector<Value>& params) {
+  if (stmt->is_write()) return ExecuteWrite(stmt->stmt_, params);
+  CSTORE_RETURN_IF_ERROR(PrepareRun(stmt, params, EffectiveWorkers(0)));
+  CSTORE_ASSIGN_OR_RETURN(QueryResult result,
+                          RunTemplateSync(stmt->template_));
+  result.tuples =
+      ProjectChunk(stmt->bound_.output_slots, std::move(result.tuples));
+  result.column_names = stmt->bound_.output_names;
+  result.strategy = stmt->template_.strategy;
+  return result;
+}
+
+PendingResult Connection::SubmitPrepared(PreparedStatement* stmt,
+                                         const std::vector<Value>& params) {
+  PendingResult pending;
+  pending.engaged_ = true;
+  pending.early_ = [&]() -> Status {
+    if (stmt->is_write()) {
+      CSTORE_ASSIGN_OR_RETURN(QueryResult result,
+                              ExecuteWrite(stmt->stmt_, params));
+      pending.immediate_ = std::move(result);
+      return Status::OK();
+    }
+    CSTORE_RETURN_IF_ERROR(PrepareRun(stmt, params, SubmitWorkers()));
+    Runnable run;
+    run.tmpl = stmt->template_;
+    run.output_slots = stmt->bound_.output_slots;
+    run.output_names = stmt->bound_.output_names;
+    run.strategy = stmt->template_.strategy;
+    pending = SubmitRunnable(run);
+    return Status::OK();
+  }();
+  return pending;
+}
+
+Result<RowCursor> Connection::StreamPrepared(
+    PreparedStatement* stmt, const std::vector<Value>& params) {
+  if (stmt->is_write()) {
+    return Status::InvalidArgument("cannot stream a write statement");
+  }
+  CSTORE_RETURN_IF_ERROR(PrepareRun(stmt, params, EffectiveWorkers(0)));
+  Runnable run;
+  run.tmpl = stmt->template_;
+  run.output_slots = stmt->bound_.output_slots;
+  run.output_names = stmt->bound_.output_names;
+  run.strategy = stmt->template_.strategy;
+  return StreamRunnable(run);
+}
+
+}  // namespace api
+}  // namespace cstore

@@ -1,0 +1,202 @@
+// api::Connection — the one client surface of the engine.
+//
+// A Connection is a session handle over a Database plus (optionally) a
+// shared sched::Scheduler. It owns per-session settings (worker count,
+// strategy override, scheduler priority), captures a read-your-writes
+// snapshot per statement, and exposes every way of running work through
+// one unified result shape:
+//
+//   Query(sql)    — synchronous; returns a materialized api::QueryResult
+//   Submit(sql)   — asynchronous; returns an api::PendingResult handle
+//   Stream(sql)   — streaming; returns an api::RowCursor with backpressure
+//   Prepare(sql)  — parse/bind once, execute many times with `?` params
+//   Query/Submit/Stream(plan::PlanTemplate) — the typed-plan path the
+//                   paper-figure benches use (no SQL, no projection)
+//
+// Standalone connections (no scheduler) run synchronous queries through
+// plan::ExecuteParallel with the session's worker count — bit-identical to
+// the pre-api engine, including serial chunk order at num_workers = 1 —
+// and create a private scheduler per streaming query. Pooled connections
+// run everything on the shared scheduler, interleaving with other
+// sessions' queries at morsel granularity.
+//
+// The legacy surfaces are thin wrappers over this class: Database::Run*
+// and Database::Submit delegate here, and sql::Engine is a compatibility
+// facade (Execute → Query, SubmitAll → Submit). One execution path, one
+// behavior.
+//
+// Thread safety: a Connection may be shared across threads for Query /
+// Submit / Stream of *independent* statements (the underlying catalog and
+// scheduler are thread-safe; the lazily calibrated cost-model cache takes
+// its own lock). Session mutation — set_settings, ShareCostCache — belongs
+// to setup, before the Connection is shared. PreparedStatement objects are
+// single-threaded.
+
+#ifndef CSTORE_API_CONNECTION_H_
+#define CSTORE_API_CONNECTION_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result.h"
+#include "api/statement.h"
+#include "db/database.h"
+#include "model/advisor.h"
+#include "model/cost_params.h"
+#include "sched/scheduler.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace api {
+
+class Connection {
+ public:
+  struct Settings {
+    // Worker threads for synchronous execution on a standalone connection
+    // (also the advisor's parallelism input there). Pooled connections take
+    // parallelism from the scheduler's pool width.
+    int num_workers = 1;
+    // Session-wide strategy override; the advisor picks when unset.
+    // Per-call overrides win over this.
+    std::optional<plan::Strategy> strategy;
+    // Scheduler priority for submitted queries (>= 1: that many consecutive
+    // morsel claims per rotation).
+    int priority = 1;
+    // RowCursor bound: chunks buffered between producer and consumer before
+    // backpressure stalls the producing worker.
+    size_t stream_queue_chunks = 4;
+  };
+
+  /// `scheduler == nullptr` makes a standalone session (private execution);
+  /// otherwise every query runs on the shared pool. Neither `db` nor
+  /// `scheduler` is owned; both must outlive the Connection.
+  explicit Connection(db::Database* db, sched::Scheduler* scheduler = nullptr);
+  Connection(db::Database* db, sched::Scheduler* scheduler,
+             Settings settings);
+
+  db::Database* database() const { return db_; }
+  sched::Scheduler* scheduler() const { return scheduler_; }
+  const Settings& settings() const { return settings_; }
+  void set_settings(Settings settings) { settings_ = std::move(settings); }
+
+  // --- SQL --------------------------------------------------------------
+
+  /// Executes one statement (SELECT / INSERT / DELETE / UPDATE) against a
+  /// write snapshot captured at bind time. `num_workers` > 0 overrides the
+  /// session's worker count for this call. Statements containing `?` must
+  /// go through Prepare.
+  Result<QueryResult> Query(const std::string& sql,
+                            std::optional<plan::Strategy> strategy = {},
+                            int num_workers = 0);
+
+  /// Parses, binds, and strategy-advises now (errors are carried in the
+  /// handle); execution proceeds concurrently on the session's scheduler
+  /// (the process-wide default pool if the session is standalone). Write
+  /// statements execute at submit time, so later statements observe them.
+  PendingResult Submit(const std::string& sql,
+                       std::optional<plan::Strategy> strategy = {});
+
+  /// Streaming execution of a SELECT: chunks flow to the returned cursor
+  /// through a bounded queue (see Settings::stream_queue_chunks).
+  Result<RowCursor> Stream(const std::string& sql,
+                           std::optional<plan::Strategy> strategy = {});
+
+  /// Parses and binds once; the returned statement executes many times
+  /// with `?` parameter values, re-capturing only the snapshot per run.
+  /// The statement borrows this Connection and must not outlive it.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// The advisor's per-strategy cost report for `sql`, without executing.
+  Result<std::string> Explain(const std::string& sql, int num_workers = 0);
+
+  // --- Typed plans ------------------------------------------------------
+
+  /// Runs a typed plan template. Standalone sessions honour
+  /// `tmpl.config.num_workers` exactly as plan::ExecuteParallel does;
+  /// pooled sessions let the pool decide parallelism. `materialize = false`
+  /// skips output buffering entirely — Wait() returns stats and an empty
+  /// tuple chunk (what benches measuring QPS/latency want).
+  Result<QueryResult> Query(const plan::PlanTemplate& tmpl);
+  PendingResult Submit(const plan::PlanTemplate& tmpl,
+                       bool materialize = true);
+  Result<RowCursor> Stream(const plan::PlanTemplate& tmpl);
+
+  /// Shares the lazily-calibrated cost-model parameter cache with `other`
+  /// (calibration takes ~tens of ms once; sibling sessions should reuse
+  /// it). Like set_settings, this mutates session state: call it during
+  /// session setup, before the Connection is shared across threads.
+  void ShareCostCache(const Connection& other) {
+    cost_cache_ = other.cost_cache_;
+  }
+
+ private:
+  friend class PreparedStatement;
+
+  struct CostCache {
+    std::mutex mu;
+    std::optional<model::CostParams> params;
+  };
+
+  /// Statement pieces every SQL path shares after binding.
+  struct Runnable {
+    plan::PlanTemplate tmpl;
+    std::vector<uint32_t> output_slots;
+    std::vector<std::string> output_names;
+    plan::Strategy strategy = plan::Strategy::kLmParallel;
+  };
+
+  int EffectiveWorkers(int per_call) const;
+  /// Worker count of the pool Submit actually targets (session scheduler
+  /// or the process-wide default) — the advisor's parallelism input there.
+  int SubmitWorkers() const;
+  const model::CostParams& Params();
+  model::SelectionModelInput ModelInputFor(const plan::SelectionQuery& scan,
+                                           int num_workers);
+  double GroupEstimateFor(const plan::AggQuery& agg);
+  /// `agg` may be null for plain selections.
+  Result<plan::Strategy> ChooseStrategy(const plan::SelectionQuery& scan,
+                                        const plan::AggQuery* agg,
+                                        std::optional<plan::Strategy> per_call,
+                                        int num_workers);
+  /// Builds the plan template for a resolved statement.
+  Result<Runnable> MakeRunnable(internal::BoundSelect* bound,
+                                const internal::ResolvedSelect& resolved,
+                                std::optional<plan::Strategy> per_call,
+                                int num_workers);
+
+  /// Executes a write statement immediately (all kinds but kSelect).
+  Result<QueryResult> ExecuteWrite(const sql::ParsedStatement& stmt,
+                                   const std::vector<Value>& params);
+
+  Result<QueryResult> RunTemplateSync(const plan::PlanTemplate& tmpl);
+  Result<QueryResult> RunRunnableSync(const Runnable& run);
+  PendingResult SubmitRunnable(const Runnable& run, bool materialize = true);
+  Result<RowCursor> StreamRunnable(const Runnable& run);
+
+  // PreparedStatement back ends.
+  Result<QueryResult> ExecutePrepared(PreparedStatement* stmt,
+                                      const std::vector<Value>& params);
+  PendingResult SubmitPrepared(PreparedStatement* stmt,
+                               const std::vector<Value>& params);
+  Result<RowCursor> StreamPrepared(PreparedStatement* stmt,
+                                   const std::vector<Value>& params);
+  /// Refreshes the prepared statement's cached plan template for one
+  /// execution: new snapshot, parameter predicates, strategy — and readers,
+  /// only if a compaction swapped the generation since the last run.
+  Status PrepareRun(PreparedStatement* stmt,
+                    const std::vector<Value>& params, int num_workers);
+
+  db::Database* db_;
+  sched::Scheduler* scheduler_;  // null = standalone session
+  Settings settings_;
+  std::shared_ptr<CostCache> cost_cache_;
+};
+
+}  // namespace api
+}  // namespace cstore
+
+#endif  // CSTORE_API_CONNECTION_H_

@@ -1,0 +1,197 @@
+// Statement binding and prepared statements.
+//
+// The binder translates a parsed SQL statement into an executable plan
+// description against the database catalog. It is split into two phases so
+// a PreparedStatement can pay the first exactly once:
+//
+//   Bind     (per statement)  — resolve the table, expand the select list,
+//            fix the scan-column order, resolve column readers, compute the
+//            output projection. Everything that does not depend on
+//            parameter values or the table's current write state.
+//   Resolve  (per execution)  — capture a fresh write snapshot, substitute
+//            `?` parameters, fold WHERE conditions into per-column
+//            predicates, and (only if a compaction swapped the table's
+//            generation since bind) re-resolve the readers.
+//
+// sql::Engine::Execute re-binds every statement; api::PreparedStatement
+// binds once and resolves per execution — that is the whole difference
+// bench_api measures.
+
+#ifndef CSTORE_API_STATEMENT_H_
+#define CSTORE_API_STATEMENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/result.h"
+#include "codec/column_meta.h"
+#include "codec/column_reader.h"
+#include "codec/predicate.h"
+#include "db/database.h"
+#include "plan/parallel.h"
+#include "plan/query.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace cstore {
+namespace api {
+
+class Connection;
+
+/// Statistics-based selectivity estimate for a predicate over a column
+/// (uniform-distribution interpolation over [min, max]); what the strategy
+/// advisor feeds on when no sample is available.
+double EstimateSelectivity(const codec::ColumnMeta& meta,
+                           const codec::Predicate& pred);
+
+namespace internal {
+
+/// Resolves a literal (or a `?` parameter) to a Value.
+Result<Value> LiteralValue(const sql::Literal& lit,
+                           const std::vector<Value>& params);
+
+/// Per-column accumulated bounds from one or more WHERE conditions.
+struct Bounds {
+  bool has_lower = false;
+  Value lower = 0;  // inclusive
+  bool has_upper = false;
+  Value upper = 0;  // inclusive
+  bool has_not_eq = false;
+  Value neq_value = 0;
+  // `v < INT64_MIN` / `v > INT64_MAX`: satisfiable by nothing (and not
+  // representable as an inclusive bound without overflowing).
+  bool impossible = false;
+
+  Status Add(sql::Condition::Op op, Value a, Value b);
+  Result<codec::Predicate> ToPredicate() const;
+};
+
+/// Folds WHERE conditions into one predicate per column (range conditions
+/// intersect; mixing `<>` with ranges on one column is rejected). Shared by
+/// every statement kind so SELECT / DELETE / UPDATE semantics never
+/// diverge.
+Result<std::vector<std::pair<std::string, codec::Predicate>>> FoldConditions(
+    const std::vector<sql::Condition>& conditions,
+    const std::vector<Value>& params);
+
+/// Bind-time product for a SELECT: parameter- and snapshot-independent.
+struct BoundSelect {
+  std::string table;
+  // Scan columns in plan order: select-list columns first (deduplicated),
+  // then WHERE-only columns in name order.
+  std::vector<std::string> scan_column_names;
+  std::vector<int> scan_schema_index;  // snapshot schema index per column
+  std::vector<const codec::ColumnReader*> readers;  // per scan column
+  // Generation fingerprint the readers were resolved against; when a fresh
+  // snapshot disagrees, Resolve re-resolves the readers.
+  std::vector<std::string> bound_files;
+  // Unresolved WHERE conditions (may contain parameters), and the scan
+  // column each one folds into — precomputed so a prepared execution folds
+  // bounds without touching a single column name.
+  std::vector<sql::Condition> conditions;
+  std::vector<uint32_t> condition_slots;
+
+  bool is_aggregate = false;
+  bool agg_global = false;
+  uint32_t group_index = 0;
+  uint32_t agg_index = 0;
+  exec::AggFunc func = exec::AggFunc::kSum;
+
+  std::vector<uint32_t> output_slots;
+  std::vector<std::string> output_names;
+
+  // The snapshot captured at bind time; one-shot execution resolves
+  // against it so bind and execution see one instant.
+  std::shared_ptr<const write::WriteSnapshot> bind_snapshot;
+};
+
+/// Execute-time product: a runnable query description plus the snapshot it
+/// must run under.
+struct ResolvedSelect {
+  plan::SelectionQuery selection;
+  bool is_aggregate = false;
+  plan::AggQuery agg;
+  std::shared_ptr<const write::WriteSnapshot> snapshot;
+
+  const plan::SelectionQuery& scan() const {
+    return is_aggregate ? agg.selection : selection;
+  }
+};
+
+Result<BoundSelect> BindSelect(db::Database* db, const sql::ParsedQuery& q);
+
+/// Re-resolves `bound`'s readers against `snapshot`'s generation when the
+/// file fingerprint changed (a compaction swapped the table since bind);
+/// no-op otherwise. Returns whether a refresh happened.
+Result<bool> RefreshReaders(db::Database* db, BoundSelect* bound,
+                            const write::WriteSnapshot& snapshot);
+
+/// Resolves `bound` for one execution under `snapshot` with the given
+/// parameter values. Mutates `bound` only to refresh readers after a
+/// generation change.
+Result<ResolvedSelect> ResolveSelect(
+    db::Database* db, BoundSelect* bound, const std::vector<Value>& params,
+    std::shared_ptr<const write::WriteSnapshot> snapshot);
+
+}  // namespace internal
+
+/// A statement parsed and bound once, executable many times with `?`
+/// parameter values. Each execution captures a fresh write snapshot (so it
+/// sees all writes completed before the call) and re-runs the strategy
+/// advisor against the cached column statistics with the new parameter
+/// selectivities. Not thread-safe: one PreparedStatement per thread, or
+/// external synchronization. Must not outlive its Connection.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+  PreparedStatement(PreparedStatement&&) = default;
+  PreparedStatement& operator=(PreparedStatement&&) = default;
+
+  /// Number of `?` parameters; Execute/Submit/Stream require exactly this
+  /// many values (dates are passed as day numbers, see tpch::StringToDay).
+  int param_count() const { return stmt_.param_count; }
+
+  bool is_write() const {
+    return stmt_.kind != sql::ParsedStatement::Kind::kSelect;
+  }
+
+  /// Output column names (SELECT statements; fixed at prepare time).
+  const std::vector<std::string>& column_names() const {
+    return bound_.output_names;
+  }
+
+  /// Synchronous execution (write statements apply immediately).
+  Result<QueryResult> Execute(const std::vector<Value>& params = {});
+
+  /// Asynchronous execution on the connection's scheduler (writes still
+  /// apply at submit time, carried in the returned handle).
+  PendingResult Submit(const std::vector<Value>& params = {});
+
+  /// Streaming execution (SELECT only).
+  Result<RowCursor> Stream(const std::vector<Value>& params = {});
+
+ private:
+  friend class Connection;
+
+  Status CheckParams(const std::vector<Value>& params) const;
+
+  Connection* conn_ = nullptr;
+  sql::ParsedStatement stmt_;
+  internal::BoundSelect bound_;  // selects only
+  // The reusable plan template, built once at prepare. Each execution
+  // mutates only what changed: the snapshot, the predicates (from the new
+  // parameter values), the strategy, and — only after a compaction — the
+  // column readers. This is what makes Execute cheaper than re-binding.
+  bool has_template_ = false;
+  plan::PlanTemplate template_;
+  std::vector<internal::Bounds> bounds_scratch_;  // one per scan column
+};
+
+}  // namespace api
+}  // namespace cstore
+
+#endif  // CSTORE_API_STATEMENT_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "api/connection.h"
+
 namespace cstore {
 namespace db {
 
@@ -254,6 +256,10 @@ Result<uint64_t> Database::DeleteWhere(
     CSTORE_RETURN_IF_ERROR(EnsureWriteStoreLocked(table).status());
     ws = tables_.find(table)->second.ws;
   }
+  // Serialize against other scan-then-apply mutations of this table: a
+  // DELETE racing an UPDATE of the same rows could otherwise resurrect
+  // them (the UPDATE re-inserts images its snapshot saw as live).
+  std::lock_guard<std::mutex> mutation_lock(ws->scan_mutation_mu());
   std::shared_ptr<const write::WriteSnapshot> snap = ws->Snapshot();
 
   // Find the matching positions with a regular snapshot scan (LM-parallel:
@@ -291,6 +297,86 @@ Result<uint64_t> Database::DeleteWhere(
 
   if (!positions.empty()) {
     CSTORE_RETURN_IF_ERROR(ws->MarkDeleted(positions));
+  }
+  return positions.size();
+}
+
+Result<uint64_t> Database::UpdateWhere(
+    const std::string& table,
+    const std::vector<std::pair<std::string, Value>>& sets,
+    const std::vector<std::pair<std::string, codec::Predicate>>& conds,
+    plan::RunStats* scan_stats) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("UPDATE needs at least one SET column");
+  }
+  // As in DeleteWhere: hold the store itself across the scan so the update
+  // lands in the incarnation the scan saw.
+  std::shared_ptr<write::WriteStore> ws;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    CSTORE_RETURN_IF_ERROR(EnsureWriteStoreLocked(table).status());
+    ws = tables_.find(table)->second.ws;
+  }
+  // Serialize against other scan-then-apply mutations: two UPDATEs racing
+  // on the same rows would each scan the same snapshot and re-insert the
+  // row twice (duplicating it); an UPDATE racing a DELETE could resurrect
+  // deleted rows. Updates of one table execute one at a time.
+  std::lock_guard<std::mutex> mutation_lock(ws->scan_mutation_mu());
+  std::shared_ptr<const write::WriteSnapshot> snap = ws->Snapshot();
+
+  // Resolve SET columns to schema slots.
+  std::vector<std::pair<size_t, Value>> set_slots;
+  set_slots.reserve(sets.size());
+  for (const auto& [col, value] : sets) {
+    int idx = snap->ColumnIndexForName(col);
+    if (idx < 0) {
+      return Status::NotFound("no column '" + col + "' in table '" + table +
+                              "'");
+    }
+    set_slots.emplace_back(static_cast<size_t>(idx), value);
+  }
+
+  // Scan *every* column (the updated rows are re-inserted whole), with the
+  // WHERE predicates attached to their columns.
+  plan::SelectionQuery query;
+  for (size_t c = 0; c < snap->column_names().size(); ++c) {
+    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                            GetColumn(snap->column_files()[c]));
+    plan::SelectionQuery::Column col;
+    col.reader = reader;
+    for (const auto& [name, pred] : conds) {
+      if (name == snap->column_names()[c]) col.pred = pred;
+    }
+    query.columns.push_back(col);
+  }
+  for (const auto& [name, pred] : conds) {
+    if (snap->ColumnIndexForName(name) < 0) {
+      return Status::NotFound("no column '" + name + "' in table '" + table +
+                              "'");
+    }
+  }
+
+  plan::PlanConfig config;
+  config.snapshot = snap;
+  std::vector<Position> positions;
+  std::vector<std::vector<Value>> rows;
+  plan::RunStats stats;
+  CSTORE_RETURN_IF_ERROR(plan::ExecuteParallel(
+      plan::PlanTemplate::Selection(query, plan::Strategy::kLmParallel,
+                                    config),
+      pool_.get(), &stats, [&](const exec::TupleChunk& chunk) {
+        for (size_t i = 0; i < chunk.num_tuples(); ++i) {
+          positions.push_back(chunk.position(i));
+          std::vector<Value> row(chunk.tuple(i),
+                                 chunk.tuple(i) + chunk.width());
+          for (const auto& [slot, value] : set_slots) row[slot] = value;
+          rows.push_back(std::move(row));
+        }
+      }));
+  if (scan_stats != nullptr) *scan_stats = stats;
+
+  if (!positions.empty()) {
+    CSTORE_RETURN_IF_ERROR(ws->DeleteAndInsert(positions, rows));
   }
   return positions.size();
 }
@@ -469,53 +555,17 @@ void Database::DisableTupleMover() { mover_.reset(); }
 // Query execution
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> PendingQuery::Wait() {
-  const sched::ExecResult& r = ticket_.Wait();
-  CSTORE_RETURN_IF_ERROR(r.status);
-  buffer_->stats = r.stats;
-  return std::move(*buffer_);
-}
-
 PendingQuery Database::Submit(const plan::PlanTemplate& tmpl,
                               sched::Scheduler* scheduler, int priority) {
-  PendingQuery pending;
-  pending.buffer_ = std::make_shared<QueryResult>();
-  std::shared_ptr<QueryResult> buffer = pending.buffer_;
-  // The sink runs sequentially at finalization (scheduler contract), so the
-  // captured per-query state needs no lock.
-  pending.ticket_ = scheduler->Submit(
-      tmpl, pool_.get(),
-      [buffer, first = true](const exec::TupleChunk& chunk) mutable {
-        if (first) {
-          buffer->tuples.Reset(chunk.width());
-          first = false;
-        }
-        for (size_t i = 0; i < chunk.num_tuples(); ++i) {
-          buffer->tuples.AppendTuple(chunk.position(i), chunk.tuple(i));
-        }
-      },
-      priority);
-  return pending;
+  api::Connection::Settings settings;
+  settings.priority = priority;
+  api::Connection conn(this, scheduler, settings);
+  return conn.Submit(tmpl);
 }
 
 Result<QueryResult> Database::ExecuteTemplate(const plan::PlanTemplate& tmpl) {
-  QueryResult result;
-  bool first = true;
-  // The sink runs serialized (ExecuteParallel locks around it), so plain
-  // appends are safe even with multiple workers.
-  Status st = plan::ExecuteParallel(
-      tmpl, pool_.get(), &result.stats,
-      [&](const exec::TupleChunk& chunk) {
-        if (first) {
-          result.tuples.Reset(chunk.width());
-          first = false;
-        }
-        for (size_t i = 0; i < chunk.num_tuples(); ++i) {
-          result.tuples.AppendTuple(chunk.position(i), chunk.tuple(i));
-        }
-      });
-  CSTORE_RETURN_IF_ERROR(st);
-  return result;
+  api::Connection conn(this);
+  return conn.Query(tmpl);
 }
 
 Result<QueryResult> Database::RunSelection(const plan::SelectionQuery& query,

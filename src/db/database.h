@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/result.h"
 #include "codec/column_reader.h"
 #include "codec/column_writer.h"
 #include "plan/executor.h"
@@ -38,31 +39,11 @@
 namespace cstore {
 namespace db {
 
-/// A fully-materialized query result: output tuples plus run statistics.
-struct QueryResult {
-  exec::TupleChunk tuples;  // concatenation of all output chunks
-  plan::RunStats stats;
-};
-
-/// A query submitted to a shared sched::Scheduler: waitable handle that
-/// materializes the result on completion. Obtained from Database::Submit.
-class PendingQuery {
- public:
-  PendingQuery() = default;
-
-  /// Blocks until the query finishes and returns its materialized result
-  /// (or the first error). Single use: the tuple buffer is moved out.
-  Result<QueryResult> Wait();
-
-  bool Done() const { return ticket_.Done(); }
-  bool valid() const { return ticket_.valid(); }
-
- private:
-  friend class Database;
-  sched::QueryTicket ticket_;
-  // Filled by the scheduler's (sequentially invoked) finalization sink.
-  std::shared_ptr<QueryResult> buffer_;
-};
+/// The unified result/handle types live in api/ now; these aliases keep the
+/// historical db:: names working (db::QueryResult used to carry tuples +
+/// stats only — api::QueryResult is a strict superset).
+using QueryResult = api::QueryResult;
+using PendingQuery = api::PendingResult;
 
 class Database {
  public:
@@ -129,6 +110,20 @@ class Database {
       const std::vector<std::pair<std::string, codec::Predicate>>& conds,
       plan::RunStats* scan_stats = nullptr);
 
+  /// Updates every row of `table` matching all of `conds` (as of a snapshot
+  /// taken at entry): each matching row is atomically deleted and
+  /// re-inserted with the `sets` columns (column name → new value)
+  /// replaced, under one write-store lock acquisition, so no concurrent
+  /// snapshot ever sees a half-applied update. Updated rows move to the
+  /// write-store tail (they get fresh logical positions). Returns the
+  /// number of rows updated; `scan_stats` (optional) receives the RunStats
+  /// of the row-finding scan.
+  Result<uint64_t> UpdateWhere(
+      const std::string& table,
+      const std::vector<std::pair<std::string, Value>>& sets,
+      const std::vector<std::pair<std::string, codec::Predicate>>& conds,
+      plan::RunStats* scan_stats = nullptr);
+
   /// Captures the table's current write state (read-store generation,
   /// visible write-store rows, delete epoch). Attach to
   /// PlanConfig::snapshot so the plan sees exactly this state. Tables that
@@ -163,10 +158,12 @@ class Database {
   /// Drops all cached pages (for cold-cache measurements).
   void DropCaches() { pool_->Clear(); }
 
-  /// Convenience wrappers: build + execute in one call. With
-  /// `config.num_workers > 1` the query runs morsel-parallel; result bags
-  /// (tuples, checksum, aggregate groups) are identical for every worker
-  /// count, but selection tuple order is only deterministic at 1 worker.
+  /// Convenience wrappers: build + execute in one call — thin shims over
+  /// api::Connection (kept for the paper-figure benches; new code should
+  /// talk to api::Connection directly). With `config.num_workers > 1` the
+  /// query runs morsel-parallel; result bags (tuples, checksum, aggregate
+  /// groups) are identical for every worker count, but selection tuple
+  /// order is only deterministic at 1 worker.
   Result<QueryResult> RunSelection(const plan::SelectionQuery& query,
                                    plan::Strategy strategy,
                                    const plan::PlanConfig& config = {});

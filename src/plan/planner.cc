@@ -305,7 +305,18 @@ Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
 Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
                                             exec::JoinRightMode mode,
                                             const PlanConfig& config) {
-  (void)config;
+  // Join plans cannot merge write-store state yet (partitioning the probe
+  // side and masking the build side are open work). Silently scanning the
+  // read store alone would return stale rows, so fail loudly instead.
+  if (HasWriteState(config)) {
+    return Status::NotSupported(
+        "join plans do not support write snapshots: a joined table has " +
+        std::to_string(config.snapshot->tail_rows()) +
+        " pending write-store row(s) and " +
+        std::to_string(config.snapshot->deleted().size()) +
+        " delete(s); compact the table (Database::CompactTable) or quiesce "
+        "writers before joining");
+  }
   if (query.left_key == nullptr || query.left_payload == nullptr ||
       query.right_key == nullptr || query.right_payload == nullptr) {
     return Status::InvalidArgument("join query has null column readers");

@@ -84,8 +84,10 @@ struct PlanConfig {
   // position space to snapshot->total_rows(). Null (the default) scans the
   // read store alone — bit-identical to the pre-write-path engine. Captured
   // at plan-build/submit time so concurrent writers never perturb an
-  // in-flight query. Ignored by join plans (join-side write visibility is a
-  // follow-up).
+  // in-flight query. Join plans cannot merge write state yet: attaching a
+  // snapshot that actually holds pending rows or deletes makes
+  // BuildJoinPlan fail with NotSupported (returning stale rows silently
+  // would be worse); an empty snapshot is fine.
   std::shared_ptr<const write::WriteSnapshot> snapshot;
 };
 

@@ -23,6 +23,11 @@ struct QueryState {
   plan::PlanTemplate tmpl;
   storage::BufferPool* pool = nullptr;
   Scheduler::Sink sink;
+  // Streaming mode: chunks leave through here during execution instead of
+  // being buffered in partials (thread-safe by contract; false = cancel).
+  Scheduler::StreamSink stream_sink;
+  // Runs once, after the result is published on the ticket.
+  std::function<void()> on_complete;
   int priority = 1;
   // Generic background work (SubmitJob): runs instead of a plan.
   std::function<Status()> job;
@@ -121,11 +126,22 @@ Scheduler* Scheduler::Default() {
 QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
                               storage::BufferPool* pool, Sink sink,
                               int priority) {
+  SubmitOptions options;
+  options.sink = std::move(sink);
+  options.priority = priority;
+  return Submit(tmpl, pool, std::move(options));
+}
+
+QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
+                              storage::BufferPool* pool,
+                              SubmitOptions options) {
   auto q = std::make_shared<QueryState>();
   q->tmpl = tmpl;
   q->pool = pool;
-  q->sink = std::move(sink);
-  q->priority = std::max(1, priority);
+  q->sink = std::move(options.sink);
+  q->stream_sink = std::move(options.stream_sink);
+  q->on_complete = std::move(options.on_complete);
+  q->priority = std::max(1, options.priority);
   q->partials.resize(num_workers_);
   const Position total = q->tmpl.TotalPositions();
   if (q->tmpl.kind == plan::PlanTemplate::Kind::kJoin || total == 0) {
@@ -252,6 +268,7 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
   // at finalization (and counted as constructed tuples there).
   if (is_agg) plan->agg_op()->DisableFinalEmit();
   const bool buffer_output = !is_agg && q->sink != nullptr;
+  const bool stream_output = !is_agg && q->stream_sink != nullptr;
   exec::TupleChunk chunk;
   while (true) {
     Result<bool> has = plan->root()->Next(&chunk);
@@ -263,6 +280,10 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     partial.checksum += plan::ChunkDigest(chunk);
     partial.tuples += chunk.num_tuples();
     if (buffer_output && !chunk.empty()) partial.chunks.push_back(chunk);
+    if (stream_output && !chunk.empty() && !q->stream_sink(chunk)) {
+      FailQuery(q, Status::Cancelled("stream consumer cancelled the query"));
+      return;
+    }
   }
   partial.exec.Merge(plan->stats());
   if (is_agg) {
@@ -306,6 +327,7 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
       checksum = plan::ChunkDigest(out);
       exec_total.tuples_constructed += out.num_tuples();
       if (q->sink) q->sink(out);
+      if (q->stream_sink && !out.empty()) q->stream_sink(out);
     } else if (q->sink) {
       // Per-worker buffers concatenated once, in worker order — the sink
       // sees bag semantics without ever having serialized the workers.
@@ -326,6 +348,7 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
     q->done = true;
   }
   q->done_cv.notify_all();
+  if (q->on_complete) q->on_complete();
 }
 
 }  // namespace sched

@@ -98,6 +98,27 @@ class Scheduler {
   /// order. Not called at all if the query failed.
   using Sink = std::function<void(const exec::TupleChunk&)>;
 
+  /// Streaming variant: invoked *during* execution, from whichever worker
+  /// produced the chunk — concurrently for parallel scans, so it must be
+  /// thread-safe. Output is never buffered in the scheduler (this is what
+  /// bounds a streaming consumer's memory). Returning false cancels the
+  /// query: remaining morsels are dropped and the ticket resolves to a
+  /// Cancelled status. Aggregations still deliver their single merged chunk
+  /// at finalization (through this sink). If the query fails mid-run, chunks
+  /// already streamed stay delivered; the error surfaces on the ticket.
+  using StreamSink = std::function<bool(const exec::TupleChunk&)>;
+
+  /// Full submission request: exactly one of `sink` / `stream_sink` may be
+  /// set. `on_complete` (optional) runs after the query's result is
+  /// published (ticket waiters are already releasable) — streaming callers
+  /// use it to close their queue.
+  struct SubmitOptions {
+    Sink sink;
+    StreamSink stream_sink;
+    std::function<void()> on_complete;
+    int priority = 1;
+  };
+
   Scheduler();  // Options() — hardware-sized pool
   explicit Scheduler(Options options);
 
@@ -116,6 +137,10 @@ class Scheduler {
   QueryTicket Submit(const plan::PlanTemplate& tmpl,
                      storage::BufferPool* pool, Sink sink = nullptr,
                      int priority = 1);
+
+  /// As above, with the full option set (streaming sinks, completion hook).
+  QueryTicket Submit(const plan::PlanTemplate& tmpl,
+                     storage::BufferPool* pool, SubmitOptions options);
 
   /// Enqueues generic background work (e.g. a TupleMover compaction pass)
   /// as a single indivisible task on the same pool: it interleaves with

@@ -6,11 +6,17 @@
 //
 //   INSERT INTO table VALUES (literal [, literal]*) [, (...)]*
 //   DELETE FROM table [WHERE cond [AND cond]*]
+//   UPDATE table SET column = literal [, column = literal]*
+//   [WHERE cond [AND cond]*]
 //
 //   item := column | * | SUM(column) | COUNT(column) | MIN(..) | MAX(..)
 //   cond := column (< | <= | = | <> | >= | >) literal
 //         | column BETWEEN literal AND literal
-//   literal := integer | 'YYYY-MM-DD'
+//   literal := integer | 'YYYY-MM-DD' | ?
+//
+// `?` is a positional parameter: it parses anywhere a literal does and is
+// bound to a Value at execution time by an api::PreparedStatement
+// (statements containing parameters cannot run un-prepared).
 //
 // This covers the paper's evaluation queries (Section 4) plus the obvious
 // variations, and the write statements the write store serves.
@@ -39,6 +45,10 @@ struct Literal {
   bool is_date = false;
   int64_t int_value = 0;
   std::string date_text;  // original spelling for error messages
+  // Positional parameter ('?'): resolved against the params vector at
+  // execution time; int_value/date fields are meaningless until then.
+  bool is_param = false;
+  int param_index = -1;   // 0-based, assigned left to right by the parser
 };
 
 struct Condition {
@@ -69,13 +79,25 @@ struct ParsedDelete {
   std::vector<Condition> conditions;
 };
 
+/// UPDATE table SET col = lit, ... [WHERE ...]: rewrites every matching row
+/// as delete + re-insert under one snapshot (positions of updated rows
+/// change — they move to the write-store tail).
+struct ParsedUpdate {
+  std::string table;
+  std::vector<std::pair<std::string, Literal>> sets;
+  std::vector<Condition> conditions;
+};
+
 /// One statement of any supported kind.
 struct ParsedStatement {
-  enum class Kind { kSelect, kInsert, kDelete };
+  enum class Kind { kSelect, kInsert, kDelete, kUpdate };
   Kind kind = Kind::kSelect;
   ParsedQuery select;    // kSelect
   ParsedInsert insert;   // kInsert
   ParsedDelete del;      // kDelete
+  ParsedUpdate update;   // kUpdate
+  // Number of '?' parameters in the statement (0 = executable directly).
+  int param_count = 0;
 };
 
 }  // namespace sql

@@ -1,530 +1,21 @@
 #include "sql/engine.h"
 
-#include <algorithm>
-#include <map>
-
-#include "model/calibrate.h"
-#include "sql/parser.h"
-#include "tpch/dates.h"
-
 namespace cstore {
 namespace sql {
-
-namespace {
-
-Result<Value> LiteralValue(const Literal& lit) {
-  if (!lit.is_date) return lit.int_value;
-  int32_t day = tpch::StringToDay(lit.date_text);
-  if (day < 0) {
-    return Status::InvalidArgument("bad date literal '" + lit.date_text +
-                                   "' (expected 'YYYY-MM-DD', 1992+)");
-  }
-  return static_cast<Value>(day);
-}
-
-/// Per-column accumulated bounds from one or more WHERE conditions.
-struct Bounds {
-  bool has_lower = false;
-  Value lower = 0;  // inclusive
-  bool has_upper = false;
-  Value upper = 0;  // inclusive
-  bool has_not_eq = false;
-  Value neq_value = 0;
-
-  Status Add(Condition::Op op, Value a, Value b) {
-    switch (op) {
-      case Condition::Op::kLess:
-        return AddUpper(a - 1);
-      case Condition::Op::kLessEq:
-        return AddUpper(a);
-      case Condition::Op::kGreater:
-        return AddLower(a + 1);
-      case Condition::Op::kGreaterEq:
-        return AddLower(a);
-      case Condition::Op::kEq:
-        CSTORE_RETURN_IF_ERROR(AddLower(a));
-        return AddUpper(a);
-      case Condition::Op::kBetween:
-        CSTORE_RETURN_IF_ERROR(AddLower(a));
-        return AddUpper(b);
-      case Condition::Op::kNotEq:
-        if (has_not_eq) {
-          return Status::NotSupported(
-              "multiple <> conditions on one column");
-        }
-        has_not_eq = true;
-        neq_value = a;
-        return Status::OK();
-    }
-    return Status::Internal("unreachable");
-  }
-
-  Status AddLower(Value v) {
-    lower = has_lower ? std::max(lower, v) : v;
-    has_lower = true;
-    return Status::OK();
-  }
-  Status AddUpper(Value v) {
-    upper = has_upper ? std::min(upper, v) : v;
-    has_upper = true;
-    return Status::OK();
-  }
-
-  Result<codec::Predicate> ToPredicate() const {
-    if (has_not_eq) {
-      if (has_lower || has_upper) {
-        return Status::NotSupported(
-            "mixing <> with range conditions on one column");
-      }
-      return codec::Predicate::NotEqual(neq_value);
-    }
-    if (has_lower && has_upper) {
-      if (lower == upper) return codec::Predicate::Equal(lower);
-      return codec::Predicate::Between(lower, upper);
-    }
-    if (has_lower) return codec::Predicate::GreaterEqual(lower);
-    if (has_upper) return codec::Predicate::LessEqual(upper);
-    return codec::Predicate::True();
-  }
-};
-
-using BoundsMap = std::map<std::string, Bounds>;
-
-/// Folds WHERE conditions into per-column accumulated bounds (shared by
-/// SELECT binding and DELETE execution, so their semantics never diverge).
-Result<BoundsMap> FoldConditions(const std::vector<Condition>& conditions) {
-  BoundsMap bounds;
-  for (const Condition& cond : conditions) {
-    CSTORE_ASSIGN_OR_RETURN(Value a, LiteralValue(cond.a));
-    Value b = 0;
-    if (cond.op == Condition::Op::kBetween) {
-      CSTORE_ASSIGN_OR_RETURN(b, LiteralValue(cond.b));
-    }
-    CSTORE_RETURN_IF_ERROR(bounds[cond.column].Add(cond.op, a, b));
-  }
-  return bounds;
-}
-
-/// Projects the scan-wide result tuples onto the select list and assembles
-/// the SqlResult (shared by the synchronous and batch paths).
-SqlResult ProjectResult(const std::vector<uint32_t>& output_slots,
-                        std::vector<std::string> output_names,
-                        plan::Strategy strategy, db::QueryResult&& result) {
-  SqlResult out;
-  out.column_names = std::move(output_names);
-  out.stats = result.stats;
-  out.strategy = strategy;
-
-  const exec::TupleChunk& in = result.tuples;
-  bool identity = in.width() == output_slots.size();
-  if (identity) {
-    for (uint32_t i = 0; i < output_slots.size(); ++i) {
-      if (output_slots[i] != i) {
-        identity = false;
-        break;
-      }
-    }
-  }
-  if (identity) {
-    out.tuples = std::move(result.tuples);
-    return out;
-  }
-  out.tuples.Reset(static_cast<uint32_t>(output_slots.size()));
-  out.tuples.Reserve(in.num_tuples());
-  for (size_t i = 0; i < in.num_tuples(); ++i) {
-    Value* slots = out.tuples.AppendTuple(in.position(i));
-    for (uint32_t c = 0; c < output_slots.size(); ++c) {
-      slots[c] = in.value(i, output_slots[c]);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-double Engine::EstimateSelectivity(const codec::ColumnMeta& meta,
-                                   const codec::Predicate& pred) {
-  if (meta.num_values == 0) return 0.0;
-  const double lo = static_cast<double>(meta.min_value);
-  const double hi = static_cast<double>(meta.max_value);
-  const double width = hi - lo + 1.0;
-  auto frac_below = [&](double x) {  // P(v < x) under uniformity
-    return std::clamp((x - lo) / width, 0.0, 1.0);
-  };
-  using Op = codec::Predicate::Op;
-  switch (pred.op()) {
-    case Op::kTrue:
-      return 1.0;
-    case Op::kLess:
-      return frac_below(static_cast<double>(pred.bound_a()));
-    case Op::kLessEq:
-      return frac_below(static_cast<double>(pred.bound_a()) + 1.0);
-    case Op::kGreaterEq:
-      return 1.0 - frac_below(static_cast<double>(pred.bound_a()));
-    case Op::kGreater:
-      return 1.0 - frac_below(static_cast<double>(pred.bound_a()) + 1.0);
-    case Op::kEqual: {
-      double d = meta.num_distinct > 0 ? static_cast<double>(meta.num_distinct)
-                                       : width;
-      return std::clamp(1.0 / std::max(1.0, d), 0.0, 1.0);
-    }
-    case Op::kNotEqual: {
-      double d = meta.num_distinct > 0 ? static_cast<double>(meta.num_distinct)
-                                       : width;
-      return 1.0 - std::clamp(1.0 / std::max(1.0, d), 0.0, 1.0);
-    }
-    case Op::kBetween:
-      return std::clamp(frac_below(static_cast<double>(pred.bound_b()) + 1.0) -
-                            frac_below(static_cast<double>(pred.bound_a())),
-                        0.0, 1.0);
-  }
-  return 1.0;
-}
-
-Result<Engine::BoundQuery> Engine::Bind(const ParsedQuery& q) {
-  BoundQuery bound;
-  if (!db_->HasTable(q.table)) {
-    return Status::NotFound("unknown table '" + q.table + "'");
-  }
-  // Capture the table's write state once; columns are resolved from the
-  // snapshot's generation so the readers and the snapshot always agree,
-  // even if the tuple mover swaps the table mid-bind.
-  CSTORE_ASSIGN_OR_RETURN(bound.snapshot, db_->SnapshotTable(q.table));
-  const write::WriteSnapshot& snap = *bound.snapshot;
-
-  // Expand the select list.
-  std::vector<SelectItem> items;
-  for (const SelectItem& item : q.items) {
-    if (item.star) {
-      for (const std::string& c : snap.column_names()) {
-        SelectItem expanded;
-        expanded.column = c;
-        items.push_back(expanded);
-      }
-    } else {
-      items.push_back(item);
-    }
-  }
-  if (items.empty()) {
-    return Status::InvalidArgument("empty select list");
-  }
-
-  // Combine WHERE conditions per column into single predicates.
-  CSTORE_ASSIGN_OR_RETURN(BoundsMap bounds, FoldConditions(q.conditions));
-
-  // The scan column list: select-list columns first (deduplicated), then
-  // WHERE-only columns.
-  auto add_scan_column = [&](const std::string& name) -> Result<uint32_t> {
-    for (uint32_t i = 0; i < bound.scan_column_names.size(); ++i) {
-      if (bound.scan_column_names[i] == name) return i;
-    }
-    int snap_idx = snap.ColumnIndexForName(name);
-    if (snap_idx < 0) {
-      return Status::NotFound("no column '" + name + "' in table '" +
-                              q.table + "'");
-    }
-    CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
-                            db_->GetColumn(snap.column_files()[snap_idx]));
-    plan::SelectionQuery::Column col;
-    col.reader = reader;
-    auto it = bounds.find(name);
-    if (it != bounds.end()) {
-      CSTORE_ASSIGN_OR_RETURN(col.pred, it->second.ToPredicate());
-    }
-    bound.scan_column_names.push_back(name);
-    bound.selection.columns.push_back(col);
-    return static_cast<uint32_t>(bound.scan_column_names.size() - 1);
-  };
-
-  // Aggregate vs. plain selection.
-  uint32_t num_agg = 0;
-  for (const SelectItem& item : items) {
-    if (item.aggregated) ++num_agg;
-  }
-  bound.is_aggregate = num_agg > 0 || q.group_by.has_value();
-
-  if (bound.is_aggregate) {
-    // Global aggregate: SELECT AGG(a) FROM t [WHERE ...] — no GROUP BY.
-    if (!q.group_by.has_value()) {
-      if (num_agg != 1 || items.size() != 1) {
-        return Status::NotSupported(
-            "without GROUP BY, the select list must be exactly one "
-            "aggregate");
-      }
-      const SelectItem& agg_item = items[0];
-      CSTORE_ASSIGN_OR_RETURN(uint32_t aidx, add_scan_column(agg_item.column));
-      for (const auto& [col, b] : bounds) {
-        CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
-        (void)idx;
-      }
-      bound.agg.selection = bound.selection;
-      bound.agg.agg_index = aidx;
-      bound.agg.func = agg_item.func;
-      bound.agg.global = true;
-      // Aggregate output tuples are (group=0, value); project the value.
-      bound.output_slots.push_back(1);
-      bound.output_names.push_back(std::string("agg(") + agg_item.column +
-                                   ")");
-      return bound;
-    }
-    if (num_agg != 1 || items.size() != 2) {
-      return Status::NotSupported(
-          "aggregate queries must have the form SELECT g, AGG(a) ... "
-          "GROUP BY g");
-    }
-    const SelectItem* group_item = nullptr;
-    const SelectItem* agg_item = nullptr;
-    for (const SelectItem& item : items) {
-      (item.aggregated ? agg_item : group_item) = &item;
-    }
-    CSTORE_CHECK(group_item != nullptr && agg_item != nullptr);
-    if (group_item->column != *q.group_by) {
-      return Status::InvalidArgument(
-          "selected column '" + group_item->column +
-          "' must match GROUP BY column '" + *q.group_by + "'");
-    }
-    CSTORE_ASSIGN_OR_RETURN(uint32_t gidx, add_scan_column(group_item->column));
-    CSTORE_ASSIGN_OR_RETURN(uint32_t aidx, add_scan_column(agg_item->column));
-    if (gidx == aidx) {
-      return Status::NotSupported("GROUP BY column equal to aggregate input");
-    }
-    for (const auto& [col, b] : bounds) {
-      CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
-      (void)idx;
-    }
-    bound.agg.selection = bound.selection;
-    bound.agg.group_index = gidx;
-    bound.agg.agg_index = aidx;
-    bound.agg.func = agg_item->func;
-    // Output order follows the select list.
-    for (const SelectItem& item : items) {
-      bound.output_slots.push_back(item.aggregated ? 1 : 0);
-      bound.output_names.push_back(
-          item.aggregated ? std::string("agg(") + item.column + ")"
-                          : item.column);
-    }
-    return bound;
-  }
-
-  for (const SelectItem& item : items) {
-    CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(item.column));
-    bound.output_slots.push_back(idx);
-    bound.output_names.push_back(item.column);
-  }
-  for (const auto& [col, b] : bounds) {
-    CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(col));
-    (void)idx;
-  }
-  return bound;
-}
-
-const model::CostParams& Engine::Params() {
-  if (!params_.has_value()) {
-    model::Calibrator::Options opts;
-    opts.loop_size = 1 << 19;  // quick calibration, done once per engine
-    opts.repetitions = 2;
-    model::Calibrator calibrator(opts);
-    params_ = calibrator.Run(*db_->disk_model());
-  }
-  return *params_;
-}
-
-model::SelectionModelInput Engine::ModelInputFor(const BoundQuery& bound,
-                                                 int num_workers) {
-  const plan::SelectionQuery& sel =
-      bound.is_aggregate ? bound.agg.selection : bound.selection;
-  model::SelectionModelInput input;
-  input.num_workers = num_workers;
-  input.col1 = model::ColumnStats::FromMeta(sel.columns[0].reader->meta());
-  input.sf1 =
-      EstimateSelectivity(sel.columns[0].reader->meta(), sel.columns[0].pred);
-  input.col1_clustered = sel.columns[0].reader->meta().sorted;
-  const auto& second =
-      sel.columns.size() > 1 ? sel.columns[1] : sel.columns[0];
-  input.col2 = model::ColumnStats::FromMeta(second.reader->meta());
-  input.sf2 = sel.columns.size() > 1
-                  ? EstimateSelectivity(second.reader->meta(), second.pred)
-                  : 1.0;
-  return input;
-}
-
-double Engine::GroupEstimateFor(const BoundQuery& bound) {
-  if (bound.agg.global) return 1.0;
-  const plan::SelectionQuery& sel = bound.agg.selection;
-  const codec::ColumnMeta& gmeta =
-      sel.columns[bound.agg.group_index].reader->meta();
-  return gmeta.num_distinct > 0
-             ? static_cast<double>(gmeta.num_distinct)
-             : std::min<double>(1000.0,
-                                static_cast<double>(gmeta.max_value -
-                                                    gmeta.min_value + 1));
-}
-
-Result<plan::Strategy> Engine::ChooseStrategy(const BoundQuery& bound,
-                                              int num_workers) {
-  const plan::SelectionQuery& sel =
-      bound.is_aggregate ? bound.agg.selection : bound.selection;
-  if (sel.columns.size() == 1 && !bound.is_aggregate) {
-    // Degenerate single-column plans differ little; LM-parallel avoids
-    // constructing non-matching tuples.
-    return plan::Strategy::kLmParallel;
-  }
-  model::SelectionModelInput input = ModelInputFor(bound, num_workers);
-  model::Advisor advisor(Params());
-  if (bound.is_aggregate) {
-    return advisor.ChooseAggregation(input, GroupEstimateFor(bound));
-  }
-  return advisor.ChooseSelection(input);
-}
-
-Result<std::string> Engine::Explain(const std::string& sql, int num_workers) {
-  CSTORE_ASSIGN_OR_RETURN(ParsedQuery parsed, Parse(sql));
-  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(parsed));
-  model::SelectionModelInput input = ModelInputFor(bound, num_workers);
-  model::Advisor advisor(Params());
-  if (bound.is_aggregate) {
-    return advisor.ExplainAggregation(input, GroupEstimateFor(bound));
-  }
-  return advisor.ExplainSelection(input);
-}
-
-Result<SqlResult> Engine::ExecuteInsert(const ParsedInsert& ins) {
-  CSTORE_ASSIGN_OR_RETURN(std::vector<std::string> cols,
-                          db_->TableColumns(ins.table));
-  std::vector<std::vector<Value>> rows;
-  rows.reserve(ins.rows.size());
-  for (const std::vector<Literal>& row : ins.rows) {
-    if (row.size() != cols.size()) {
-      return Status::InvalidArgument(
-          "INSERT row has " + std::to_string(row.size()) + " values, table '" +
-          ins.table + "' has " + std::to_string(cols.size()) + " columns");
-    }
-    std::vector<Value> values;
-    values.reserve(row.size());
-    for (const Literal& lit : row) {
-      CSTORE_ASSIGN_OR_RETURN(Value v, LiteralValue(lit));
-      values.push_back(v);
-    }
-    rows.push_back(std::move(values));
-  }
-  CSTORE_RETURN_IF_ERROR(db_->Insert(ins.table, rows));
-  SqlResult out;
-  out.is_write = true;
-  out.rows_affected = rows.size();
-  out.column_names = {"rows_inserted"};
-  out.tuples.Reset(1);
-  Value n = static_cast<Value>(rows.size());
-  out.tuples.AppendTuple(0, &n);
-  out.stats.output_tuples = rows.size();
-  return out;
-}
-
-Result<SqlResult> Engine::ExecuteDelete(const ParsedDelete& del) {
-  CSTORE_ASSIGN_OR_RETURN(BoundsMap bounds, FoldConditions(del.conditions));
-  std::vector<std::pair<std::string, codec::Predicate>> conds;
-  for (const auto& [col, bound] : bounds) {
-    CSTORE_ASSIGN_OR_RETURN(codec::Predicate pred, bound.ToPredicate());
-    conds.emplace_back(col, pred);
-  }
-  plan::RunStats scan_stats;
-  CSTORE_ASSIGN_OR_RETURN(uint64_t deleted,
-                          db_->DeleteWhere(del.table, conds, &scan_stats));
-  SqlResult out;
-  out.is_write = true;
-  out.rows_affected = deleted;
-  out.column_names = {"rows_deleted"};
-  out.tuples.Reset(1);
-  Value n = static_cast<Value>(deleted);
-  out.tuples.AppendTuple(0, &n);
-  // Report the position-finding scan's cost — a DELETE is that scan.
-  out.stats = scan_stats;
-  out.stats.output_tuples = deleted;
-  return out;
-}
-
-Result<SqlResult> Engine::Execute(const std::string& sql,
-                                  std::optional<plan::Strategy> strategy,
-                                  int num_workers) {
-  CSTORE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql));
-  if (stmt.kind == ParsedStatement::Kind::kInsert) {
-    return ExecuteInsert(stmt.insert);
-  }
-  if (stmt.kind == ParsedStatement::Kind::kDelete) {
-    return ExecuteDelete(stmt.del);
-  }
-  CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(stmt.select));
-
-  plan::Strategy chosen;
-  if (strategy.has_value()) {
-    chosen = *strategy;
-  } else {
-    CSTORE_ASSIGN_OR_RETURN(chosen, ChooseStrategy(bound, num_workers));
-  }
-
-  plan::PlanConfig config;
-  config.num_workers = num_workers;
-  config.snapshot = bound.snapshot;
-  Result<db::QueryResult> result =
-      bound.is_aggregate ? db_->RunAgg(bound.agg, chosen, config)
-                         : db_->RunSelection(bound.selection, chosen, config);
-  CSTORE_RETURN_IF_ERROR(result.status());
-
-  return ProjectResult(bound.output_slots, bound.output_names, chosen,
-                       std::move(*result));
-}
-
-Result<SqlResult> Engine::Pending::Wait() {
-  CSTORE_RETURN_IF_ERROR(early_);
-  if (immediate_.has_value()) return std::move(*immediate_);
-  CSTORE_ASSIGN_OR_RETURN(db::QueryResult result, query_.Wait());
-  return ProjectResult(output_slots_, std::move(output_names_), strategy_,
-                       std::move(result));
-}
 
 std::vector<Engine::Pending> Engine::SubmitAll(
     const std::vector<std::string>& sqls, sched::Scheduler* scheduler,
     std::optional<plan::Strategy> strategy) {
   if (scheduler == nullptr) scheduler = sched::Scheduler::Default();
-  std::vector<Pending> out(sqls.size());
-  for (size_t i = 0; i < sqls.size(); ++i) {
-    Pending& pending = out[i];
-    // Prepare (parse/bind/advise) serially; failures are carried in the
-    // ticket so the caller drains the batch uniformly. Write statements
-    // execute here, at submit time — later statements of the batch bind
-    // snapshots that already include them.
-    pending.early_ = [&]() -> Status {
-      CSTORE_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sqls[i]));
-      if (stmt.kind != ParsedStatement::Kind::kSelect) {
-        CSTORE_ASSIGN_OR_RETURN(
-            SqlResult result,
-            stmt.kind == ParsedStatement::Kind::kInsert
-                ? ExecuteInsert(stmt.insert)
-                : ExecuteDelete(stmt.del));
-        pending.immediate_ = std::move(result);
-        return Status::OK();
-      }
-      CSTORE_ASSIGN_OR_RETURN(BoundQuery bound, Bind(stmt.select));
-      plan::Strategy chosen;
-      if (strategy.has_value()) {
-        chosen = *strategy;
-      } else {
-        CSTORE_ASSIGN_OR_RETURN(
-            chosen, ChooseStrategy(bound, scheduler->num_workers()));
-      }
-      plan::PlanConfig config;
-      config.num_workers = scheduler->num_workers();
-      config.snapshot = bound.snapshot;
-      plan::PlanTemplate tmpl =
-          bound.is_aggregate
-              ? plan::PlanTemplate::Agg(bound.agg, chosen, config)
-              : plan::PlanTemplate::Selection(bound.selection, chosen,
-                                              config);
-      pending.output_slots_ = bound.output_slots;
-      pending.output_names_ = bound.output_names;
-      pending.strategy_ = chosen;
-      pending.query_ = db_->Submit(tmpl, scheduler);
-      return Status::OK();
-    }();
+  // A short-lived pooled session over the target scheduler; it shares this
+  // engine's calibrated cost-model cache and owns no execution state, so
+  // the returned handles safely outlive it.
+  api::Connection conn(db_, scheduler);
+  conn.ShareCostCache(conn_);
+  std::vector<Pending> out;
+  out.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    out.push_back(conn.Submit(sql, strategy));
   }
   return out;
 }

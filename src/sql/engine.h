@@ -1,10 +1,18 @@
-// SQL engine: parse → bind against the database catalog → pick a
-// materialization strategy (explicitly, or via the analytical model with
-// optimizer-style statistics estimates) → execute → project the results.
+// SQL engine — compatibility facade over api::Connection.
 //
-// This is the "standards-compliant relational interface" loop the paper's
-// introduction motivates: the query comes in as SQL, executes column-wise,
-// and leaves as row-store-style tuples.
+// Historically this class owned the whole parse → bind → advise → execute
+// → project loop. That loop lives in api::Connection / api::statement now
+// (one binder, one execution path for every client surface); Engine remains
+// as the stable wrapper the earlier examples, benches, and tests were
+// written against:
+//
+//   Engine::Execute(sql)   → Connection::Query(sql)
+//   Engine::SubmitAll(...) → Connection::Submit(sql) per statement
+//   Engine::Pending        = api::PendingResult
+//   sql::SqlResult         = api::QueryResult
+//
+// New code should use api::Connection directly (it adds Prepare, Stream,
+// and typed-plan entry points this facade does not re-export).
 
 #ifndef CSTORE_SQL_ENGINE_H_
 #define CSTORE_SQL_ENGINE_H_
@@ -13,113 +21,65 @@
 #include <string>
 #include <vector>
 
+#include "api/connection.h"
 #include "db/database.h"
-#include "model/advisor.h"
 #include "sched/scheduler.h"
-#include "sql/ast.h"
 #include "util/status.h"
 
 namespace cstore {
 namespace sql {
 
-struct SqlResult {
-  std::vector<std::string> column_names;
-  exec::TupleChunk tuples;
-  plan::RunStats stats;
-  plan::Strategy strategy;  // what actually ran (selects only)
-  // Write statements (INSERT / DELETE): rows affected; tuples holds one row
-  // with the same count.
-  bool is_write = false;
-  uint64_t rows_affected = 0;
-};
+/// The historical result name; every field (column_names, tuples, stats,
+/// strategy, is_write, rows_affected) is unchanged.
+using SqlResult = api::QueryResult;
 
 class Engine {
  public:
-  explicit Engine(db::Database* db) : db_(db) {}
+  explicit Engine(db::Database* db) : db_(db), conn_(db) {}
 
-  /// Executes `sql` — SELECT, INSERT INTO ... VALUES, or DELETE FROM.
-  /// Every SELECT runs against a write snapshot captured at bind time, so
-  /// it sees all writes executed before this call and none after. When
-  /// `strategy` is not given, the engine estimates predicate selectivities
-  /// from column statistics (uniform-distribution interpolation over
-  /// [min, max]) and lets the model-based Advisor choose.
-  /// `num_workers > 1` runs the plan morsel-parallel; result bags are
-  /// worker-count independent but selection row order is not.
+  /// Executes `sql` — SELECT, INSERT INTO ... VALUES, DELETE FROM, or
+  /// UPDATE ... SET. Every SELECT runs against a write snapshot captured at
+  /// bind time, so it sees all writes executed before this call and none
+  /// after. When `strategy` is not given, the engine estimates predicate
+  /// selectivities from column statistics and lets the model-based Advisor
+  /// choose. `num_workers > 1` runs the plan morsel-parallel; result bags
+  /// are worker-count independent but selection row order is not.
   Result<SqlResult> Execute(
       const std::string& sql,
       std::optional<plan::Strategy> strategy = std::nullopt,
-      int num_workers = 1);
+      int num_workers = 1) {
+    return conn_.Query(sql, strategy, num_workers);
+  }
 
   /// Statistics-based selectivity estimate for a bound predicate (exposed
   /// for tests).
   static double EstimateSelectivity(const codec::ColumnMeta& meta,
-                                    const codec::Predicate& pred);
+                                    const codec::Predicate& pred) {
+    return api::EstimateSelectivity(meta, pred);
+  }
 
   /// EXPLAIN: the advisor's per-strategy cost report for `sql`, without
-  /// executing it. `num_workers` applies the model's parallel CPU discount
-  /// so the report matches how Execute(sql, ..., num_workers) would run.
-  Result<std::string> Explain(const std::string& sql, int num_workers = 1);
+  /// executing it.
+  Result<std::string> Explain(const std::string& sql, int num_workers = 1) {
+    return conn_.Explain(sql, num_workers);
+  }
 
-  /// One statement of a SubmitAll batch: a waitable handle resolving to the
-  /// statement's SqlResult. Statements that failed to parse/bind report
-  /// their error from Wait() too, so a batch is always fully drainable.
-  class Pending {
-   public:
-    Pending() = default;
-
-    /// Blocks until the statement finishes; single use (moves the result).
-    Result<SqlResult> Wait();
-
-   private:
-    friend class Engine;
-    Status early_ = Status::Internal("default-constructed Pending");
-    db::PendingQuery query_;
-    std::vector<uint32_t> output_slots_;
-    std::vector<std::string> output_names_;
-    plan::Strategy strategy_ = plan::Strategy::kLmParallel;
-    // Write statements execute at submit time; their result is carried
-    // here and Wait() returns it without touching the scheduler.
-    std::optional<SqlResult> immediate_;
-  };
+  /// The unified waitable handle (see api::PendingResult).
+  using Pending = api::PendingResult;
 
   /// Launches every statement concurrently on `scheduler`'s shared worker
   /// pool (nullptr = the process-wide sched::Scheduler::Default()) and
   /// returns one Pending per statement, in order. Statements are parsed,
-  /// bound, and strategy-advised serially at submit time (the catalog is
-  /// not thread-safe); execution interleaves at morsel granularity. When
-  /// `strategy` is not given, the model-based Advisor picks per statement.
+  /// bound, and strategy-advised serially at submit time; write statements
+  /// execute at submit time, so later statements of the batch observe them.
   std::vector<Pending> SubmitAll(
       const std::vector<std::string>& sqls,
       sched::Scheduler* scheduler = nullptr,
       std::optional<plan::Strategy> strategy = std::nullopt);
 
  private:
-  struct BoundQuery {
-    std::vector<std::string> scan_column_names;
-    plan::SelectionQuery selection;
-    bool is_aggregate = false;
-    plan::AggQuery agg;
-    // Output projection: for selections, indices into scan columns; for
-    // aggregates, 0 = group value, 1 = aggregate value.
-    std::vector<uint32_t> output_slots;
-    std::vector<std::string> output_names;
-    // The table's write state as of bind time; attached to the plan so the
-    // query sees exactly this snapshot.
-    std::shared_ptr<const write::WriteSnapshot> snapshot;
-  };
-
-  Result<BoundQuery> Bind(const ParsedQuery& q);
-  Result<SqlResult> ExecuteInsert(const ParsedInsert& ins);
-  Result<SqlResult> ExecuteDelete(const ParsedDelete& del);
-  Result<plan::Strategy> ChooseStrategy(const BoundQuery& bound,
-                                        int num_workers);
-  model::SelectionModelInput ModelInputFor(const BoundQuery& bound,
-                                           int num_workers);
-  double GroupEstimateFor(const BoundQuery& bound);
-  const model::CostParams& Params();
-
   db::Database* db_;
-  std::optional<model::CostParams> params_;
+  api::Connection conn_;
 };
 
 }  // namespace sql

@@ -25,6 +25,7 @@ const std::unordered_map<std::string, TokenType>& Keywords() {
       {"avg", TokenType::kAvg},
       {"insert", TokenType::kInsert}, {"into", TokenType::kInto},
       {"values", TokenType::kValues}, {"delete", TokenType::kDelete},
+      {"update", TokenType::kUpdate}, {"set", TokenType::kSet},
   };
   return *kKeywords;
 }
@@ -62,6 +63,9 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kInto: return "INTO";
     case TokenType::kValues: return "VALUES";
     case TokenType::kDelete: return "DELETE";
+    case TokenType::kUpdate: return "UPDATE";
+    case TokenType::kSet: return "SET";
+    case TokenType::kParam: return "'?'";
     case TokenType::kEof: return "end of input";
   }
   return "?";
@@ -135,6 +139,10 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         continue;
       case '*':
         tokens.push_back(Token{TokenType::kStar, "*", 0, start});
+        ++i;
+        continue;
+      case '?':
+        tokens.push_back(Token{TokenType::kParam, "?", 0, start});
         ++i;
         continue;
       case '=':

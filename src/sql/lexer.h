@@ -46,6 +46,9 @@ enum class TokenType {
   kInto,
   kValues,
   kDelete,
+  kUpdate,
+  kSet,
+  kParam,    // '?' — positional parameter of a prepared statement
   kEof,
 };
 

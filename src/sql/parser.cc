@@ -24,6 +24,11 @@ class Parser {
         CSTORE_RETURN_IF_ERROR(ParseDelete(&stmt.del));
         break;
       }
+      case TokenType::kUpdate: {
+        stmt.kind = ParsedStatement::Kind::kUpdate;
+        CSTORE_RETURN_IF_ERROR(ParseUpdate(&stmt.update));
+        break;
+      }
       default: {
         stmt.kind = ParsedStatement::Kind::kSelect;
         CSTORE_RETURN_IF_ERROR(ParseSelect(&stmt.select));
@@ -31,6 +36,7 @@ class Parser {
       }
     }
     CSTORE_RETURN_IF_ERROR(Expect(TokenType::kEof));
+    stmt.param_count = num_params_;
     return stmt;
   }
 
@@ -82,6 +88,32 @@ class Parser {
         Condition cond;
         CSTORE_RETURN_IF_ERROR(ParseCondition(&cond));
         del->conditions.push_back(std::move(cond));
+      } while (Accept(TokenType::kAnd));
+    }
+    return Status::OK();
+  }
+
+  Status ParseUpdate(ParsedUpdate* upd) {
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kUpdate));
+    CSTORE_ASSIGN_OR_RETURN(upd->table, ExpectIdentifier());
+    CSTORE_RETURN_IF_ERROR(Expect(TokenType::kSet));
+    do {
+      CSTORE_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      CSTORE_RETURN_IF_ERROR(Expect(TokenType::kEq));
+      CSTORE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      for (const auto& [existing, unused] : upd->sets) {
+        if (existing == column) {
+          return Status::InvalidArgument("column '" + column +
+                                         "' assigned twice in UPDATE");
+        }
+      }
+      upd->sets.emplace_back(std::move(column), std::move(lit));
+    } while (Accept(TokenType::kComma));
+    if (Accept(TokenType::kWhere)) {
+      do {
+        Condition cond;
+        CSTORE_RETURN_IF_ERROR(ParseCondition(&cond));
+        upd->conditions.push_back(std::move(cond));
       } while (Accept(TokenType::kAnd));
     }
     return Status::OK();
@@ -178,6 +210,12 @@ class Parser {
       ++pos_;
       return lit;
     }
+    if (Peek().type == TokenType::kParam) {
+      lit.is_param = true;
+      lit.param_index = num_params_++;
+      ++pos_;
+      return lit;
+    }
     return Status::InvalidArgument(
         std::string("expected literal but found ") +
         TokenTypeName(Peek().type) + " at offset " +
@@ -226,6 +264,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_params_ = 0;  // '?' literals seen, numbered left to right
 };
 
 }  // namespace

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  kCancelled,
 };
 
 /// Lightweight status object: a code plus an optional message. OK statuses
@@ -55,6 +56,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +71,7 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   std::string ToString() const;
 

@@ -124,6 +124,32 @@ Status WriteStore::MarkDeleted(const std::vector<Position>& positions) {
   return Status::OK();
 }
 
+Status WriteStore::DeleteAndInsert(
+    const std::vector<Position>& positions,
+    const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) {
+    if (row.size() != names_.size()) {
+      return Status::InvalidArgument(
+          "update row has " + std::to_string(row.size()) + " values, table " +
+          "has " + std::to_string(names_.size()) + " columns");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const Position total = base_rows_ + pending_[0].size();
+  for (Position p : positions) {
+    if (p >= total) {
+      return Status::InvalidArgument(
+          "update position " + std::to_string(p) + " out of range (" +
+          std::to_string(total) + " rows)");
+    }
+  }
+  delete_log_.insert(delete_log_.end(), positions.begin(), positions.end());
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) pending_[c].push_back(row[c]);
+  }
+  return Status::OK();
+}
+
 std::shared_ptr<const WriteSnapshot> WriteStore::Snapshot() const {
   auto snap = std::shared_ptr<WriteSnapshot>(new WriteSnapshot());
   {

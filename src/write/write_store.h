@@ -147,6 +147,13 @@ class WriteStore {
   /// deleted. One call = one delete epoch tick; duplicates are tolerated.
   Status MarkDeleted(const std::vector<Position>& positions);
 
+  /// UPDATE primitive: atomically marks `positions` deleted and appends
+  /// `rows` (the updated images, row-major) under one lock acquisition, so
+  /// no snapshot can ever observe the rows deleted but not yet re-inserted
+  /// (or vice versa).
+  Status DeleteAndInsert(const std::vector<Position>& positions,
+                         const std::vector<std::vector<Value>>& rows);
+
   /// Captures the current visible state. Never blocks writers for longer
   /// than the copy. While the store is unchanged (same tail size, delete
   /// epoch, and generation) the same immutable snapshot object is reused,
@@ -169,6 +176,14 @@ class WriteStore {
   /// advance base_rows. Their logical positions are unchanged.
   void MarkMoved(uint64_t moved, std::vector<std::string> files);
 
+  /// Serializes scan-then-apply mutations (Database::DeleteWhere /
+  /// UpdateWhere): each computes its matching positions against a snapshot
+  /// and then applies them, so two racing would both match the same row —
+  /// and two UPDATEs would re-insert it twice. Held by the Database around
+  /// the whole scan + apply pair; never taken together with mu_ (which only
+  /// guards the short copy/append sections).
+  std::mutex& scan_mutation_mu() const { return scan_mutation_mu_; }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::string> names_;
@@ -178,6 +193,7 @@ class WriteStore {
   std::vector<Position> delete_log_;         // append order; epoch = size
   // Last snapshot built; reused while (base, tail size, epoch) match.
   mutable std::shared_ptr<const WriteSnapshot> cached_snapshot_;
+  mutable std::mutex scan_mutation_mu_;  // see scan_mutation_mu()
 };
 
 }  // namespace write

@@ -1,0 +1,642 @@
+// api:: layer tests: Connection (sync / async / streaming / typed),
+// PreparedStatement with `?` parameters (including re-execution across a
+// concurrent compaction), RowCursor backpressure and cancellation, the
+// UPDATE statement end to end, the join-side snapshot guard, and
+// equivalence with the legacy wrappers (db::Database::Run*, sql::Engine) —
+// which must stay bit-identical to the api:: paths they now delegate to.
+
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/connection.h"
+#include "db/database.h"
+#include "plan/executor.h"
+#include "sql/engine.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace cstore {
+namespace {
+
+using testing::TempDir;
+
+constexpr int kWorkerCounts[] = {1, 2, 4};
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Database::Options opts;
+    opts.dir = dir_.path();
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+
+    const size_t n = 60000;
+    a_ = testing::SortedRunnyValues(n, 500, 8.0, 1);
+    b_ = testing::RunnyValues(n, 7, 2.0, 2);
+    c_ = testing::RunnyValues(n, 100, 1.0, 3);
+    ASSERT_OK(db_->CreateColumn("t.a", codec::Encoding::kRle, a_));
+    ASSERT_OK(db_->CreateColumn("t.b", codec::Encoding::kUncompressed, b_));
+    ASSERT_OK(db_->CreateColumn("t.c", codec::Encoding::kUncompressed, c_));
+    ASSERT_OK(db_->RegisterTable(
+        "t", {{"a", "t.a"}, {"b", "t.b"}, {"c", "t.c"}}));
+  }
+
+  /// Rows of `t` (by current reference vectors) passing a<alim && b<blim.
+  uint64_t CountRef(Value alim, Value blim) {
+    uint64_t n = 0;
+    for (size_t i = 0; i < a_.size(); ++i) {
+      if (a_[i] < alim && b_[i] < blim) ++n;
+    }
+    return n;
+  }
+
+  /// Registers `big(x)`: enough rows for several 64K-position output
+  /// windows, so streaming genuinely spans multiple chunks.
+  size_t MakeBigTable() {
+    const size_t n = 400000;
+    std::vector<Value> big(n);
+    for (size_t i = 0; i < n; ++i) big[i] = static_cast<Value>(i % 1000);
+    EXPECT_OK(
+        db_->CreateColumn("big.x", codec::Encoding::kUncompressed, big));
+    EXPECT_OK(db_->RegisterTable("big", {{"x", "big.x"}}));
+    return n;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<db::Database> db_;
+  std::vector<Value> a_, b_, c_;
+};
+
+// --- Connection: sync / async / typed equivalence ---------------------------
+
+TEST_F(ApiTest, QueryMatchesEngineExecute) {
+  api::Connection conn(db_.get());
+  sql::Engine engine(db_.get());
+  const char* statements[] = {
+      "SELECT a, b FROM t WHERE a < 100 AND b < 6",
+      "SELECT b FROM t WHERE a < 50",
+      "SELECT a, SUM(b) FROM t WHERE b < 6 GROUP BY a",
+      "SELECT COUNT(b) FROM t WHERE a < 100",
+      "SELECT * FROM t WHERE a = 0",
+  };
+  for (const char* sql : statements) {
+    // Advisor-chosen strategies may differ between the two sessions (each
+    // calibrates its own cost model by timing real loops), but the result
+    // bags must be identical regardless.
+    ASSERT_OK_AND_ASSIGN(api::QueryResult via_conn, conn.Query(sql));
+    ASSERT_OK_AND_ASSIGN(sql::SqlResult via_engine, engine.Execute(sql));
+    EXPECT_EQ(via_conn.column_names, via_engine.column_names) << sql;
+    EXPECT_EQ(via_conn.tuples.num_tuples(), via_engine.tuples.num_tuples())
+        << sql;
+    EXPECT_EQ(via_conn.stats.checksum, via_engine.stats.checksum) << sql;
+    // With an explicit strategy the two surfaces must agree exactly.
+    ASSERT_OK_AND_ASSIGN(
+        api::QueryResult c2,
+        conn.Query(sql, plan::Strategy::kLmParallel));
+    ASSERT_OK_AND_ASSIGN(sql::SqlResult e2,
+                         engine.Execute(sql, plan::Strategy::kLmParallel));
+    EXPECT_EQ(c2.strategy, e2.strategy) << sql;
+    EXPECT_EQ(c2.stats.checksum, e2.stats.checksum) << sql;
+  }
+}
+
+TEST_F(ApiTest, SubmitMatchesQuery) {
+  api::Connection conn(db_.get());
+  const char* sql = "SELECT a, b FROM t WHERE a < 250 AND b < 7";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, conn.Query(sql));
+  api::PendingResult pending = conn.Submit(sql);
+  EXPECT_TRUE(pending.valid());
+  ASSERT_OK_AND_ASSIGN(api::QueryResult async, pending.Wait());
+  EXPECT_EQ(async.tuples.num_tuples(), sync.tuples.num_tuples());
+  EXPECT_EQ(async.stats.checksum, sync.stats.checksum);
+  EXPECT_EQ(async.column_names, sync.column_names);
+}
+
+TEST_F(ApiTest, SubmitCarriesErrorsInHandle) {
+  api::Connection conn(db_.get());
+  api::PendingResult bad = conn.Submit("SELECT nope FROM t");
+  api::PendingResult good = conn.Submit("SELECT a FROM t WHERE a < 10");
+  EXPECT_TRUE(bad.Wait().status().IsNotFound());
+  EXPECT_TRUE(good.Wait().ok());
+  // Default-constructed handles are waitable too.
+  api::PendingResult empty;
+  EXPECT_FALSE(empty.Wait().ok());
+}
+
+TEST_F(ApiTest, PooledConnectionRunsOnSharedScheduler) {
+  sched::Scheduler::Options so;
+  so.num_workers = 2;
+  sched::Scheduler scheduler(so);
+  api::Connection pooled(db_.get(), &scheduler);
+  api::Connection standalone(db_.get());
+  const char* sql = "SELECT a, SUM(b) FROM t GROUP BY a";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult p, pooled.Query(sql));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult s, standalone.Query(sql));
+  EXPECT_EQ(p.stats.checksum, s.stats.checksum);
+  EXPECT_EQ(p.tuples.num_tuples(), s.tuples.num_tuples());
+}
+
+TEST_F(ApiTest, TypedTemplateMatchesLegacyRun) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(const codec::ColumnReader* ra, db_->GetColumn("t.a"));
+  ASSERT_OK_AND_ASSIGN(const codec::ColumnReader* rb, db_->GetColumn("t.b"));
+  plan::SelectionQuery q;
+  q.columns.push_back({ra, codec::Predicate::LessThan(100)});
+  q.columns.push_back({rb, codec::Predicate::LessThan(6)});
+  for (plan::Strategy s : plan::kAllStrategies) {
+    ASSERT_OK_AND_ASSIGN(api::QueryResult via_api,
+                         conn.Query(plan::PlanTemplate::Selection(q, s)));
+    ASSERT_OK_AND_ASSIGN(api::QueryResult via_db, db_->RunSelection(q, s));
+    EXPECT_EQ(via_api.stats.checksum, via_db.stats.checksum);
+    EXPECT_EQ(via_api.tuples.num_tuples(), via_db.tuples.num_tuples());
+  }
+}
+
+TEST_F(ApiTest, SessionStrategyOverride) {
+  api::Connection::Settings settings;
+  settings.strategy = plan::Strategy::kEmPipelined;
+  api::Connection conn(db_.get(), nullptr, settings);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                       conn.Query("SELECT a, b FROM t WHERE a < 100"));
+  EXPECT_EQ(r.strategy, plan::Strategy::kEmPipelined);
+  // Per-call override wins over the session's.
+  ASSERT_OK_AND_ASSIGN(
+      r, conn.Query("SELECT a, b FROM t WHERE a < 100",
+                    plan::Strategy::kLmParallel));
+  EXPECT_EQ(r.strategy, plan::Strategy::kLmParallel);
+}
+
+// --- RowCursor --------------------------------------------------------------
+
+TEST_F(ApiTest, StreamDeliversIdenticalBag) {
+  api::Connection conn(db_.get());
+  const char* sql = "SELECT a, b FROM t WHERE a < 200 AND b < 7";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, conn.Query(sql));
+
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(sql));
+  EXPECT_EQ(cursor.column_names(),
+            (std::vector<std::string>{"a", "b"}));
+  uint64_t rows = 0;
+  uint64_t digest = 0;
+  exec::TupleChunk chunk;
+  while (true) {
+    auto has = cursor.Next(&chunk);
+    ASSERT_OK(has.status());
+    if (!*has) break;
+    rows += chunk.num_tuples();
+    digest += plan::ChunkDigest(chunk);  // wrapping add: order-independent
+  }
+  EXPECT_EQ(rows, sync.tuples.num_tuples());
+  EXPECT_EQ(digest, sync.stats.checksum);
+  EXPECT_EQ(cursor.stats().output_tuples, sync.stats.output_tuples);
+}
+
+TEST_F(ApiTest, StreamFetchAllIsTheCompatibilityPath) {
+  api::Connection conn(db_.get());
+  const char* sql = "SELECT b FROM t WHERE a < 50";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, conn.Query(sql));
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(sql));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult streamed, cursor.FetchAll());
+  ASSERT_EQ(streamed.tuples.num_tuples(), sync.tuples.num_tuples());
+  ASSERT_EQ(streamed.tuples.width(), 1u);
+  for (size_t i = 0; i < sync.tuples.num_tuples(); ++i) {
+    EXPECT_EQ(streamed.tuples.value(i, 0), sync.tuples.value(i, 0));
+  }
+}
+
+TEST_F(ApiTest, EmptyStreamKeepsOutputWidth) {
+  api::Connection conn(db_.get());
+  const char* sql = "SELECT a, b FROM t WHERE a < 0";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, conn.Query(sql));
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(sql));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult streamed, cursor.FetchAll());
+  EXPECT_EQ(streamed.tuples.num_tuples(), 0u);
+  EXPECT_EQ(streamed.tuples.width(), sync.tuples.width());
+  EXPECT_EQ(streamed.tuples.width(), streamed.column_names.size());
+}
+
+TEST_F(ApiTest, StreamAggregationDeliversMergedGroups) {
+  api::Connection conn(db_.get());
+  const char* sql = "SELECT a, SUM(b) FROM t GROUP BY a";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, conn.Query(sql));
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(sql));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult streamed, cursor.FetchAll());
+  EXPECT_EQ(streamed.tuples.num_tuples(), sync.tuples.num_tuples());
+}
+
+TEST_F(ApiTest, StreamSurfacesBindErrors) {
+  api::Connection conn(db_.get());
+  EXPECT_TRUE(conn.Stream("SELECT ghost FROM t").status().IsNotFound());
+  EXPECT_FALSE(conn.Stream("INSERT INTO t VALUES (1, 2, 3)").ok());
+}
+
+TEST_F(ApiTest, StreamBackpressureBoundsMemory) {
+  const size_t n = MakeBigTable();
+  api::Connection::Settings settings;
+  settings.stream_queue_chunks = 2;
+  api::Connection conn(db_.get(), nullptr, settings);
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor,
+                       conn.Stream("SELECT x FROM big"));
+  uint64_t rows = 0;
+  exec::TupleChunk chunk;
+  while (true) {
+    auto has = cursor.Next(&chunk);
+    ASSERT_OK(has.status());
+    if (!*has) break;
+    rows += chunk.num_tuples();
+  }
+  EXPECT_EQ(rows, n);
+  // The whole result is n values; the queue must have held well under half
+  // of it at any instant (2-chunk capacity vs 7 output windows).
+  EXPECT_LT(cursor.peak_buffered_bytes(), n * sizeof(Value) / 2);
+}
+
+TEST_F(ApiTest, DroppedCursorCancelsQuery) {
+  MakeBigTable();
+  api::Connection::Settings settings;
+  settings.stream_queue_chunks = 1;  // the producer WILL block
+  api::Connection conn(db_.get(), nullptr, settings);
+  {
+    ASSERT_OK_AND_ASSIGN(api::RowCursor cursor,
+                         conn.Stream("SELECT x FROM big"));
+    exec::TupleChunk chunk;
+    auto has = cursor.Next(&chunk);
+    ASSERT_OK(has.status());
+    // Drop the cursor with the stream still open: must cancel cleanly, not
+    // deadlock against the blocked producer.
+  }
+  // The connection keeps working afterwards.
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                       conn.Query("SELECT a FROM t WHERE a < 10"));
+  EXPECT_GT(r.tuples.num_tuples(), 0u);
+}
+
+// --- PreparedStatement ------------------------------------------------------
+
+TEST_F(ApiTest, PreparedMatchesUnpreparedAcrossParams) {
+  api::Connection conn(db_.get());
+  sql::Engine engine(db_.get());
+  ASSERT_OK_AND_ASSIGN(
+      api::PreparedStatement prepared,
+      conn.Prepare("SELECT a, b FROM t WHERE a < ? AND b < ?"));
+  EXPECT_EQ(prepared.param_count(), 2);
+  EXPECT_EQ(prepared.column_names(),
+            (std::vector<std::string>{"a", "b"}));
+  for (Value alim : {Value{0}, Value{57}, Value{200}, Value{1000}}) {
+    for (Value blim : {Value{3}, Value{7}}) {
+      ASSERT_OK_AND_ASSIGN(api::QueryResult p,
+                           prepared.Execute({alim, blim}));
+      std::string sql = "SELECT a, b FROM t WHERE a < " +
+                        std::to_string(alim) + " AND b < " +
+                        std::to_string(blim);
+      ASSERT_OK_AND_ASSIGN(sql::SqlResult u, engine.Execute(sql));
+      EXPECT_EQ(p.tuples.num_tuples(), u.tuples.num_tuples()) << sql;
+      EXPECT_EQ(p.stats.checksum, u.stats.checksum) << sql;
+      EXPECT_EQ(p.tuples.num_tuples(), CountRef(alim, blim)) << sql;
+    }
+  }
+}
+
+TEST_F(ApiTest, PreparedParamValidation) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement prepared,
+                       conn.Prepare("SELECT a FROM t WHERE a = ?"));
+  EXPECT_TRUE(prepared.Execute({}).status().IsInvalidArgument());
+  EXPECT_TRUE(prepared.Execute({1, 2}).status().IsInvalidArgument());
+  EXPECT_TRUE(prepared.Submit({}).Wait().status().IsInvalidArgument());
+  // Parameterized statements cannot run un-prepared.
+  EXPECT_TRUE(
+      conn.Query("SELECT a FROM t WHERE a = ?").status().IsInvalidArgument());
+  EXPECT_TRUE(conn.Submit("SELECT a FROM t WHERE a = ?")
+                  .Wait()
+                  .status()
+                  .IsInvalidArgument());
+  // Prepare validates eagerly.
+  EXPECT_TRUE(conn.Prepare("SELECT a FROM missing WHERE a = ?")
+                  .status()
+                  .IsNotFound());
+  EXPECT_FALSE(conn.Prepare("SELECT FROM t").ok());
+}
+
+TEST_F(ApiTest, PreparedBetweenParams) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(
+      api::PreparedStatement prepared,
+      conn.Prepare("SELECT a FROM t WHERE a BETWEEN ? AND ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r, prepared.Execute({100, 199}));
+  uint64_t expected = 0;
+  for (Value v : a_) {
+    if (v >= 100 && v <= 199) ++expected;
+  }
+  EXPECT_EQ(r.tuples.num_tuples(), expected);
+}
+
+TEST_F(ApiTest, PreparedSeesWritesBetweenExecutions) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement prepared,
+                       conn.Prepare("SELECT COUNT(a) FROM t WHERE a = ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult before, prepared.Execute({100000}));
+  // A global aggregate over zero matching rows emits no row.
+  EXPECT_EQ(before.tuples.num_tuples(), 0u);
+  ASSERT_OK(db_->Insert("t", {{100000, 1, 1}, {100000, 2, 2}}));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult after, prepared.Execute({100000}));
+  ASSERT_EQ(after.tuples.num_tuples(), 1u);
+  EXPECT_EQ(after.tuples.value(0, 0), 2);
+}
+
+TEST_F(ApiTest, PreparedSubmitAndStream) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(
+      api::PreparedStatement prepared,
+      conn.Prepare("SELECT a, b FROM t WHERE a < ? AND b < ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult sync, prepared.Execute({100, 6}));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult async,
+                       prepared.Submit({100, 6}).Wait());
+  EXPECT_EQ(async.stats.checksum, sync.stats.checksum);
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, prepared.Stream({100, 6}));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult streamed, cursor.FetchAll());
+  EXPECT_EQ(streamed.tuples.num_tuples(), sync.tuples.num_tuples());
+}
+
+// Satellite: prepared-statement re-execution across a concurrent
+// CompactTable — snapshot re-capture keeps results bit-identical before,
+// during, and after compaction, at 1/2/4 workers.
+TEST_F(ApiTest, PreparedAcrossConcurrentCompaction) {
+  // Grow a write tail and delete a slice, so compaction has real work.
+  std::vector<std::vector<Value>> rows;
+  Random rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({static_cast<Value>(rng.Uniform(500)),
+                    static_cast<Value>(rng.Uniform(7)),
+                    static_cast<Value>(rng.Uniform(100))});
+  }
+  ASSERT_OK(db_->Insert("t", rows));
+  ASSERT_OK_AND_ASSIGN(uint64_t deleted,
+                       db_->DeleteWhere("t", {{"b", codec::Predicate::Equal(3)}}));
+  ASSERT_GT(deleted, 0u);
+
+  // Ground truth from a quiesced serial run.
+  sql::Engine engine(db_.get());
+  const char* sql_form = "SELECT a, b FROM t WHERE a < 250 AND b < 5";
+  ASSERT_OK_AND_ASSIGN(sql::SqlResult truth, engine.Execute(sql_form));
+
+  for (int workers : kWorkerCounts) {
+    api::Connection::Settings settings;
+    settings.num_workers = workers;
+    api::Connection conn(db_.get(), nullptr, settings);
+    ASSERT_OK_AND_ASSIGN(
+        api::PreparedStatement prepared,
+        conn.Prepare("SELECT a, b FROM t WHERE a < ? AND b < ?"));
+
+    // Fire a compaction concurrently with a burst of re-executions. The
+    // writers are quiescent, so every snapshot the statement captures —
+    // old generation, mid-swap, new generation — must produce the same
+    // result bag.
+    std::atomic<bool> compacted{false};
+    std::thread compactor([&] {
+      auto moved = db_->CompactTable("t");
+      EXPECT_TRUE(moved.ok()) << moved.status().ToString();
+      compacted.store(true);
+    });
+    int executions = 0;
+    while (!compacted.load() || executions < 20) {
+      ASSERT_OK_AND_ASSIGN(api::QueryResult r, prepared.Execute({250, 5}));
+      EXPECT_EQ(r.tuples.num_tuples(), truth.tuples.num_tuples())
+          << "workers=" << workers << " execution=" << executions;
+      EXPECT_EQ(r.stats.checksum, truth.stats.checksum)
+          << "workers=" << workers << " execution=" << executions;
+      ++executions;
+    }
+    compactor.join();
+    // And after the swap, with the new generation's readers.
+    ASSERT_OK_AND_ASSIGN(api::QueryResult after, prepared.Execute({250, 5}));
+    EXPECT_EQ(after.stats.checksum, truth.stats.checksum);
+  }
+}
+
+// --- UPDATE -----------------------------------------------------------------
+
+TEST_F(ApiTest, UpdateEndToEnd) {
+  api::Connection conn(db_.get());
+  uint64_t expected = 0;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (a_[i] < 10 && b_[i] < 3) ++expected;
+  }
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult upd,
+      conn.Query("UPDATE t SET b = 99, c = 1 WHERE a < 10 AND b < 3"));
+  EXPECT_TRUE(upd.is_write);
+  EXPECT_EQ(upd.rows_affected, expected);
+  EXPECT_EQ(upd.column_names, (std::vector<std::string>{"rows_updated"}));
+
+  // The rewritten rows carry the new values; no row was lost or duplicated.
+  ASSERT_OK_AND_ASSIGN(api::QueryResult hit,
+                       conn.Query("SELECT b, c FROM t WHERE b = 99"));
+  EXPECT_EQ(hit.tuples.num_tuples(), expected);
+  for (size_t i = 0; i < hit.tuples.num_tuples(); ++i) {
+    EXPECT_EQ(hit.tuples.value(i, 1), 1);
+  }
+  ASSERT_OK_AND_ASSIGN(api::QueryResult gone,
+                       conn.Query("SELECT a FROM t WHERE a < 10 AND b < 3"));
+  EXPECT_EQ(gone.tuples.num_tuples(), 0u);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult total,
+                       conn.Query("SELECT COUNT(a) FROM t"));
+  EXPECT_EQ(static_cast<size_t>(total.tuples.value(0, 0)), a_.size());
+}
+
+TEST_F(ApiTest, UpdateValidation) {
+  api::Connection conn(db_.get());
+  EXPECT_TRUE(
+      conn.Query("UPDATE missing SET a = 1").status().IsNotFound());
+  EXPECT_TRUE(
+      conn.Query("UPDATE t SET ghost = 1").status().IsNotFound());
+  EXPECT_TRUE(conn.Query("UPDATE t SET a = 1 WHERE ghost < 5")
+                  .status()
+                  .IsNotFound());
+  // Double assignment of one column is rejected at parse time.
+  EXPECT_FALSE(conn.Query("UPDATE t SET a = 1, a = 2").ok());
+}
+
+TEST_F(ApiTest, UpdateIsSnapshotAtomic) {
+  // A snapshot captured before the update sees none of it; one captured
+  // after sees all of it (delete + re-insert commit together).
+  ASSERT_OK_AND_ASSIGN(auto before, db_->SnapshotTable("t"));
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::QueryResult upd,
+                       conn.Query("UPDATE t SET c = 77 WHERE b = 2"));
+  ASSERT_GT(upd.rows_affected, 0u);
+  ASSERT_OK_AND_ASSIGN(auto after, db_->SnapshotTable("t"));
+  EXPECT_EQ(before->total_rows() + upd.rows_affected, after->total_rows());
+  EXPECT_EQ(before->deleted().size() + upd.rows_affected,
+            after->deleted().size());
+}
+
+TEST_F(ApiTest, PreparedUpdateWithParams) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement upd,
+                       conn.Prepare("UPDATE t SET b = ? WHERE a = ?"));
+  EXPECT_TRUE(upd.is_write());
+  EXPECT_EQ(upd.param_count(), 2);
+  uint64_t expected = 0;
+  for (Value v : a_) {
+    if (v == 42) ++expected;
+  }
+  ASSERT_GT(expected, 0u);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r, upd.Execute({500, 42}));
+  EXPECT_EQ(r.rows_affected, expected);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult check,
+                       conn.Query("SELECT COUNT(a) FROM t WHERE b = 500"));
+  ASSERT_EQ(check.tuples.num_tuples(), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(check.tuples.value(0, 0)), expected);
+  // Streaming a write statement is rejected.
+  EXPECT_FALSE(upd.Stream({1, 2}).ok());
+}
+
+TEST_F(ApiTest, PreparedInsertAndDeleteWithParams) {
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement ins,
+                       conn.Prepare("INSERT INTO t VALUES (?, ?, ?)"));
+  for (Value v = 0; v < 5; ++v) {
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                         ins.Execute({777000 + v, v, v}));
+    EXPECT_EQ(r.rows_affected, 1u);
+  }
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult n,
+      conn.Query("SELECT COUNT(a) FROM t WHERE a >= 777000"));
+  EXPECT_EQ(n.tuples.value(0, 0), 5);
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement del,
+                       conn.Prepare("DELETE FROM t WHERE a = ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult d, del.Execute({777003}));
+  EXPECT_EQ(d.rows_affected, 1u);
+  ASSERT_OK_AND_ASSIGN(
+      n, conn.Query("SELECT COUNT(a) FROM t WHERE a >= 777000"));
+  EXPECT_EQ(n.tuples.value(0, 0), 4);
+}
+
+TEST_F(ApiTest, ConcurrentUpdatesDoNotDuplicateRows) {
+  // Scan-then-apply mutations serialize per table: racing UPDATEs of the
+  // same rows must each rewrite the *latest* images, never re-insert a row
+  // twice (and never resurrect concurrently deleted rows).
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::QueryResult before,
+                       conn.Query("SELECT COUNT(a) FROM t"));
+  const int kThreads = 4;
+  const int kRounds = 8;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      api::Connection worker_conn(db_.get());
+      for (int r = 0; r < kRounds; ++r) {
+        auto upd = worker_conn.Query(
+            "UPDATE t SET c = " + std::to_string(w * 100 + r) +
+            " WHERE a < 20");
+        if (!upd.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult after,
+                       conn.Query("SELECT COUNT(a) FROM t"));
+  EXPECT_EQ(after.tuples.value(0, 0), before.tuples.value(0, 0));
+}
+
+TEST_F(ApiTest, ExtremeParameterValuesAreSafe) {
+  // `?` accepts any int64; bounds folding must not overflow at the domain
+  // edges (v < INT64_MIN matches nothing, v > INT64_MAX matches nothing).
+  api::Connection conn(db_.get());
+  const Value kMin = std::numeric_limits<Value>::min();
+  const Value kMax = std::numeric_limits<Value>::max();
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement lt,
+                       conn.Prepare("SELECT a FROM t WHERE a < ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult none, lt.Execute({kMin}));
+  EXPECT_EQ(none.tuples.num_tuples(), 0u);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult all, lt.Execute({kMax}));
+  EXPECT_EQ(all.tuples.num_tuples(), a_.size());
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement gt,
+                       conn.Prepare("SELECT a FROM t WHERE a > ?"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult none2, gt.Execute({kMax}));
+  EXPECT_EQ(none2.tuples.num_tuples(), 0u);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult all2, gt.Execute({kMin}));
+  EXPECT_EQ(all2.tuples.num_tuples(), a_.size());
+}
+
+// --- Join-side snapshot guard -----------------------------------------------
+
+TEST_F(ApiTest, JoinRejectsSnapshotWithPendingWrites) {
+  // orders ⋈ customer; customer gains uncompacted writes.
+  std::vector<Value> custkey{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<Value> nation{10, 11, 12, 13, 14, 15, 16, 17};
+  std::vector<Value> o_cust{0, 1, 2, 3, 0, 1, 2, 3, 4, 5};
+  std::vector<Value> o_ship{100, 101, 102, 103, 104, 105, 106, 107, 108, 109};
+  ASSERT_OK(db_->CreateColumn("cust.key", codec::Encoding::kUncompressed,
+                              custkey));
+  ASSERT_OK(db_->CreateColumn("cust.nation", codec::Encoding::kUncompressed,
+                              nation));
+  ASSERT_OK(db_->CreateColumn("ord.cust", codec::Encoding::kUncompressed,
+                              o_cust));
+  ASSERT_OK(db_->CreateColumn("ord.ship", codec::Encoding::kUncompressed,
+                              o_ship));
+  ASSERT_OK(db_->RegisterTable(
+      "customer", {{"key", "cust.key"}, {"nation", "cust.nation"}}));
+
+  plan::JoinQuery join;
+  ASSERT_OK_AND_ASSIGN(join.left_key, db_->GetColumn("ord.cust"));
+  ASSERT_OK_AND_ASSIGN(join.left_payload, db_->GetColumn("ord.ship"));
+  ASSERT_OK_AND_ASSIGN(join.right_key, db_->GetColumn("cust.key"));
+  ASSERT_OK_AND_ASSIGN(join.right_payload, db_->GetColumn("cust.nation"));
+  join.left_pred = codec::Predicate::LessThan(100);
+
+  // An empty snapshot (no writes ever) is fine.
+  plan::PlanConfig config;
+  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult clean,
+      db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config));
+  EXPECT_EQ(clean.tuples.num_tuples(), o_cust.size());
+
+  // Pending write-store rows: the join must refuse, not silently return
+  // stale rows.
+  ASSERT_OK(db_->Insert("customer", {{8, 18}}));
+  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
+  Result<api::QueryResult> stale =
+      db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsNotSupported());
+  EXPECT_NE(stale.status().message().find("pending"), std::string::npos);
+
+  // Deletes alone are refused too.
+  ASSERT_OK_AND_ASSIGN(uint64_t moved, db_->CompactTable("customer"));
+  EXPECT_EQ(moved, 1u);
+  ASSERT_OK_AND_ASSIGN(uint64_t deleted,
+                       db_->DeleteWhere("customer",
+                                        {{"key", codec::Predicate::Equal(8)}}));
+  EXPECT_EQ(deleted, 1u);
+  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
+  EXPECT_TRUE(db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config)
+                  .status()
+                  .IsNotSupported());
+
+  // The scheduler path reports the same failure through the ticket.
+  api::Connection conn(db_.get());
+  Result<api::QueryResult> via_submit =
+      conn.Submit(plan::PlanTemplate::Join(
+                      join, exec::JoinRightMode::kMaterialized, config))
+          .Wait();
+  EXPECT_TRUE(via_submit.status().IsNotSupported());
+
+  // Without a snapshot attached (paper-figure bench path), joins still run.
+  ASSERT_OK(db_->RunJoin(join, exec::JoinRightMode::kMaterialized).status());
+}
+
+}  // namespace
+}  // namespace cstore

@@ -109,6 +109,53 @@ TEST(ParserTest, DateLiteralsAndStar) {
   EXPECT_EQ(q->conditions[0].a.date_text, "1995-01-01");
 }
 
+TEST(ParserTest, UpdateStatement) {
+  auto stmt = sql::ParseStatement(
+      "UPDATE t SET b = 5, c = '1993-01-01' WHERE a < 10 AND b <> 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, sql::ParsedStatement::Kind::kUpdate);
+  EXPECT_EQ(stmt->update.table, "t");
+  ASSERT_EQ(stmt->update.sets.size(), 2u);
+  EXPECT_EQ(stmt->update.sets[0].first, "b");
+  EXPECT_EQ(stmt->update.sets[0].second.int_value, 5);
+  EXPECT_TRUE(stmt->update.sets[1].second.is_date);
+  ASSERT_EQ(stmt->update.conditions.size(), 2u);
+  EXPECT_EQ(stmt->update.conditions[1].op, Condition::Op::kNotEq);
+
+  EXPECT_FALSE(sql::ParseStatement("UPDATE t SET").ok());
+  EXPECT_FALSE(sql::ParseStatement("UPDATE t b = 5").ok());
+  EXPECT_FALSE(sql::ParseStatement("UPDATE t SET b < 5").ok());
+  EXPECT_FALSE(sql::ParseStatement("UPDATE t SET b = 1, b = 2").ok());
+}
+
+TEST(ParserTest, PositionalParameters) {
+  auto stmt = sql::ParseStatement(
+      "SELECT a FROM t WHERE a BETWEEN ? AND ? AND b = ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->param_count, 3);
+  const auto& conds = stmt->select.conditions;
+  ASSERT_EQ(conds.size(), 2u);
+  EXPECT_TRUE(conds[0].a.is_param);
+  EXPECT_EQ(conds[0].a.param_index, 0);
+  EXPECT_TRUE(conds[0].b.is_param);
+  EXPECT_EQ(conds[0].b.param_index, 1);
+  EXPECT_EQ(conds[1].a.param_index, 2);
+
+  auto ins = sql::ParseStatement("INSERT INTO t VALUES (?, 2, ?)");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->param_count, 2);
+  EXPECT_TRUE(ins->insert.rows[0][0].is_param);
+  EXPECT_FALSE(ins->insert.rows[0][1].is_param);
+
+  auto upd = sql::ParseStatement("UPDATE t SET b = ? WHERE a = ?");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->param_count, 2);
+
+  // '?' is only a literal, never a column or table.
+  EXPECT_FALSE(sql::ParseStatement("SELECT ? FROM t").ok());
+  EXPECT_FALSE(sql::ParseStatement("SELECT a FROM ?").ok());
+}
+
 TEST(ParserTest, RejectsMalformed) {
   EXPECT_FALSE(Parse("").ok());
   EXPECT_FALSE(Parse("SELECT FROM t").ok());
@@ -362,6 +409,28 @@ TEST_F(SqlEngineTest, ExplainReportsAllStrategies) {
   EXPECT_NE(agg_report->find("groups:"), std::string::npos);
 
   EXPECT_FALSE(engine_->Explain("SELECT nope FROM t").ok());
+}
+
+TEST_F(SqlEngineTest, UpdateThroughEngine) {
+  // The legacy Engine facade speaks UPDATE too (it delegates to api::).
+  uint64_t expected = 0;
+  for (size_t i = 0; i < a_.size(); ++i) {
+    if (a_[i] < 5) ++expected;
+  }
+  auto upd = engine_->Execute("UPDATE t SET c = 12345 WHERE a < 5");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_TRUE(upd->is_write);
+  EXPECT_EQ(upd->rows_affected, expected);
+  auto check = engine_->Execute("SELECT COUNT(c) FROM t WHERE c = 12345");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->tuples.num_tuples(), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(check->tuples.value(0, 0)), expected);
+}
+
+TEST_F(SqlEngineTest, ParameterizedStatementsNeedPrepare) {
+  EXPECT_TRUE(engine_->Execute("SELECT a FROM t WHERE a < ?")
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST_F(SqlEngineTest, DateLiteralBinding) {
