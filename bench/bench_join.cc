@@ -1,0 +1,158 @@
+// Join scaling: the two-phase (build barrier + morsel-parallel probe) join
+// across worker counts, per inner-table representation.
+//
+// For each right-mode × worker count the bench runs batches of the Section
+// 4.3 orders ⋈ customer join (warm buffer pool — this measures the
+// executor, not first-touch I/O) and reports QPS plus speedup over the
+// serial (workers=1) run. The serial build phase is charged to every run,
+// so the speedup curve flattens exactly where Amdahl says it must — the
+// number EXPLAIN's join report predicts.
+//
+// Self-verification: every run's checksum and output count are compared to
+// the serial ground truth; any divergence fails the process, which makes
+// this binary double as a CI correctness smoke for the parallel join path.
+//
+// Machine-readable output: BENCH_join.json (one record per table row).
+//
+//   ./build/bench_join --sf=0.2 --workers=1,2,4 --runs=3
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/connection.h"
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace bench {
+namespace {
+
+constexpr exec::JoinRightMode kModes[] = {
+    exec::JoinRightMode::kMaterialized,
+    exec::JoinRightMode::kMultiColumn,
+    exec::JoinRightMode::kSingleColumn,
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace cstore
+
+int main(int argc, char** argv) {
+  using namespace cstore;          // NOLINT
+  using namespace cstore::bench;   // NOLINT
+
+  BenchOptions opts = ParseArgs(argc, argv);
+  // Bench-local default (same idiom as bench_readwrite): the shared 0.1
+  // default is too small for a meaningful probe sweep, so it maps to 0.2
+  // (~5 one-window probe morsels). Any other explicit --sf is honoured.
+  if (opts.sf == 0.1) opts.sf = 0.2;
+  if (opts.worker_sweep == std::vector<int>{1}) opts.worker_sweep = {1, 2, 4};
+  auto db = OpenBenchDb(opts);
+  auto jc = tpch::LoadJoinTables(db.get(), opts.sf);
+  CSTORE_CHECK(jc.ok()) << jc.status().ToString();
+
+  // SELECT orders.shipdate, customer.nationcode FROM orders, customer
+  // WHERE orders.custkey = customer.custkey AND orders.custkey < X
+  // with X at half the key domain (sf ≈ 0.5 — the Figure 13 midpoint).
+  plan::JoinQuery q;
+  q.left_key = jc->orders_custkey;
+  q.left_pred = codec::Predicate::LessThan(
+      static_cast<Value>(jc->num_customers / 2));
+  q.left_payload = jc->orders_shipdate;
+  q.right_key = jc->customer_custkey;
+  q.right_payload = jc->customer_nationcode;
+
+  // One-window morsels so every worker count in the sweep genuinely
+  // partitions the probe (auto-sizing would also work; fixing it keeps the
+  // sweep comparable across scale factors).
+  const int kBatch = 8;
+  api::Connection conn(db.get());
+
+  // Serial ground truth per mode (also warms the buffer pool).
+  struct Truth {
+    uint64_t checksum = 0;
+    uint64_t tuples = 0;
+  };
+  std::vector<Truth> truth;
+  for (exec::JoinRightMode mode : kModes) {
+    plan::PlanConfig config;
+    config.num_workers = 1;
+    auto r = conn.Query(plan::PlanTemplate::Join(q, mode, config));
+    CSTORE_CHECK(r.ok()) << r.status().ToString();
+    truth.push_back({r->stats.checksum, r->stats.output_tuples});
+  }
+
+  std::printf(
+      "# fig=join two-phase join scaling (sf=%.3g, orders=%llu, "
+      "customers=%llu, batch=%d, runs=%d)\n",
+      opts.sf, static_cast<unsigned long long>(jc->num_orders),
+      static_cast<unsigned long long>(jc->num_customers), kBatch, opts.runs);
+  TablePrinter table({"mode", "workers", "wall_ms", "qps", "speedup",
+                      "out_tuples"});
+  BenchJson json("join");
+
+  // Speedup baseline: the sweep's lowest worker count (workers=1 in the
+  // default sweep), regardless of sweep order.
+  const int base_workers =
+      *std::min_element(opts.worker_sweep.begin(), opts.worker_sweep.end());
+
+  int mismatches = 0;
+  for (size_t m = 0; m < std::size(kModes); ++m) {
+    const exec::JoinRightMode mode = kModes[m];
+    struct Point {
+      int workers;
+      double best_ms;
+    };
+    std::vector<Point> points;
+    for (int workers : opts.worker_sweep) {
+      plan::PlanConfig config;
+      config.num_workers = workers;
+      config.morsel_positions = kChunkPositions;
+      plan::PlanTemplate tmpl = plan::PlanTemplate::Join(q, mode, config);
+
+      double best_ms = 1e100;
+      for (int run = 0; run < opts.runs; ++run) {
+        Stopwatch wall;
+        for (int i = 0; i < kBatch; ++i) {
+          auto r = conn.Query(tmpl);
+          CSTORE_CHECK(r.ok()) << r.status().ToString();
+          if (r->stats.checksum != truth[m].checksum ||
+              r->stats.output_tuples != truth[m].tuples) {
+            std::fprintf(stderr, "MISMATCH %s workers=%d\n",
+                         exec::JoinRightModeName(mode), workers);
+            ++mismatches;
+          }
+        }
+        best_ms = std::min(best_ms, wall.ElapsedMillis());
+      }
+      points.push_back({workers, best_ms});
+    }
+    double base_qps = 0;
+    for (const Point& p : points) {
+      if (p.workers == base_workers) base_qps = kBatch * 1000.0 / p.best_ms;
+    }
+    for (const Point& p : points) {
+      const double qps = kBatch * 1000.0 / p.best_ms;
+      const double speedup = qps / base_qps;
+      table.AddRow({exec::JoinRightModeName(mode),
+                    std::to_string(p.workers), Fmt(p.best_ms), Fmt(qps),
+                    Fmt(speedup, 2), std::to_string(truth[m].tuples)});
+      json.AddRow()
+          .Str("mode", exec::JoinRightModeName(mode))
+          .Int("workers", p.workers)
+          .Num("wall_ms", p.best_ms)
+          .Num("qps", qps)
+          .Num("speedup", speedup)
+          .Int("out_tuples", truth[m].tuples);
+    }
+  }
+  table.Print();
+  std::string json_path = json.Write();
+  if (!json_path.empty()) std::printf("# wrote %s\n", json_path.c_str());
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%d checksum mismatches\n", mismatches);
+    return 1;
+  }
+  return 0;
+}

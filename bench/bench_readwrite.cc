@@ -1,11 +1,14 @@
 // Mixed read/write workload: what the write path costs the analytics.
 //
 // A writer thread streams INSERTs (plus occasional predicate DELETEs) into
-// lineitem's write store at a target rate while waves of analytic queries
-// (selections + aggregations across all four materialization strategies,
-// each bound to a fresh write snapshot at submit) run concurrently on one
-// shared sched::Scheduler pool. Per (workers × write-rate) point the bench
-// reports analytic QPS and p50/p99 latency twice:
+// lineitem's and orders' write stores at a target rate while waves of
+// analytic queries (selections + aggregations across all four
+// materialization strategies, plus orders ⋈ customer joins per inner-table
+// representation — re-enabled now that joins merge write snapshots on both
+// sides; they used to be excluded by the join-side snapshot guard — each
+// bound to fresh write snapshots at submit) run concurrently on one shared
+// sched::Scheduler pool. Per (workers × write-rate) point the bench reports
+// analytic QPS and p50/p99 latency twice:
 //
 //   ws-tail     writer active, write store grown to ws_rows pending rows
 //   compacted   writer quiesced, TupleMover merge forced, write store empty
@@ -42,41 +45,74 @@ namespace {
 
 struct Spec {
   std::string name;
-  bool is_agg = false;
+  enum class Kind { kSel, kAgg, kJoin } kind = Kind::kSel;
   plan::Strategy strategy = plan::Strategy::kLmParallel;
+  exec::JoinRightMode join_mode = exec::JoinRightMode::kMaterialized;
 };
 
 std::vector<Spec> BuildSpecs() {
   std::vector<Spec> specs;
   for (plan::Strategy s : plan::kAllStrategies) {
-    specs.push_back({std::string("sel/") + StrategyName(s), false, s});
-    specs.push_back({std::string("agg/") + StrategyName(s), true, s});
+    specs.push_back({std::string("sel/") + StrategyName(s), Spec::Kind::kSel,
+                     s, {}});
+    specs.push_back({std::string("agg/") + StrategyName(s), Spec::Kind::kAgg,
+                     s, {}});
+  }
+  // Joins under the write mix: both sides snapshot-bound at submit (the
+  // orders outer tail is probed, customer's merges into the hash build).
+  for (exec::JoinRightMode m :
+       {exec::JoinRightMode::kMaterialized,
+        exec::JoinRightMode::kMultiColumn}) {
+    specs.push_back({std::string("join/") + exec::JoinRightModeName(m),
+                     Spec::Kind::kJoin, plan::Strategy::kLmParallel, m});
   }
   return specs;
 }
 
-/// Binds one analytic template against a fresh snapshot of lineitem.
+/// Resolves `name` from `snapshot`'s generation so readers and snapshot
+/// always agree, even across a concurrent compaction.
+Result<const codec::ColumnReader*> SnapColumn(
+    db::Database* db, const write::WriteSnapshot& snapshot,
+    const char* name) {
+  int idx = snapshot.ColumnIndexForName(name);
+  if (idx < 0) return Status::NotFound(name);
+  return db->GetColumn(snapshot.column_files()[idx]);
+}
+
+/// Binds one analytic template against fresh snapshots of its tables.
 Result<plan::PlanTemplate> BindTemplate(db::Database* db, const Spec& spec,
                                         Value shipdate_mid,
-                                        std::shared_ptr<const write::WriteSnapshot>
-                                            snapshot) {
-  // Resolve columns from the snapshot's generation so readers and snapshot
-  // always agree, even across a concurrent compaction.
-  auto col = [&](const char* name) -> Result<const codec::ColumnReader*> {
-    int idx = snapshot->ColumnIndexForName(name);
-    if (idx < 0) return Status::NotFound(name);
-    return db->GetColumn(snapshot->column_files()[idx]);
-  };
+                                        Value custkey_mid) {
+  if (spec.kind == Spec::Kind::kJoin) {
+    CSTORE_ASSIGN_OR_RETURN(auto orders_snap, db->SnapshotTable("orders"));
+    CSTORE_ASSIGN_OR_RETURN(auto cust_snap, db->SnapshotTable("customer"));
+    plan::JoinQuery join;
+    CSTORE_ASSIGN_OR_RETURN(join.left_key,
+                            SnapColumn(db, *orders_snap, "custkey"));
+    CSTORE_ASSIGN_OR_RETURN(join.left_payload,
+                            SnapColumn(db, *orders_snap, "shipdate"));
+    CSTORE_ASSIGN_OR_RETURN(join.right_key,
+                            SnapColumn(db, *cust_snap, "custkey"));
+    CSTORE_ASSIGN_OR_RETURN(join.right_payload,
+                            SnapColumn(db, *cust_snap, "nationcode"));
+    join.left_pred = codec::Predicate::LessThan(custkey_mid);
+    join.right_snapshot = std::move(cust_snap);
+    plan::PlanConfig config;
+    config.snapshot = std::move(orders_snap);
+    return plan::PlanTemplate::Join(join, spec.join_mode, config);
+  }
+
+  CSTORE_ASSIGN_OR_RETURN(auto snapshot, db->SnapshotTable("lineitem"));
   CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* shipdate,
-                          col("shipdate"));
+                          SnapColumn(db, *snapshot, "shipdate"));
   CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* quantity,
-                          col("quantity"));
+                          SnapColumn(db, *snapshot, "quantity"));
   plan::SelectionQuery sel;
   sel.columns.push_back({shipdate, codec::Predicate::LessThan(shipdate_mid)});
   sel.columns.push_back({quantity, codec::Predicate::LessThan(30)});
   plan::PlanConfig config;
   config.snapshot = std::move(snapshot);
-  if (spec.is_agg) {
+  if (spec.kind == Spec::Kind::kAgg) {
     plan::AggQuery agg;
     agg.selection = sel;
     agg.group_index = 0;
@@ -96,17 +132,15 @@ struct WaveResult {
 
 WaveResult RunWaves(db::Database* db, api::Connection* conn,
                     const std::vector<Spec>& specs, Value shipdate_mid,
-                    int concurrency, int waves) {
+                    Value custkey_mid, int concurrency, int waves) {
   WaveResult out;
   Stopwatch wall;
   int total = 0;
   for (int w = 0; w < waves; ++w) {
     std::vector<api::PendingResult> pending;
     for (int i = 0; i < concurrency; ++i) {
-      auto snap = db->SnapshotTable("lineitem");
-      CSTORE_CHECK(snap.ok()) << snap.status().ToString();
       auto tmpl = BindTemplate(db, specs[i % specs.size()], shipdate_mid,
-                               std::move(*snap));
+                               custkey_mid);
       CSTORE_CHECK(tmpl.ok()) << tmpl.status().ToString();
       pending.push_back(conn->Submit(*tmpl, /*materialize=*/false));
       ++total;
@@ -121,14 +155,17 @@ WaveResult RunWaves(db::Database* db, api::Connection* conn,
   return out;
 }
 
-/// Streams inserts (and occasional deletes) at ~rows_per_sec until stopped.
+/// Streams inserts (and occasional deletes) into lineitem *and* orders at
+/// ~rows_per_sec (combined) until stopped, so the join specs see genuinely
+/// write-carrying snapshots on their probed side.
 void WriterLoop(db::Database* db, std::atomic<bool>* stop,
                 std::atomic<uint64_t>* written, int rows_per_sec,
-                Value max_shipdate) {
+                Value max_shipdate, Value num_customers) {
   Random rng(7);
   const int batch = 500;
-  const auto batch_interval =
-      std::chrono::microseconds(1000000LL * batch / std::max(1, rows_per_sec));
+  const int order_batch = 100;
+  const auto batch_interval = std::chrono::microseconds(
+      1000000LL * (batch + order_batch) / std::max(1, rows_per_sec));
   auto next = std::chrono::steady_clock::now();
   while (!stop->load(std::memory_order_relaxed)) {
     std::vector<std::vector<Value>> rows;
@@ -143,7 +180,16 @@ void WriterLoop(db::Database* db, std::atomic<bool>* stop,
     }
     Status st = db->Insert("lineitem", rows);
     CSTORE_CHECK(st.ok()) << st.ToString();
-    written->fetch_add(batch, std::memory_order_relaxed);
+    rows.clear();
+    for (int i = 0; i < order_batch; ++i) {
+      rows.push_back({1 + static_cast<Value>(
+                              rng.Uniform(static_cast<int>(num_customers))),
+                      static_cast<Value>(rng.Uniform(
+                          static_cast<int>(max_shipdate)))});
+    }
+    st = db->Insert("orders", rows);
+    CSTORE_CHECK(st.ok()) << st.ToString();
+    written->fetch_add(batch + order_batch, std::memory_order_relaxed);
     if (rng.Uniform(16) == 0) {
       // Selective delete: linenum = 7 AND quantity = k (~1/350 of rows).
       auto d = db->DeleteWhere(
@@ -152,18 +198,23 @@ void WriterLoop(db::Database* db, std::atomic<bool>* stop,
            {"quantity",
             codec::Predicate::Equal(static_cast<Value>(rng.Uniform(50)))}});
       CSTORE_CHECK(d.ok()) << d.status().ToString();
+      // And a sliver of orders, so the probed side sees deletes too.
+      auto d2 = db->DeleteWhere(
+          "orders",
+          {{"shipdate",
+            codec::Predicate::Equal(static_cast<Value>(
+                rng.Uniform(static_cast<int>(max_shipdate))))}});
+      CSTORE_CHECK(d2.ok()) << d2.status().ToString();
     }
     next += batch_interval;
     std::this_thread::sleep_until(next);
   }
 }
 
-/// Serial vs shared-pool agreement on one quiesced snapshot; returns the
-/// number of mismatches.
+/// Serial vs shared-pool agreement on one quiesced snapshot pair; returns
+/// the number of mismatches.
 int SelfVerify(db::Database* db, const std::vector<Spec>& specs,
-               Value shipdate_mid, int workers) {
-  auto snap = db->SnapshotTable("lineitem");
-  CSTORE_CHECK(snap.ok()) << snap.status().ToString();
+               Value shipdate_mid, Value custkey_mid, int workers) {
   int mismatches = 0;
   sched::Scheduler::Options so;
   so.num_workers = workers;
@@ -171,7 +222,9 @@ int SelfVerify(db::Database* db, const std::vector<Spec>& specs,
   api::Connection serial(db);
   api::Connection pooled(db, &scheduler);
   for (const Spec& spec : specs) {
-    auto tmpl = BindTemplate(db, spec, shipdate_mid, *snap);
+    // Quiesced: the snapshots the template binds here are stable, so the
+    // serial and pooled runs below see identical state.
+    auto tmpl = BindTemplate(db, spec, shipdate_mid, custkey_mid);
     CSTORE_CHECK(tmpl.ok()) << tmpl.status().ToString();
     plan::PlanTemplate serial_tmpl = *tmpl;
     serial_tmpl.config.num_workers = 1;
@@ -203,8 +256,12 @@ int main(int argc, char** argv) {
   auto db = OpenBenchDb(opts);
   auto li = tpch::LoadLineitem(db.get(), opts.sf);
   CSTORE_CHECK(li.ok()) << li.status().ToString();
+  auto jc = tpch::LoadJoinTables(db.get(), opts.sf);
+  CSTORE_CHECK(jc.ok()) << jc.status().ToString();
   const Value shipdate_mid =
       (li->shipdate->meta().min_value + li->shipdate->meta().max_value) / 2;
+  const Value num_customers = static_cast<Value>(jc->num_customers);
+  const Value custkey_mid = num_customers / 2;
 
   std::vector<Spec> specs = BuildSpecs();
   const int waves = std::max(2, opts.runs);
@@ -233,13 +290,15 @@ int main(int argc, char** argv) {
       std::thread writer;
       if (rate > 0) {
         writer = std::thread(WriterLoop, db.get(), &stop, &written, rate,
-                             li->max_shipdate);
-        // Let the write store accumulate a real tail first.
+                             li->max_shipdate, num_customers);
+        // Let the write stores accumulate a real tail first.
         std::this_thread::sleep_for(std::chrono::milliseconds(150));
       }
       WaveResult tail = RunWaves(db.get(), &conn, specs, shipdate_mid,
-                                 opts.concurrency_sweep[0], waves);
-      uint64_t ws_rows = db->PendingWriteRows("lineitem");
+                                 custkey_mid, opts.concurrency_sweep[0],
+                                 waves);
+      uint64_t ws_rows =
+          db->PendingWriteRows("lineitem") + db->PendingWriteRows("orders");
       if (rate > 0) {
         stop.store(true);
         writer.join();
@@ -260,8 +319,10 @@ int main(int argc, char** argv) {
       // Phase B: quiesced + compacted — what the tuple mover buys back.
       auto moved = db->CompactTable("lineitem");
       CSTORE_CHECK(moved.ok()) << moved.status().ToString();
+      moved = db->CompactTable("orders");
+      CSTORE_CHECK(moved.ok()) << moved.status().ToString();
       WaveResult compacted = RunWaves(db.get(), &conn, specs,
-                                      shipdate_mid,
+                                      shipdate_mid, custkey_mid,
                                       opts.concurrency_sweep[0], waves);
       table.AddRow({std::to_string(workers), std::to_string(rate),
                     "compacted", "0", Fmt(compacted.qps),
@@ -276,7 +337,8 @@ int main(int argc, char** argv) {
           .Num("p50_ms", Percentile(compacted.lat_ms, 0.5))
           .Num("p99_ms", Percentile(compacted.lat_ms, 0.99));
 
-      mismatches += SelfVerify(db.get(), specs, shipdate_mid, workers);
+      mismatches += SelfVerify(db.get(), specs, shipdate_mid, custkey_mid,
+                               workers);
     }
   }
 

@@ -396,12 +396,29 @@ Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
 
 Result<std::string> Connection::Explain(const std::string& sql,
                                         int num_workers) {
-  CSTORE_ASSIGN_OR_RETURN(sql::ParsedQuery parsed, sql::Parse(sql));
+  return Explain(sql, std::vector<Value>(), num_workers);
+}
+
+Result<std::string> Connection::Explain(const std::string& sql,
+                                        const std::vector<Value>& params,
+                                        int num_workers) {
+  CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
+                          sql::ParseStatement(sql));
+  if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT statements");
+  }
+  // Exact-count, like PreparedStatement::Execute — an Explain that accepts
+  // an argument list a real execution would reject helps nobody debug.
+  if (stmt.param_count != static_cast<int>(params.size())) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(stmt.param_count) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
   CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
-                          internal::BindSelect(db_, parsed));
+                          internal::BindSelect(db_, stmt.select));
   CSTORE_ASSIGN_OR_RETURN(
       ResolvedSelect resolved,
-      internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+      internal::ResolveSelect(db_, &bound, params, bound.bind_snapshot));
   model::SelectionModelInput input =
       ModelInputFor(resolved.scan(), EffectiveWorkers(num_workers));
   model::Advisor advisor(Params());

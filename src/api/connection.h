@@ -111,7 +111,14 @@ class Connection {
   Result<PreparedStatement> Prepare(const std::string& sql);
 
   /// The advisor's per-strategy cost report for `sql`, without executing.
+  /// Statements with `?` parameters take their values via `params` (one per
+  /// placeholder, in order) — the report then reflects the parameterized
+  /// predicates' selectivities, exactly as a prepared execution would see
+  /// them.
   Result<std::string> Explain(const std::string& sql, int num_workers = 0);
+  Result<std::string> Explain(const std::string& sql,
+                              const std::vector<Value>& params,
+                              int num_workers = 0);
 
   // --- Typed plans ------------------------------------------------------
 

@@ -7,94 +7,164 @@
 namespace cstore {
 namespace exec {
 
-HashJoinOp::HashJoinOp(const Spec& spec, ExecStats* stats)
-    : spec_(spec),
-      stats_(stats),
-      right_payload_mini_(/*column=*/1, &spec.right_payload->meta()) {
-  if (spec_.left_mode == JoinLeftMode::kEarly) {
-    // The outer tuples are constructed before the join (row-store style):
-    // scan key + payload, filter on the key, emit (key, payload) rows.
-    std::vector<SpcScan::Input> inputs = {
-        {spec_.left_key, spec_.left_pred},
-        {spec_.left_payload, codec::Predicate::True()},
-    };
-    left_em_scan_ = std::make_unique<SpcScan>(std::move(inputs), stats_);
-  } else {
-    left_scan_ = std::make_unique<DS1Scan>(spec_.left_key, /*column=*/0,
-                                           spec_.left_pred,
-                                           /*attach_mini=*/true, stats_);
-  }
+// ---------------------------------------------------------------------------
+// JoinBuildTable
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<JoinBuildTable>> JoinBuildTable::Build(
+    const Spec& spec, ExecStats* stats) {
+  std::unique_ptr<JoinBuildTable> table(new JoinBuildTable(spec));
+  CSTORE_RETURN_IF_ERROR(table->DoBuild(stats));
+  return table;
 }
 
-Status HashJoinOp::Build() {
+Status JoinBuildTable::DoBuild(ExecStats* stats) {
   const codec::ColumnReader* key = spec_.right_key;
   const uint64_t nblocks = key->num_blocks();
+  // A null or empty snapshot builds the exact pre-write-path table.
+  const write::WriteSnapshot* snap =
+      spec_.snapshot != nullptr && spec_.snapshot->has_state()
+          ? spec_.snapshot.get()
+          : nullptr;
+  const Position base = key->num_values();
+  const uint64_t tail = snap != nullptr ? snap->tail_rows() : 0;
 
   switch (spec_.mode) {
     case JoinRightMode::kMaterialized: {
       // Construct inner tuples before the join: read key and payload
       // columns in lock step and materialize (key, payload) rows into the
-      // hash table.
+      // hash table. Read-store positions come from the snapshot's live set
+      // (deletes masked out); the position-map modes filter per value
+      // instead and never need the set.
+      position::PositionSet live =
+          snap != nullptr && snap->has_deletes()
+              ? snap->LiveSet(0, base)
+              : position::PositionSet::All(0, base);
       const codec::ColumnReader* payload = spec_.right_payload;
-      val_table_.reserve(key->num_values());
+      val_table_.reserve(key->num_values() + tail);
       std::vector<Value> keys;
       std::vector<Value> payloads;
-      position::PositionSet all =
-          position::PositionSet::All(0, key->num_values());
       for (uint64_t b = 0; b < nblocks; ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
-        ++stats_->blocks_fetched;
-        blk.view.GatherValues(all, &keys);
+        ++stats->blocks_fetched;
+        blk.view.GatherValues(live, &keys);
       }
       for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
                                 payload->FetchBlock(b));
-        ++stats_->blocks_fetched;
-        blk.view.GatherValues(all, &payloads);
+        ++stats->blocks_fetched;
+        blk.view.GatherValues(live, &payloads);
       }
       CSTORE_CHECK(keys.size() == payloads.size());
       for (size_t i = 0; i < keys.size(); ++i) {
         val_table_.emplace(keys[i], payloads[i]);
       }
-      stats_->tuples_constructed += keys.size();
-      stats_->values_gathered += keys.size() + payloads.size();
+      uint64_t built = keys.size();
+      // Write-store tail rows join the build exactly like read-store rows;
+      // deleted tail positions are skipped.
+      for (uint64_t i = 0; i < tail; ++i) {
+        const Position p = base + i;
+        if (snap->IsDeleted(p)) continue;
+        val_table_.emplace(snap->tail_values(spec_.snap_key_index)[i],
+                           snap->tail_values(spec_.snap_payload_index)[i]);
+        ++built;
+      }
+      stats->tuples_constructed += built;
+      stats->values_gathered += 2 * built;
       break;
     }
     case JoinRightMode::kMultiColumn: {
       // Key → position map; payload stays a pinned compressed mini-column.
-      pos_table_.reserve(key->num_values());
+      pos_table_.reserve(key->num_values() + tail);
       for (uint64_t b = 0; b < nblocks; ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
-        ++stats_->blocks_fetched;
-        blk.view.ForEach([&](Position p, Value v) { pos_table_.emplace(v, p); });
+        ++stats->blocks_fetched;
+        if (snap != nullptr && snap->has_deletes()) {
+          blk.view.ForEach([&](Position p, Value v) {
+            if (!snap->IsDeleted(p)) pos_table_.emplace(v, p);
+          });
+        } else {
+          blk.view.ForEach(
+              [&](Position p, Value v) { pos_table_.emplace(v, p); });
+        }
       }
       const codec::ColumnReader* payload = spec_.right_payload;
       for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
                                 payload->FetchBlock(b));
-        ++stats_->blocks_fetched;
-        right_payload_mini_.AddBlock(
+        ++stats->blocks_fetched;
+        payload_mini_.AddBlock(
             std::make_shared<codec::EncodedBlock>(std::move(blk)));
+      }
+      // Tail rows: key → tail position; the snapshot's synthetic
+      // uncompressed payload blocks extend the mini-column (their start
+      // positions sit right after the read store, keeping blocks ascending).
+      for (uint64_t i = 0; i < tail; ++i) {
+        const Position p = base + i;
+        if (snap->IsDeleted(p)) continue;
+        pos_table_.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
+      }
+      if (snap != nullptr) {
+        for (const auto& blk : snap->tail_blocks(spec_.snap_payload_index)) {
+          payload_mini_.AddBlock(blk);
+        }
       }
       break;
     }
     case JoinRightMode::kSingleColumn: {
       // Only the join-predicate column enters the join.
-      pos_table_.reserve(key->num_values());
+      pos_table_.reserve(key->num_values() + tail);
       for (uint64_t b = 0; b < nblocks; ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
-        ++stats_->blocks_fetched;
-        blk.view.ForEach([&](Position p, Value v) { pos_table_.emplace(v, p); });
+        ++stats->blocks_fetched;
+        if (snap != nullptr && snap->has_deletes()) {
+          blk.view.ForEach([&](Position p, Value v) {
+            if (!snap->IsDeleted(p)) pos_table_.emplace(v, p);
+          });
+        } else {
+          blk.view.ForEach(
+              [&](Position p, Value v) { pos_table_.emplace(v, p); });
+        }
+      }
+      for (uint64_t i = 0; i < tail; ++i) {
+        const Position p = base + i;
+        if (snap->IsDeleted(p)) continue;
+        pos_table_.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
       }
       break;
     }
   }
-  built_ = true;
   return Status::OK();
 }
 
-Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
-                              TupleChunk* out) {
+Result<Value> JoinBuildTable::FetchPayload(Position pos) const {
+  const Position base = spec_.right_payload->num_values();
+  if (pos >= base) {
+    // A write-store position: served from the snapshot's tail (deleted
+    // positions never enter the table, so no mask check is needed here).
+    CSTORE_CHECK(spec_.snapshot != nullptr);
+    return spec_.snapshot->TailValueAt(spec_.snap_payload_index, pos);
+  }
+  return spec_.right_payload->ValueAt(pos);
+}
+
+// ---------------------------------------------------------------------------
+// JoinProbeOp
+// ---------------------------------------------------------------------------
+
+JoinProbeOp::JoinProbeOp(const Spec& spec, const JoinBuildTable* shared,
+                         std::optional<JoinBuildTable::Spec> own_build,
+                         ExecStats* stats)
+    : spec_(spec),
+      table_(shared),
+      own_build_(std::move(own_build)),
+      stats_(stats) {
+  CSTORE_CHECK((spec_.pos_input != nullptr) != (spec_.tuple_input != nullptr));
+  CSTORE_CHECK(shared != nullptr || own_build_.has_value());
+}
+
+Status JoinProbeOp::ProbeChunk(const MultiColumnChunk& chunk,
+                               TupleChunk* out) {
   out->Reset(2);
   if (chunk.desc.IsEmpty()) return Status::OK();
 
@@ -108,34 +178,31 @@ Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
   // Probe: left positions are consumed in order, so left join output
   // positions come out sorted; right matches are produced in probe order —
   // i.e. unsorted with respect to the inner table.
-  switch (spec_.mode) {
+  switch (table_->mode()) {
     case JoinRightMode::kMaterialized:
       key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
-        auto it = val_table_.find(key);
-        if (it != val_table_.end()) {
+        if (const Value* payload = table_->FindPayload(key)) {
           left_pos_.push_back(p);
-          right_vals_.push_back(it->second);
+          right_vals_.push_back(*payload);
         }
       });
       break;
     case JoinRightMode::kMultiColumn:
       key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
-        auto it = pos_table_.find(key);
-        if (it != pos_table_.end()) {
+        if (const Position* rp = table_->FindPosition(key)) {
           left_pos_.push_back(p);
           // Extract the payload value and construct the tuple on the fly
           // from the pinned multi-column.
-          right_vals_.push_back(right_payload_mini_.ValueAt(it->second));
+          right_vals_.push_back(table_->PayloadAt(*rp));
           ++stats_->values_gathered;
         }
       });
       break;
     case JoinRightMode::kSingleColumn:
       key_mini->ForEachPosValue(chunk.desc, [&](Position p, Value key) {
-        auto it = pos_table_.find(key);
-        if (it != pos_table_.end()) {
+        if (const Position* rp = table_->FindPosition(key)) {
           left_pos_.push_back(p);
-          right_pos_.push_back(it->second);
+          right_pos_.push_back(*rp);
         }
       });
       break;
@@ -144,19 +211,24 @@ Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
   if (left_pos_.empty()) return Status::OK();
 
   // Left payload: positions are sorted, so this is a cheap in-order merge
-  // gather of the payload column.
+  // gather of the payload column. Write-store tail chunks carry the payload
+  // as a mini-column (tail positions have no reader blocks to fetch).
   left_vals_.clear();
   {
     position::PosList pl;
     for (Position p : left_pos_) pl.Append(p);
     position::PositionSet sel = position::PositionSet::FromList(
         left_pos_.front(), left_pos_.back() + 1, std::move(pl));
-    const codec::ColumnReader* reader = spec_.left_payload;
-    for (uint64_t blk_no : BlocksCoveringPositions(reader, sel)) {
-      CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
-                              reader->FetchBlock(blk_no));
-      ++stats_->blocks_fetched;
-      blk.view.GatherValues(sel, &left_vals_);
+    if (const MiniColumn* payload_mini = chunk.FindMini(1)) {
+      payload_mini->GatherValues(sel, &left_vals_);
+    } else {
+      const codec::ColumnReader* reader = spec_.left_payload;
+      for (uint64_t blk_no : BlocksCoveringPositions(reader, sel)) {
+        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
+                                reader->FetchBlock(blk_no));
+        ++stats_->blocks_fetched;
+        blk.view.GatherValues(sel, &left_vals_);
+      }
     }
     stats_->values_gathered += left_vals_.size();
   }
@@ -165,11 +237,11 @@ Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
   // Right payload for the single-column mode: the positions are out of
   // order, so a merge join on position is impossible — every access is an
   // independent block lookup + jump.
-  if (spec_.mode == JoinRightMode::kSingleColumn) {
+  if (table_->mode() == JoinRightMode::kSingleColumn) {
     right_vals_.clear();
     right_vals_.reserve(right_pos_.size());
     for (Position p : right_pos_) {
-      CSTORE_ASSIGN_OR_RETURN(Value v, spec_.right_payload->ValueAt(p));
+      CSTORE_ASSIGN_OR_RETURN(Value v, table_->FetchPayload(p));
       right_vals_.push_back(v);
       ++stats_->values_gathered;
     }
@@ -186,7 +258,7 @@ Status HashJoinOp::ProbeChunk(const MultiColumnChunk& chunk,
   return Status::OK();
 }
 
-Status HashJoinOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
+Status JoinProbeOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
   // Row-store-style probe: outer tuples are already (key, payload) rows;
   // matches emit output rows directly.
   out->Reset(2);
@@ -195,39 +267,35 @@ Status HashJoinOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
   for (size_t i = 0; i < in.num_tuples(); ++i) {
     Value key = in.value(i, 0);
     Value payload = in.value(i, 1);
-    switch (spec_.mode) {
+    switch (table_->mode()) {
       case JoinRightMode::kMaterialized: {
-        auto it = val_table_.find(key);
-        if (it != val_table_.end()) {
-          Value row[2] = {payload, it->second};
+        if (const Value* rp = table_->FindPayload(key)) {
+          Value row[2] = {payload, *rp};
           out->AppendTuple(in.position(i), row);
         }
         break;
       }
       case JoinRightMode::kMultiColumn: {
-        auto it = pos_table_.find(key);
-        if (it != pos_table_.end()) {
-          Value row[2] = {payload, right_payload_mini_.ValueAt(it->second)};
+        if (const Position* rp = table_->FindPosition(key)) {
+          Value row[2] = {payload, table_->PayloadAt(*rp)};
           out->AppendTuple(in.position(i), row);
           ++stats_->values_gathered;
         }
         break;
       }
       case JoinRightMode::kSingleColumn: {
-        auto it = pos_table_.find(key);
-        if (it != pos_table_.end()) {
+        if (const Position* rp = table_->FindPosition(key)) {
           Value row[2] = {payload, 0};  // right value filled below
           out->AppendTuple(in.position(i), row);
-          right_pos_.push_back(it->second);
+          right_pos_.push_back(*rp);
         }
         break;
       }
     }
   }
-  if (spec_.mode == JoinRightMode::kSingleColumn) {
+  if (table_->mode() == JoinRightMode::kSingleColumn) {
     for (size_t i = 0; i < right_pos_.size(); ++i) {
-      CSTORE_ASSIGN_OR_RETURN(Value v,
-                              spec_.right_payload->ValueAt(right_pos_[i]));
+      CSTORE_ASSIGN_OR_RETURN(Value v, table_->FetchPayload(right_pos_[i]));
       out->mutable_tuple(i)[1] = v;
       ++stats_->values_gathered;
     }
@@ -236,19 +304,24 @@ Status HashJoinOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(TupleChunk* out) {
-  if (!built_) {
-    CSTORE_RETURN_IF_ERROR(Build());
+Result<bool> JoinProbeOp::Next(TupleChunk* out) {
+  if (table_ == nullptr) {
+    // Serial path: no scheduler ran a build phase for us — build our own
+    // table here, at execution time, exactly where the pre-refactor join
+    // built its hash table (so build I/O and stats land on this run).
+    CSTORE_ASSIGN_OR_RETURN(own_table_,
+                            JoinBuildTable::Build(*own_build_, stats_));
+    table_ = own_table_.get();
   }
-  if (spec_.left_mode == JoinLeftMode::kEarly) {
+  if (spec_.tuple_input != nullptr) {
     TupleChunk in;
-    CSTORE_ASSIGN_OR_RETURN(bool has, left_em_scan_->Next(&in));
+    CSTORE_ASSIGN_OR_RETURN(bool has, spec_.tuple_input->Next(&in));
     if (!has) return false;
     CSTORE_RETURN_IF_ERROR(ProbeEarlyChunk(in, out));
     return true;
   }
   MultiColumnChunk chunk;
-  CSTORE_ASSIGN_OR_RETURN(bool has, left_scan_->Next(&chunk));
+  CSTORE_ASSIGN_OR_RETURN(bool has, spec_.pos_input->Next(&chunk));
   if (!has) return false;
   CSTORE_RETURN_IF_ERROR(ProbeChunk(chunk, out));
   return true;

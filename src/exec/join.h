@@ -1,28 +1,49 @@
 // Hash join with selectable inner-table (right-side) materialization
-// strategy (paper Section 4.3, Figure 13):
+// strategy (paper Section 4.3, Figure 13), restructured as a two-phase
+// build/probe pipeline so the probe side runs morsel-parallel on the
+// scheduler pool:
 //
-//   kMaterialized — the inner table's tuples are constructed before the
-//       join (EM): build maps key → payload value. The join then behaves as
-//       in a row store.
-//   kMultiColumn  — the inner table is sent as a multi-column: build maps
-//       key → position, the payload column stays pinned in compressed form,
-//       and payload values are extracted (and the output tuple constructed)
-//       on the fly as probes match.
+//   JoinBuildTable — the build phase's product: an immutable hash table over
+//       the inner table, constructed once per query (a single scheduler task
+//       behind a build barrier) and then shared read-only by every probe
+//       morsel. The build merges the inner table's WriteSnapshot when one is
+//       attached: deleted positions are masked out and write-store tail rows
+//       are folded into the table (and, for kMultiColumn, the snapshot's
+//       synthetic tail blocks extend the pinned payload mini-column).
+//   JoinProbeOp — the probe phase: consumes one morsel's outer-side stream
+//       (positions + key mini-column for JoinLeftMode::kLate, constructed
+//       tuples for kEarly), probes the shared table, and emits joined
+//       (left_payload, right_payload) tuples. Each morsel's probe work —
+//       including the kSingleColumn mode's out-of-order inner payload
+//       fetches — is morsel-local, so per-(query,worker) partials merge
+//       exactly and results are bit-identical across worker counts.
+//
+// The three inner-table representations are unchanged from the paper:
+//
+//   kMaterialized — inner tuples are constructed before the join (EM): the
+//       table maps key → payload value, and the join behaves as in a row
+//       store.
+//   kMultiColumn  — the inner table is sent as a multi-column: the table
+//       maps key → position, the payload column stays pinned in compressed
+//       form, and payload values are extracted on the fly as probes match.
 //   kSingleColumn — "pure" LM: only the join-predicate column enters the
 //       join. The join emits (sorted left positions, unsorted right
 //       positions); right payload values must then be fetched by position
 //       out of order — an expensive non-merge positional join.
 //
-// The outer (left, probe) side always arrives late-materialized: a DS1 scan
-// of the join key with the query's predicate, carrying positions + key
-// values. Its payload column is fetched with an in-order merge gather,
-// which is cheap — this is the asymmetry the paper calls out: sorted left
-// positions are fast to restrict with, unsorted right positions are not.
+// The outer (left, probe) side always arrives as a stream built by the
+// planner: a DS1 scan of the join key (kLate) or an SPC scan of key +
+// payload (kEarly), each restricted to the morsel's scan range and, under a
+// write-carrying snapshot, delete-masked and extended with the write-store
+// tail leaf. Sorted left positions are cheap to gather payloads for (an
+// in-order merge); unsorted right positions are not — the asymmetry the
+// paper calls out.
 
 #ifndef CSTORE_EXEC_JOIN_H_
 #define CSTORE_EXEC_JOIN_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +52,7 @@
 #include "exec/ds_scan.h"
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "write/write_store.h"
 
 namespace cstore {
 namespace exec {
@@ -62,43 +84,100 @@ inline const char* JoinRightModeName(JoinRightMode m) {
   return "?";
 }
 
-/// Equi-join producing (left_payload, right_payload) tuples.
-class HashJoinOp : public TupleOp {
+/// The inner (build) side of a hash join: constructed once by Build(),
+/// immutable afterwards, safe to probe from any number of threads.
+/// `right_key` is assumed unique (primary key).
+class JoinBuildTable {
  public:
   struct Spec {
-    // Outer (probe) side.
-    const codec::ColumnReader* left_key = nullptr;
-    codec::Predicate left_pred;  // applied to the left key column
-    const codec::ColumnReader* left_payload = nullptr;
-    // Inner (build) side; right_key is assumed unique (primary key).
     const codec::ColumnReader* right_key = nullptr;
     const codec::ColumnReader* right_payload = nullptr;
     JoinRightMode mode = JoinRightMode::kMaterialized;
-    JoinLeftMode left_mode = JoinLeftMode::kLate;
+    // Inner table's write snapshot (optional). When it carries state, the
+    // build masks its deleted positions and merges its write-store tail
+    // rows; `snap_key_index` / `snap_payload_index` locate the key and
+    // payload columns in the snapshot's schema.
+    std::shared_ptr<const write::WriteSnapshot> snapshot;
+    size_t snap_key_index = 0;
+    size_t snap_payload_index = 0;
   };
 
-  HashJoinOp(const Spec& spec, ExecStats* stats);
+  /// Builds the table (the serial phase-one task). Build-side work —
+  /// blocks fetched, inner tuples constructed, values gathered — is
+  /// recorded in `stats`.
+  static Result<std::unique_ptr<JoinBuildTable>> Build(const Spec& spec,
+                                                       ExecStats* stats);
 
-  Result<bool> Next(TupleChunk* out) override;
+  JoinRightMode mode() const { return spec_.mode; }
+
+  /// kMaterialized: payload value for `key`, or nullptr.
+  const Value* FindPayload(Value key) const {
+    auto it = val_table_.find(key);
+    return it == val_table_.end() ? nullptr : &it->second;
+  }
+
+  /// kMultiColumn / kSingleColumn: inner position for `key`, or nullptr.
+  const Position* FindPosition(Value key) const {
+    auto it = pos_table_.find(key);
+    return it == pos_table_.end() ? nullptr : &it->second;
+  }
+
+  /// kMultiColumn: extracts the payload at `pos` from the pinned
+  /// mini-column (read-store blocks + snapshot tail blocks).
+  Value PayloadAt(Position pos) const { return payload_mini_.ValueAt(pos); }
+
+  /// kSingleColumn: fetches the payload at `pos` — an independent
+  /// out-of-order block lookup through the buffer pool for read-store
+  /// positions, a tail-row access for write-store positions.
+  Result<Value> FetchPayload(Position pos) const;
 
  private:
-  Status Build();
-  Status ProbeChunk(const MultiColumnChunk& chunk, TupleChunk* out);
-  Status ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out);
+  explicit JoinBuildTable(const Spec& spec)
+      : spec_(spec), payload_mini_(/*column=*/1, &spec.right_payload->meta()) {}
+
+  Status DoBuild(ExecStats* stats);
 
   Spec spec_;
-  ExecStats* stats_;
-  bool built_ = false;
-
   // kMaterialized: key → payload value (tuples constructed at build time).
   std::unordered_map<Value, Value> val_table_;
   // kMultiColumn / kSingleColumn: key → position in the inner table.
   std::unordered_map<Value, Position> pos_table_;
   // kMultiColumn: the pinned, still-compressed payload column.
-  MiniColumn right_payload_mini_;
+  MiniColumn payload_mini_;
+};
 
-  std::unique_ptr<DS1Scan> left_scan_;        // kLate outer side
-  std::unique_ptr<SpcScan> left_em_scan_;     // kEarly outer side
+/// Probe phase: equi-join of one morsel's outer stream against a
+/// JoinBuildTable, producing (left_payload, right_payload) tuples.
+class JoinProbeOp : public TupleOp {
+ public:
+  struct Spec {
+    // Exactly one of the two inputs is set, per JoinLeftMode.
+    MultiColumnOp* pos_input = nullptr;  // kLate: positions + key mini
+    TupleOp* tuple_input = nullptr;      // kEarly: (key, payload) tuples
+    // kLate: the outer payload column, merge-gathered at matching
+    // positions (tail chunks carry it as a mini-column instead).
+    const codec::ColumnReader* left_payload = nullptr;
+  };
+
+  /// `shared` (may be null) is the scheduler-built table every probe morsel
+  /// borrows. When null — the serial path — the op builds its own table
+  /// from `own_build` on first Next(), exactly where the pre-refactor join
+  /// built its hash table.
+  JoinProbeOp(const Spec& spec, const JoinBuildTable* shared,
+              std::optional<JoinBuildTable::Spec> own_build,
+              ExecStats* stats);
+
+  Result<bool> Next(TupleChunk* out) override;
+
+ private:
+  Status ProbeChunk(const MultiColumnChunk& chunk, TupleChunk* out);
+  Status ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out);
+
+  Spec spec_;
+  const JoinBuildTable* table_;  // shared, or own_table_ once built
+  std::optional<JoinBuildTable::Spec> own_build_;
+  std::unique_ptr<JoinBuildTable> own_table_;
+  ExecStats* stats_;
 
   // Per-chunk scratch.
   std::vector<Position> left_pos_;

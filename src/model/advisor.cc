@@ -111,6 +111,58 @@ std::vector<StrategyPrediction> Advisor::RankAggregation(
   return Sorted(std::move(preds));
 }
 
+std::vector<JoinPrediction> Advisor::RankJoin(
+    const JoinModelInput& input) const {
+  std::vector<JoinPrediction> preds;
+  for (exec::JoinRightMode mode :
+       {exec::JoinRightMode::kMaterialized, exec::JoinRightMode::kMultiColumn,
+        exec::JoinRightMode::kSingleColumn}) {
+    JoinPrediction p;
+    p.mode = mode;
+    p.cost = PredictJoin(mode, input, params_, &p.build, &p.probe);
+    preds.push_back(p);
+  }
+  std::sort(preds.begin(), preds.end(),
+            [](const JoinPrediction& a, const JoinPrediction& b) {
+              return a.cost.total() < b.cost.total();
+            });
+  return preds;
+}
+
+exec::JoinRightMode Advisor::ChooseJoinMode(
+    const JoinModelInput& input) const {
+  return RankJoin(input).front().mode;
+}
+
+std::string Advisor::ExplainJoin(const JoinModelInput& input) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "join: outer ||L||=%.0f (sf=%.3f, %s) inner ||R||=%.0f\n",
+                input.left_key.num_tuples, input.sf,
+                input.left_mode == exec::JoinLeftMode::kLate ? "left-late"
+                                                             : "left-early",
+                input.right_key.num_tuples);
+  std::string out = buf;
+  if (input.num_workers > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "parallel: %d probe workers (probe cpu x%.3f; build is one "
+                  "serial task, charged in full)\n",
+                  input.num_workers, ParallelCpuFactor(input.num_workers));
+    out += buf;
+  }
+  std::vector<JoinPrediction> ranked = RankJoin(input);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const JoinPrediction& p = ranked[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s total=%9.2fms  build=%9.2fms  probe=%9.2fms%s\n",
+                  JoinRightModeName(p.mode), p.cost.total() / 1000.0,
+                  p.build.total() / 1000.0, p.probe.total() / 1000.0,
+                  i == 0 ? "  <- chosen" : "");
+    out += buf;
+  }
+  return out;
+}
+
 plan::Strategy Advisor::ChooseSelection(
     const SelectionModelInput& input) const {
   return RankSelection(input).front().strategy;

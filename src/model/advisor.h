@@ -21,6 +21,13 @@ struct StrategyPrediction {
   bool supported = true;  // LM-pipelined on bit-vector data is not
 };
 
+struct JoinPrediction {
+  exec::JoinRightMode mode;
+  Cost cost;   // total at the input's worker count
+  Cost build;  // the serial build phase (never discounted by workers)
+  Cost probe;  // the probe phase before the parallel CPU discount
+};
+
 class Advisor {
  public:
   explicit Advisor(CostParams params) : params_(params) {}
@@ -34,10 +41,17 @@ class Advisor {
   std::vector<StrategyPrediction> RankAggregation(
       const SelectionModelInput& input, double groups) const;
 
+  /// Predictions for the three inner-table join representations, sorted by
+  /// ascending total cost.
+  std::vector<JoinPrediction> RankJoin(const JoinModelInput& input) const;
+
   /// The cheapest supported strategy.
   plan::Strategy ChooseSelection(const SelectionModelInput& input) const;
   plan::Strategy ChooseAggregation(const SelectionModelInput& input,
                                    double groups) const;
+
+  /// The cheapest inner-table representation for the join.
+  exec::JoinRightMode ChooseJoinMode(const JoinModelInput& input) const;
 
   /// The paper's closing rule of thumb (Section 6), independent of the
   /// model: late materialization if the output is aggregated, the query is
@@ -51,6 +65,10 @@ class Advisor {
   std::string ExplainSelection(const SelectionModelInput& input) const;
   std::string ExplainAggregation(const SelectionModelInput& input,
                                  double groups) const;
+  /// Join report: per-mode totals with the build/probe split — the serial
+  /// build is charged in full at every worker count, so the report shows
+  /// exactly why join speedup plateaus below the pool width.
+  std::string ExplainJoin(const JoinModelInput& input) const;
 
  private:
   CostParams params_;

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "exec/join.h"
 #include "model/cost_params.h"
 #include "plan/strategy.h"
 
@@ -107,6 +108,32 @@ Cost PredictSelection(plan::Strategy strategy,
 Cost PredictAggregation(plan::Strategy strategy,
                         const SelectionModelInput& input, double groups,
                         const CostParams& p);
+
+/// Inputs describing the Section 4.3 join shape:
+///   SELECT L.payload, R.payload FROM L, R
+///   WHERE L.key = R.key AND pred(L.key)  — R.key unique.
+struct JoinModelInput {
+  ColumnStats left_key;       // outer key column
+  ColumnStats left_payload;   // outer payload column
+  double sf = 1.0;            // outer predicate selectivity
+  ColumnStats right_key;      // inner key column (num_tuples = inner size)
+  ColumnStats right_payload;  // inner payload column
+  exec::JoinLeftMode left_mode = exec::JoinLeftMode::kLate;
+  // Probe-side morsel workers. Only the probe CPU is discounted by
+  // ParallelCpuFactor — the hash build is one serial task behind the build
+  // barrier, so its cost never shrinks with the pool. This split is what
+  // keeps EXPLAIN honest about join scaling (Amdahl's law by construction).
+  int num_workers = 1;
+};
+
+/// Join extension (the paper reports Figure 13 behaviour; the model
+/// composes its Section 3 operator formulas): a serial build over the inner
+/// table plus a morsel-parallel probe of the outer side, per inner-table
+/// representation. `build` / `probe` (optional) receive the two phases'
+/// costs before the probe discount, so callers can show the serial floor.
+Cost PredictJoin(exec::JoinRightMode mode, const JoinModelInput& input,
+                 const CostParams& p, Cost* build = nullptr,
+                 Cost* probe = nullptr);
 
 /// Average run length of the position list produced by a predicate with
 /// selectivity `sf` over a column: contiguous (one range) when clustered,

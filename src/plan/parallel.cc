@@ -4,6 +4,7 @@
 
 #include "exec/morsel_source.h"
 #include "sched/scheduler.h"
+#include "util/logging.h"
 
 namespace cstore {
 namespace plan {
@@ -53,13 +54,26 @@ Position PlanTemplate::TotalPositions() const {
                  ? 0
                  : agg.selection.columns[0].reader->num_values() + tail;
     case Kind::kJoin:
-      return 0;
+      // Probe morsels partition the outer (left) side's position space,
+      // extended over its write-store tail like any scan.
+      return join.left_key == nullptr ? 0
+                                      : join.left_key->num_values() + tail;
   }
   return 0;
 }
 
+Result<std::shared_ptr<const exec::JoinBuildTable>> PlanTemplate::BuildShared(
+    exec::ExecStats* stats) const {
+  CSTORE_CHECK(kind == Kind::kJoin);
+  CSTORE_ASSIGN_OR_RETURN(exec::JoinBuildTable::Spec spec,
+                          JoinBuildSpec(join, join_mode, config));
+  CSTORE_ASSIGN_OR_RETURN(std::unique_ptr<exec::JoinBuildTable> table,
+                          exec::JoinBuildTable::Build(spec, stats));
+  return std::shared_ptr<const exec::JoinBuildTable>(std::move(table));
+}
+
 Result<std::unique_ptr<Plan>> PlanTemplate::Instantiate(
-    position::Range morsel) const {
+    position::Range morsel, const exec::JoinBuildTable* shared) const {
   PlanConfig cfg = config;
   cfg.scan_range = morsel;
   switch (kind) {
@@ -68,7 +82,7 @@ Result<std::unique_ptr<Plan>> PlanTemplate::Instantiate(
     case Kind::kAgg:
       return BuildAggPlan(agg, strategy, cfg);
     case Kind::kJoin:
-      return BuildJoinPlan(join, join_mode, cfg);
+      return BuildJoinPlan(join, join_mode, cfg, shared);
   }
   return Status::Internal("unreachable template kind");
 }
@@ -83,13 +97,11 @@ Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
   if (morsel == exec::kDefaultMorselPositions) {
     morsel = exec::AutoMorselPositions(total, requested);
   }
-  // One worker per morsel at most; joins are not position-partitionable.
+  // One worker per morsel at most (joins partition their outer side, so
+  // they scale like scans; the serial build phase is one extra task).
   const uint64_t num_morsels = exec::MorselSource(total, morsel).num_morsels();
-  const int workers =
-      tmpl.kind == PlanTemplate::Kind::kJoin
-          ? 1
-          : static_cast<int>(std::min<uint64_t>(
-                requested, std::max<uint64_t>(num_morsels, 1)));
+  const int workers = static_cast<int>(
+      std::min<uint64_t>(requested, std::max<uint64_t>(num_morsels, 1)));
 
   if (workers == 1) {
     // Serial pull loop over the full position space: bit-identical to the

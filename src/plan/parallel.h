@@ -26,10 +26,12 @@
 //
 // num_workers == 1 bypasses all of this and runs the classic serial pull
 // executor over the full position space — bit-identical to the
-// pre-parallel-refactor engine, including chunk order. Joins always take
-// the serial path here (the hash join materializes its own inner table and
-// is not position-partitionable yet); under a shared scheduler they run as
-// single-task queries that overlap with other queries' morsels.
+// pre-parallel-refactor engine, including chunk order. Joins are two-phase:
+// a serial *build* task constructs the shared inner-side hash table
+// (JoinBuildTable) once, then probe morsels partition the outer side
+// exactly like scan morsels — the scheduler gates probe claims on build
+// completion (see sched::Scheduler's phase dependency), and the serial path
+// simply builds the table inside the plan on first pull.
 //
 // Batch workloads should not call this in a loop: submit every query to one
 // shared sched::Scheduler (see Database::Submit / Engine::SubmitAll) so the
@@ -72,12 +74,26 @@ struct PlanTemplate {
                            PlanConfig config = {});
 
   /// Size of the position space morsels partition (the scanned projection's
-  /// row count). 0 for joins.
+  /// row count — for joins, the *outer* side's, write-store tail included).
   Position TotalPositions() const;
 
+  /// True when the template needs a serial build phase before any morsel
+  /// can run (joins: the shared hash build). The scheduler runs BuildShared
+  /// as a single gated task and hands its product to every Instantiate.
+  bool NeedsBuildPhase() const { return kind == Kind::kJoin; }
+
+  /// Executes the build phase (the inner-side hash build), recording its
+  /// work in `stats`. Only valid when NeedsBuildPhase().
+  Result<std::shared_ptr<const exec::JoinBuildTable>> BuildShared(
+      exec::ExecStats* stats) const;
+
   /// Builds one plan instance restricted to `morsel` (which must be
-  /// kChunkPositions-aligned at its begin, per MorselSource).
-  Result<std::unique_ptr<Plan>> Instantiate(position::Range morsel) const;
+  /// kChunkPositions-aligned at its begin, per MorselSource). `shared` is
+  /// the build phase's product for two-phase templates; when null, a join
+  /// instance builds its own table on first pull (the serial path).
+  Result<std::unique_ptr<Plan>> Instantiate(
+      position::Range morsel,
+      const exec::JoinBuildTable* shared = nullptr) const;
 };
 
 /// Runs the templated query with `template.config.num_workers` workers and

@@ -137,9 +137,7 @@ Result<exec::TupleOp*> BuildEarlyTupleStream(const SelectionQuery& query,
 /// and it actually holds deletes or tail rows (an empty snapshot builds the
 /// exact pre-write-path plan, keeping the serial path bit-identical).
 bool HasWriteState(const PlanConfig& config) {
-  return config.snapshot != nullptr &&
-         (config.snapshot->has_deletes() ||
-          config.snapshot->tail_rows() > 0);
+  return config.snapshot != nullptr && config.snapshot->has_state();
 }
 
 /// Checks the snapshot matches the readers' generation.
@@ -181,26 +179,56 @@ bool RangeTouchesTail(const write::WriteSnapshot& snap,
 }
 
 /// Wraps an LM position stream with the snapshot's delete mask and appends
-/// the write-store tail leaf. No-op without write state.
-Result<exec::MultiColumnOp*> ApplyWriteStatePos(exec::MultiColumnOp* stream,
-                                                const SelectionQuery& query,
-                                                const PlanConfig& config,
-                                                Plan* plan) {
-  if (!HasWriteState(config)) return stream;
+/// the write-store tail leaf scanning `cols`. The caller has validated the
+/// snapshot against its readers and checked HasWriteState.
+exec::MultiColumnOp* ApplyWriteStatePosCols(exec::MultiColumnOp* stream,
+                                            std::vector<exec::WsScanColumn>
+                                                cols,
+                                            const PlanConfig& config,
+                                            Plan* plan) {
   const auto& snap = config.snapshot;
-  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *snap));
   if (snap->has_deletes()) {
     stream = plan->Own(
         std::make_unique<exec::DeleteMaskOp>(stream, snap, &plan->stats()));
   }
   if (RangeTouchesTail(*snap, config.scan_range)) {
-    CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
-                            WsColumnsFor(query, *snap));
     exec::MultiColumnOp* tail = plan->Own(std::make_unique<exec::WsScanPos>(
         snap, std::move(cols), &plan->stats(), config.scan_range));
     stream = plan->Own(std::make_unique<exec::ConcatPosOp>(stream, tail));
   }
   return stream;
+}
+
+/// EM counterpart of ApplyWriteStatePosCols.
+exec::TupleOp* ApplyWriteStateTupleCols(exec::TupleOp* stream,
+                                        std::vector<exec::WsScanColumn> cols,
+                                        const PlanConfig& config,
+                                        Plan* plan) {
+  const auto& snap = config.snapshot;
+  if (snap->has_deletes()) {
+    stream =
+        plan->Own(std::make_unique<exec::DeleteMaskTupleOp>(stream, snap));
+  }
+  if (RangeTouchesTail(*snap, config.scan_range)) {
+    exec::TupleOp* tail = plan->Own(std::make_unique<exec::WsScanTuple>(
+        snap, std::move(cols), &plan->stats(), config.scan_range));
+    stream = plan->Own(std::make_unique<exec::ConcatTupleOp>(stream, tail));
+  }
+  return stream;
+}
+
+/// Selection-query front end: validates the snapshot generation, maps the
+/// scan columns to snapshot schema columns, and applies the shared wiring.
+/// No-op without write state.
+Result<exec::MultiColumnOp*> ApplyWriteStatePos(exec::MultiColumnOp* stream,
+                                                const SelectionQuery& query,
+                                                const PlanConfig& config,
+                                                Plan* plan) {
+  if (!HasWriteState(config)) return stream;
+  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *config.snapshot));
+  CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
+                          WsColumnsFor(query, *config.snapshot));
+  return ApplyWriteStatePosCols(stream, std::move(cols), config, plan);
 }
 
 /// EM counterpart of ApplyWriteStatePos.
@@ -209,20 +237,10 @@ Result<exec::TupleOp*> ApplyWriteStateTuple(exec::TupleOp* stream,
                                             const PlanConfig& config,
                                             Plan* plan) {
   if (!HasWriteState(config)) return stream;
-  const auto& snap = config.snapshot;
-  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *snap));
-  if (snap->has_deletes()) {
-    stream =
-        plan->Own(std::make_unique<exec::DeleteMaskTupleOp>(stream, snap));
-  }
-  if (RangeTouchesTail(*snap, config.scan_range)) {
-    CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
-                            WsColumnsFor(query, *snap));
-    exec::TupleOp* tail = plan->Own(std::make_unique<exec::WsScanTuple>(
-        snap, std::move(cols), &plan->stats(), config.scan_range));
-    stream = plan->Own(std::make_unique<exec::ConcatTupleOp>(stream, tail));
-  }
-  return stream;
+  CSTORE_RETURN_IF_ERROR(CheckSnapshotGeneration(query, *config.snapshot));
+  CSTORE_ASSIGN_OR_RETURN(std::vector<exec::WsScanColumn> cols,
+                          WsColumnsFor(query, *config.snapshot));
+  return ApplyWriteStateTupleCols(stream, std::move(cols), config, plan);
 }
 
 }  // namespace
@@ -302,21 +320,35 @@ Result<std::unique_ptr<Plan>> BuildAggPlan(const AggQuery& query,
   return plan;
 }
 
-Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
-                                            exec::JoinRightMode mode,
-                                            const PlanConfig& config) {
-  // Join plans cannot merge write-store state yet (partitioning the probe
-  // side and masking the build side are open work). Silently scanning the
-  // read store alone would return stale rows, so fail loudly instead.
-  if (HasWriteState(config)) {
-    return Status::NotSupported(
-        "join plans do not support write snapshots: a joined table has " +
-        std::to_string(config.snapshot->tail_rows()) +
-        " pending write-store row(s) and " +
-        std::to_string(config.snapshot->deleted().size()) +
-        " delete(s); compact the table (Database::CompactTable) or quiesce "
-        "writers before joining");
+namespace {
+
+/// Locates `reader`'s column in `snap`'s schema (readers are keyed by
+/// storage file) and checks the generation matches.
+Result<size_t> SnapColumnFor(const write::WriteSnapshot& snap,
+                             const codec::ColumnReader* reader,
+                             const char* side) {
+  if (snap.base_rows() != reader->num_values()) {
+    return Status::InvalidArgument(
+        std::string(side) + " join snapshot generation mismatch: snapshot "
+        "has " + std::to_string(snap.base_rows()) +
+        " read-store rows, reader has " +
+        std::to_string(reader->num_values()));
   }
+  int idx = snap.ColumnIndexForFile(reader->name());
+  if (idx < 0) {
+    return Status::InvalidArgument(
+        "column file '" + reader->name() + "' is not part of the " + side +
+        " join table's write snapshot");
+  }
+  return static_cast<size_t>(idx);
+}
+
+}  // namespace
+
+Result<exec::JoinBuildTable::Spec> JoinBuildSpec(const JoinQuery& query,
+                                                 exec::JoinRightMode mode,
+                                                 const PlanConfig& config) {
+  (void)config;
   if (query.left_key == nullptr || query.left_payload == nullptr ||
       query.right_key == nullptr || query.right_payload == nullptr) {
     return Status::InvalidArgument("join query has null column readers");
@@ -327,17 +359,83 @@ Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
   if (query.right_key->num_values() != query.right_payload->num_values()) {
     return Status::InvalidArgument("right columns must have equal length");
   }
-  auto plan = std::make_unique<Plan>();
-  exec::HashJoinOp::Spec spec;
-  spec.left_key = query.left_key;
-  spec.left_pred = query.left_pred;
-  spec.left_payload = query.left_payload;
+  exec::JoinBuildTable::Spec spec;
   spec.right_key = query.right_key;
   spec.right_payload = query.right_payload;
   spec.mode = mode;
-  spec.left_mode = query.left_mode;
-  plan->SetRoot(
-      plan->Own(std::make_unique<exec::HashJoinOp>(spec, &plan->stats())));
+  if (query.right_snapshot != nullptr && query.right_snapshot->has_state()) {
+    spec.snapshot = query.right_snapshot;
+    CSTORE_ASSIGN_OR_RETURN(
+        spec.snap_key_index,
+        SnapColumnFor(*query.right_snapshot, query.right_key, "inner"));
+    CSTORE_ASSIGN_OR_RETURN(
+        spec.snap_payload_index,
+        SnapColumnFor(*query.right_snapshot, query.right_payload, "inner"));
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
+                                            exec::JoinRightMode mode,
+                                            const PlanConfig& config,
+                                            const exec::JoinBuildTable*
+                                                shared) {
+  // Validates the query (and, when the scheduler already built the shared
+  // table, re-derives the spec it was built from — cheap, and it keeps the
+  // serial and pooled paths behind one set of checks).
+  CSTORE_ASSIGN_OR_RETURN(exec::JoinBuildTable::Spec build_spec,
+                          JoinBuildSpec(query, mode, config));
+
+  // Outer-side write state: the probe stream masks the snapshot's deletes
+  // and extends over its write-store tail, exactly like a scan. Tail chunks
+  // attach the payload as a mini-column too — write-store positions have no
+  // reader blocks for the probe to merge-gather.
+  const bool outer_state = HasWriteState(config);
+  std::vector<exec::WsScanColumn> outer_cols;
+  if (outer_state) {
+    const auto& snap = config.snapshot;
+    CSTORE_ASSIGN_OR_RETURN(size_t key_idx,
+                            SnapColumnFor(*snap, query.left_key, "outer"));
+    CSTORE_ASSIGN_OR_RETURN(
+        size_t payload_idx,
+        SnapColumnFor(*snap, query.left_payload, "outer"));
+    outer_cols = {{0, key_idx, query.left_pred},
+                  {1, payload_idx, codec::Predicate::True()}};
+  }
+
+  auto plan = std::make_unique<Plan>();
+  exec::JoinProbeOp::Spec spec;
+  if (query.left_mode == exec::JoinLeftMode::kEarly) {
+    // The outer tuples are constructed before the join (row-store style):
+    // scan key + payload, filter on the key, emit (key, payload) rows.
+    std::vector<exec::SpcScan::Input> inputs = {
+        {query.left_key, query.left_pred},
+        {query.left_payload, codec::Predicate::True()},
+    };
+    exec::TupleOp* stream = plan->Own(std::make_unique<exec::SpcScan>(
+        std::move(inputs), &plan->stats(), config.scan_range));
+    if (outer_state) {
+      stream = ApplyWriteStateTupleCols(stream, std::move(outer_cols),
+                                        config, plan.get());
+    }
+    spec.tuple_input = stream;
+  } else {
+    exec::MultiColumnOp* stream = plan->Own(std::make_unique<exec::DS1Scan>(
+        query.left_key, /*column=*/0, query.left_pred,
+        /*attach_mini=*/true, &plan->stats(), config.scan_range));
+    if (outer_state) {
+      stream = ApplyWriteStatePosCols(stream, std::move(outer_cols), config,
+                                      plan.get());
+    }
+    spec.pos_input = stream;
+    spec.left_payload = query.left_payload;
+  }
+  plan->SetRoot(plan->Own(std::make_unique<exec::JoinProbeOp>(
+      spec, shared,
+      shared != nullptr
+          ? std::nullopt
+          : std::optional<exec::JoinBuildTable::Spec>(std::move(build_spec)),
+      &plan->stats())));
   return plan;
 }
 

@@ -49,6 +49,12 @@ struct JoinQuery {
   const codec::ColumnReader* right_payload = nullptr;
   // Outer-side materialization (Section 4.3 discusses both).
   exec::JoinLeftMode left_mode = exec::JoinLeftMode::kLate;
+  // Inner (right) table's write snapshot. When it carries pending rows or
+  // deletes, the hash build masks the deleted positions and merges the
+  // write-store tail rows, so the join sees exactly this state of R. Null
+  // (or empty) builds from the read store alone. The *outer* table's
+  // snapshot rides in PlanConfig::snapshot, like every scanned table's.
+  std::shared_ptr<const write::WriteSnapshot> right_snapshot;
 };
 
 /// Plan-construction knobs.
@@ -64,10 +70,11 @@ struct PlanConfig {
 
   // --- Morsel-driven parallel execution -----------------------------------
   // Worker threads used by ExecuteParallel. 1 runs the classic serial pull
-  // loop (bit-identical to the pre-parallel executor); joins always run
-  // serially. Values > 1 split the scan into morsels executed by a pool of
-  // threads; result *bags* (output_tuples, checksum, aggregate groups) are
-  // identical for every worker count, but selection chunk order is not.
+  // loop (bit-identical to the pre-parallel executor). Values > 1 split
+  // the scan — for joins, the outer probe side, behind a serial hash-build
+  // task — into morsels executed by a pool of threads; result *bags*
+  // (output_tuples, checksum, aggregate groups) are identical for every
+  // worker count, but selection chunk order is not.
   int num_workers = 1;
   // Positions per morsel; rounded up to a multiple of kChunkPositions so
   // worker-local chunk windows coincide with the serial executor's.
@@ -84,10 +91,10 @@ struct PlanConfig {
   // position space to snapshot->total_rows(). Null (the default) scans the
   // read store alone — bit-identical to the pre-write-path engine. Captured
   // at plan-build/submit time so concurrent writers never perturb an
-  // in-flight query. Join plans cannot merge write state yet: attaching a
-  // snapshot that actually holds pending rows or deletes makes
-  // BuildJoinPlan fail with NotSupported (returning stale rows silently
-  // would be worse); an empty snapshot is fine.
+  // in-flight query. For joins this is the *outer* (left, probed) table's
+  // snapshot — probe morsels extend over its write-store tail exactly like
+  // scan morsels do; the inner table's snapshot is
+  // JoinQuery::right_snapshot (merged into the hash build).
   std::shared_ptr<const write::WriteSnapshot> snapshot;
 };
 

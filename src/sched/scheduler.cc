@@ -32,14 +32,25 @@ struct QueryState {
   // Generic background work (SubmitJob): runs instead of a plan.
   std::function<Status()> job;
 
-  // Work distribution. Joins (and empty scans) are one indivisible task;
-  // everything else claims chunk-aligned morsels from the source.
+  // Work distribution. Empty scans are one indivisible task; everything
+  // else claims chunk-aligned morsels from the source. Two-phase queries
+  // (joins) additionally dispatch one serial build task before any morsel:
+  // the phase dependency below gates morsel claims on build_done.
   std::unique_ptr<exec::MorselSource> source;
   bool single_task = false;
   bool single_claimed = false;  // guarded by Scheduler::mu_
+  bool needs_build = false;     // template has a build phase
+  bool build_claimed = false;   // guarded by mu_
+  bool build_done = false;      // guarded by mu_; set before morsel claims
   int in_flight = 0;            // claimed but not completed; guarded by mu_
   bool finalized = false;       // guarded by mu_
   Status error;                 // first failure; guarded by mu_
+
+  // The build phase's product, shared read-only by every probe morsel.
+  // Written by the build worker before build_done is published under mu_,
+  // so probe workers (which observed build_done under mu_ when claiming)
+  // read it race-free without further synchronization.
+  std::shared_ptr<const exec::JoinBuildTable> shared_build;
 
   /// Per-worker partial results. Output chunks are buffered here instead of
   /// being pushed through a locked sink on every emit — the whole point of
@@ -68,6 +79,9 @@ struct QueryState {
   /// claimed, or cancelled by an error). Caller holds Scheduler::mu_.
   bool DrainedLocked() const {
     if (single_task) return single_claimed;
+    // A pending (or in-flight) build phase will still release morsels —
+    // or, on failure, cancel the source — once it completes.
+    if (needs_build && !build_done) return false;
     return source->Exhausted();
   }
 };
@@ -144,7 +158,10 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
   q->priority = std::max(1, options.priority);
   q->partials.resize(num_workers_);
   const Position total = q->tmpl.TotalPositions();
-  if (q->tmpl.kind == plan::PlanTemplate::Kind::kJoin || total == 0) {
+  if (total == 0) {
+    // Nothing to partition (an empty outer side still probes nothing, and
+    // a single-task join instance builds its own table): one indivisible
+    // task, no build phase.
     q->single_task = true;
   } else {
     Position morsel = q->tmpl.config.morsel_positions;
@@ -152,6 +169,7 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
       morsel = exec::AutoMorselPositions(total, num_workers_);
     }
     q->source = std::make_unique<exec::MorselSource>(total, morsel);
+    q->needs_build = q->tmpl.NeedsBuildPhase();
   }
   q->timer.Restart();
   {
@@ -177,37 +195,58 @@ QueryTicket Scheduler::SubmitJob(std::function<Status()> job, int priority) {
   return QueryTicket(std::move(q));
 }
 
-bool Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
+Scheduler::Claim Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
+  out->build = false;
   if (q->single_task) {
-    if (q->single_claimed || !q->error.ok()) return false;
+    if (q->single_claimed || !q->error.ok()) return Claim::kExhausted;
     q->single_claimed = true;
+    out->morsel = exec::kFullScanRange;
+  } else if (q->needs_build && !q->build_done) {
+    // Phase dependency: the serial build runs (once) before any morsel.
+    if (q->build_claimed) return Claim::kWaiting;  // in flight elsewhere
+    q->build_claimed = true;
+    out->build = true;
     out->morsel = exec::kFullScanRange;
   } else {
     position::Range morsel;
-    if (!q->source->Next(&morsel)) return false;
+    if (!q->source->Next(&morsel)) return Claim::kExhausted;
     out->morsel = morsel;
   }
   ++q->in_flight;
-  return true;
+  return Claim::kClaimed;
 }
 
 bool Scheduler::TryClaimLocked(Task* out) {
-  while (!active_.empty()) {
+  // One skip per build-blocked query: when a full pass yields only waiting
+  // queries there is nothing runnable until a build completes (its worker
+  // notifies), so the caller sleeps instead of spinning.
+  size_t waiting = 0;
+  while (!active_.empty() && waiting < active_.size()) {
     if (rr_ >= active_.size()) {
       rr_ = 0;
       credits_ = 0;
     }
     std::shared_ptr<QueryState>& q = active_[rr_];
     if (credits_ <= 0) credits_ = q->priority;
-    if (ClaimFromLocked(q.get(), out)) {
-      out->query = q;
-      if (--credits_ <= 0) ++rr_;
-      return true;
+    switch (ClaimFromLocked(q.get(), out)) {
+      case Claim::kClaimed:
+        out->query = q;
+        if (--credits_ <= 0) ++rr_;
+        return true;
+      case Claim::kWaiting:
+        ++waiting;
+        ++rr_;
+        credits_ = 0;
+        continue;
+      case Claim::kExhausted:
+        // Exhausted (or cancelled): drop from the rotation. Completion of
+        // its in-flight morsels finalizes it; if none remain it is already
+        // done. The rotation shrank, so restart the waiting count.
+        active_.erase(active_.begin() + rr_);
+        credits_ = 0;
+        waiting = 0;
+        continue;
     }
-    // Exhausted (or cancelled): drop from the rotation. Completion of its
-    // in-flight morsels finalizes it; if none remain it is already done.
-    active_.erase(active_.begin() + rr_);
-    credits_ = 0;
   }
   return false;
 }
@@ -223,6 +262,14 @@ void Scheduler::WorkerLoop(int worker_id) {
       lock.lock();
       QueryState* q = task.query.get();
       --q->in_flight;
+      if (task.build) {
+        // Build barrier drops: morsels are claimable from here on (or, if
+        // the build failed, the cancelled source drains the query). Wake
+        // the pool — idle workers may be sleeping on an all-waiting
+        // rotation.
+        q->build_done = true;
+        cv_.notify_all();
+      }
       finalize = !q->finalized && q->in_flight == 0 && q->DrainedLocked();
       if (finalize) q->finalized = true;
       if (finalize) {
@@ -256,8 +303,22 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     return;
   }
 
+  if (task.build) {
+    // Phase one: the serial hash build. Its product is published to
+    // shared_build before WorkerLoop marks build_done under mu_, so every
+    // probe morsel (claimed only after that) reads it race-free.
+    Result<std::shared_ptr<const exec::JoinBuildTable>> table =
+        q->tmpl.BuildShared(&partial.exec);
+    if (!table.ok()) {
+      FailQuery(q, table.status());
+      return;
+    }
+    q->shared_build = std::move(*table);
+    return;
+  }
+
   Result<std::unique_ptr<plan::Plan>> plan_or =
-      q->tmpl.Instantiate(task.morsel);
+      q->tmpl.Instantiate(task.morsel, q->shared_build.get());
   if (!plan_or.ok()) {
     FailQuery(q, plan_or.status());
     return;

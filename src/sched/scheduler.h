@@ -13,8 +13,15 @@
 //   * Dispatch is fair at *morsel* granularity: workers claim the next
 //     morsel from the active queries in weighted round-robin order (a query
 //     with priority p takes p consecutive morsels per rotation, default 1),
-//     so K queries interleave instead of queueing behind each other. Joins
-//     and empty scans are single-task queries occupying one worker.
+//     so K queries interleave instead of queueing behind each other. Empty
+//     scans are single-task queries occupying one worker.
+//   * Two-phase queries (joins, and any future build/probe or sort
+//     operator) carry a lightweight intra-query phase dependency: the
+//     template's serial *build* task is dispatched first, and the query's
+//     morsels become runnable only once it completes (a build barrier).
+//     While one query's build is in flight the rotation simply skips it —
+//     other queries' morsels keep the pool busy, so the barrier costs the
+//     query latency, never the pool throughput.
 //   * Results merge exactly as in the single-query executor: per-(query,
 //     worker) partials — checksum, tuple counts, ExecStats, aggregation
 //     accumulators, buffered output chunks — are combined once when the
@@ -161,13 +168,24 @@ class Scheduler {
   struct Task {
     std::shared_ptr<internal::QueryState> query;
     position::Range morsel;
+    // Phase-one task of a two-phase query (the serial hash build); its
+    // completion unblocks the query's morsel claims.
+    bool build = false;
+  };
+
+  /// What a query had to offer when a worker asked it for work.
+  enum class Claim {
+    kClaimed,    // *out holds a task
+    kWaiting,    // nothing *now*, but more once its build completes — skip
+    kExhausted,  // never anything again — drop from the rotation
   };
 
   void WorkerLoop(int worker_id);
-  /// Claims the next morsel in weighted round-robin order. Removes
-  /// exhausted queries from the rotation. Caller holds mu_.
+  /// Claims the next task in weighted round-robin order. Removes exhausted
+  /// queries from the rotation; queries waiting on their build barrier are
+  /// skipped but stay. Caller holds mu_.
   bool TryClaimLocked(Task* out);
-  bool ClaimFromLocked(internal::QueryState* q, Task* out);
+  Claim ClaimFromLocked(internal::QueryState* q, Task* out);
   /// Executes one morsel into the worker's partial. Lock-free.
   void RunTask(int worker_id, const Task& task);
   void FailQuery(internal::QueryState* q, const Status& status);

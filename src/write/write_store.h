@@ -42,6 +42,7 @@
 #include "position/position_set.h"
 #include "storage/page.h"
 #include "util/common.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace cstore {
@@ -65,6 +66,10 @@ class WriteSnapshot {
   /// Delete-log prefix length this snapshot sees (its "delete epoch").
   uint64_t delete_epoch() const { return delete_epoch_; }
   bool has_deletes() const { return !deleted_.empty(); }
+  /// True when the snapshot carries write state a scan or hash build must
+  /// merge (pending tail rows or visible deletes); false for never-written
+  /// or fully-compacted tables — those build the exact pre-write-path plan.
+  bool has_state() const { return has_deletes() || tail_rows_ > 0; }
   /// Sorted, deduplicated deleted positions visible to this snapshot.
   const std::vector<Position>& deleted() const { return deleted_; }
 
@@ -95,6 +100,15 @@ class WriteSnapshot {
   /// position of entry i is base_rows() + i).
   const std::vector<Value>& tail_values(size_t c) const {
     return tail_values_[c];
+  }
+
+  /// Value of schema column `c` at logical position `pos`, which must be a
+  /// tail position (base_rows() <= pos < total_rows()). Point access for
+  /// consumers resolving individual write-store positions — e.g. a join's
+  /// out-of-order inner payload fetch.
+  Value TailValueAt(size_t c, Position pos) const {
+    CSTORE_DCHECK(pos >= base_rows_ && pos < total_rows());
+    return tail_values_[c][pos - base_rows_];
   }
 
   /// The tail of schema column `c` packed as synthetic uncompressed

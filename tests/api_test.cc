@@ -1,9 +1,10 @@
 // api:: layer tests: Connection (sync / async / streaming / typed),
 // PreparedStatement with `?` parameters (including re-execution across a
 // concurrent compaction), RowCursor backpressure and cancellation, the
-// UPDATE statement end to end, the join-side snapshot guard, and
-// equivalence with the legacy wrappers (db::Database::Run*, sql::Engine) —
-// which must stay bit-identical to the api:: paths they now delegate to.
+// UPDATE statement end to end, the join-side snapshot merge, EXPLAIN with
+// `?` parameters, the non-blocking cursor poll (TryNext), and equivalence
+// with the legacy wrappers (db::Database::Run*, sql::Engine) — which must
+// stay bit-identical to the api:: paths they now delegate to.
 
 #include <atomic>
 #include <limits>
@@ -570,10 +571,12 @@ TEST_F(ApiTest, ExtremeParameterValuesAreSafe) {
   EXPECT_EQ(all2.tuples.num_tuples(), a_.size());
 }
 
-// --- Join-side snapshot guard -----------------------------------------------
+// --- Join-side snapshot merge -----------------------------------------------
 
-TEST_F(ApiTest, JoinRejectsSnapshotWithPendingWrites) {
-  // orders ⋈ customer; customer gains uncompacted writes.
+TEST_F(ApiTest, JoinMergesInnerSnapshotWithPendingWrites) {
+  // orders ⋈ customer; customer gains uncompacted writes the hash build
+  // must merge (this used to be a NotSupported guard — now it's correct
+  // results under live writes).
   std::vector<Value> custkey{0, 1, 2, 3, 4, 5, 6, 7};
   std::vector<Value> nation{10, 11, 12, 13, 14, 15, 16, 17};
   std::vector<Value> o_cust{0, 1, 2, 3, 0, 1, 2, 3, 4, 5};
@@ -596,46 +599,144 @@ TEST_F(ApiTest, JoinRejectsSnapshotWithPendingWrites) {
   ASSERT_OK_AND_ASSIGN(join.right_payload, db_->GetColumn("cust.nation"));
   join.left_pred = codec::Predicate::LessThan(100);
 
-  // An empty snapshot (no writes ever) is fine.
-  plan::PlanConfig config;
-  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
+  // Empty snapshot: bit-identical to no snapshot at all.
+  ASSERT_OK_AND_ASSIGN(join.right_snapshot, db_->SnapshotTable("customer"));
   ASSERT_OK_AND_ASSIGN(
       api::QueryResult clean,
-      db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config));
+      db_->RunJoin(join, exec::JoinRightMode::kMaterialized));
   EXPECT_EQ(clean.tuples.num_tuples(), o_cust.size());
 
-  // Pending write-store rows: the join must refuse, not silently return
-  // stale rows.
-  ASSERT_OK(db_->Insert("customer", {{8, 18}}));
-  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
-  Result<api::QueryResult> stale =
-      db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config);
-  ASSERT_FALSE(stale.ok());
-  EXPECT_TRUE(stale.status().IsNotSupported());
-  EXPECT_NE(stale.status().message().find("pending"), std::string::npos);
-
-  // Deletes alone are refused too.
-  ASSERT_OK_AND_ASSIGN(uint64_t moved, db_->CompactTable("customer"));
-  EXPECT_EQ(moved, 1u);
+  // UPDATE moves customer 5's row to the write-store tail (old position
+  // deleted); DELETE drops customer 4. A fresh inner snapshot sees both.
+  ASSERT_OK_AND_ASSIGN(
+      uint64_t updated,
+      db_->UpdateWhere("customer", {{"nation", 99}},
+                       {{"key", codec::Predicate::Equal(5)}}));
+  EXPECT_EQ(updated, 1u);
   ASSERT_OK_AND_ASSIGN(uint64_t deleted,
                        db_->DeleteWhere("customer",
-                                        {{"key", codec::Predicate::Equal(8)}}));
+                                        {{"key", codec::Predicate::Equal(4)}}));
   EXPECT_EQ(deleted, 1u);
-  ASSERT_OK_AND_ASSIGN(config.snapshot, db_->SnapshotTable("customer"));
-  EXPECT_TRUE(db_->RunJoin(join, exec::JoinRightMode::kMaterialized, config)
-                  .status()
-                  .IsNotSupported());
+  ASSERT_OK_AND_ASSIGN(join.right_snapshot, db_->SnapshotTable("customer"));
 
-  // The scheduler path reports the same failure through the ticket.
+  for (exec::JoinRightMode mode :
+       {exec::JoinRightMode::kMaterialized, exec::JoinRightMode::kMultiColumn,
+        exec::JoinRightMode::kSingleColumn}) {
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r, db_->RunJoin(join, mode));
+    // One order row (custkey 4) lost its match; key 5 now maps to 99.
+    EXPECT_EQ(r.tuples.num_tuples(), o_cust.size() - 1)
+        << JoinRightModeName(mode);
+    std::map<Value, Value> seen;  // left payload → right payload
+    for (size_t i = 0; i < r.tuples.num_tuples(); ++i) {
+      seen[r.tuples.value(i, 0)] = r.tuples.value(i, 1);
+    }
+    EXPECT_EQ(seen.count(108), 0u) << JoinRightModeName(mode);  // deleted
+    EXPECT_EQ(seen[109], 99) << JoinRightModeName(mode);        // updated
+    EXPECT_EQ(seen[100], 10) << JoinRightModeName(mode);
+  }
+
+  // The scheduler path (build barrier + probe morsels) agrees.
   api::Connection conn(db_.get());
-  Result<api::QueryResult> via_submit =
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult via_submit,
       conn.Submit(plan::PlanTemplate::Join(
-                      join, exec::JoinRightMode::kMaterialized, config))
-          .Wait();
-  EXPECT_TRUE(via_submit.status().IsNotSupported());
+                      join, exec::JoinRightMode::kMaterialized, {}))
+          .Wait());
+  EXPECT_EQ(via_submit.tuples.num_tuples(), o_cust.size() - 1);
 
-  // Without a snapshot attached (paper-figure bench path), joins still run.
-  ASSERT_OK(db_->RunJoin(join, exec::JoinRightMode::kMaterialized).status());
+  // Without the snapshot the build still reads the read store alone.
+  join.right_snapshot.reset();
+  ASSERT_OK_AND_ASSIGN(api::QueryResult stale,
+                       db_->RunJoin(join,
+                                    exec::JoinRightMode::kMaterialized));
+  EXPECT_EQ(stale.tuples.num_tuples(), o_cust.size());
+}
+
+// --- Explain with parameters ------------------------------------------------
+
+TEST_F(ApiTest, ExplainAcceptsParameters) {
+  api::Connection conn(db_.get());
+  // Parameterless EXPLAIN keeps working as before.
+  ASSERT_OK_AND_ASSIGN(std::string plain,
+                       conn.Explain("SELECT a, b FROM t WHERE a < 100"));
+  EXPECT_NE(plain.find("<- chosen"), std::string::npos);
+
+  // `?` parameters bind like a prepared execution; the report reflects the
+  // bound predicate's selectivity.
+  const char* sql = "SELECT a, b FROM t WHERE a < ? AND b < ?";
+  ASSERT_OK_AND_ASSIGN(std::string narrow,
+                       conn.Explain(sql, std::vector<Value>{5, 3}));
+  ASSERT_OK_AND_ASSIGN(std::string wide,
+                       conn.Explain(sql, std::vector<Value>{490, 7}));
+  EXPECT_NE(narrow.find("<- chosen"), std::string::npos);
+  EXPECT_NE(narrow, wide);  // different selectivities, different report
+
+  // Parameter counts must match exactly, as in a prepared execution.
+  EXPECT_FALSE(conn.Explain(sql, std::vector<Value>{5}).ok());
+  EXPECT_FALSE(conn.Explain(sql, std::vector<Value>{5, 3, 9}).ok());
+  EXPECT_FALSE(conn.Explain(sql).ok());
+  // Writes are not explainable.
+  EXPECT_FALSE(conn.Explain("DELETE FROM t WHERE a < 5").ok());
+}
+
+// --- RowCursor::TryNext -----------------------------------------------------
+
+TEST_F(ApiTest, TryNextDrainsWithoutBlocking) {
+  const size_t n = MakeBigTable();
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor,
+                       conn.Stream("SELECT x FROM big WHERE x < 900"));
+  uint64_t rows = 0;
+  uint64_t pending_polls = 0;
+  exec::TupleChunk chunk;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(api::RowCursor::Poll poll, cursor.TryNext(&chunk));
+    if (poll == api::RowCursor::Poll::kDone) break;
+    if (poll == api::RowCursor::Poll::kPending) {
+      // Event-loop turn: nothing buffered yet; yield and poll again.
+      ++pending_polls;
+      std::this_thread::yield();
+      continue;
+    }
+    rows += chunk.num_tuples();
+  }
+  EXPECT_EQ(rows, n * 900 / 1000);
+  // Once done, further polls stay done.
+  ASSERT_OK_AND_ASSIGN(api::RowCursor::Poll again, cursor.TryNext(&chunk));
+  EXPECT_EQ(again, api::RowCursor::Poll::kDone);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult rest, cursor.FetchAll());
+  EXPECT_EQ(rest.tuples.num_tuples(), 0u);
+}
+
+TEST_F(ApiTest, TryNextSurfacesQueryError) {
+  api::Connection conn(db_.get());
+  // A query that fails at execution: LM-pipelined position-filtering over a
+  // bit-vector column is unsupported, and the failure surfaces mid-run.
+  std::vector<Value> bv = testing::RunnyValues(80000, 3, 2.0, 9);
+  ASSERT_OK(db_->CreateColumn("bv.y", codec::Encoding::kBitVector, bv));
+  ASSERT_OK(db_->RegisterTable("bv", {{"y", "bv.y"}}));
+  plan::SelectionQuery q;
+  ASSERT_OK_AND_ASSIGN(const codec::ColumnReader* y, db_->GetColumn("bv.y"));
+  q.columns.push_back({y, codec::Predicate::LessThan(2)});
+  q.columns.push_back({y, codec::Predicate::LessThan(2)});
+  plan::PlanConfig config;
+  config.use_sorted_index = false;
+  auto tmpl =
+      plan::PlanTemplate::Selection(q, plan::Strategy::kLmPipelined, config);
+  ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(tmpl));
+  exec::TupleChunk chunk;
+  // Poll to completion; the plan error must surface through TryNext.
+  Status final_status = Status::OK();
+  while (true) {
+    Result<api::RowCursor::Poll> poll = cursor.TryNext(&chunk);
+    if (!poll.ok()) {
+      final_status = poll.status();
+      break;
+    }
+    if (*poll == api::RowCursor::Poll::kDone) break;
+    if (*poll == api::RowCursor::Poll::kPending) std::this_thread::yield();
+  }
+  EXPECT_FALSE(final_status.ok());
 }
 
 }  // namespace

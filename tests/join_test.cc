@@ -1,6 +1,12 @@
 // Join tests: the three inner-table materialization strategies must return
 // identical results, matching a naive reference join; statistics reflect
 // their different access patterns.
+//
+// The two-phase (build/probe) refactor adds two invariants, checked below:
+// every right-mode × left-mode result bag is bit-identical across 1/2/4
+// probe workers, and joins against write-carrying snapshots (pending
+// inserts + deletes + an UPDATE'd row, on both sides) match a brute-force
+// reference join over the visible rows.
 
 #include <map>
 #include <memory>
@@ -9,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/connection.h"
 #include "db/database.h"
 #include "test_util.h"
 
@@ -242,6 +249,306 @@ TEST_F(JoinTest, EarlyLeftScansEverythingLateSkips) {
   // Early scans both outer columns fully; late never touches the payload.
   EXPECT_GT(early_r->stats.exec.blocks_fetched,
             late_r->stats.exec.blocks_fetched);
+}
+
+// --- Parallel, snapshot-aware joins (two-phase build/probe) -----------------
+
+constexpr int kWorkerCounts[] = {1, 2, 4};
+constexpr exec::JoinLeftMode kLeftModes[] = {exec::JoinLeftMode::kLate,
+                                             exec::JoinLeftMode::kEarly};
+
+/// One-window morsels so 2/4 workers genuinely partition the probe.
+plan::PlanConfig JoinWorkerConfig(int workers) {
+  plan::PlanConfig config;
+  config.num_workers = workers;
+  config.morsel_positions = kChunkPositions;
+  return config;
+}
+
+TEST_F(JoinTest, ParallelJoinBitIdenticalAcrossWorkers) {
+  // ~4 chunk windows on the outer side: enough morsels for 4 workers.
+  Tables t = MakeTables(260000, 9000, 21);
+  const Value x = 4500;
+  t.query.left_pred = Predicate::LessThan(x);
+  auto expected = NaiveJoin(t, x);
+  for (JoinRightMode mode : kAllModes) {
+    for (exec::JoinLeftMode lm : kLeftModes) {
+      plan::JoinQuery q = t.query;
+      q.left_mode = lm;
+      uint64_t serial_checksum = 0;
+      uint64_t serial_tuples = 0;
+      for (int workers : kWorkerCounts) {
+        auto r = db_->RunJoin(q, mode, JoinWorkerConfig(workers));
+        ASSERT_TRUE(r.ok()) << JoinRightModeName(mode) << " workers="
+                            << workers << ": " << r.status().ToString();
+        if (workers == 1) {
+          serial_checksum = r->stats.checksum;
+          serial_tuples = r->stats.output_tuples;
+          EXPECT_EQ(serial_tuples, expected.size()) << JoinRightModeName(mode);
+        } else {
+          EXPECT_EQ(r->stats.checksum, serial_checksum)
+              << JoinRightModeName(mode) << " left="
+              << (lm == exec::JoinLeftMode::kLate ? "late" : "early")
+              << " workers=" << workers;
+          EXPECT_EQ(r->stats.output_tuples, serial_tuples)
+              << JoinRightModeName(mode) << " workers=" << workers;
+          EXPECT_EQ(r->tuples.num_tuples(), serial_tuples);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(JoinTest, PooledSchedulerJoinMatchesSerial) {
+  // The shared-scheduler path: the build barrier runs as a phase-one task,
+  // probe morsels interleave with a concurrent selection on one pool.
+  Tables t = MakeTables(260000, 7000, 23);
+  t.query.left_pred = Predicate::LessThan(3500);
+  plan::SelectionQuery sel;
+  sel.columns.push_back({t.query.left_payload, Predicate::True()});
+
+  std::vector<uint64_t> serial_sums;
+  for (JoinRightMode mode : kAllModes) {
+    auto r = db_->RunJoin(t.query, mode);
+    ASSERT_TRUE(r.ok());
+    serial_sums.push_back(r->stats.checksum);
+  }
+
+  sched::Scheduler::Options so;
+  so.num_workers = 4;
+  sched::Scheduler scheduler(so);
+  api::Connection conn(db_.get(), &scheduler);
+  std::vector<api::PendingResult> pending;
+  for (JoinRightMode mode : kAllModes) {
+    pending.push_back(conn.Submit(
+        plan::PlanTemplate::Join(t.query, mode, JoinWorkerConfig(4))));
+    pending.push_back(conn.Submit(plan::PlanTemplate::Selection(
+        sel, plan::Strategy::kLmParallel, JoinWorkerConfig(4))));
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    auto r = pending[i].Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (i % 2 == 0) {
+      EXPECT_EQ(r->stats.checksum, serial_sums[i / 2])
+          << JoinRightModeName(kAllModes[i / 2]);
+    }
+  }
+}
+
+/// Reference row state mirroring a table's inserts/deletes/updates.
+struct RefRows {
+  std::vector<Value> key;
+  std::vector<Value> payload;
+  std::vector<bool> deleted;
+
+  void Append(Value k, Value p) {
+    key.push_back(k);
+    payload.push_back(p);
+    deleted.push_back(false);
+  }
+  void DeleteWhereKeyEq(Value k) {
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (!deleted[i] && key[i] == k) deleted[i] = true;
+    }
+  }
+  void DeleteWherePayloadEq(Value p) {
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (!deleted[i] && payload[i] == p) deleted[i] = true;
+    }
+  }
+  /// UPDATE payload WHERE key == k (delete + re-insert, like the engine).
+  void UpdatePayloadWhereKeyEq(Value k, Value p) {
+    std::vector<Value> hit;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (!deleted[i] && key[i] == k) {
+        deleted[i] = true;
+        hit.push_back(key[i]);
+      }
+    }
+    for (Value kk : hit) Append(kk, p);
+  }
+};
+
+class JoinWriteTest : public JoinTest {
+ protected:
+  /// Creates + registers a two-column table (key, payload).
+  void MakeWritableTable(const std::string& name,
+                         const std::vector<Value>& keys,
+                         const std::vector<Value>& payloads) {
+    ASSERT_OK(db_->CreateColumn(name + "_key", Encoding::kUncompressed, keys));
+    ASSERT_OK(db_->CreateColumn(name + "_payload", Encoding::kUncompressed,
+                                payloads));
+    ASSERT_OK(db_->RegisterTable(
+        name, {{"key", name + "_key"}, {"payload", name + "_payload"}}));
+  }
+
+  /// Brute-force join of the reference states: inner keys are unique among
+  /// live rows; outer rows with key < x join to the live inner row.
+  static std::multiset<std::pair<Value, Value>> RefJoin(const RefRows& outer,
+                                                        const RefRows& inner,
+                                                        Value x) {
+    std::map<Value, Value> right;
+    for (size_t i = 0; i < inner.key.size(); ++i) {
+      if (!inner.deleted[i]) right[inner.key[i]] = inner.payload[i];
+    }
+    std::multiset<std::pair<Value, Value>> out;
+    for (size_t i = 0; i < outer.key.size(); ++i) {
+      if (outer.deleted[i] || outer.key[i] >= x) continue;
+      auto it = right.find(outer.key[i]);
+      if (it != right.end()) out.emplace(outer.payload[i], it->second);
+    }
+    return out;
+  }
+};
+
+TEST_F(JoinWriteTest, JoinUnderWritesMatchesBruteForce) {
+  // Outer read store: exactly 3 chunk windows, so inserted tail rows start
+  // on a window boundary and a one-window morsel is *pure tail* — the probe
+  // path's WsScan leaf runs as its own morsel at 4 workers.
+  const size_t n_orders = 3 * kChunkPositions;
+  const size_t n_cust = 6000;
+  Random rng(31);
+  RefRows orders;
+  RefRows customer;
+  for (size_t i = 0; i < n_cust; ++i) {
+    customer.Append(static_cast<Value>(i + 1),
+                    static_cast<Value>(rng.Uniform(25)));
+  }
+  for (size_t i = 0; i < n_orders; ++i) {
+    orders.Append(static_cast<Value>(rng.UniformRange(1,
+                                                      static_cast<int64_t>(
+                                                          n_cust))),
+                  static_cast<Value>(rng.Uniform(3000)));
+  }
+  MakeWritableTable("jw_orders", orders.key, orders.payload);
+  MakeWritableTable("jw_customer", customer.key, customer.payload);
+
+  // --- Writes, mirrored in the reference state ---------------------------
+  // Inserts on both sides: new orders (some referencing brand-new customer
+  // keys), new customers with fresh unique keys.
+  {
+    std::vector<std::vector<Value>> rows;
+    for (size_t i = 0; i < 300; ++i) {
+      Value k = static_cast<Value>(n_cust + 1 + i);
+      Value p = static_cast<Value>(100 + i % 25);
+      rows.push_back({k, p});
+      customer.Append(k, p);
+    }
+    ASSERT_OK(db_->Insert("jw_customer", rows));
+  }
+  {
+    std::vector<std::vector<Value>> rows;
+    for (size_t i = 0; i < 20000; ++i) {
+      Value k = static_cast<Value>(rng.UniformRange(1,
+                                                    static_cast<int64_t>(
+                                                        n_cust + 300)));
+      Value p = static_cast<Value>(rng.Uniform(3000));
+      rows.push_back({k, p});
+      orders.Append(k, p);
+    }
+    ASSERT_OK(db_->Insert("jw_orders", rows));
+  }
+  // Deletes: read-store and tail positions, both sides.
+  ASSERT_OK(db_->DeleteWhere("jw_orders",
+                             {{"payload", Predicate::Equal(7)}}).status());
+  orders.DeleteWherePayloadEq(7);
+  ASSERT_OK(db_->DeleteWhere("jw_customer",
+                             {{"key", Predicate::Equal(17)}}).status());
+  customer.DeleteWhereKeyEq(17);
+  ASSERT_OK(db_->DeleteWhere(
+                    "jw_customer",
+                    {{"key", Predicate::Equal(static_cast<Value>(n_cust +
+                                                                 100))}})
+                .status());
+  customer.DeleteWhereKeyEq(static_cast<Value>(n_cust + 100));
+  // An UPDATE'd inner row: same key, new payload, now living in the tail.
+  ASSERT_OK(db_->UpdateWhere("jw_customer", {{"payload", 777}},
+                             {{"key", Predicate::Equal(42)}})
+                .status());
+  customer.UpdatePayloadWhereKeyEq(42, 777);
+
+  // --- Snapshots + query -------------------------------------------------
+  plan::JoinQuery q;
+  ASSERT_OK_AND_ASSIGN(q.left_key, db_->GetColumn("jw_orders_key"));
+  ASSERT_OK_AND_ASSIGN(q.left_payload, db_->GetColumn("jw_orders_payload"));
+  ASSERT_OK_AND_ASSIGN(q.right_key, db_->GetColumn("jw_customer_key"));
+  ASSERT_OK_AND_ASSIGN(q.right_payload,
+                       db_->GetColumn("jw_customer_payload"));
+  ASSERT_OK_AND_ASSIGN(auto orders_snap, db_->SnapshotTable("jw_orders"));
+  ASSERT_OK_AND_ASSIGN(q.right_snapshot, db_->SnapshotTable("jw_customer"));
+
+  for (Value x : {static_cast<Value>(n_cust + 301), Value{3000}}) {
+    q.left_pred = Predicate::LessThan(x);
+    auto expected = RefJoin(orders, customer, x);
+    ASSERT_GT(expected.size(), 0u);
+    for (JoinRightMode mode : kAllModes) {
+      for (exec::JoinLeftMode lm : kLeftModes) {
+        q.left_mode = lm;
+        uint64_t serial_checksum = 0;
+        for (int workers : kWorkerCounts) {
+          plan::PlanConfig config = JoinWorkerConfig(workers);
+          config.snapshot = orders_snap;
+          auto r = db_->RunJoin(q, mode, config);
+          ASSERT_TRUE(r.ok())
+              << JoinRightModeName(mode) << " workers=" << workers << ": "
+              << r.status().ToString();
+          std::multiset<std::pair<Value, Value>> got;
+          for (size_t i = 0; i < r->tuples.num_tuples(); ++i) {
+            got.emplace(r->tuples.value(i, 0), r->tuples.value(i, 1));
+          }
+          EXPECT_TRUE(got == expected)
+              << JoinRightModeName(mode) << " left="
+              << (lm == exec::JoinLeftMode::kLate ? "late" : "early")
+              << " workers=" << workers << " x=" << x << " got "
+              << got.size() << " expected " << expected.size();
+          if (workers == 1) {
+            serial_checksum = r->stats.checksum;
+          } else {
+            EXPECT_EQ(r->stats.checksum, serial_checksum)
+                << JoinRightModeName(mode) << " workers=" << workers;
+          }
+        }
+      }
+    }
+  }
+
+  // The snapshot, not the live store, is what the join sees: new writes
+  // after capture must not leak in.
+  {
+    ASSERT_OK(db_->Insert("jw_customer", {{static_cast<Value>(n_cust + 400),
+                                           Value{999}}}));
+    ASSERT_OK(db_->Insert("jw_orders", {{static_cast<Value>(n_cust + 400),
+                                         Value{888}}}));
+    q.left_pred = Predicate::LessThan(static_cast<Value>(n_cust + 500));
+    q.left_mode = exec::JoinLeftMode::kLate;
+    plan::PlanConfig config = JoinWorkerConfig(2);
+    config.snapshot = orders_snap;  // captured before the two inserts
+    ASSERT_OK_AND_ASSIGN(auto r,
+                         db_->RunJoin(q, JoinRightMode::kMaterialized,
+                                      config));
+    auto expected =
+        RefJoin(orders, customer, static_cast<Value>(n_cust + 500));
+    EXPECT_EQ(r.stats.output_tuples, expected.size());
+  }
+}
+
+TEST_F(JoinWriteTest, EmptySnapshotsKeepJoinIdentical) {
+  // Empty snapshots (tables never written) must build the exact
+  // pre-write-path plan.
+  Tables t = MakeTables(100000, 4000, 37);
+  t.query.left_pred = Predicate::LessThan(2000);
+  ASSERT_OK_AND_ASSIGN(auto baseline, db_->RunJoin(t.query,
+                                                   JoinRightMode::kMaterialized));
+  MakeWritableTable("jw_empty", {1, 2, 3}, {4, 5, 6});
+  ASSERT_OK_AND_ASSIGN(auto snap, db_->SnapshotTable("jw_empty"));
+  // An empty snapshot of an unrelated table attaches harmlessly on the
+  // inner side (no state → no column mapping is consulted).
+  plan::JoinQuery q = t.query;
+  q.right_snapshot = snap;
+  ASSERT_OK_AND_ASSIGN(auto with_snap,
+                       db_->RunJoin(q, JoinRightMode::kMaterialized));
+  EXPECT_EQ(with_snap.stats.checksum, baseline.stats.checksum);
+  EXPECT_EQ(with_snap.stats.output_tuples, baseline.stats.output_tuples);
 }
 
 TEST_F(JoinTest, InvalidQueriesRejected) {

@@ -208,6 +208,72 @@ TEST_F(PredictionTest, AggregationCheaperThanSelectionForLm) {
   EXPECT_LT(agg, sel);
 }
 
+// --- Join model (two-phase: serial build + parallel probe) ------------------
+
+model::JoinModelInput JoinInput(int workers) {
+  model::JoinModelInput in;
+  in.left_key = MakeCol(40, 300000);
+  in.left_payload = MakeCol(40, 300000);
+  in.sf = 0.5;
+  in.right_key = MakeCol(4, 30000);
+  in.right_payload = MakeCol(4, 30000);
+  in.num_workers = workers;
+  return in;
+}
+
+TEST(JoinModelTest, BuildIsNeverDiscountedByWorkers) {
+  CostParams p = Paper();
+  for (exec::JoinRightMode mode :
+       {exec::JoinRightMode::kMaterialized, exec::JoinRightMode::kMultiColumn,
+        exec::JoinRightMode::kSingleColumn}) {
+    Cost build1, probe1, build4, probe4;
+    Cost total1 = model::PredictJoin(mode, JoinInput(1), p, &build1, &probe1);
+    Cost total4 = model::PredictJoin(mode, JoinInput(4), p, &build4, &probe4);
+    // The phases themselves don't depend on the worker count...
+    EXPECT_DOUBLE_EQ(build1.cpu, build4.cpu);
+    EXPECT_DOUBLE_EQ(probe1.cpu, probe4.cpu);
+    // ...the total discounts only the probe CPU: serial total = build +
+    // probe; 4-worker total = build + probe * factor. So the modelled
+    // speedup is strictly below the probe-only factor (Amdahl).
+    EXPECT_DOUBLE_EQ(total1.cpu, build1.cpu + probe1.cpu);
+    EXPECT_DOUBLE_EQ(total4.cpu,
+                     build4.cpu + probe4.cpu * model::ParallelCpuFactor(4));
+    EXPECT_LT(total4.cpu, total1.cpu);
+    EXPECT_GT(total4.cpu, build1.cpu);  // the serial floor
+  }
+}
+
+TEST(JoinModelTest, ModePredictionsMatchPaperOrdering) {
+  CostParams p = Paper();
+  model::JoinModelInput in = JoinInput(1);
+  Cost mat = model::PredictJoin(exec::JoinRightMode::kMaterialized, in, p);
+  Cost sc = model::PredictJoin(exec::JoinRightMode::kSingleColumn, in, p);
+  // At sf=0.5 the single-column mode's out-of-order payload fetches charge
+  // per-access seeks; it must predict worse than constructing inner tuples
+  // up front (Figure 13's crossover is at much lower selectivity).
+  EXPECT_GT(sc.total(), mat.total());
+  // Multi-column reads both inner columns at build; single-column only the
+  // key — its build must be the cheaper of the two.
+  Cost mc_build, sc_build;
+  model::PredictJoin(exec::JoinRightMode::kMultiColumn, in, p, &mc_build);
+  model::PredictJoin(exec::JoinRightMode::kSingleColumn, in, p, &sc_build);
+  EXPECT_LT(sc_build.total(), mc_build.total());
+}
+
+TEST(AdvisorTest, JoinRankingAndExplain) {
+  Advisor advisor(Paper());
+  model::JoinModelInput in = JoinInput(4);
+  std::vector<model::JoinPrediction> ranked = advisor.RankJoin(in);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_LE(ranked[0].cost.total(), ranked[1].cost.total());
+  EXPECT_LE(ranked[1].cost.total(), ranked[2].cost.total());
+  EXPECT_EQ(advisor.ChooseJoinMode(in), ranked[0].mode);
+  std::string report = advisor.ExplainJoin(in);
+  EXPECT_NE(report.find("<- chosen"), std::string::npos);
+  EXPECT_NE(report.find("build"), std::string::npos);
+  EXPECT_NE(report.find("4 probe workers"), std::string::npos);
+}
+
 TEST(CalibratorTest, ProducesPlausibleConstants) {
   model::Calibrator::Options opts;
   opts.loop_size = 1 << 18;

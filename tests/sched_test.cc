@@ -297,6 +297,61 @@ TEST_F(SchedTest, InstantiationErrorSurfacesOnTicketOnly) {
   EXPECT_EQ(good.stats.checksum, good_checksum);
 }
 
+TEST_F(SchedTest, JoinBuildBarrierGatesProbeMorsels) {
+  // A join on the shared pool runs its serial build as a phase-one task;
+  // probe morsels (gated on the barrier) then interleave with a concurrent
+  // scan. Results must match the serial run exactly, and neighbors must be
+  // undisturbed.
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  plan::PlanTemplate join_tmpl = templates.back();  // the join
+  join_tmpl.config.morsel_positions = kChunkPositions;
+  plan::PlanTemplate scan_tmpl = templates.front();
+  uint64_t join_checksum = SerialRun(join_tmpl).checksum;
+  uint64_t scan_checksum = SerialRun(scan_tmpl).checksum;
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(scheduler.Submit(join_tmpl, db_->pool()));
+    tickets.push_back(scheduler.Submit(scan_tmpl, db_->pool()));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const sched::ExecResult r = tickets[i].Wait();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.stats.checksum,
+              i % 2 == 0 ? join_checksum : scan_checksum)
+        << (i % 2 == 0 ? "join" : "scan") << " #" << i;
+  }
+}
+
+TEST_F(SchedTest, JoinBuildFailureSurfacesOnTicket) {
+  // Mismatched column lengths fail in the build phase (the first task the
+  // barrier dispatches); the error must cancel the probe morsels and
+  // resolve the ticket, leaving a concurrent good query untouched.
+  plan::JoinQuery bad;
+  bad.left_key = jc_->orders_custkey;
+  bad.left_pred = codec::Predicate::True();
+  bad.left_payload = jc_->orders_shipdate;
+  bad.right_key = jc_->customer_custkey;
+  bad.right_payload = jc_->orders_shipdate;  // wrong length vs right_key
+  plan::PlanTemplate bad_tmpl =
+      plan::PlanTemplate::Join(bad, exec::JoinRightMode::kMaterialized);
+  plan::PlanTemplate good_tmpl = MixedTemplates()[0];
+  uint64_t good_checksum = SerialRun(good_tmpl).checksum;
+
+  sched::Scheduler::Options opts;
+  opts.num_workers = 4;
+  sched::Scheduler scheduler(opts);
+  sched::QueryTicket bad_ticket = scheduler.Submit(bad_tmpl, db_->pool());
+  sched::QueryTicket good_ticket = scheduler.Submit(good_tmpl, db_->pool());
+  EXPECT_FALSE(bad_ticket.Wait().status.ok());
+  const sched::ExecResult good = good_ticket.Wait();
+  ASSERT_TRUE(good.status.ok()) << good.status.ToString();
+  EXPECT_EQ(good.stats.checksum, good_checksum);
+}
+
 TEST_F(SchedTest, SchedulerDestructorDrainsUnwaitedTickets) {
   plan::PlanTemplate tmpl = MixedTemplates()[0];
   uint64_t checksum = SerialRun(tmpl).checksum;
