@@ -1,0 +1,486 @@
+// Hot-path scalability: isolates each core-contention fix in turn.
+//
+// Three phases, each a worker sweep over the same mixed batch of
+// selections and aggregations, every result checksum-verified against a
+// serial (workers=1) ground-truth run — any mismatch fails the process:
+//
+//   shards      buffer pool with 1 shard vs 8 shards, two views: a raw
+//               Fetch stress loop (W threads hammering a warm pool — the
+//               pool lock isolated from all query work) reporting fetch
+//               throughput and the pool's contention counters
+//               (acquisitions, contended share, blocked time), and the
+//               query batch reporting QPS. Sharding must cut the
+//               contended share at high worker counts without changing a
+//               single result bit.
+//   chunk_pool  global TupleChunk pool off vs on at each worker count:
+//               QPS plus pool pressure (acquires / reuses / allocs).
+//   stmt_cache  N threads preparing + executing the same SQL through
+//               private parses vs one shared api::StatementCache
+//               (prepares/sec, hit/miss counts, single-parse check).
+//
+//   ./build/bench_scaling --sf=0.05 --workers=1,2,4,8,16 --runs=2
+//
+// Emits BENCH_scaling.json next to the other bench JSON artifacts. Note:
+// on a single-core host threads never truly overlap, so the contended
+// share is ~0 under every layout — the sharding delta needs real parallel
+// hardware to appear (the checksum verification is meaningful regardless).
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/connection.h"
+#include "api/statement_cache.h"
+#include "bench_common.h"
+#include "exec/chunk_pool.h"
+#include "sched/scheduler.h"
+#include "storage/buffer_pool.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace bench {
+namespace {
+
+struct QuerySpec {
+  std::string name;
+  plan::PlanTemplate tmpl;
+  // Serial (workers=1) ground truth, identical across pool layouts.
+  uint64_t checksum = 0;
+  uint64_t output_tuples = 0;
+};
+
+/// A small strategy-diverse batch over lineitem: enough scan pressure to
+/// make buffer-pool lock traffic visible, no joins (they are covered by
+/// bench_throughput; here we want the pool hot path isolated).
+std::vector<QuerySpec> BuildSpecs(const tpch::LineitemColumns& li) {
+  plan::SelectionQuery sel;
+  Value mid =
+      (li.shipdate->meta().min_value + li.shipdate->meta().max_value) / 2;
+  sel.columns.push_back({li.shipdate, codec::Predicate::LessThan(mid)});
+  sel.columns.push_back({li.quantity, codec::Predicate::LessThan(30)});
+
+  plan::AggQuery agg;
+  agg.selection = sel;
+  agg.group_index = 0;  // GROUP BY shipdate
+  agg.agg_index = 1;    // SUM(quantity)
+  agg.func = exec::AggFunc::kSum;
+
+  std::vector<QuerySpec> specs;
+  for (plan::Strategy s : plan::kAllStrategies) {
+    QuerySpec spec;
+    spec.name = std::string("sel/") + StrategyName(s);
+    spec.tmpl = plan::PlanTemplate::Selection(sel, s);
+    specs.push_back(spec);
+    spec.name = std::string("agg/") + StrategyName(s);
+    spec.tmpl = plan::PlanTemplate::Agg(agg, s);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// Serial ground truth (doubles as pool warm-up so the timed batches
+/// measure lock traffic on the hit path, not first-touch I/O).
+void FillGroundTruth(db::Database* db, std::vector<QuerySpec>* specs,
+                     bool verify_existing, int* mismatches) {
+  api::Connection conn(db);
+  for (QuerySpec& spec : *specs) {
+    plan::PlanTemplate tmpl = spec.tmpl;
+    tmpl.config.num_workers = 1;
+    auto r = conn.Query(tmpl);
+    CSTORE_CHECK(r.ok()) << spec.name << ": " << r.status().ToString();
+    if (verify_existing) {
+      // Same data under a different pool layout must read back bit-equal.
+      if (r->stats.checksum != spec.checksum ||
+          r->stats.output_tuples != spec.output_tuples) {
+        std::fprintf(stderr, "MISMATCH (serial, resharded pool) %s\n",
+                     spec.name.c_str());
+        ++*mismatches;
+      }
+    } else {
+      spec.checksum = r->stats.checksum;
+      spec.output_tuples = r->stats.output_tuples;
+    }
+  }
+}
+
+/// Contention numbers from one raw Fetch stress run: `threads` workers
+/// each sweep the (pre-warmed) pool's blocks `rounds` times from a
+/// different starting offset, so every shard sees traffic from every
+/// thread. Returns wall ms; counters land in `*stats`.
+double StressPool(storage::BufferPool* pool, storage::FileId file,
+                  uint64_t num_blocks, int threads, int rounds,
+                  storage::IoStats* stats, int* mismatches) {
+  pool->ResetStats();
+  std::atomic<int> bad{0};
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const uint64_t start = t * num_blocks / threads;
+      for (int round = 0; round < rounds; ++round) {
+        for (uint64_t i = 0; i < num_blocks; ++i) {
+          const uint64_t b = (start + i) % num_blocks;
+          auto r = pool->Fetch(file, b);
+          if (!r.ok() || r->header()->num_values != b) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double ms = wall.ElapsedMillis();
+  *stats = pool->stats();
+  if (bad.load() != 0) {
+    std::fprintf(stderr, "MISMATCH (pool stress): %d bad fetches\n",
+                 bad.load());
+    *mismatches += bad.load();
+  }
+  return ms;
+}
+
+/// Runs `concurrency` queries from `specs` (cycled) on a fresh W-worker
+/// scheduler; verifies every checksum; returns batch wall milliseconds.
+double RunBatch(db::Database* db, const std::vector<QuerySpec>& specs,
+                int workers, int concurrency, int* mismatches) {
+  sched::Scheduler::Options so;
+  so.num_workers = workers;
+  sched::Scheduler scheduler(so);
+  api::Connection conn(db, &scheduler);
+  Stopwatch wall;
+  std::vector<api::PendingResult> pending;
+  pending.reserve(concurrency);
+  for (int i = 0; i < concurrency; ++i) {
+    pending.push_back(
+        conn.Submit(specs[i % specs.size()].tmpl, /*materialize=*/false));
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const QuerySpec& spec = specs[i % specs.size()];
+    auto r = pending[i].Wait();
+    CSTORE_CHECK(r.ok()) << spec.name << ": " << r.status().ToString();
+    if (r->stats.checksum != spec.checksum ||
+        r->stats.output_tuples != spec.output_tuples) {
+      std::fprintf(stderr, "MISMATCH (workers=%d) %s\n", workers,
+                   spec.name.c_str());
+      ++*mismatches;
+    }
+  }
+  return wall.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cstore
+
+int main(int argc, char** argv) {
+  using namespace cstore;         // NOLINT
+  using namespace cstore::bench;  // NOLINT
+
+  BenchOptions opts = ParseArgs(argc, argv);
+  if (opts.worker_sweep == std::vector<int>{1}) {
+    opts.worker_sweep = {1, 2, 4, 8, 16};
+  }
+  const int concurrency = opts.concurrency_sweep.empty()
+                              ? 16
+                              : opts.concurrency_sweep.front();
+  int mismatches = 0;
+  BenchJson json("scaling");
+
+  // --- Phase 1a: raw pool stress (the shard lock in isolation) ----------
+  // Query batches bury lock traffic under morsel work; this loop is pure
+  // Fetch on a warm pool, so the single-mutex ceiling — and the sharded
+  // layout removing it — shows up directly in the contention counters.
+  const size_t shard_configs[2] = {1, 8};
+  // contended share per (shards index 0/1, workers index) for the summary.
+  std::vector<std::vector<double>> shares(2);
+  {
+    auto fm = storage::FileManager::Open(opts.dir + "_poolstress");
+    CSTORE_CHECK(fm.ok()) << fm.status().ToString();
+    constexpr uint64_t kBlocks = 64;
+    auto file_r = fm.value()->Create("stress");
+    CSTORE_CHECK(file_r.ok()) << file_r.status().ToString();
+    storage::FileId file = file_r.value();
+    for (uint64_t b = 0; b < kBlocks; ++b) {
+      storage::Page page;
+      page.header()->magic = storage::BlockHeader::kMagic;
+      page.header()->num_values = static_cast<uint32_t>(b);
+      auto a = fm.value()->AppendBlock(file, page);
+      CSTORE_CHECK(a.ok()) << a.status().ToString();
+    }
+    std::printf("# fig=scaling/pool_stress  blocks=%llu rounds=%d\n",
+                static_cast<unsigned long long>(kBlocks), 200 * opts.runs);
+    TablePrinter stress_table({"shards", "workers", "wall_ms", "mfetch_s",
+                               "lock_acq", "contended", "cont_share",
+                               "wait_ms"});
+    for (int cfg = 0; cfg < 2; ++cfg) {
+      storage::BufferPool pool(fm.value().get(), 128, nullptr,
+                               shard_configs[cfg]);
+      // Warm: the stress loop must measure the hit path, not I/O.
+      for (uint64_t b = 0; b < kBlocks; ++b) {
+        auto r = pool.Fetch(file, b);
+        CSTORE_CHECK(r.ok()) << r.status().ToString();
+      }
+      for (int workers : opts.worker_sweep) {
+        storage::IoStats st;
+        double ms = StressPool(&pool, file, kBlocks, workers,
+                               200 * opts.runs, &st, &mismatches);
+        const double share =
+            st.pool_lock_acquisitions == 0
+                ? 0.0
+                : static_cast<double>(st.pool_lock_contended) /
+                      static_cast<double>(st.pool_lock_acquisitions);
+        shares[cfg].push_back(share);
+        const double mfetch =
+            workers * 200.0 * opts.runs * kBlocks / (ms * 1000.0);
+        stress_table.AddRow(
+            {std::to_string(shard_configs[cfg]), std::to_string(workers),
+             Fmt(ms), Fmt(mfetch, 2),
+             std::to_string(st.pool_lock_acquisitions),
+             std::to_string(st.pool_lock_contended),
+             Fmt(share * 100.0, 2) + "%",
+             Fmt(st.pool_lock_wait_ns / 1e6, 2)});
+        json.AddRow()
+            .Str("phase", "pool_stress")
+            .Int("shards", shard_configs[cfg])
+            .Int("workers", workers)
+            .Num("wall_ms", ms)
+            .Num("mfetches_per_s", mfetch)
+            .Int("lock_acquisitions", st.pool_lock_acquisitions)
+            .Int("lock_contended", st.pool_lock_contended)
+            .Num("contended_share", share)
+            .Num("lock_wait_ms", st.pool_lock_wait_ns / 1e6);
+      }
+    }
+    stress_table.Print();
+    for (size_t w = 0; w < opts.worker_sweep.size(); ++w) {
+      if (opts.worker_sweep[w] < 4) continue;
+      const char* verdict = "";
+      if (shares[0][w] < 0.0001) {
+        // threads never truly overlapped (single-core host): there is no
+        // single-mutex contention for sharding to remove.
+        verdict = "  [no contention to remove on this host]";
+      } else if (shares[1][w] >= shares[0][w]) {
+        verdict = "  [no improvement]";
+      }
+      std::printf(
+          "# workers=%d: contended share %.2f%% (1 shard) -> %.2f%% "
+          "(8 shards)%s\n",
+          opts.worker_sweep[w], shares[0][w] * 100.0, shares[1][w] * 100.0,
+          verdict);
+    }
+  }
+
+  // --- Phase 1b: buffer-pool sharding under real query batches ----------
+  // Reopen the same database directory under each pool layout; the serial
+  // run re-verifies ground truth so a sharding bug that corrupts reads
+  // cannot hide behind "both layouts agree with themselves".
+  std::printf("\n# fig=scaling/shards  sf=%.3g concurrency=%d runs=%d\n",
+              opts.sf, concurrency, opts.runs);
+  TablePrinter shard_table({"shards", "workers", "wall_ms", "qps",
+                            "lock_acq", "contended", "cont_share",
+                            "wait_ms"});
+  std::vector<QuerySpec> specs;
+  for (int cfg = 0; cfg < 2; ++cfg) {
+    db::Database::Options dbo;
+    dbo.dir = opts.dir;
+    dbo.pool_frames = 16384;
+    dbo.pool_shards = shard_configs[cfg];
+    dbo.disk.enabled = false;  // hot-path bench: no simulated-disk charges
+    auto db_r = db::Database::Open(dbo);
+    CSTORE_CHECK(db_r.ok()) << db_r.status().ToString();
+    auto db = std::move(db_r).value();
+    auto li = tpch::LoadLineitem(db.get(), opts.sf);
+    CSTORE_CHECK(li.ok()) << li.status().ToString();
+
+    std::vector<QuerySpec> cfg_specs = BuildSpecs(*li);
+    if (cfg == 0) {
+      FillGroundTruth(db.get(), &cfg_specs, false, &mismatches);
+      specs = cfg_specs;  // remember ground truth for the reshard check
+    } else {
+      for (size_t i = 0; i < cfg_specs.size(); ++i) {
+        cfg_specs[i].checksum = specs[i].checksum;
+        cfg_specs[i].output_tuples = specs[i].output_tuples;
+      }
+      FillGroundTruth(db.get(), &cfg_specs, true, &mismatches);
+    }
+
+    for (int workers : opts.worker_sweep) {
+      double best = 1e100;
+      storage::IoStats pool_stats;
+      for (int run = 0; run < opts.runs; ++run) {
+        db->pool()->ResetStats();
+        double ms =
+            RunBatch(db.get(), cfg_specs, workers, concurrency, &mismatches);
+        if (ms < best) {
+          best = ms;
+          pool_stats = db->pool()->stats();
+        }
+      }
+      const double share =
+          pool_stats.pool_lock_acquisitions == 0
+              ? 0.0
+              : static_cast<double>(pool_stats.pool_lock_contended) /
+                    static_cast<double>(pool_stats.pool_lock_acquisitions);
+      const double qps = concurrency * 1000.0 / best;
+      shard_table.AddRow({std::to_string(shard_configs[cfg]),
+                          std::to_string(workers), Fmt(best), Fmt(qps),
+                          std::to_string(pool_stats.pool_lock_acquisitions),
+                          std::to_string(pool_stats.pool_lock_contended),
+                          Fmt(share * 100.0, 2) + "%",
+                          Fmt(pool_stats.pool_lock_wait_ns / 1e6, 2)});
+      json.AddRow()
+          .Str("phase", "shards")
+          .Int("shards", shard_configs[cfg])
+          .Int("workers", workers)
+          .Int("concurrency", concurrency)
+          .Num("wall_ms", best)
+          .Num("qps", qps)
+          .Int("lock_acquisitions", pool_stats.pool_lock_acquisitions)
+          .Int("lock_contended", pool_stats.pool_lock_contended)
+          .Num("contended_share", share)
+          .Num("lock_wait_ms", pool_stats.pool_lock_wait_ns / 1e6);
+    }
+  }
+  shard_table.Print();
+
+  // --- Phases 2+3 run against the 8-shard database ----------------------
+  db::Database::Options dbo;
+  dbo.dir = opts.dir;
+  dbo.pool_frames = 16384;
+  dbo.pool_shards = 8;
+  dbo.disk.enabled = false;
+  auto db_r = db::Database::Open(dbo);
+  CSTORE_CHECK(db_r.ok()) << db_r.status().ToString();
+  auto db = std::move(db_r).value();
+  auto li = tpch::LoadLineitem(db.get(), opts.sf);
+  CSTORE_CHECK(li.ok()) << li.status().ToString();
+  std::vector<QuerySpec> hot_specs = BuildSpecs(*li);
+  for (size_t i = 0; i < hot_specs.size(); ++i) {
+    hot_specs[i].checksum = specs[i].checksum;
+    hot_specs[i].output_tuples = specs[i].output_tuples;
+  }
+  FillGroundTruth(db.get(), &hot_specs, true, &mismatches);
+
+  // --- Phase 2: chunk pool off vs on ------------------------------------
+  const int max_workers = *std::max_element(opts.worker_sweep.begin(),
+                                            opts.worker_sweep.end());
+  std::printf("\n# fig=scaling/chunk_pool  workers=%d concurrency=%d\n",
+              max_workers, concurrency);
+  TablePrinter pool_table({"chunk_pool", "wall_ms", "qps", "acquires",
+                           "reuses", "allocs"});
+  for (bool enabled : {false, true}) {
+    exec::GlobalChunkPool().set_enabled(enabled);
+    double best = 1e100;
+    exec::ChunkPool::Stats ps;
+    for (int run = 0; run < opts.runs; ++run) {
+      exec::GlobalChunkPool().ResetStats();
+      double ms = RunBatch(db.get(), hot_specs, max_workers, concurrency,
+                           &mismatches);
+      if (ms < best) {
+        best = ms;
+        ps = exec::GlobalChunkPool().stats();
+      }
+    }
+    const double qps = concurrency * 1000.0 / best;
+    pool_table.AddRow({enabled ? "on" : "off", Fmt(best), Fmt(qps),
+                       std::to_string(ps.acquires),
+                       std::to_string(ps.reuses),
+                       std::to_string(ps.allocs)});
+    json.AddRow()
+        .Str("phase", "chunk_pool")
+        .Str("chunk_pool", enabled ? "on" : "off")
+        .Int("workers", max_workers)
+        .Int("concurrency", concurrency)
+        .Num("wall_ms", best)
+        .Num("qps", qps)
+        .Int("pool_acquires", ps.acquires)
+        .Int("pool_reuses", ps.reuses)
+        .Int("pool_allocs", ps.allocs);
+  }
+  exec::GlobalChunkPool().set_enabled(true);
+  pool_table.Print();
+
+  // --- Phase 3: statement cache miss vs hit -----------------------------
+  // T threads each Prepare + Execute the same SQL `iters` times: private
+  // parses ("uncached") vs one shared StatementCache ("cached", where the
+  // cache must record exactly one miss — the single-parse guarantee).
+  const std::string sql =
+      "SELECT shipdate, SUM(quantity) FROM lineitem "
+      "WHERE quantity < 30 GROUP BY shipdate";
+  const int threads = std::min(8, max_workers);
+  const int iters = 50;
+  api::Connection root(db.get());
+  auto truth = root.Query(sql);
+  CSTORE_CHECK(truth.ok()) << truth.status().ToString();
+  const uint64_t sql_checksum = truth->stats.checksum;
+
+  std::printf("\n# fig=scaling/stmt_cache  threads=%d iters=%d\n", threads,
+              iters);
+  TablePrinter cache_table({"mode", "wall_ms", "prepares_per_s", "hits",
+                            "misses"});
+  for (bool cached : {false, true}) {
+    api::StatementCache cache;
+    std::atomic<int> thread_mismatches{0};
+    Stopwatch wall;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, cached]() {
+        api::Connection conn(db.get());
+        conn.ShareCostCache(root);  // calibration is not what we measure
+        if (cached) conn.set_statement_cache(&cache);
+        for (int i = 0; i < iters; ++i) {
+          auto prep = conn.Prepare(sql);
+          CSTORE_CHECK(prep.ok()) << prep.status().ToString();
+          auto r = prep->Execute();
+          CSTORE_CHECK(r.ok()) << r.status().ToString();
+          if (r->stats.checksum != sql_checksum) {
+            thread_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double ms = wall.ElapsedMillis();
+    if (thread_mismatches.load() > 0) {
+      std::fprintf(stderr, "MISMATCH (stmt_cache %s): %d\n",
+                   cached ? "cached" : "uncached", thread_mismatches.load());
+      mismatches += thread_mismatches.load();
+    }
+    api::StatementCache::Stats cs = cache.stats();
+    if (cached && cs.misses != 1) {
+      std::fprintf(stderr,
+                   "stmt cache parsed %llu times for one SQL text "
+                   "(single-parse guarantee broken)\n",
+                   static_cast<unsigned long long>(cs.misses));
+      ++mismatches;
+    }
+    const double prep_rate = threads * iters * 1000.0 / ms;
+    cache_table.AddRow({cached ? "cached" : "uncached", Fmt(ms),
+                        Fmt(prep_rate), std::to_string(cs.hits),
+                        std::to_string(cs.misses)});
+    json.AddRow()
+        .Str("phase", "stmt_cache")
+        .Str("mode", cached ? "cached" : "uncached")
+        .Int("threads", threads)
+        .Int("iters", iters)
+        .Num("wall_ms", ms)
+        .Num("prepares_per_s", prep_rate)
+        .Int("cache_hits", cs.hits)
+        .Int("cache_misses", cs.misses);
+  }
+  cache_table.Print();
+
+  std::string json_path = json.Write();
+  if (!json_path.empty()) {
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%d checksum mismatches\n", mismatches);
+    return 1;
+  }
+  return 0;
+}

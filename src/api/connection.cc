@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "api/statement_cache.h"
 #include "model/calibrate.h"
 #include "sql/parser.h"
 
@@ -372,6 +373,17 @@ Result<RowCursor> Connection::Stream(const std::string& sql,
 Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
   PreparedStatement prepared;
   prepared.conn_ = this;
+  if (stmt_cache_ != nullptr) {
+    // Shared parse+bind: copy the immutable cached entry into this
+    // session's statement. Everything per-execution (snapshot, parameter
+    // predicates, strategy, reader refresh) happens on the copy, so cached
+    // and uncached prepares behave identically from here on.
+    CSTORE_ASSIGN_OR_RETURN(std::shared_ptr<const StatementCache::Entry> e,
+                            stmt_cache_->GetOrBind(db_, sql));
+    prepared.stmt_ = e->stmt;
+    prepared.bound_ = e->bound;
+    return prepared;
+  }
   CSTORE_ASSIGN_OR_RETURN(prepared.stmt_, sql::ParseStatement(sql));
   if (prepared.stmt_.kind == sql::ParsedStatement::Kind::kSelect) {
     CSTORE_ASSIGN_OR_RETURN(

@@ -53,6 +53,8 @@
 namespace cstore {
 namespace api {
 
+class StatementCache;
+
 class Connection {
  public:
   struct Settings {
@@ -107,8 +109,17 @@ class Connection {
 
   /// Parses and binds once; the returned statement executes many times
   /// with `?` parameter values, re-capturing only the snapshot per run.
-  /// The statement borrows this Connection and must not outlive it.
+  /// The statement borrows this Connection and must not outlive it. With a
+  /// statement cache attached, the parse+bind is shared across sessions.
   Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Attaches a shared statement cache: subsequent Prepare(sql) calls
+  /// resolve through it, so concurrent sessions presenting the same SQL
+  /// share one parse+bind. The cache must belong to the same Database and
+  /// outlive this Connection. Session setup only (like set_settings); pass
+  /// nullptr to detach.
+  void set_statement_cache(StatementCache* cache) { stmt_cache_ = cache; }
+  StatementCache* statement_cache() const { return stmt_cache_; }
 
   /// The advisor's per-strategy cost report for `sql`, without executing.
   /// Statements with `?` parameters take their values via `params` (one per
@@ -201,6 +212,7 @@ class Connection {
   sched::Scheduler* scheduler_;  // null = standalone session
   Settings settings_;
   std::shared_ptr<CostCache> cost_cache_;
+  StatementCache* stmt_cache_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace api

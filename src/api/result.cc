@@ -1,5 +1,7 @@
 #include "api/result.h"
 
+#include "exec/chunk_pool.h"
+
 namespace cstore {
 namespace api {
 
@@ -185,7 +187,8 @@ Result<RowCursor::Poll> RowCursor::TryNext(exec::TupleChunk* chunk) {
 
 Result<QueryResult> RowCursor::FetchAll() {
   QueryResult out;
-  exec::TupleChunk chunk;
+  exec::PooledChunk chunk_handle = exec::AcquireChunk();
+  exec::TupleChunk& chunk = *chunk_handle;
   bool first = true;
   while (true) {
     Result<bool> has = Next(&chunk);

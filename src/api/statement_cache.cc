@@ -1,0 +1,95 @@
+#include "api/statement_cache.h"
+
+#include "sql/parser.h"
+
+namespace cstore {
+namespace api {
+
+StatementCache::StatementCache(size_t num_stripes,
+                               size_t max_entries_per_stripe)
+    : stripes_(num_stripes == 0 ? 1 : num_stripes),
+      max_entries_per_stripe_(max_entries_per_stripe == 0
+                                  ? 1
+                                  : max_entries_per_stripe) {}
+
+Result<std::shared_ptr<const StatementCache::Entry>> StatementCache::GetOrBind(
+    db::Database* db, const std::string& sql) {
+  Stripe& stripe = StripeFor(sql);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(sql);
+  if (it != stripe.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  // Miss: parse + bind while holding the stripe lock. Deliberate — a racing
+  // second session with the same SQL blocks here and then *hits*, which is
+  // the single-parse guarantee. Catalog locks nest under the stripe lock;
+  // nothing in the engine takes them the other way around.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<Entry>();
+  CSTORE_ASSIGN_OR_RETURN(entry->stmt, sql::ParseStatement(sql));
+  if (entry->stmt.kind == sql::ParsedStatement::Kind::kSelect) {
+    CSTORE_ASSIGN_OR_RETURN(entry->bound,
+                            internal::BindSelect(db, entry->stmt.select));
+    // Cached entries hold no bind-time snapshot: every execution of every
+    // session captures its own (same rule as an uncached Prepare).
+    entry->bound.bind_snapshot.reset();
+  } else {
+    // Writes: validate the target table, exactly as Connection::Prepare
+    // does, so a cached prepare fails fast the same way.
+    using Kind = sql::ParsedStatement::Kind;
+    const std::string& table =
+        entry->stmt.kind == Kind::kInsert
+            ? entry->stmt.insert.table
+            : entry->stmt.kind == Kind::kDelete ? entry->stmt.del.table
+                                                : entry->stmt.update.table;
+    if (!db->HasTable(table)) {
+      return Status::NotFound("unknown table in write statement");
+    }
+  }
+
+  if (stripe.fifo.size() >= max_entries_per_stripe_) {
+    stripe.map.erase(stripe.fifo.front());
+    stripe.fifo.erase(stripe.fifo.begin());
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  stripe.fifo.push_back(sql);
+  std::shared_ptr<const Entry> published = std::move(entry);
+  stripe.map.emplace(sql, published);
+  return published;
+}
+
+StatementCache::Stats StatementCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void StatementCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+void StatementCache::Clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.fifo.clear();
+  }
+}
+
+size_t StatementCache::size() const {
+  size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace api
+}  // namespace cstore

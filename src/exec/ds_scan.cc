@@ -257,20 +257,25 @@ Result<bool> DS2Scan::Next(TupleChunk* out) {
 
 DS4ScanMerge::DS4ScanMerge(TupleOp* input, const codec::ColumnReader* reader,
                            codec::Predicate pred, ExecStats* stats)
-    : input_(input), reader_(reader), pred_(pred), stats_(stats) {}
+    : input_(input),
+      reader_(reader),
+      pred_(pred),
+      stats_(stats),
+      in_(AcquireChunk(stats)) {}
 
 Result<bool> DS4ScanMerge::Next(TupleChunk* out) {
-  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in_));
+  TupleChunk& in = *in_;
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
 
-  uint32_t in_width = in_.width();
+  uint32_t in_width = in.width();
   out->Reset(in_width + 1);
-  out->Reserve(in_.num_tuples());
+  out->Reserve(in.num_tuples());
   emitter_.Bind(out);
   row_buf_.resize(in_width + 1);
 
-  for (size_t i = 0; i < in_.num_tuples(); ++i) {
-    Position pos = in_.position(i);
+  for (size_t i = 0; i < in.num_tuples(); ++i) {
+    Position pos = in.position(i);
     // Advance the block cursor; intermediate blocks with no input positions
     // are never fetched.
     if (cur_block_ == nullptr || pos >= cur_block_->view.end_pos()) {
@@ -288,7 +293,7 @@ Result<bool> DS4ScanMerge::Next(TupleChunk* out) {
     ++stats_->predicate_evals;
     if (pred_.Eval(v)) {
       // Stitch the wider tuple and push it through the tuple iterator.
-      const Value* in_row = in_.tuple(i);
+      const Value* in_row = in.tuple(i);
       for (uint32_t c = 0; c < in_width; ++c) row_buf_[c] = in_row[c];
       row_buf_[in_width] = v;
       sink_->Emit(pos, row_buf_.data());

@@ -20,6 +20,7 @@
 
 #include "codec/column_reader.h"
 #include "codec/predicate.h"
+#include "exec/chunk_pool.h"
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
 #include "exec/window_cursor.h"
@@ -128,7 +129,7 @@ class DS4ScanMerge : public TupleOp {
   const codec::ColumnReader* reader_;
   codec::Predicate pred_;
   ExecStats* stats_;
-  TupleChunk in_;
+  PooledChunk in_;  // input staging, recycled per instance
   // Current block cursor (input positions ascend monotonically).
   std::shared_ptr<codec::EncodedBlock> cur_block_;
   uint64_t cur_block_no_ = UINT64_MAX;

@@ -23,6 +23,12 @@ struct ExecStats {
   uint64_t tuples_constructed = 0;
   // Position-set intersections performed by AND.
   uint64_t position_ands = 0;
+  // Chunk-pool pressure: scratch TupleChunks acquired, how many were
+  // recycled buffers and how many fell through to a fresh allocation.
+  // reuses + allocs == acquires; a warmed-up steady state has allocs ≈ 0.
+  uint64_t chunk_pool_acquires = 0;
+  uint64_t chunk_pool_reuses = 0;
+  uint64_t chunk_pool_allocs = 0;
 
   void Reset() { *this = ExecStats(); }
 
@@ -35,6 +41,9 @@ struct ExecStats {
     values_gathered += o.values_gathered;
     tuples_constructed += o.tuples_constructed;
     position_ands += o.position_ands;
+    chunk_pool_acquires += o.chunk_pool_acquires;
+    chunk_pool_reuses += o.chunk_pool_reuses;
+    chunk_pool_allocs += o.chunk_pool_allocs;
   }
 };
 

@@ -142,19 +142,20 @@ Result<bool> DeleteMaskOp::Next(MultiColumnChunk* out) {
 }
 
 Result<bool> DeleteMaskTupleOp::Next(TupleChunk* out) {
-  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in_));
+  TupleChunk& in = *in_;
+  CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
-  if (in_.empty() ||
-      !snapshot_->AnyDeletedIn(in_.position(0),
-                               in_.position(in_.num_tuples() - 1) + 1)) {
-    *out = std::move(in_);
+  if (in.empty() ||
+      !snapshot_->AnyDeletedIn(in.position(0),
+                               in.position(in.num_tuples() - 1) + 1)) {
+    *out = std::move(in);
     return true;
   }
-  out->Reset(in_.width());
-  out->Reserve(in_.num_tuples());
-  for (size_t i = 0; i < in_.num_tuples(); ++i) {
-    if (snapshot_->IsDeleted(in_.position(i))) continue;
-    out->AppendTuple(in_.position(i), in_.tuple(i));
+  out->Reset(in.width());
+  out->Reserve(in.num_tuples());
+  for (size_t i = 0; i < in.num_tuples(); ++i) {
+    if (snapshot_->IsDeleted(in.position(i))) continue;
+    out->AppendTuple(in.position(i), in.tuple(i));
   }
   return true;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "codec/predicate.h"
+#include "exec/chunk_pool.h"
 #include "exec/exec_stats.h"
 #include "exec/morsel_source.h"
 #include "exec/operator.h"
@@ -117,7 +118,7 @@ class DeleteMaskTupleOp : public TupleOp {
  private:
   TupleOp* input_;
   std::shared_ptr<const write::WriteSnapshot> snapshot_;
-  TupleChunk in_;
+  PooledChunk in_ = AcquireChunk();  // input staging, recycled per instance
 };
 
 /// Drains `first`, then `second`.

@@ -1,5 +1,6 @@
 #include "plan/executor.h"
 
+#include "exec/chunk_pool.h"
 #include "util/stopwatch.h"
 
 namespace cstore {
@@ -34,7 +35,8 @@ Status ExecutePlan(Plan* plan, storage::BufferPool* pool, RunStats* stats,
   storage::BufferPool::ScopedIoAttribution attribution(&io);
 
   Stopwatch timer;
-  exec::TupleChunk chunk;
+  exec::PooledChunk chunk_handle = exec::AcquireChunk(&plan->stats());
+  exec::TupleChunk& chunk = *chunk_handle;
   uint64_t tuples = 0;
   uint64_t checksum = 0;
   while (true) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/aggregate.h"
+#include "exec/chunk_pool.h"
 #include "exec/morsel_source.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
@@ -330,7 +331,10 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
   if (is_agg) plan->agg_op()->DisableFinalEmit();
   const bool buffer_output = !is_agg && q->sink != nullptr;
   const bool stream_output = !is_agg && q->stream_sink != nullptr;
-  exec::TupleChunk chunk;
+  // Scratch chunk recycled across morsels: a warmed worker drains its plan
+  // through a buffer whose capacity survived previous tasks.
+  exec::PooledChunk chunk_handle = exec::AcquireChunk(&partial.exec);
+  exec::TupleChunk& chunk = *chunk_handle;
   while (true) {
     Result<bool> has = plan->root()->Next(&chunk);
     if (!has.ok()) {

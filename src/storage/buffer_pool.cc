@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/logging.h"
 
@@ -62,14 +63,53 @@ void PageRef::Release() {
 }
 
 BufferPool::BufferPool(FileManager* files, size_t capacity_frames,
-                       const DiskModel* disk_model)
-    : files_(files), disk_model_(disk_model), frames_(capacity_frames) {
+                       const DiskModel* disk_model, size_t num_shards)
+    : files_(files),
+      disk_model_(disk_model),
+      frames_(capacity_frames),
+      shards_(std::max<size_t>(1, std::min(num_shards, capacity_frames))) {
   CSTORE_CHECK(capacity_frames > 0);
-  free_frames_.reserve(capacity_frames);
-  for (size_t i = 0; i < capacity_frames; ++i) {
-    frames_[i].lru_it = lru_.end();
-    free_frames_.push_back(static_cast<uint32_t>(capacity_frames - 1 - i));
+  // Contiguous frame ranges per shard (remainder to the first shards); the
+  // free lists hand out the lowest-numbered frame of a shard first.
+  uint32_t next = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    size_t count = shard_capacity(s);
+    shards_[s].free_frames.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t frame = next + static_cast<uint32_t>(count - 1 - i);
+      frames_[frame].shard = static_cast<uint32_t>(s);
+      frames_[frame].lru_it = shards_[s].lru.end();
+      shards_[s].free_frames.push_back(frame);
+    }
+    next += static_cast<uint32_t>(count);
   }
+}
+
+size_t BufferPool::shard_capacity(size_t shard) const {
+  size_t base = frames_.size() / shards_.size();
+  size_t rem = frames_.size() % shards_.size();
+  return base + (shard < rem ? 1 : 0);
+}
+
+std::unique_lock<std::mutex> BufferPool::LockShard(const Shard& shard) {
+  stats_.pool_lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (t_io_sink != nullptr) ++t_io_sink->pool_lock_acquisitions;
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stats_.pool_lock_contended.fetch_add(1, std::memory_order_relaxed);
+    auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stats_.pool_lock_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) {
+      ++t_io_sink->pool_lock_contended;
+      t_io_sink->pool_lock_wait_ns += ns;
+    }
+  }
+  return lock;
 }
 
 IoStats BufferPool::stats() const {
@@ -78,6 +118,12 @@ IoStats BufferPool::stats() const {
   out.physical_reads = stats_.physical_reads.load(std::memory_order_relaxed);
   out.seeks = stats_.seeks.load(std::memory_order_relaxed);
   out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.pool_lock_acquisitions =
+      stats_.pool_lock_acquisitions.load(std::memory_order_relaxed);
+  out.pool_lock_contended =
+      stats_.pool_lock_contended.load(std::memory_order_relaxed);
+  out.pool_lock_wait_ns =
+      stats_.pool_lock_wait_ns.load(std::memory_order_relaxed);
   out.charged_io_micros =
       stats_.charged_io_micros.load(std::memory_order_relaxed);
   return out;
@@ -88,45 +134,55 @@ void BufferPool::ResetStats() {
   stats_.physical_reads.store(0, std::memory_order_relaxed);
   stats_.seeks.store(0, std::memory_order_relaxed);
   stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.pool_lock_acquisitions.store(0, std::memory_order_relaxed);
+  stats_.pool_lock_contended.store(0, std::memory_order_relaxed);
+  stats_.pool_lock_wait_ns.store(0, std::memory_order_relaxed);
   stats_.charged_io_micros.store(0.0, std::memory_order_relaxed);
 }
 
-void BufferPool::Pin(uint32_t frame) {
+void BufferPool::Pin(uint32_t frame, Shard& s) {
   Frame& f = frames_[frame];
-  if (f.pin_count == 0 && f.lru_it != lru_.end()) {
-    lru_.erase(f.lru_it);
-    f.lru_it = lru_.end();
+  if (f.pin_count == 0 && f.lru_it != s.lru.end()) {
+    s.lru.erase(f.lru_it);
+    f.lru_it = s.lru.end();
   }
   ++f.pin_count;
 }
 
 void BufferPool::Unpin(uint32_t frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame];
+  Shard& s = shards_[f.shard];  // shard assignment is immutable
+  auto lock = LockShard(s);
   CSTORE_DCHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
-    f.lru_it = lru_.insert(lru_.end(), frame);
+    f.lru_it = s.lru.insert(s.lru.end(), frame);
   }
 }
 
-Result<uint32_t> BufferPool::GetFreeFrame() {
-  if (!free_frames_.empty()) {
-    uint32_t frame = free_frames_.back();
-    free_frames_.pop_back();
+Result<uint32_t> BufferPool::GetFreeFrame(Shard& s) {
+  if (!s.free_frames.empty()) {
+    uint32_t frame = s.free_frames.back();
+    s.free_frames.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
+  if (s.lru.empty()) {
+    std::string detail = std::to_string(frames_.size());
+    if (shards_.size() > 1) {
+      size_t shard_index = static_cast<size_t>(&s - shards_.data());
+      detail += ", shard capacity " +
+                std::to_string(shard_capacity(shard_index)) + " of " +
+                std::to_string(shards_.size()) + " shards";
+    }
     return Status::Internal(
-        "buffer pool exhausted: all frames pinned (capacity " +
-        std::to_string(frames_.size()) + ")");
+        "buffer pool exhausted: all frames pinned (capacity " + detail + ")");
   }
-  uint32_t victim = lru_.front();
-  lru_.pop_front();
+  uint32_t victim = s.lru.front();
+  s.lru.pop_front();
   Frame& f = frames_[victim];
   CSTORE_DCHECK(f.pin_count == 0);
-  f.lru_it = lru_.end();
+  f.lru_it = s.lru.end();
   if (f.valid) {
-    map_.erase(Key{f.file.id, f.block_no});
+    s.map.erase(Key{f.file.id, f.block_no});
     f.valid = false;
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     if (t_io_sink != nullptr) ++t_io_sink->evictions;
@@ -134,18 +190,64 @@ Result<uint32_t> BufferPool::GetFreeFrame() {
   return victim;
 }
 
+bool BufferPool::RecordReadForSeeks(FileId file, uint64_t block_no) {
+  // A read is sequential when it continues any active stream of this file
+  // (its own worker's previous claim + 1); otherwise it starts a new stream
+  // and is a seek. Streams are global across shards — consecutive blocks of
+  // one scan hash to different shards.
+  std::lock_guard<std::mutex> lock(seek_mu_);
+  std::vector<uint64_t>& streams = next_sequential_[file.id];
+  for (uint64_t& next : streams) {
+    if (next == block_no) {
+      next = block_no + 1;
+      return true;
+    }
+  }
+  stats_.seeks.fetch_add(1, std::memory_order_relaxed);
+  if (t_io_sink != nullptr) ++t_io_sink->seeks;
+  streams.push_back(block_no + 1);
+  if (streams.size() > kMaxSeekStreams) streams.erase(streams.begin());
+  return false;
+}
+
+void BufferPool::WithdrawReadFromSeeks(FileId file, uint64_t block_no,
+                                       bool sequential) {
+  // Best-effort for the stream — a concurrent claim may have advanced it
+  // past our entry meanwhile, in which case it stays.
+  std::lock_guard<std::mutex> lock(seek_mu_);
+  std::vector<uint64_t>& streams = next_sequential_[file.id];
+  if (sequential) {
+    for (uint64_t& next : streams) {
+      if (next == block_no + 1) {
+        next = block_no;  // rewind the stream we advanced
+        break;
+      }
+    }
+  } else {
+    stats_.seeks.fetch_sub(1, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) --t_io_sink->seeks;
+    for (size_t i = streams.size(); i-- > 0;) {
+      if (streams[i] == block_no + 1) {
+        streams.erase(streams.begin() + i);  // drop ours
+        break;
+      }
+    }
+  }
+}
+
 Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
-  std::unique_lock<std::mutex> lock(mutex_);
   Key key{file.id, block_no};
-  auto it = map_.find(key);
-  if (it != map_.end()) {
+  Shard& s = shards_[ShardFor(key)];
+  std::unique_lock<std::mutex> lock = LockShard(s);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
     uint32_t frame = it->second;
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     if (t_io_sink != nullptr) ++t_io_sink->cache_hits;
-    Pin(frame);
+    Pin(frame, s);
     // Another worker is still reading this block; wait until its payload is
     // complete. The pin taken above keeps the frame from being evicted.
-    loaded_cv_.wait(lock, [&] { return !frames_[frame].loading; });
+    s.loaded_cv.wait(lock, [&] { return !frames_[frame].loading; });
     if (!frames_[frame].valid) {
       // The loader failed and withdrew the block; retry from scratch.
       lock.unlock();
@@ -155,43 +257,28 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
     return PageRef(this, frame);
   }
 
-  CSTORE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
+  CSTORE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame(s));
   Frame& f = frames_[frame];
   f.file = file;
   f.block_no = block_no;
   f.valid = false;
   f.loading = true;
   f.pin_count = 0;
-  map_[key] = frame;
-  Pin(frame);
+  s.map[key] = frame;
+  Pin(frame, s);
 
-  // Account the read while still ordered by the lock. A read is sequential
-  // when it continues any active stream of this file (its own worker's
-  // previous claim + 1); otherwise it starts a new stream and is a seek.
+  // Account the read while still ordered by the shard lock (seek streams
+  // take their own global mutex, nested inside it).
   stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
   if (t_io_sink != nullptr) ++t_io_sink->physical_reads;
-  std::vector<uint64_t>& streams = next_sequential_[file.id];
-  bool sequential = false;
-  for (uint64_t& next : streams) {
-    if (next == block_no) {
-      next = block_no + 1;
-      sequential = true;
-      break;
-    }
-  }
-  if (!sequential) {
-    stats_.seeks.fetch_add(1, std::memory_order_relaxed);
-    if (t_io_sink != nullptr) ++t_io_sink->seeks;
-    streams.push_back(block_no + 1);
-    if (streams.size() > kMaxSeekStreams) streams.erase(streams.begin());
-  }
+  bool sequential = RecordReadForSeeks(file, block_no);
   if (disk_model_ != nullptr) {
     double micros = disk_model_->CostForRead(sequential);
     stats_.AddChargedMicros(micros);
     if (t_io_sink != nullptr) t_io_sink->charged_io_micros += micros;
   }
 
-  // The actual file read runs without the pool lock so concurrent workers
+  // The actual file read runs without the shard lock so concurrent workers
   // overlap their I/O. The pinned+loading frame cannot be evicted or
   // re-claimed meanwhile.
   lock.unlock();
@@ -201,9 +288,7 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
   f.loading = false;
   if (!st.ok()) {
     // Withdraw the block and its accounting: the read never happened, so
-    // the counters and the sequential-stream cursor must not keep it
-    // (best-effort for the stream — a concurrent claim may have advanced
-    // it past our entry meanwhile, in which case it stays).
+    // the counters and the sequential-stream cursor must not keep it.
     stats_.physical_reads.fetch_sub(1, std::memory_order_relaxed);
     if (t_io_sink != nullptr) --t_io_sink->physical_reads;
     if (disk_model_ != nullptr) {
@@ -211,68 +296,63 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
       stats_.AddChargedMicros(-micros);
       if (t_io_sink != nullptr) t_io_sink->charged_io_micros -= micros;
     }
-    std::vector<uint64_t>& failed_streams = next_sequential_[file.id];
-    if (sequential) {
-      for (uint64_t& next : failed_streams) {
-        if (next == block_no + 1) {
-          next = block_no;  // rewind the stream we advanced
-          break;
-        }
-      }
-    } else {
-      stats_.seeks.fetch_sub(1, std::memory_order_relaxed);
-      if (t_io_sink != nullptr) --t_io_sink->seeks;
-      for (size_t i = failed_streams.size(); i-- > 0;) {
-        if (failed_streams[i] == block_no + 1) {
-          failed_streams.erase(failed_streams.begin() + i);  // drop ours
-          break;
-        }
-      }
-    }
+    WithdrawReadFromSeeks(file, block_no, sequential);
     // Waiters see valid == false and retry.
-    map_.erase(key);
+    s.map.erase(key);
     CSTORE_DCHECK(f.pin_count > 0);
     if (--f.pin_count == 0) {
-      free_frames_.push_back(frame);
+      s.free_frames.push_back(frame);
     }
-    loaded_cv_.notify_all();
+    s.loaded_cv.notify_all();
     return st;
   }
   f.valid = true;
-  loaded_cv_.notify_all();
+  s.loaded_cv.notify_all();
   return PageRef(this, frame);
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  // Lock every shard (in index order) so the sweep sees a quiesced pool.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& s : shards_) locks.push_back(LockShard(s));
+  for (Shard& s : shards_) {
+    s.map.clear();
+    s.lru.clear();
+    s.free_frames.clear();
+  }
+  for (size_t i = frames_.size(); i-- > 0;) {
     Frame& f = frames_[i];
     CSTORE_CHECK(f.pin_count == 0) << "Clear() with pinned pages";
-    if (f.valid) {
-      map_.erase(Key{f.file.id, f.block_no});
-      f.valid = false;
-    }
-    if (f.lru_it != lru_.end()) {
-      lru_.erase(f.lru_it);
-      f.lru_it = lru_.end();
-    }
-    free_frames_.push_back(static_cast<uint32_t>(i));
+    f.valid = false;
+    Shard& s = shards_[f.shard];
+    f.lru_it = s.lru.end();
+    // Reverse iteration refills each shard's free list highest-frame first,
+    // so pop_back hands out the lowest frame, as at construction.
+    s.free_frames.push_back(static_cast<uint32_t>(i));
   }
-  // Deduplicate free list (frames already free stay free).
-  std::sort(free_frames_.begin(), free_frames_.end());
-  free_frames_.erase(std::unique(free_frames_.begin(), free_frames_.end()),
-                     free_frames_.end());
+  std::lock_guard<std::mutex> seek_lock(seek_mu_);
   next_sequential_.clear();
-  CSTORE_CHECK(map_.empty());
+}
+
+size_t BufferPool::num_cached() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
 }
 
 double BufferPool::ResidentFraction(FileId file,
                                     uint64_t total_blocks) const {
   if (total_blocks == 0) return 1.0;
-  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t resident = 0;
-  for (const auto& [key, frame] : map_) {
-    if (key.file == file.id) ++resident;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, frame] : s.map) {
+      if (key.file == file.id) ++resident;
+    }
   }
   return static_cast<double>(resident) / static_cast<double>(total_blocks);
 }

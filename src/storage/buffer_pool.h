@@ -9,14 +9,24 @@
 // the DiskModel for cold reads.
 //
 // Thread safety: Fetch / PageRef release / Clear may be called concurrently
-// from morsel workers. A single mutex guards the frame table, LRU list and
-// block map; statistics counters are atomics so stats() snapshots without
-// taking the lock. Page payloads are read lock-free — frames_ never resizes
-// and a pinned frame cannot be evicted or overwritten. The physical file
-// read on a miss happens *outside* the mutex (the frame is pinned and
-// flagged `loading`; concurrent requesters of the same block wait on a
-// condition variable), so cold scans from multiple workers overlap their
-// I/O instead of serializing on the pool lock.
+// from morsel workers. The pool is sharded by page-id hash: each shard owns
+// its own mutex, block map, free list and LRU, so workers touching disjoint
+// blocks never contend. Capacity is split across shards up front (a shard
+// can exhaust independently — pick num_shards so capacity/num_shards still
+// covers the widest pinned window). Statistics counters are process-global
+// atomics so stats() snapshots without taking any shard lock, and every
+// shard-lock acquisition is instrumented: acquisitions, contended
+// acquisitions and nanoseconds spent blocked are counted, which is how
+// benchmarks demonstrate (rather than assert) that sharding removed the
+// single-mutex ceiling. Page payloads are read lock-free — frames_ never
+// resizes and a pinned frame cannot be evicted or overwritten. The physical
+// file read on a miss happens *outside* the shard mutex (the frame is
+// pinned and flagged `loading`; concurrent requesters of the same block
+// wait on the shard's condition variable), so cold scans from multiple
+// workers overlap their I/O instead of serializing on a pool lock.
+// Sequential-stream seek detection is global (a stream's consecutive blocks
+// hash to different shards) behind its own mutex, taken only on the miss
+// path where a physical read dwarfs it.
 
 #ifndef CSTORE_STORAGE_BUFFER_POOL_H_
 #define CSTORE_STORAGE_BUFFER_POOL_H_
@@ -67,9 +77,11 @@ class PageRef {
 
 class BufferPool {
  public:
-  /// `capacity_frames` 64 KB frames; `disk_model` may be null (no charging).
+  /// `capacity_frames` 64 KB frames split evenly over `num_shards` shards;
+  /// `disk_model` may be null (no charging). num_shards is clamped to
+  /// [1, capacity_frames].
   BufferPool(FileManager* files, size_t capacity_frames,
-             const DiskModel* disk_model = nullptr);
+             const DiskModel* disk_model = nullptr, size_t num_shards = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -107,10 +119,11 @@ class BufferPool {
   };
 
   size_t capacity() const { return frames_.size(); }
-  size_t num_cached() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return map_.size();
-  }
+  size_t num_shards() const { return shards_.size(); }
+  /// Frames owned by shard `shard` (capacity split, remainder to the first
+  /// shards).
+  size_t shard_capacity(size_t shard) const;
+  size_t num_cached() const;
 
   /// Fraction of `total_blocks` currently cached for `file` — the model's F.
   double ResidentFraction(FileId file, uint64_t total_blocks) const;
@@ -122,12 +135,13 @@ class BufferPool {
     Page page;
     FileId file;
     uint64_t block_no = 0;
+    uint32_t shard = 0;  // owning shard; fixed at construction
     uint32_t pin_count = 0;
     bool valid = false;
-    // A physical read is in flight (frame pinned, mutex released);
-    // same-block requesters wait on loaded_cv_.
+    // A physical read is in flight (frame pinned, shard mutex released);
+    // same-block requesters wait on the shard's loaded_cv.
     bool loading = false;
-    // Position in lru_ when unpinned; lru_.end() otherwise.
+    // Position in the shard's lru when unpinned; lru.end() otherwise.
     std::list<uint32_t>::iterator lru_it;
   };
 
@@ -144,6 +158,17 @@ class BufferPool {
     }
   };
 
+  /// One independent slice of the pool. Frames are partitioned across
+  /// shards at construction; a block's shard is fixed by its key hash, so
+  /// two Fetches contend only when their blocks share a shard.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable loaded_cv;
+    std::vector<uint32_t> free_frames;
+    std::list<uint32_t> lru;  // front = least recently used, unpinned only
+    std::unordered_map<Key, uint32_t, KeyHash> map;
+  };
+
   // Atomic mirror of IoStats; charged time uses a CAS loop (fetch_add on
   // atomic<double> is C++20).
   struct AtomicIoStats {
@@ -151,6 +176,9 @@ class BufferPool {
     std::atomic<uint64_t> physical_reads{0};
     std::atomic<uint64_t> seeks{0};
     std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> pool_lock_acquisitions{0};
+    std::atomic<uint64_t> pool_lock_contended{0};
+    std::atomic<uint64_t> pool_lock_wait_ns{0};
     std::atomic<double> charged_io_micros{0.0};
 
     void AddChargedMicros(double micros) {
@@ -161,24 +189,36 @@ class BufferPool {
     }
   };
 
-  void Pin(uint32_t frame);    // requires mutex_ held
-  void Unpin(uint32_t frame);  // takes mutex_
-  Result<uint32_t> GetFreeFrame();  // requires mutex_ held
+  size_t ShardFor(const Key& key) const {
+    return shards_.size() == 1 ? 0 : KeyHash()(key) % shards_.size();
+  }
+
+  /// Locks a shard's mutex, counting the acquisition and — when the lock
+  /// was held by someone else — the contention and the time spent blocked.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard);
+
+  void Pin(uint32_t frame, Shard& s);      // requires s.mu held
+  void Unpin(uint32_t frame);              // takes the owning shard's mutex
+  Result<uint32_t> GetFreeFrame(Shard& s);  // requires s.mu held
+
+  /// Seek-stream accounting on the miss path; returns whether the read
+  /// continued an active sequential stream. Takes seek_mu_.
+  bool RecordReadForSeeks(FileId file, uint64_t block_no);
+  void WithdrawReadFromSeeks(FileId file, uint64_t block_no, bool sequential);
 
   FileManager* files_;
   const DiskModel* disk_model_;
-  mutable std::mutex mutex_;
-  std::condition_variable loaded_cv_;
   std::vector<Frame> frames_;
-  std::vector<uint32_t> free_frames_;
-  std::list<uint32_t> lru_;  // front = least recently used, unpinned only
-  std::unordered_map<Key, uint32_t, KeyHash> map_;
+  std::vector<Shard> shards_;
   // Seek detection: the next block each active sequential stream of a file
   // expects. Concurrent morsel workers each advance their own stream, so an
   // interleaved parallel scan is charged the same seeks as its serial
-  // counterpart (one per stream start) rather than one per block. Bounded
-  // per file; oldest stream evicted beyond kMaxSeekStreams.
+  // counterpart (one per stream start) rather than one per block. Global —
+  // a stream's consecutive blocks land on different shards — and guarded by
+  // its own mutex, touched only on the (already expensive) miss path.
+  // Bounded per file; oldest stream evicted beyond kMaxSeekStreams.
   static constexpr size_t kMaxSeekStreams = 64;
+  mutable std::mutex seek_mu_;
   std::unordered_map<uint32_t, std::vector<uint64_t>> next_sequential_;
   AtomicIoStats stats_;
 };

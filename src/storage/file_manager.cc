@@ -54,22 +54,53 @@ const FileManager::OpenFile* FileManager::GetFile(FileId file) const {
 Result<FileId> FileManager::Create(const std::string& name) {
   int fd = ::open(PathFor(name).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("create " + name));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_name_.find(name);
-  if (it != by_name_.end()) {
-    // Re-created: replace the stale descriptor. The old fd is parked, not
-    // closed — a concurrent ReadBlock may hold a copy of it outside the
-    // lock, and closing here would hand its pread a recycled descriptor.
-    OpenFile& of = files_[it->second];
-    if (of.fd >= 0) retired_fds_.push_back(of.fd);
-    of.fd = fd;
-    of.num_blocks = 0;
-    return FileId{it->second};
+  FileId result;
+  std::vector<int> to_close;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+      // Re-created: replace the stale descriptor. The old fd is parked, not
+      // closed here — a concurrent ReadBlock may hold a copy of it outside
+      // mu_, and closing now would hand its pread a recycled descriptor.
+      OpenFile& of = files_[it->second];
+      if (of.fd >= 0) retired_fds_.push_back(of.fd);
+      of.num_blocks = 0;
+      of.fd = fd;
+      result = FileId{it->second};
+      // Past the cap, detach the oldest retired fds; they are closed below
+      // under the exclusive read gate, once no pread can be mid-flight.
+      if (retired_fds_.size() > max_retired_fds_) {
+        size_t surplus = retired_fds_.size() - max_retired_fds_;
+        to_close.assign(retired_fds_.begin(),
+                        retired_fds_.begin() + surplus);
+        retired_fds_.erase(retired_fds_.begin(),
+                           retired_fds_.begin() + surplus);
+      }
+    } else {
+      FileId id{static_cast<uint32_t>(files_.size())};
+      files_.push_back(OpenFile{fd, 0, name});
+      by_name_[name] = id.id;
+      result = id;
+    }
   }
-  FileId id{static_cast<uint32_t>(files_.size())};
-  files_.push_back(OpenFile{fd, 0, name});
-  by_name_[name] = id.id;
-  return id;
+  if (!to_close.empty()) {
+    // Detached fds are unreachable from the registry, so a new reader
+    // cannot copy them; the exclusive gate waits out in-flight preads.
+    std::unique_lock<std::shared_mutex> gate(read_gate_);
+    for (int old_fd : to_close) ::close(old_fd);
+  }
+  return result;
+}
+
+void FileManager::set_max_retired_fds(size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_retired_fds_ = cap;
+}
+
+size_t FileManager::retired_fd_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_fds_.size();
 }
 
 Result<FileId> FileManager::OpenExisting(const std::string& name) {
@@ -115,6 +146,10 @@ Result<uint64_t> FileManager::AppendBlock(FileId file, const Page& page) {
 
 Status FileManager::ReadBlock(FileId file, uint64_t block_no,
                               Page* page) const {
+  // Shared read gate held across descriptor copy + pread: Create may close
+  // retired descriptors only under the exclusive gate, so the fd copied
+  // below stays valid for the whole read.
+  std::shared_lock<std::shared_mutex> gate(read_gate_);
   int fd = -1;
   std::string name;
   {

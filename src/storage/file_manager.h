@@ -4,13 +4,17 @@
 // Thread safety: all operations may be called concurrently (the tuple mover
 // creates and appends new column generations while query workers read
 // existing files). A single mutex guards the registry; block reads copy the
-// descriptor under the lock and pread outside it.
+// descriptor under the lock and pread outside it, holding a shared
+// read-gate so that retired descriptors (from re-created files) can be
+// closed safely: Create closes the oldest retired fds past a cap under the
+// exclusive gate, when no pread can be mid-flight on them.
 
 #ifndef CSTORE_STORAGE_FILE_MANAGER_H_
 #define CSTORE_STORAGE_FILE_MANAGER_H_
 
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +68,13 @@ class FileManager {
 
   const std::string& dir() const { return dir_; }
 
+  /// Retired descriptors retained before the oldest get closed. Each
+  /// generation swap of a column (tuple-mover compaction) retires one fd;
+  /// without a cap a long-running mover leaks descriptors without bound.
+  static constexpr size_t kDefaultMaxRetiredFds = 16;
+  void set_max_retired_fds(size_t cap);
+  size_t retired_fd_count() const;
+
  private:
   explicit FileManager(std::string dir) : dir_(std::move(dir)) {}
 
@@ -78,11 +89,19 @@ class FileManager {
 
   std::string dir_;
   mutable std::mutex mu_;  // guards files_, by_name_, retired_fds_
+  // Gate between in-flight preads (shared) and retired-fd closing
+  // (exclusive). ReadBlock holds it shared across descriptor copy + pread;
+  // Create acquires it exclusively — with mu_ released, so lock order is
+  // always read_gate_ before mu_ — to close surplus retired fds once no
+  // pread can still be using them.
+  mutable std::shared_mutex read_gate_;
   std::vector<OpenFile> files_;
   std::unordered_map<std::string, uint32_t> by_name_;
-  // Descriptors of re-created files: parked until destruction because a
-  // concurrent reader may still pread a copied fd outside the lock.
+  // Descriptors of re-created files: parked (oldest first) because a
+  // concurrent reader may still pread a copied fd outside mu_. Bounded by
+  // max_retired_fds_; surplus is closed under the exclusive read gate.
   std::vector<int> retired_fds_;
+  size_t max_retired_fds_ = kDefaultMaxRetiredFds;
 };
 
 }  // namespace storage

@@ -20,6 +20,13 @@ struct IoStats {
   uint64_t seeks = 0;
   // Frames reclaimed from the LRU list to serve a miss.
   uint64_t evictions = 0;
+  // Buffer-pool shard lock acquisitions (Fetch / Unpin), and how many of
+  // them found the lock held by another thread. Their ratio is the pool's
+  // contended-acquisition share — the number sharding exists to shrink.
+  uint64_t pool_lock_acquisitions = 0;
+  uint64_t pool_lock_contended = 0;
+  // Wall time spent blocked on contended shard-lock acquisitions.
+  uint64_t pool_lock_wait_ns = 0;
   // Microseconds of simulated disk time charged by the DiskModel.
   double charged_io_micros = 0;
 
@@ -28,6 +35,9 @@ struct IoStats {
     physical_reads += other.physical_reads;
     seeks += other.seeks;
     evictions += other.evictions;
+    pool_lock_acquisitions += other.pool_lock_acquisitions;
+    pool_lock_contended += other.pool_lock_contended;
+    pool_lock_wait_ns += other.pool_lock_wait_ns;
     charged_io_micros += other.charged_io_micros;
     return *this;
   }
@@ -38,6 +48,10 @@ struct IoStats {
     d.physical_reads = physical_reads - other.physical_reads;
     d.seeks = seeks - other.seeks;
     d.evictions = evictions - other.evictions;
+    d.pool_lock_acquisitions =
+        pool_lock_acquisitions - other.pool_lock_acquisitions;
+    d.pool_lock_contended = pool_lock_contended - other.pool_lock_contended;
+    d.pool_lock_wait_ns = pool_lock_wait_ns - other.pool_lock_wait_ns;
     d.charged_io_micros = charged_io_micros - other.charged_io_micros;
     return d;
   }

@@ -1,0 +1,17 @@
+#include "storage/page_pool.h"
+
+namespace cstore {
+namespace storage {
+
+PagePool& GlobalPagePool() {
+  // 8 stripes × 128 pages = at most 64 MB retained, matching a busy write
+  // path's steady-state tail (snapshots are rebuilt per write batch).
+  static PagePool* pool = new PagePool(/*num_stripes=*/8,
+                                       /*max_idle_per_stripe=*/128);
+  return *pool;
+}
+
+PooledPage AcquirePage() { return GlobalPagePool().Acquire(); }
+
+}  // namespace storage
+}  // namespace cstore

@@ -1,0 +1,32 @@
+// Process-wide recycling pool for 64 KB Page buffers.
+//
+// The write path materializes every WriteSnapshot's tail as synthetic
+// uncompressed blocks — one fresh 64 KB allocation per block, rebuilt on
+// every snapshot invalidation (i.e. after every write). Recycling the pages
+// turns that steady-state churn into pointer pops. Reused pages are NOT
+// zeroed: callers overwrite the header and the payload bytes they encode,
+// and block consumers never read past header()->payload_len.
+
+#ifndef CSTORE_STORAGE_PAGE_POOL_H_
+#define CSTORE_STORAGE_PAGE_POOL_H_
+
+#include "storage/page.h"
+#include "util/object_pool.h"
+
+namespace cstore {
+namespace storage {
+
+using PagePool = util::ObjectPool<Page>;
+using PooledPage = PagePool::Ptr;
+
+/// The process-wide page pool (leaked singleton: snapshots holding pooled
+/// pages may be released from worker threads at any point of shutdown).
+PagePool& GlobalPagePool();
+
+/// Acquires a page (recycled contents — caller overwrites what it uses).
+PooledPage AcquirePage();
+
+}  // namespace storage
+}  // namespace cstore
+
+#endif  // CSTORE_STORAGE_PAGE_POOL_H_

@@ -49,7 +49,10 @@ void WriteSnapshot::BuildTailBlocks() {
 
   const uint64_t per_block = codec::kUncompressedValuesPerBlock;
   const uint64_t blocks_per_col = (tail_rows_ + per_block - 1) / per_block;
-  pages_.resize(k * blocks_per_col);
+  pages_.reserve(k * blocks_per_col);
+  for (size_t i = 0; i < k * blocks_per_col; ++i) {
+    pages_.push_back(storage::AcquirePage());
+  }
 
   for (size_t c = 0; c < k; ++c) {
     codec::ColumnMeta& meta = metas_[c];
@@ -64,7 +67,7 @@ void WriteSnapshot::BuildTailBlocks() {
       uint64_t off = b * per_block;
       uint32_t n = static_cast<uint32_t>(
           std::min<uint64_t>(per_block, tail_rows_ - off));
-      storage::Page& page = pages_[c * blocks_per_col + b];
+      storage::Page& page = *pages_[c * blocks_per_col + b];
       storage::BlockHeader* h = page.header();
       h->magic = storage::BlockHeader::kMagic;
       h->encoding = static_cast<uint8_t>(codec::Encoding::kUncompressed);

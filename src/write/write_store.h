@@ -40,7 +40,7 @@
 #include "codec/column_meta.h"
 #include "codec/column_reader.h"
 #include "position/position_set.h"
-#include "storage/page.h"
+#include "storage/page_pool.h"
 #include "util/common.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -136,8 +136,11 @@ class WriteSnapshot {
   std::vector<std::string> files_;
   std::vector<std::vector<Value>> tail_values_;  // [schema col][tail row]
   std::vector<Position> deleted_;                // sorted, unique
-  // Synthetic uncompressed blocks over the tail (pages own the bytes).
-  std::vector<storage::Page> pages_;
+  // Synthetic uncompressed blocks over the tail. The 64 KB buffers come
+  // from the global page pool (snapshots are rebuilt after every write, so
+  // recycling them removes the dominant write-path allocation) and return
+  // to it when the snapshot dies.
+  std::vector<storage::PooledPage> pages_;
   std::vector<std::vector<std::shared_ptr<codec::EncodedBlock>>> tail_blocks_;
   std::vector<codec::ColumnMeta> metas_;
 };

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "api/connection.h"
+#include "api/statement_cache.h"
 #include "db/database.h"
 #include "plan/executor.h"
 #include "sql/engine.h"
@@ -737,6 +738,126 @@ TEST_F(ApiTest, TryNextSurfacesQueryError) {
     if (*poll == api::RowCursor::Poll::kPending) std::this_thread::yield();
   }
   EXPECT_FALSE(final_status.ok());
+}
+
+// --- Shared statement cache -------------------------------------------------
+
+TEST_F(ApiTest, StatementCacheMatchesUncachedPrepare) {
+  api::StatementCache cache;
+  api::Connection plain(db_.get());
+  api::Connection cached(db_.get());
+  cached.ShareCostCache(plain);
+  cached.set_statement_cache(&cache);
+  const char* statements[] = {
+      "SELECT a, b FROM t WHERE a < ? AND b < ?",
+      "SELECT a, SUM(b) FROM t WHERE b < ? GROUP BY a",
+      "SELECT COUNT(b) FROM t WHERE a < ?",
+  };
+  for (const char* sql : statements) {
+    ASSERT_OK_AND_ASSIGN(api::PreparedStatement p1, plain.Prepare(sql));
+    ASSERT_OK_AND_ASSIGN(api::PreparedStatement p2, cached.Prepare(sql));
+    EXPECT_EQ(p1.param_count(), p2.param_count()) << sql;
+    EXPECT_EQ(p1.column_names(), p2.column_names()) << sql;
+    std::vector<Value> params;
+    for (int i = 0; i < p1.param_count(); ++i) params.push_back(100);
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r1, p1.Execute(params));
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r2, p2.Execute(params));
+    EXPECT_EQ(r1.stats.checksum, r2.stats.checksum) << sql;
+    EXPECT_EQ(r1.tuples.num_tuples(), r2.tuples.num_tuples()) << sql;
+  }
+  // Second pass over the same statements: every Prepare is now a hit.
+  api::StatementCache::Stats before = cache.stats();
+  EXPECT_EQ(before.misses, 3u);
+  for (const char* sql : statements) {
+    ASSERT_OK_AND_ASSIGN(api::PreparedStatement p, cached.Prepare(sql));
+    (void)p;
+  }
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, before.hits + 3u);
+}
+
+TEST_F(ApiTest, StatementCacheErrorsAreNotCached) {
+  api::StatementCache cache;
+  api::Connection conn(db_.get());
+  conn.set_statement_cache(&cache);
+  EXPECT_FALSE(conn.Prepare("SELECT nope FROM t").ok());
+  EXPECT_FALSE(conn.Prepare("SELECT a FROM missing WHERE a < 1").ok());
+  EXPECT_EQ(cache.size(), 0u);
+  // A failing statement becomes valid once the catalog catches up.
+  std::vector<Value> x(1000, 5);
+  ASSERT_OK(db_->CreateColumn("late.x", codec::Encoding::kUncompressed, x));
+  ASSERT_OK(db_->RegisterTable("late", {{"x", "late.x"}}));
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement p,
+                       conn.Prepare("SELECT x FROM late WHERE x < 9"));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r, p.Execute());
+  EXPECT_EQ(r.tuples.num_tuples(), 1000u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ApiTest, StatementCacheEvictsFifoPerStripe) {
+  // One stripe, two slots: the third distinct statement evicts the first.
+  api::StatementCache cache(/*num_stripes=*/1, /*max_entries_per_stripe=*/2);
+  api::Connection conn(db_.get());
+  conn.set_statement_cache(&cache);
+  const char* statements[] = {
+      "SELECT a FROM t WHERE a < 10",
+      "SELECT b FROM t WHERE b < 3",
+      "SELECT c FROM t WHERE c < 50",
+  };
+  for (const char* sql : statements) {
+    ASSERT_OK_AND_ASSIGN(api::PreparedStatement p, conn.Prepare(sql));
+    (void)p;
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The evicted statement re-parses (a miss), and still runs correctly.
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement p,
+                       conn.Prepare(statements[0]));
+  EXPECT_EQ(cache.stats().misses, 4u);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r, p.Execute());
+  EXPECT_EQ(r.stats.output_tuples, r.tuples.num_tuples());
+}
+
+TEST_F(ApiTest, StatementCacheConcurrentSessionsSingleParse) {
+  // N sessions race Prepare+Execute of one SQL text through a shared cache:
+  // results must be bit-identical to the uncached serial run, and the cache
+  // must have parsed exactly once (the single-parse guarantee).
+  api::StatementCache cache;
+  api::Connection root(db_.get());
+  const char* sql = "SELECT a, SUM(b) FROM t WHERE a < ? GROUP BY a";
+  ASSERT_OK_AND_ASSIGN(api::PreparedStatement truth_stmt, root.Prepare(sql));
+  ASSERT_OK_AND_ASSIGN(api::QueryResult truth, truth_stmt.Execute({250}));
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      api::Connection conn(db_.get());
+      conn.ShareCostCache(root);
+      conn.set_statement_cache(&cache);
+      for (int i = 0; i < kIters; ++i) {
+        auto p = conn.Prepare(sql);
+        if (!p.ok()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto r = p->Execute({250});
+        if (!r.ok() || r->stats.checksum != truth.stats.checksum ||
+            r->tuples.num_tuples() != truth.tuples.num_tuples()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  api::StatementCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // one parse for kThreads * kIters prepares
+  EXPECT_EQ(stats.hits, uint64_t{kThreads} * kIters - 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace
