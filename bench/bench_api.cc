@@ -205,8 +205,7 @@ int main(int argc, char** argv) {
       "point_queries=%d)\n",
       kPointRows, kScanRows, kPointQueries);
   table.Print();
-  std::string json_path = json.Write();
-  if (!json_path.empty()) std::printf("# wrote %s\n", json_path.c_str());
+  json.WriteAndReport();
 
   // Self-verification: identical results across modes, streaming bounded.
   int failures = 0;

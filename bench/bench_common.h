@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/database.h"
@@ -249,11 +250,18 @@ inline double Percentile(std::vector<double> ms, double q) {
   return ms[idx];
 }
 
-/// Machine-readable bench output: collects flat records and writes them as
-/// a JSON array to BENCH_<name>.json in the working directory, so the perf
-/// trajectory of every run is trackable (QPS, p50, p99 per sweep point).
+/// Machine-readable bench output: collects flat records and writes
+/// BENCH_<name>.json in the working directory, so the perf trajectory of
+/// every run is trackable (QPS, p50, p99 per sweep point). The file is one
+/// object {"meta": {...}, "rows": [...]}: meta stamps the emission schema
+/// version and the host's core count — numbers from a 2-core CI runner and
+/// a 32-core workstation must not land on the same trend line.
 class BenchJson {
  public:
+  /// Bump when the emitted shape changes incompatibly (v1 was a bare
+  /// array of row objects; v2 added the meta envelope).
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   class Row {
@@ -288,9 +296,13 @@ class BenchJson {
     std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return "";
-    std::fprintf(f, "[\n");
+    std::fprintf(f,
+                 "{\n  \"meta\": {\"bench\": \"%s\", \"schema_version\": %d, "
+                 "\"host_cores\": %u},\n  \"rows\": [\n",
+                 name_.c_str(), kSchemaVersion,
+                 std::thread::hardware_concurrency());
     for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "  {");
+      std::fprintf(f, "    {");
       const auto& fields = rows_[i].fields_;
       for (size_t j = 0; j < fields.size(); ++j) {
         std::fprintf(f, "\"%s\": %s%s", fields[j].first.c_str(),
@@ -299,9 +311,21 @@ class BenchJson {
       }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return path;
+  }
+
+  /// The shared tail of every bench main: write the file and print the
+  /// "# wrote ..." breadcrumb (or a warning when the write failed).
+  void WriteAndReport() const {
+    std::string path = Write();
+    if (path.empty()) {
+      std::fprintf(stderr, "# failed to write BENCH_%s.json\n",
+                   name_.c_str());
+      return;
+    }
+    std::printf("# wrote %s\n", path.c_str());
   }
 
  private:

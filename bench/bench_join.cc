@@ -148,8 +148,7 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
-  std::string json_path = json.Write();
-  if (!json_path.empty()) std::printf("# wrote %s\n", json_path.c_str());
+  json.WriteAndReport();
   if (mismatches > 0) {
     std::fprintf(stderr, "%d checksum mismatches\n", mismatches);
     return 1;

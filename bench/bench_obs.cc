@@ -1,0 +1,169 @@
+// Observability overhead: proves the instrumentation earns its keep.
+//
+// The engine's trace/metric sites are supposed to be free when tracing is
+// off — one relaxed atomic load and a branch each. This bench measures that
+// claim two ways:
+//
+//   span-guard    microbenchmark of a disabled obs::SpanTimer construction
+//                 + destruction (the exact code every instrumented site
+//                 runs when tracing is off), and of an enabled one
+//   workload      the same query batch through a pooled scheduler with
+//                 tracing off and tracing on; reports QPS both ways and
+//                 the estimated share of runtime the disabled checks cost
+//                 (sites/query × ns/site ÷ query latency — must be < 2%)
+//
+//   ./build/bench_obs --sf=0.05 --runs=3
+//
+// Machine-readable output: BENCH_obs.json.
+
+#include <string>
+#include <vector>
+
+#include "api/connection.h"
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/scheduler.h"
+#include "tpch/loader.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace bench {
+namespace {
+
+/// ns per disabled/enabled SpanTimer round trip. The loop body mirrors an
+/// instrumented site: construct, attach an arg, destruct.
+double TimeSpanGuardNs(size_t iters) {
+  Stopwatch sw;
+  for (size_t i = 0; i < iters; ++i) {
+    obs::SpanTimer span("bench_span", "bench");
+    span.Arg("i", static_cast<int64_t>(i));
+  }
+  return sw.ElapsedMicros() * 1000.0 / static_cast<double>(iters);
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  opts.simulate_disk = false;  // pure CPU: overhead must not hide in charges
+  auto db = OpenBenchDb(opts);
+  auto li_r = tpch::LoadLineitem(db.get(), opts.sf);
+  CSTORE_CHECK(li_r.ok()) << li_r.status().ToString();
+  tpch::LineitemColumns li = std::move(li_r).value();
+
+  BenchJson json("obs");
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+
+  // --- span-guard microbenchmark -----------------------------------------
+  constexpr size_t kGuardIters = 2000000;
+  rec.set_enabled(false);
+  TimeSpanGuardNs(kGuardIters / 10);  // warm up
+  double disabled_ns = TimeSpanGuardNs(kGuardIters);
+  rec.set_enabled(true);
+  double enabled_ns = TimeSpanGuardNs(kGuardIters / 10);
+  rec.set_enabled(false);
+  rec.Clear();
+  std::printf("span guard: disabled %.2f ns, enabled %.1f ns\n",
+              disabled_ns, enabled_ns);
+  json.AddRow()
+      .Str("panel", "span_guard")
+      .Num("disabled_ns", disabled_ns)
+      .Num("enabled_ns", enabled_ns);
+
+  // --- workload: tracing off vs on ---------------------------------------
+  plan::SelectionQuery sel;
+  Value mid =
+      (li.shipdate->meta().min_value + li.shipdate->meta().max_value) / 2;
+  sel.columns.push_back({li.shipdate, codec::Predicate::LessThan(mid)});
+  sel.columns.push_back({li.quantity, codec::Predicate::LessThan(30)});
+  plan::AggQuery agg;
+  agg.selection = sel;
+  agg.group_index = 0;
+  agg.agg_index = 1;
+  agg.func = exec::AggFunc::kSum;
+
+  const int kBatch = 64;
+  auto run_batch = [&](bool traced) {
+    rec.set_enabled(traced);
+    sched::Scheduler::Options so;
+    so.num_workers = 4;
+    sched::Scheduler scheduler(so);
+    api::Connection conn(db.get(), &scheduler);
+    double best_ms = 1e100;
+    uint64_t morsels = 0;
+    for (int r = 0; r < opts.runs; ++r) {
+      rec.Clear();
+      Stopwatch sw;
+      std::vector<api::PendingResult> pending;
+      pending.reserve(kBatch);
+      for (int i = 0; i < kBatch; ++i) {
+        pending.push_back(conn.Submit(
+            i % 2 == 0 ? plan::PlanTemplate::Selection(
+                             sel, plan::Strategy::kLmParallel)
+                       : plan::PlanTemplate::Agg(
+                             agg, plan::Strategy::kLmParallel),
+            false));
+      }
+      for (auto& p : pending) {
+        auto res = p.Wait();
+        CSTORE_CHECK(res.ok()) << res.status().ToString();
+      }
+      best_ms = std::min(best_ms, sw.ElapsedMillis());
+      if (traced) morsels = rec.Snapshot().size();
+    }
+    rec.set_enabled(false);
+    return std::make_pair(best_ms, morsels);
+  };
+
+  auto [off_ms, unused] = run_batch(false);
+  auto [on_ms, span_count] = run_batch(true);
+  (void)unused;
+  double off_qps = kBatch * 1000.0 / off_ms;
+  double on_qps = kBatch * 1000.0 / on_ms;
+  // Every span the enabled run recorded is a site the disabled run paid
+  // one guard check for — the measured per-site cost bounds the disabled
+  // overhead share.
+  double sites_per_query =
+      static_cast<double>(span_count) / static_cast<double>(kBatch);
+  double query_ms = off_ms / kBatch;
+  double disabled_pct =
+      100.0 * (sites_per_query * disabled_ns / 1e6) / query_ms;
+  double enabled_pct = 100.0 * (on_ms - off_ms) / off_ms;
+
+  std::printf("workload (%d queries, 4 workers, best of %d):\n", kBatch,
+              opts.runs);
+  std::printf("  tracing off  %8.1f ms  %8.1f qps\n", off_ms, off_qps);
+  std::printf("  tracing on   %8.1f ms  %8.1f qps  (%+.1f%%)\n", on_ms,
+              on_qps, enabled_pct);
+  std::printf(
+      "  ~%.0f instrumented sites/query x %.2f ns/site = %.4f%% of query "
+      "time while disabled (budget: 2%%)\n",
+      sites_per_query, disabled_ns, disabled_pct);
+  CSTORE_CHECK(disabled_pct < 2.0)
+      << "disabled-tracing overhead estimate " << disabled_pct
+      << "% exceeds the 2% budget";
+
+  json.AddRow()
+      .Str("panel", "workload")
+      .Str("mode", "disabled")
+      .Num("ms", off_ms)
+      .Num("qps", off_qps);
+  json.AddRow()
+      .Str("panel", "workload")
+      .Str("mode", "enabled")
+      .Num("ms", on_ms)
+      .Num("qps", on_qps)
+      .Int("spans", span_count);
+  json.AddRow()
+      .Str("panel", "overhead")
+      .Num("sites_per_query", sites_per_query)
+      .Num("disabled_pct_est", disabled_pct)
+      .Num("enabled_pct", enabled_pct);
+  json.WriteAndReport();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cstore
+
+int main(int argc, char** argv) { return cstore::bench::Main(argc, argv); }

@@ -6,20 +6,35 @@
 // probe into morsels — and prints the cost model's join report, whose
 // build/probe split predicts exactly where the speedup plateaus.
 //
-//   build/examples/join_materialization [scale_factor]
+//   build/examples/join_materialization [scale_factor] [--trace=FILE]
+//
+// --trace=FILE records execution spans (hash build, probe morsels, ...)
+// and writes Chrome trace_event JSON on exit.
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "api/connection.h"
 #include "db/database.h"
 #include "model/advisor.h"
+#include "obs/trace.h"
 #include "tpch/loader.h"
 
 using namespace cstore;  // NOLINT
 
 int main(int argc, char** argv) {
-  double sf = argc > 1 ? std::atof(argv[1]) : 0.05;
+  double sf = 0.05;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else {
+      sf = std::atof(a.c_str());
+    }
+  }
+  if (!trace_path.empty()) obs::TraceRecorder::Global().set_enabled(true);
 
   db::Database::Options opts;
   opts.dir = "/tmp/cstore_join_demo";
@@ -101,5 +116,16 @@ int main(int argc, char** argv) {
   in.num_workers = 4;
   model::Advisor advisor(model::CostParams::Paper2006());
   std::printf("\n%s", advisor.ExplainJoin(in).c_str());
+
+  if (!trace_path.empty()) {
+    Status st = obs::TraceRecorder::Global().WriteChromeJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace written to %s (load in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -6,6 +6,17 @@
 //   build/sql_shell "SELECT ... FROM lineitem ..."
 //   build/sql_shell --script=queries.sql --pool=8  # concurrent batch
 //
+// Observability flags (any mode):
+//   --trace=FILE      record execution spans, write Chrome trace_event
+//                     JSON on exit (load in https://ui.perfetto.dev)
+//   --metrics=FILE    write the Prometheus-style metrics dump on exit
+//   --log-level=LVL   debug | info | warn (default) | error
+// In the REPL, `\metrics` prints the metrics dump; EXPLAIN SELECT ... and
+// EXPLAIN ANALYZE SELECT ... are ordinary statements (ANALYZE executes and
+// prints per-operator actual time/calls/rows next to the model's
+// predictions). Script mode prints per-strategy p50/p95/p99 latency from
+// the scheduler's histograms with the batch summary.
+//
 // Tables: lineitem(returnflag, shipdate, linenum, linenum_plain,
 //         linenum_bv, quantity), orders(custkey, shipdate),
 //         customer(custkey, nationcode).
@@ -42,9 +53,12 @@
 
 #include "api/connection.h"
 #include "api/statement_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 using namespace cstore;  // NOLINT
@@ -95,24 +109,21 @@ bool RunOne(api::Connection* conn, std::string sql) {
   TrimLeading(&sql);
   int workers = StripWorkersPrefix(&sql);
   TrimLeading(&sql);
-  if (sql.rfind("explain ", 0) == 0 || sql.rfind("EXPLAIN ", 0) == 0) {
-    auto report = conn->Explain(sql.substr(8), workers);
-    if (!report.ok()) {
-      std::printf("error: %s\n", report.status().ToString().c_str());
-      return false;
-    }
-    std::printf("%s", report->c_str());
-    return true;
-  }
   std::optional<plan::Strategy> strategy = StripStrategyPrefix(&sql);
   TrimLeading(&sql);
   if (workers == 1) workers = StripWorkersPrefix(&sql);  // either order
   TrimLeading(&sql);
+  // EXPLAIN / EXPLAIN ANALYZE parse as ordinary statements; Query returns
+  // the rendered report in explain_text.
   auto r = conn->Query(sql, strategy, workers);
   if (!r.ok()) {
     std::printf("error: %s\n    %s\n", r.status().ToString().c_str(),
                 sql.c_str());
     return false;
+  }
+  if (!r->explain_text.empty()) {
+    std::printf("%s", r->explain_text.c_str());
+    return true;
   }
   if (r->is_write) {
     std::printf("-- %s: %llu rows, %.1f ms\n", r->column_names[0].c_str(),
@@ -231,6 +242,24 @@ int RunScript(db::Database* db, const std::string& path, int pool_workers) {
   std::printf("-- statement cache: %llu hits, %llu misses\n",
               static_cast<unsigned long long>(cs.hits),
               static_cast<unsigned long long>(cs.misses));
+  // Per-strategy latency percentiles from the scheduler's histograms
+  // (process-lifetime totals; with one batch per process that's the batch).
+  const char* labels[] = {"EM-pipelined", "EM-parallel", "LM-pipelined",
+                          "LM-parallel", "join"};
+  for (const char* label : labels) {
+    std::string name = std::string("cstore_query_latency_usec{strategy=\"") +
+                       label + "\"}";
+    obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+        name, "Finalized query latency by strategy (microseconds)");
+    if (h == nullptr) continue;
+    obs::Histogram::Snapshot snap = h->snapshot();
+    if (snap.count == 0) continue;
+    std::printf(
+        "-- latency %-12s  n=%llu  p50=%.1f ms  p95=%.1f ms  p99=%.1f ms\n",
+        label, static_cast<unsigned long long>(snap.count),
+        snap.Percentile(0.50) / 1000.0, snap.Percentile(0.95) / 1000.0,
+        snap.Percentile(0.99) / 1000.0);
+  }
   if (failures > 0) {
     std::fprintf(stderr,
                  "script failed: %d statement(s); first at [%zu]: %s\n",
@@ -246,16 +275,32 @@ int main(int argc, char** argv) {
   std::string script;
   int pool_workers = 0;  // 0 = hardware concurrency
   std::string one_shot;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--script=", 0) == 0) {
       script = a.substr(9);
     } else if (a.rfind("--pool=", 0) == 0) {
       pool_workers = std::atoi(a.c_str() + 7);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      metrics_path = a.substr(10);
+    } else if (a.rfind("--log-level=", 0) == 0) {
+      auto level = util::ParseLogLevel(a.substr(12));
+      if (!level.has_value()) {
+        std::fprintf(stderr,
+                     "unknown --log-level '%s' (debug|info|warn|error)\n",
+                     a.c_str() + 12);
+        return 1;
+      }
+      util::SetLogLevel(*level);
     } else {
       one_shot = a;
     }
   }
+  if (!trace_path.empty()) obs::TraceRecorder::Global().set_enabled(true);
 
   db::Database::Options opts;
   opts.dir = "/tmp/cstore_sql_shell";
@@ -268,11 +313,44 @@ int main(int argc, char** argv) {
   CSTORE_CHECK(tpch::LoadLineitem(db.get(), 0.02).ok());
   CSTORE_CHECK(tpch::LoadJoinTables(db.get(), 0.02).ok());
 
-  if (!script.empty()) return RunScript(db.get(), script, pool_workers);
+  // Runs after the workload, whichever mode produced it.
+  auto dump_observability = [&](api::Connection* conn) {
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                     metrics_path.c_str());
+      } else {
+        std::string text = conn->Metrics();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      Status st = obs::TraceRecorder::Global().WriteChromeJson(trace_path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     st.ToString().c_str());
+      } else {
+        std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      }
+    }
+  };
+
+  if (!script.empty()) {
+    int rc = RunScript(db.get(), script, pool_workers);
+    api::Connection conn(db.get());
+    dump_observability(&conn);
+    return rc;
+  }
 
   api::Connection conn(db.get());
   if (!one_shot.empty()) {
-    return RunOne(&conn, one_shot) ? 0 : 1;
+    bool ok = RunOne(&conn, one_shot);
+    dump_observability(&conn);
+    return ok ? 0 : 1;
   }
 
   std::printf(
@@ -282,16 +360,22 @@ int main(int argc, char** argv) {
       "example: SELECT shipdate, SUM(linenum) FROM lineitem WHERE shipdate "
       "< '1994-01-01' AND linenum < 7 GROUP BY shipdate\n"
       "writes:  UPDATE lineitem SET quantity = 1 WHERE linenum = 7\n"
-      "prefix with 'explain ' for the advisor's cost report; ctrl-d to "
-      "exit\n");
+      "prefix with EXPLAIN for the advisor's cost report, EXPLAIN ANALYZE "
+      "to execute with per-operator actuals;\n\\metrics dumps metrics; "
+      "ctrl-d to exit\n");
   std::string line;
   while (true) {
     std::printf("cstore> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
+    if (line == "\\metrics") {
+      std::printf("%s", conn.Metrics().c_str());
+      continue;
+    }
     RunOne(&conn, line);
   }
   std::printf("\n");
+  dump_observability(&conn);
   return 0;
 }

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#include <cstdio>
+
 #include "api/statement_cache.h"
+#include "exec/chunk_pool.h"
 #include "model/calibrate.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
+#include "storage/page_pool.h"
 
 namespace cstore {
 namespace api {
@@ -295,23 +302,38 @@ Result<RowCursor> Connection::StreamRunnable(const Runnable& run) {
 Result<QueryResult> Connection::Query(const std::string& sql,
                                       std::optional<plan::Strategy> strategy,
                                       int num_workers) {
-  CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
-                          sql::ParseStatement(sql));
+  Result<sql::ParsedStatement> parsed = [&] {
+    obs::SpanTimer span("parse", "sql");
+    return sql::ParseStatement(sql);
+  }();
+  CSTORE_RETURN_IF_ERROR(parsed.status());
+  sql::ParsedStatement& stmt = *parsed;
   if (stmt.param_count > 0) {
     return Status::InvalidArgument(
         "statement has ? parameters; use Connection::Prepare");
   }
+  if (stmt.explain != sql::ParsedStatement::Explain::kNone) {
+    return ExplainStatement(stmt, strategy, EffectiveWorkers(num_workers),
+                            {});
+  }
   if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
     return ExecuteWrite(stmt, {});
   }
-  CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
-                          internal::BindSelect(db_, stmt.select));
-  CSTORE_ASSIGN_OR_RETURN(
-      ResolvedSelect resolved,
-      internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
-  CSTORE_ASSIGN_OR_RETURN(
-      Runnable run,
-      MakeRunnable(&bound, resolved, strategy, EffectiveWorkers(num_workers)));
+  BoundSelect bound;
+  ResolvedSelect resolved;
+  {
+    obs::SpanTimer span("bind", "sql");
+    CSTORE_ASSIGN_OR_RETURN(bound, internal::BindSelect(db_, stmt.select));
+    CSTORE_ASSIGN_OR_RETURN(
+        resolved,
+        internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+  }
+  Runnable run;
+  {
+    obs::SpanTimer span("plan", "sql");
+    CSTORE_ASSIGN_OR_RETURN(run, MakeRunnable(&bound, resolved, strategy,
+                                              EffectiveWorkers(num_workers)));
+  }
   return RunRunnableSync(run);
 }
 
@@ -323,25 +345,46 @@ PendingResult Connection::Submit(const std::string& sql,
   PendingResult pending;
   pending.engaged_ = true;
   pending.early_ = [&]() -> Status {
-    CSTORE_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
-                            sql::ParseStatement(sql));
+    Result<sql::ParsedStatement> parsed = [&] {
+      obs::SpanTimer span("parse", "sql");
+      return sql::ParseStatement(sql);
+    }();
+    CSTORE_RETURN_IF_ERROR(parsed.status());
+    sql::ParsedStatement& stmt = *parsed;
     if (stmt.param_count > 0) {
       return Status::InvalidArgument(
           "statement has ? parameters; use Connection::Prepare");
+    }
+    if (stmt.explain != sql::ParsedStatement::Explain::kNone) {
+      // EXPLAIN [ANALYZE] runs to completion here (its product is a
+      // report, not a stream of chunks) and rides back as an immediate
+      // result, like a write.
+      CSTORE_ASSIGN_OR_RETURN(
+          QueryResult result,
+          ExplainStatement(stmt, strategy, SubmitWorkers(), {}));
+      pending.immediate_ = std::move(result);
+      return Status::OK();
     }
     if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
       CSTORE_ASSIGN_OR_RETURN(QueryResult result, ExecuteWrite(stmt, {}));
       pending.immediate_ = std::move(result);
       return Status::OK();
     }
-    CSTORE_ASSIGN_OR_RETURN(BoundSelect bound,
-                            internal::BindSelect(db_, stmt.select));
-    CSTORE_ASSIGN_OR_RETURN(
-        ResolvedSelect resolved,
-        internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
-    CSTORE_ASSIGN_OR_RETURN(
-        Runnable run,
-        MakeRunnable(&bound, resolved, strategy, SubmitWorkers()));
+    BoundSelect bound;
+    ResolvedSelect resolved;
+    {
+      obs::SpanTimer span("bind", "sql");
+      CSTORE_ASSIGN_OR_RETURN(bound, internal::BindSelect(db_, stmt.select));
+      CSTORE_ASSIGN_OR_RETURN(
+          resolved,
+          internal::ResolveSelect(db_, &bound, {}, bound.bind_snapshot));
+    }
+    Runnable run;
+    {
+      obs::SpanTimer span("plan", "sql");
+      CSTORE_ASSIGN_OR_RETURN(
+          run, MakeRunnable(&bound, resolved, strategy, SubmitWorkers()));
+    }
     pending = SubmitRunnable(run);
     return Status::OK();
   }();
@@ -355,6 +398,10 @@ Result<RowCursor> Connection::Stream(const std::string& sql,
   if (stmt.param_count > 0) {
     return Status::InvalidArgument(
         "statement has ? parameters; use Connection::Prepare");
+  }
+  if (stmt.explain != sql::ParsedStatement::Explain::kNone) {
+    return Status::InvalidArgument(
+        "cannot stream EXPLAIN output; use Query");
   }
   if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
     return Status::InvalidArgument("cannot stream a write statement");
@@ -377,15 +424,33 @@ Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
     // Shared parse+bind: copy the immutable cached entry into this
     // session's statement. Everything per-execution (snapshot, parameter
     // predicates, strategy, reader refresh) happens on the copy, so cached
-    // and uncached prepares behave identically from here on.
-    CSTORE_ASSIGN_OR_RETURN(std::shared_ptr<const StatementCache::Entry> e,
-                            stmt_cache_->GetOrBind(db_, sql));
+    // and uncached prepares behave identically from here on. One span
+    // covers the combined lookup-or-parse+bind; a hit makes it ~free.
+    Result<std::shared_ptr<const StatementCache::Entry>> cached = [&] {
+      obs::SpanTimer span("parse", "sql");
+      return stmt_cache_->GetOrBind(db_, sql);
+    }();
+    CSTORE_RETURN_IF_ERROR(cached.status());
+    const std::shared_ptr<const StatementCache::Entry>& e = *cached;
+    if (e->stmt.explain != sql::ParsedStatement::Explain::kNone) {
+      return Status::InvalidArgument(
+          "cannot prepare an EXPLAIN statement; use Query");
+    }
     prepared.stmt_ = e->stmt;
     prepared.bound_ = e->bound;
     return prepared;
   }
-  CSTORE_ASSIGN_OR_RETURN(prepared.stmt_, sql::ParseStatement(sql));
+  {
+    obs::SpanTimer span("parse", "sql");
+    CSTORE_ASSIGN_OR_RETURN(prepared.stmt_, sql::ParseStatement(sql));
+  }
+  if (prepared.stmt_.explain != sql::ParsedStatement::Explain::kNone) {
+    // EXPLAIN is a one-shot diagnostic, not a reusable statement shape.
+    return Status::InvalidArgument(
+        "cannot prepare an EXPLAIN statement; use Query");
+  }
   if (prepared.stmt_.kind == sql::ParsedStatement::Kind::kSelect) {
+    obs::SpanTimer span("bind", "sql");
     CSTORE_ASSIGN_OR_RETURN(
         prepared.bound_, internal::BindSelect(db_, prepared.stmt_.select));
     // A prepared statement holds no bind-time snapshot: every execution
@@ -434,10 +499,226 @@ Result<std::string> Connection::Explain(const std::string& sql,
   model::SelectionModelInput input =
       ModelInputFor(resolved.scan(), EffectiveWorkers(num_workers));
   model::Advisor advisor(Params());
-  if (resolved.is_aggregate) {
-    return advisor.ExplainAggregation(input, GroupEstimateFor(resolved.agg));
+  std::string report =
+      resolved.is_aggregate
+          ? advisor.ExplainAggregation(input, GroupEstimateFor(resolved.agg))
+          : advisor.ExplainSelection(input);
+  report += PressureReport();
+  return report;
+}
+
+std::string Connection::PressureReport() const {
+  const storage::IoStats io = db_->pool()->stats();
+  const util::ObjectPool<exec::TupleChunk>::Stats chunks =
+      exec::GlobalChunkPool().stats();
+  const util::ObjectPool<storage::Page>::Stats pages =
+      storage::GlobalPagePool().stats();
+  char buf[256];
+  std::string out = "-- shared-resource pressure --\n";
+  const double contended_pct =
+      io.pool_lock_acquisitions == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(io.pool_lock_contended) /
+                static_cast<double>(io.pool_lock_acquisitions);
+  std::snprintf(buf, sizeof(buf),
+                "pool locks: acquisitions=%llu contended=%llu (%.2f%%) "
+                "wait=%.3f ms\n",
+                static_cast<unsigned long long>(io.pool_lock_acquisitions),
+                static_cast<unsigned long long>(io.pool_lock_contended),
+                contended_pct, io.pool_lock_wait_ns / 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "pool io: hits=%llu physical_reads=%llu read_time=%.3f ms\n",
+                static_cast<unsigned long long>(io.cache_hits),
+                static_cast<unsigned long long>(io.physical_reads),
+                io.physical_read_ns / 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "retired fds: %llu\n",
+                static_cast<unsigned long long>(
+                    db_->files()->retired_fd_count()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "chunk pool: acquires=%llu reuses=%llu allocs=%llu "
+                "discards=%llu\n",
+                static_cast<unsigned long long>(chunks.acquires),
+                static_cast<unsigned long long>(chunks.reuses),
+                static_cast<unsigned long long>(chunks.allocs),
+                static_cast<unsigned long long>(chunks.discards));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "page pool: acquires=%llu reuses=%llu allocs=%llu "
+                "discards=%llu\n",
+                static_cast<unsigned long long>(pages.acquires),
+                static_cast<unsigned long long>(pages.reuses),
+                static_cast<unsigned long long>(pages.allocs),
+                static_cast<unsigned long long>(pages.discards));
+  out += buf;
+  if (stmt_cache_ != nullptr) {
+    const StatementCache::Stats sc = stmt_cache_->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "statement cache: hits=%llu misses=%llu evictions=%llu\n",
+                  static_cast<unsigned long long>(sc.hits),
+                  static_cast<unsigned long long>(sc.misses),
+                  static_cast<unsigned long long>(sc.evictions));
+    out += buf;
   }
-  return advisor.ExplainSelection(input);
+  return out;
+}
+
+Result<QueryResult> Connection::ExplainStatement(
+    const sql::ParsedStatement& stmt, std::optional<plan::Strategy> strategy,
+    int num_workers, const std::vector<Value>& params) {
+  BoundSelect bound;
+  ResolvedSelect resolved;
+  {
+    obs::SpanTimer span("bind", "sql");
+    CSTORE_ASSIGN_OR_RETURN(bound, internal::BindSelect(db_, stmt.select));
+    CSTORE_ASSIGN_OR_RETURN(
+        resolved,
+        internal::ResolveSelect(db_, &bound, params, bound.bind_snapshot));
+  }
+  Runnable run;
+  {
+    obs::SpanTimer span("plan", "sql");
+    CSTORE_ASSIGN_OR_RETURN(
+        run, MakeRunnable(&bound, resolved, strategy, num_workers));
+  }
+
+  // The model's predictions — what EXPLAIN without ANALYZE reports.
+  model::SelectionModelInput input =
+      ModelInputFor(resolved.scan(), num_workers);
+  model::Advisor advisor(Params());
+  std::string report = "strategy: ";
+  report += plan::StrategyName(run.strategy);
+  report += "\n";
+  report += resolved.is_aggregate
+                ? advisor.ExplainAggregation(input,
+                                             GroupEstimateFor(resolved.agg))
+                : advisor.ExplainSelection(input);
+
+  QueryResult out;
+  out.column_names = {"explain"};
+  out.strategy = run.strategy;
+
+  if (stmt.explain == sql::ParsedStatement::Explain::kAnalyze) {
+    auto profile = std::make_shared<obs::PlanProfile>();
+    run.tmpl.config.profile = profile;
+    CSTORE_ASSIGN_OR_RETURN(QueryResult executed, RunRunnableSync(run));
+    out.stats = executed.stats;
+    report += "plan (actual, all workers summed):\n";
+    report += profile->Format();
+    char buf[224];
+    std::snprintf(
+        buf, sizeof(buf),
+        "actual: wall=%.3f ms  rows=%llu  blocks_fetched=%llu  "
+        "cache_hits=%llu  physical_reads=%llu  read_time=%.3f ms\n",
+        executed.stats.wall_micros / 1000.0,
+        static_cast<unsigned long long>(executed.stats.output_tuples),
+        static_cast<unsigned long long>(executed.stats.exec.blocks_fetched),
+        static_cast<unsigned long long>(executed.stats.io.cache_hits),
+        static_cast<unsigned long long>(executed.stats.io.physical_reads),
+        executed.stats.io.physical_read_ns / 1e6);
+    report += buf;
+  }
+  report += PressureReport();
+  out.explain_text = std::move(report);
+  return out;
+}
+
+Result<QueryResult> Connection::ExplainAnalyze(
+    const std::string& sql, const std::vector<Value>& params,
+    int num_workers) {
+  Result<sql::ParsedStatement> parsed = [&] {
+    obs::SpanTimer span("parse", "sql");
+    return sql::ParseStatement(sql);
+  }();
+  CSTORE_RETURN_IF_ERROR(parsed.status());
+  sql::ParsedStatement& stmt = *parsed;
+  if (stmt.kind != sql::ParsedStatement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE supports SELECT statements");
+  }
+  if (stmt.param_count != static_cast<int>(params.size())) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(stmt.param_count) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  stmt.explain = sql::ParsedStatement::Explain::kAnalyze;
+  return ExplainStatement(stmt, std::nullopt, EffectiveWorkers(num_workers),
+                          params);
+}
+
+std::string Connection::Metrics() const {
+  std::string out = obs::MetricsRegistry::Global().PrometheusText();
+  // Database-scoped gauges, composed at dump time (several Databases may
+  // coexist in one process; each Connection reports its own).
+  const storage::IoStats io = db_->pool()->stats();
+  const uint64_t lookups = io.cache_hits + io.physical_reads;
+  out += "# TYPE cstore_bufferpool_hit_ratio gauge\n";
+  obs::AppendSample(&out, "cstore_bufferpool_hit_ratio",
+                    lookups == 0 ? 0.0
+                                 : static_cast<double>(io.cache_hits) /
+                                       static_cast<double>(lookups));
+  out += "# TYPE cstore_bufferpool_cache_hits counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_cache_hits",
+                    static_cast<double>(io.cache_hits));
+  out += "# TYPE cstore_bufferpool_physical_reads counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_physical_reads",
+                    static_cast<double>(io.physical_reads));
+  out += "# TYPE cstore_bufferpool_physical_read_seconds counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_physical_read_seconds",
+                    io.physical_read_ns / 1e9);
+  out += "# TYPE cstore_bufferpool_lock_acquisitions counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_lock_acquisitions",
+                    static_cast<double>(io.pool_lock_acquisitions));
+  out += "# TYPE cstore_bufferpool_lock_contended counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_lock_contended",
+                    static_cast<double>(io.pool_lock_contended));
+  out += "# TYPE cstore_bufferpool_lock_wait_seconds counter\n";
+  obs::AppendSample(&out, "cstore_bufferpool_lock_wait_seconds",
+                    io.pool_lock_wait_ns / 1e9);
+  out += "# TYPE cstore_retired_fds gauge\n";
+  obs::AppendSample(&out, "cstore_retired_fds",
+                    static_cast<double>(db_->files()->retired_fd_count()));
+  const util::ObjectPool<exec::TupleChunk>::Stats chunks =
+      exec::GlobalChunkPool().stats();
+  const uint64_t chunk_lookups = chunks.acquires;
+  out += "# TYPE cstore_chunk_pool_hit_ratio gauge\n";
+  obs::AppendSample(&out, "cstore_chunk_pool_hit_ratio",
+                    chunk_lookups == 0
+                        ? 0.0
+                        : static_cast<double>(chunks.reuses) /
+                              static_cast<double>(chunk_lookups));
+  out += "# TYPE cstore_chunk_pool_acquires counter\n";
+  obs::AppendSample(&out, "cstore_chunk_pool_acquires",
+                    static_cast<double>(chunks.acquires));
+  out += "# TYPE cstore_chunk_pool_allocs counter\n";
+  obs::AppendSample(&out, "cstore_chunk_pool_allocs",
+                    static_cast<double>(chunks.allocs));
+  const util::ObjectPool<storage::Page>::Stats pages =
+      storage::GlobalPagePool().stats();
+  out += "# TYPE cstore_page_pool_acquires counter\n";
+  obs::AppendSample(&out, "cstore_page_pool_acquires",
+                    static_cast<double>(pages.acquires));
+  out += "# TYPE cstore_page_pool_allocs counter\n";
+  obs::AppendSample(&out, "cstore_page_pool_allocs",
+                    static_cast<double>(pages.allocs));
+  if (stmt_cache_ != nullptr) {
+    const StatementCache::Stats sc = stmt_cache_->stats();
+    const uint64_t sc_lookups = sc.hits + sc.misses;
+    out += "# TYPE cstore_statement_cache_hit_ratio gauge\n";
+    obs::AppendSample(&out, "cstore_statement_cache_hit_ratio",
+                      sc_lookups == 0 ? 0.0
+                                      : static_cast<double>(sc.hits) /
+                                            static_cast<double>(sc_lookups));
+    out += "# TYPE cstore_statement_cache_hits counter\n";
+    obs::AppendSample(&out, "cstore_statement_cache_hits",
+                      static_cast<double>(sc.hits));
+    out += "# TYPE cstore_statement_cache_misses counter\n";
+    obs::AppendSample(&out, "cstore_statement_cache_misses",
+                      static_cast<double>(sc.misses));
+  }
+  return out;
 }
 
 // --- Typed-plan entry points ------------------------------------------------

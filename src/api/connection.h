@@ -131,6 +131,21 @@ class Connection {
                               const std::vector<Value>& params,
                               int num_workers = 0);
 
+  /// EXPLAIN ANALYZE: executes the SELECT and returns a QueryResult whose
+  /// explain_text holds the plan annotated with per-operator actual
+  /// time/calls/rows next to the cost model's predictions (result rows are
+  /// not materialized; stats are the real run's). Equivalent to
+  /// Query("EXPLAIN ANALYZE " + sql).
+  Result<QueryResult> ExplainAnalyze(const std::string& sql,
+                                     const std::vector<Value>& params = {},
+                                     int num_workers = 0);
+
+  /// Prometheus-style metrics dump: the process-wide MetricsRegistry
+  /// (scheduler counters, queue depth, latency histograms) plus this
+  /// database's gauges — buffer-pool hit ratio and lock contention,
+  /// retired fds, chunk/page-pool pressure, statement-cache hit rate.
+  std::string Metrics() const;
+
   // --- Typed plans ------------------------------------------------------
 
   /// Runs a typed plan template. Standalone sessions honour
@@ -189,6 +204,18 @@ class Connection {
   /// Executes a write statement immediately (all kinds but kSelect).
   Result<QueryResult> ExecuteWrite(const sql::ParsedStatement& stmt,
                                    const std::vector<Value>& params);
+
+  /// EXPLAIN / EXPLAIN ANALYZE back end (stmt.explain selects which): the
+  /// advisor's prediction report, plus — for ANALYZE — the executed plan's
+  /// per-operator actuals.
+  Result<QueryResult> ExplainStatement(const sql::ParsedStatement& stmt,
+                                       std::optional<plan::Strategy> strategy,
+                                       int num_workers,
+                                       const std::vector<Value>& params);
+
+  /// Shared-resource pressure section appended to Explain output: shard
+  /// lock contention, retired fds, chunk/page-pool recycling.
+  std::string PressureReport() const;
 
   Result<QueryResult> RunTemplateSync(const plan::PlanTemplate& tmpl);
   Result<QueryResult> RunRunnableSync(const Runnable& run);

@@ -53,6 +53,10 @@ struct QueryResult {
   plan::Strategy strategy = plan::Strategy::kLmParallel;  // what ran (reads)
   bool is_write = false;
   uint64_t rows_affected = 0;  // writes: rows inserted/deleted/updated
+  // EXPLAIN / EXPLAIN ANALYZE: the rendered report (predictions, and for
+  // ANALYZE the executed plan's per-operator actuals). Empty otherwise.
+  // stats.trace_query_id correlates the run with a TraceRecorder export.
+  std::string explain_text;
 };
 
 /// Projects `in` onto `output_slots` (indices into the scan width). An

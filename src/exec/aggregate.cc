@@ -84,7 +84,7 @@ void GroupAccumulator::Emit(TupleChunk* out) const {
   }
 }
 
-Result<bool> HashAggOp::Next(TupleChunk* out) {
+Result<bool> HashAggOp::NextImpl(TupleChunk* out) {
   if (done_) return false;
   TupleChunk in;
   while (true) {
@@ -217,7 +217,7 @@ Status LateAggOp::ConsumeChunk(const MultiColumnChunk& chunk) {
   return Status::OK();
 }
 
-Result<bool> LateAggOp::Next(TupleChunk* out) {
+Result<bool> LateAggOp::NextImpl(TupleChunk* out) {
   if (done_) return false;
   MultiColumnChunk in;
   while (true) {

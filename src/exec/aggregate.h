@@ -110,7 +110,8 @@ class HashAggOp : public TupleOp, public GroupAggOp {
         global_(global),
         stats_(stats) {}
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "hash-agg"; }
 
  private:
   TupleOp* input_;
@@ -141,7 +142,8 @@ class LateAggOp : public TupleOp, public GroupAggOp {
         global_(global),
         stats_(stats) {}
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "late-agg"; }
 
  private:
   Status ConsumeChunk(const MultiColumnChunk& chunk);

@@ -5,7 +5,7 @@
 namespace cstore {
 namespace exec {
 
-Result<bool> AndOp::Next(MultiColumnChunk* out) {
+Result<bool> AndOp::NextImpl(MultiColumnChunk* out) {
   MultiColumnChunk first;
   CSTORE_ASSIGN_OR_RETURN(bool has, inputs_[0]->Next(&first));
   if (!has) {

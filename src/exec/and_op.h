@@ -28,7 +28,8 @@ class AndOp : public MultiColumnOp {
     CSTORE_CHECK(!inputs_.empty());
   }
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "and-positions"; }
 
  private:
   std::vector<MultiColumnOp*> inputs_;

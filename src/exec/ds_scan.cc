@@ -35,7 +35,7 @@ DS1Scan::DS1Scan(const codec::ColumnReader* reader, ColumnId column,
       stats_(stats),
       cursor_(reader, kChunkPositions, scan_range) {}
 
-Result<bool> DS1Scan::Next(MultiColumnChunk* out) {
+Result<bool> DS1Scan::NextImpl(MultiColumnChunk* out) {
   if (cursor_.done()) return false;
   Position wb = cursor_.begin();
   Position we = cursor_.end();
@@ -103,7 +103,7 @@ IndexScan::IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
                      position::Range range, ExecStats* stats)
     : input_(input), range_(range), stats_(stats), cursor_(reader) {}
 
-Result<bool> IndexScan::Next(MultiColumnChunk* out) {
+Result<bool> IndexScan::NextImpl(MultiColumnChunk* out) {
   if (input_ == nullptr) {
     if (cursor_.done()) return false;
     Position wb = cursor_.begin();
@@ -149,7 +149,7 @@ DS1PipelinedScan::DS1PipelinedScan(MultiColumnOp* input,
       attach_mini_(attach_mini),
       stats_(stats) {}
 
-Result<bool> DS1PipelinedScan::Next(MultiColumnChunk* out) {
+Result<bool> DS1PipelinedScan::NextImpl(MultiColumnChunk* out) {
   MultiColumnChunk in;
   CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
@@ -224,7 +224,7 @@ DS2Scan::DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
       stats_(stats),
       cursor_(reader, kChunkPositions, scan_range) {}
 
-Result<bool> DS2Scan::Next(TupleChunk* out) {
+Result<bool> DS2Scan::NextImpl(TupleChunk* out) {
   if (cursor_.done()) return false;
   Position wb = cursor_.begin();
   Position we = cursor_.end();
@@ -263,7 +263,7 @@ DS4ScanMerge::DS4ScanMerge(TupleOp* input, const codec::ColumnReader* reader,
       stats_(stats),
       in_(AcquireChunk(stats)) {}
 
-Result<bool> DS4ScanMerge::Next(TupleChunk* out) {
+Result<bool> DS4ScanMerge::NextImpl(TupleChunk* out) {
   TupleChunk& in = *in_;
   CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
@@ -321,7 +321,7 @@ SpcScan::SpcScan(std::vector<Input> inputs, ExecStats* stats,
 #endif
 }
 
-Result<bool> SpcScan::Next(TupleChunk* out) {
+Result<bool> SpcScan::NextImpl(TupleChunk* out) {
   if (cursor_.done()) return false;
   Position wb = cursor_.begin();
   Position we = cursor_.end();

@@ -39,7 +39,8 @@ class DS1Scan : public MultiColumnOp {
           codec::Predicate pred, bool attach_mini, ExecStats* stats,
           position::Range scan_range = kFullScanRange);
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "ds1-scan"; }
 
  private:
   const codec::ColumnReader* reader_;
@@ -65,7 +66,8 @@ class IndexScan : public MultiColumnOp {
   IndexScan(MultiColumnOp* input, const codec::ColumnReader* reader,
             position::Range range, ExecStats* stats);
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "index-scan"; }
 
  private:
   MultiColumnOp* input_;
@@ -84,7 +86,8 @@ class DS1PipelinedScan : public MultiColumnOp {
                    ColumnId column, codec::Predicate pred, bool attach_mini,
                    ExecStats* stats);
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "ds1-pipelined-scan"; }
 
  private:
   MultiColumnOp* input_;
@@ -102,7 +105,8 @@ class DS2Scan : public TupleOp {
   DS2Scan(const codec::ColumnReader* reader, codec::Predicate pred,
           ExecStats* stats, position::Range scan_range = kFullScanRange);
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "ds2-scan"; }
 
  private:
   const codec::ColumnReader* reader_;
@@ -122,7 +126,8 @@ class DS4ScanMerge : public TupleOp {
   DS4ScanMerge(TupleOp* input, const codec::ColumnReader* reader,
                codec::Predicate pred, ExecStats* stats);
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "ds4-scan-merge"; }
 
  private:
   TupleOp* input_;
@@ -154,7 +159,8 @@ class SpcScan : public TupleOp {
   SpcScan(std::vector<Input> inputs, ExecStats* stats,
           position::Range scan_range = kFullScanRange);
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "spc-scan"; }
 
  private:
   std::vector<Input> inputs_;

@@ -304,7 +304,7 @@ Status JoinProbeOp::ProbeEarlyChunk(const TupleChunk& in, TupleChunk* out) {
   return Status::OK();
 }
 
-Result<bool> JoinProbeOp::Next(TupleChunk* out) {
+Result<bool> JoinProbeOp::NextImpl(TupleChunk* out) {
   if (table_ == nullptr) {
     // Serial path: no scheduler ran a build phase for us — build our own
     // table here, at execution time, exactly where the pre-refactor join

@@ -167,7 +167,8 @@ class JoinProbeOp : public TupleOp {
               std::optional<JoinBuildTable::Spec> own_build,
               ExecStats* stats);
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "join-probe"; }
 
  private:
   Status ProbeChunk(const MultiColumnChunk& chunk, TupleChunk* out);

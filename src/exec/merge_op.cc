@@ -6,7 +6,7 @@
 namespace cstore {
 namespace exec {
 
-Result<bool> MergeOp::Next(TupleChunk* out) {
+Result<bool> MergeOp::NextImpl(TupleChunk* out) {
   MultiColumnChunk in;
   CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;

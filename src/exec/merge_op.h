@@ -33,7 +33,8 @@ class MergeOp : public TupleOp {
     value_bufs_.resize(columns_.size());
   }
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "merge-materialize"; }
 
  private:
   MultiColumnOp* input_;

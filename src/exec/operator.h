@@ -9,9 +9,18 @@
 // returns false when exhausted. Chunks from position-producing operators are
 // aligned to kChunkPositions windows so multi-input operators can zip
 // without realignment.
+//
+// Next() is a non-virtual wrapper over the per-operator NextImpl(): when a
+// profiling probe is attached (EXPLAIN ANALYZE), it times the call and
+// counts produced rows; without one the overhead is a null check. Probes
+// are plain structs written by exactly one worker at a time — the plan
+// layer merges them into a shared obs::PlanProfile after each morsel.
 
 #ifndef CSTORE_EXEC_OPERATOR_H_
 #define CSTORE_EXEC_OPERATOR_H_
+
+#include <chrono>
+#include <cstdint>
 
 #include "exec/multicolumn.h"
 #include "exec/tuple_chunk.h"
@@ -20,12 +29,44 @@
 namespace cstore {
 namespace exec {
 
+/// Per-operator-instance profiling accumulator (see obs::OpActuals).
+struct OpProbe {
+  uint64_t calls = 0;
+  uint64_t rows = 0;
+  uint64_t time_ns = 0;
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
 class MultiColumnOp {
  public:
   virtual ~MultiColumnOp() = default;
 
   /// Fills *out with the next chunk; returns false when exhausted.
-  virtual Result<bool> Next(MultiColumnChunk* out) = 0;
+  Result<bool> Next(MultiColumnChunk* out) {
+    if (probe_ == nullptr) return NextImpl(out);
+    uint64_t t0 = probe_->NowNs();
+    Result<bool> r = NextImpl(out);
+    probe_->time_ns += probe_->NowNs() - t0;
+    ++probe_->calls;
+    return r;
+  }
+
+  /// Display name for EXPLAIN ANALYZE.
+  virtual const char* name() const { return "mc-op"; }
+
+  void set_probe(OpProbe* probe) { probe_ = probe; }
+
+ protected:
+  virtual Result<bool> NextImpl(MultiColumnChunk* out) = 0;
+
+ private:
+  OpProbe* probe_ = nullptr;
 };
 
 class TupleOp {
@@ -34,7 +75,26 @@ class TupleOp {
 
   /// Fills *out with the next chunk of tuples (possibly empty; callers keep
   /// pulling until false); returns false when exhausted.
-  virtual Result<bool> Next(TupleChunk* out) = 0;
+  Result<bool> Next(TupleChunk* out) {
+    if (probe_ == nullptr) return NextImpl(out);
+    uint64_t t0 = probe_->NowNs();
+    Result<bool> r = NextImpl(out);
+    probe_->time_ns += probe_->NowNs() - t0;
+    ++probe_->calls;
+    if (r.ok() && r.value()) probe_->rows += out->num_tuples();
+    return r;
+  }
+
+  /// Display name for EXPLAIN ANALYZE.
+  virtual const char* name() const { return "tuple-op"; }
+
+  void set_probe(OpProbe* probe) { probe_ = probe; }
+
+ protected:
+  virtual Result<bool> NextImpl(TupleChunk* out) = 0;
+
+ private:
+  OpProbe* probe_ = nullptr;
 };
 
 }  // namespace exec

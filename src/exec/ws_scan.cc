@@ -38,7 +38,7 @@ WsScanPos::WsScanPos(std::shared_ptr<const write::WriteSnapshot> snapshot,
   TailRange(*snapshot_, scan_range, &cur_, &end_);
 }
 
-Result<bool> WsScanPos::Next(MultiColumnChunk* out) {
+Result<bool> WsScanPos::NextImpl(MultiColumnChunk* out) {
   if (cur_ >= end_) return false;
   const Position wb = cur_;
   const Position we = WindowEnd(wb, end_);
@@ -90,7 +90,7 @@ WsScanTuple::WsScanTuple(std::shared_ptr<const write::WriteSnapshot> snapshot,
   TailRange(*snapshot_, scan_range, &cur_, &end_);
 }
 
-Result<bool> WsScanTuple::Next(TupleChunk* out) {
+Result<bool> WsScanTuple::NextImpl(TupleChunk* out) {
   if (cur_ >= end_) return false;
   const Position wb = cur_;
   const Position we = WindowEnd(wb, end_);
@@ -123,7 +123,7 @@ Result<bool> WsScanTuple::Next(TupleChunk* out) {
 // Delete masks
 // ---------------------------------------------------------------------------
 
-Result<bool> DeleteMaskOp::Next(MultiColumnChunk* out) {
+Result<bool> DeleteMaskOp::NextImpl(MultiColumnChunk* out) {
   MultiColumnChunk in;
   CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
@@ -141,7 +141,7 @@ Result<bool> DeleteMaskOp::Next(MultiColumnChunk* out) {
   return true;
 }
 
-Result<bool> DeleteMaskTupleOp::Next(TupleChunk* out) {
+Result<bool> DeleteMaskTupleOp::NextImpl(TupleChunk* out) {
   TupleChunk& in = *in_;
   CSTORE_ASSIGN_OR_RETURN(bool has, input_->Next(&in));
   if (!has) return false;
@@ -164,7 +164,7 @@ Result<bool> DeleteMaskTupleOp::Next(TupleChunk* out) {
 // Concatenation
 // ---------------------------------------------------------------------------
 
-Result<bool> ConcatPosOp::Next(MultiColumnChunk* out) {
+Result<bool> ConcatPosOp::NextImpl(MultiColumnChunk* out) {
   if (!first_done_) {
     CSTORE_ASSIGN_OR_RETURN(bool has, first_->Next(out));
     if (has) return true;
@@ -173,7 +173,7 @@ Result<bool> ConcatPosOp::Next(MultiColumnChunk* out) {
   return second_->Next(out);
 }
 
-Result<bool> ConcatTupleOp::Next(TupleChunk* out) {
+Result<bool> ConcatTupleOp::NextImpl(TupleChunk* out) {
   if (!first_done_) {
     CSTORE_ASSIGN_OR_RETURN(bool has, first_->Next(out));
     if (has) return true;

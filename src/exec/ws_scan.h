@@ -58,7 +58,8 @@ class WsScanPos : public MultiColumnOp {
             std::vector<WsScanColumn> columns, ExecStats* stats,
             position::Range scan_range = kFullScanRange);
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "ws-scan-pos"; }
 
  private:
   std::shared_ptr<const write::WriteSnapshot> snapshot_;
@@ -77,7 +78,8 @@ class WsScanTuple : public TupleOp {
               std::vector<WsScanColumn> columns, ExecStats* stats,
               position::Range scan_range = kFullScanRange);
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "ws-scan-tuple"; }
 
  private:
   std::shared_ptr<const write::WriteSnapshot> snapshot_;
@@ -97,7 +99,8 @@ class DeleteMaskOp : public MultiColumnOp {
                ExecStats* stats)
       : input_(input), snapshot_(std::move(snapshot)), stats_(stats) {}
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "delete-mask"; }
 
  private:
   MultiColumnOp* input_;
@@ -113,7 +116,8 @@ class DeleteMaskTupleOp : public TupleOp {
                     std::shared_ptr<const write::WriteSnapshot> snapshot)
       : input_(input), snapshot_(std::move(snapshot)) {}
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "delete-mask-tuple"; }
 
  private:
   TupleOp* input_;
@@ -127,7 +131,8 @@ class ConcatPosOp : public MultiColumnOp {
   ConcatPosOp(MultiColumnOp* first, MultiColumnOp* second)
       : first_(first), second_(second) {}
 
-  Result<bool> Next(MultiColumnChunk* out) override;
+  Result<bool> NextImpl(MultiColumnChunk* out) override;
+  const char* name() const override { return "concat-pos"; }
 
  private:
   MultiColumnOp* first_;
@@ -141,7 +146,8 @@ class ConcatTupleOp : public TupleOp {
   ConcatTupleOp(TupleOp* first, TupleOp* second)
       : first_(first), second_(second) {}
 
-  Result<bool> Next(TupleChunk* out) override;
+  Result<bool> NextImpl(TupleChunk* out) override;
+  const char* name() const override { return "concat-tuple"; }
 
  private:
   TupleOp* first_;

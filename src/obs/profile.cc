@@ -1,0 +1,41 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace cstore {
+namespace obs {
+
+std::string PlanProfile::Format() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[192];
+  char rows_buf[32];
+  // Tuple section first (it consumes the multi-column section), each
+  // section root-first.
+  for (int section : {static_cast<int>(OpSection::kTuple),
+                      static_cast<int>(OpSection::kMultiColumn)}) {
+    std::vector<const Row*> ops;
+    for (const auto& kv : rows_) {
+      if (kv.first.first == section) ops.push_back(&kv.second);
+    }
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      const Row& row = **it;
+      if (row.actuals.has_rows) {
+        std::snprintf(rows_buf, sizeof(rows_buf), "%llu",
+                      static_cast<unsigned long long>(row.actuals.rows));
+      } else {
+        std::snprintf(rows_buf, sizeof(rows_buf), "-");
+      }
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %-22s actual time=%.3f ms  calls=%llu  rows=%s\n", row.name,
+          row.actuals.time_ns / 1e6,
+          static_cast<unsigned long long>(row.actuals.calls), rows_buf);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cstore

@@ -1,0 +1,86 @@
+// PlanProfile: per-operator actuals for EXPLAIN ANALYZE.
+//
+// Operator instances are cloned per morsel, so actuals are keyed by the
+// operator's position in the plan's ownership order (section = multi-column
+// vs tuple pipeline, index within it) — every clone of the same logical
+// operator merges into one row. Workers accumulate into a local OpProbe
+// (plain non-atomic fields, one instance per cloned operator, touched by
+// exactly one worker at a time) and the scheduler folds probes into the
+// shared PlanProfile under its mutex once per morsel, so the per-Next()
+// cost is two clock reads and a handful of adds.
+
+#ifndef CSTORE_OBS_PROFILE_H_
+#define CSTORE_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cstore {
+namespace obs {
+
+/// Which pipeline of the plan an operator belongs to.
+enum class OpSection : uint8_t {
+  kMultiColumn = 0,  // position-set / mini-column pipeline
+  kTuple = 1,        // materialized-tuple pipeline
+};
+
+/// Accumulated actuals for one logical operator (all morsel clones merged).
+struct OpActuals {
+  uint64_t calls = 0;     // Next() invocations
+  uint64_t rows = 0;      // tuples produced (tuple section only)
+  uint64_t time_ns = 0;   // wall time inside Next(), summed over workers
+  bool has_rows = false;  // false → print "-" (MC ops have no O(1) count)
+};
+
+class PlanProfile {
+ public:
+  /// Folds one operator's actuals into the profile.
+  void Merge(OpSection section, int index, const char* name,
+             const OpActuals& a) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Row& row = rows_[{static_cast<int>(section), index}];
+    row.name = name;
+    row.actuals.calls += a.calls;
+    row.actuals.rows += a.rows;
+    row.actuals.time_ns += a.time_ns;
+    row.actuals.has_rows = row.actuals.has_rows || a.has_rows;
+  }
+
+  /// One formatted line per operator, root first (reverse ownership order:
+  /// plans are linear pipelines built leaf-to-root, so the last-owned op in
+  /// each section is the section's root). Tuple section precedes the
+  /// multi-column section it consumes.
+  std::string Format() const;
+
+  struct Row {
+    const char* name = "";
+    OpActuals actuals;
+  };
+
+  /// Rows keyed by (section, ownership index), for tests.
+  std::map<std::pair<int, int>, Row> rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_;
+  }
+
+  /// Sum of time_ns over all operators (sanity checks).
+  uint64_t TotalTimeNs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t t = 0;
+    for (const auto& kv : rows_) t += kv.second.actuals.time_ns;
+    return t;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<int, int>, Row> rows_;
+};
+
+}  // namespace obs
+}  // namespace cstore
+
+#endif  // CSTORE_OBS_PROFILE_H_

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace cstore {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // The cached pointer outlives the thread-local cache itself: buffers are
+  // owned by buffers_ and never destroyed (Clear empties, never frees), so
+  // a worker can record during any phase of its lifetime.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    cached = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    cached->tid = static_cast<uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(std::move(buffer));
+  }
+  return cached;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(event);
+}
+
+void TraceRecorder::Instant(const char* name, const char* cat,
+                            const char* arg_key, int64_t arg_value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.start_ns = NowNs();
+  if (arg_key != nullptr) event.AddArg(arg_key, arg_value);
+  Record(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::string TraceRecorder::ExportChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":1,"
+                  "\"tid\":%u,\"ts\":%.3f",
+                  e.name, e.cat, e.phase, e.tid, e.start_ns / 1000.0);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_ns / 1000.0);
+      out += buf;
+    } else if (e.phase == 'i') {
+      // Perfetto requires a scope for instant events; thread scope keeps
+      // them on the recording thread's track.
+      out += ",\"s\":\"t\"";
+    }
+    if (e.num_args > 0) {
+      out += ",\"args\":{";
+      for (int a = 0; a < e.num_args; ++a) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", a > 0 ? "," : "",
+                      e.arg_keys[a],
+                      static_cast<long long>(e.arg_vals[a]));
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+    if (i + 1 < events.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  std::string json = ExportChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cstore

@@ -26,6 +26,9 @@ struct RunStats {
   uint64_t checksum = 0;
   exec::ExecStats exec;
   storage::IoStats io;
+  // Id correlating this run's spans in a TraceRecorder export ("query" arg
+  // on morsel/build/finalize spans). 0 when tracing was off at submit.
+  uint64_t trace_query_id = 0;
 
   /// Reported query time: wall time plus the simulated I/O component.
   double TotalMicros() const { return wall_micros + charged_io_micros; }

@@ -114,7 +114,11 @@ Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
       return tmpl.Instantiate(exec::kFullScanRange);
     }();
     CSTORE_RETURN_IF_ERROR(plan.status());
+    if (tmpl.config.profile) (*plan)->EnableProfiling();
     CSTORE_RETURN_IF_ERROR(ExecutePlan(plan->get(), pool, stats, sink));
+    if (tmpl.config.profile) {
+      (*plan)->FlushProfile(tmpl.config.profile.get());
+    }
     stats->io += build_io;
     stats->charged_io_micros = stats->io.charged_io_micros;
     return Status::OK();

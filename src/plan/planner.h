@@ -9,6 +9,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "obs/profile.h"
 #include "plan/query.h"
 #include "plan/strategy.h"
 
@@ -43,9 +44,47 @@ class Plan {
   void SetAggOp(exec::GroupAggOp* op) { agg_op_ = op; }
   exec::GroupAggOp* agg_op() const { return agg_op_; }
 
+  /// Attaches a fresh OpProbe to every owned operator (EXPLAIN ANALYZE).
+  /// Call once, after the plan is fully built and before any Next().
+  void EnableProfiling() {
+    mc_probes_.assign(mc_ops_.size(), exec::OpProbe{});
+    tuple_probes_.assign(tuple_ops_.size(), exec::OpProbe{});
+    for (size_t i = 0; i < mc_ops_.size(); ++i) {
+      mc_ops_[i]->set_probe(&mc_probes_[i]);
+    }
+    for (size_t i = 0; i < tuple_ops_.size(); ++i) {
+      tuple_ops_[i]->set_probe(&tuple_probes_[i]);
+    }
+  }
+
+  /// Folds this instance's probes into `profile`, keyed by ownership order
+  /// so every morsel clone of the same logical operator merges into one
+  /// row. No-op unless EnableProfiling ran.
+  void FlushProfile(obs::PlanProfile* profile) const {
+    for (size_t i = 0; i < mc_probes_.size(); ++i) {
+      obs::OpActuals a;
+      a.calls = mc_probes_[i].calls;
+      a.time_ns = mc_probes_[i].time_ns;
+      // MultiColumnChunk has no O(1) position count — rows stay unset.
+      profile->Merge(obs::OpSection::kMultiColumn, static_cast<int>(i),
+                     mc_ops_[i]->name(), a);
+    }
+    for (size_t i = 0; i < tuple_probes_.size(); ++i) {
+      obs::OpActuals a;
+      a.calls = tuple_probes_[i].calls;
+      a.rows = tuple_probes_[i].rows;
+      a.time_ns = tuple_probes_[i].time_ns;
+      a.has_rows = true;
+      profile->Merge(obs::OpSection::kTuple, static_cast<int>(i),
+                     tuple_ops_[i]->name(), a);
+    }
+  }
+
  private:
   std::vector<std::unique_ptr<exec::MultiColumnOp>> mc_ops_;
   std::vector<std::unique_ptr<exec::TupleOp>> tuple_ops_;
+  std::vector<exec::OpProbe> mc_probes_;
+  std::vector<exec::OpProbe> tuple_probes_;
   exec::TupleOp* root_ = nullptr;
   exec::GroupAggOp* agg_op_ = nullptr;
   exec::ExecStats stats_;

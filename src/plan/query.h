@@ -12,6 +12,7 @@
 #include "exec/aggregate.h"
 #include "exec/join.h"
 #include "exec/morsel_source.h"
+#include "obs/profile.h"
 #include "position/range_set.h"
 #include "write/write_store.h"
 
@@ -96,6 +97,13 @@ struct PlanConfig {
   // scan morsels do; the inner table's snapshot is
   // JoinQuery::right_snapshot (merged into the hash build).
   std::shared_ptr<const write::WriteSnapshot> snapshot;
+
+  // --- Observability ------------------------------------------------------
+  // When set (EXPLAIN ANALYZE), every plan instance built from this config
+  // is profiled: per-operator wall time / calls / rows accumulate into this
+  // shared profile, merged once per morsel. Null (the default) costs one
+  // null check per operator Next().
+  std::shared_ptr<obs::PlanProfile> profile;
 };
 
 }  // namespace plan

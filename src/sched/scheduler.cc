@@ -7,12 +7,65 @@
 #include "exec/aggregate.h"
 #include "exec/chunk_pool.h"
 #include "exec/morsel_source.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 #include "util/stopwatch.h"
 
 namespace cstore {
 namespace sched {
+
+namespace {
+
+/// Hot-path metric pointers, resolved once per process (stable for the
+/// registry's lifetime — see MetricsRegistry::GetCounter).
+struct SchedMetrics {
+  obs::Counter* queries_total;
+  obs::Counter* jobs_total;
+  obs::Counter* morsels_total;
+  obs::Gauge* inflight_queries;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait;
+  // Indexed by plan::Strategy; joins get their own slot.
+  obs::Histogram* latency_by_strategy[5];
+
+  static SchedMetrics& Get() {
+    static SchedMetrics* m = [] {
+      auto* r = new SchedMetrics();
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      r->queries_total = reg.GetCounter(
+          "cstore_sched_queries_total", "Queries submitted to the scheduler");
+      r->jobs_total = reg.GetCounter("cstore_sched_jobs_total",
+                                     "Background jobs submitted");
+      r->morsels_total = reg.GetCounter("cstore_sched_morsels_total",
+                                        "Morsel tasks executed");
+      r->inflight_queries =
+          reg.GetGauge("cstore_sched_inflight_queries",
+                       "Submitted queries not yet finalized");
+      r->queue_depth = reg.GetGauge(
+          "cstore_sched_queue_depth",
+          "Queries in the round-robin rotation with unclaimed work");
+      r->queue_wait = reg.GetHistogram(
+          "cstore_sched_queue_wait_usec",
+          "Submit-to-first-claim wait per query, microseconds");
+      const char* names[5] = {
+          "cstore_query_latency_usec{strategy=\"EM-pipelined\"}",
+          "cstore_query_latency_usec{strategy=\"EM-parallel\"}",
+          "cstore_query_latency_usec{strategy=\"LM-pipelined\"}",
+          "cstore_query_latency_usec{strategy=\"LM-parallel\"}",
+          "cstore_query_latency_usec{strategy=\"join\"}"};
+      for (int i = 0; i < 5; ++i) {
+        r->latency_by_strategy[i] = reg.GetHistogram(
+            names[i], "Submit-to-finalize latency, microseconds");
+      }
+      return r;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 namespace internal {
 
@@ -69,6 +122,12 @@ struct QueryState {
   std::vector<Partial> partials;
 
   Stopwatch timer;  // submit → finalize
+
+  // Trace correlation id ("query" arg on this query's spans); 0 when
+  // tracing was off at submit. first_claimed (guarded by Scheduler::mu_)
+  // gates the one-shot queue-wait sample.
+  uint64_t trace_id = 0;
+  bool first_claimed = false;
 
   // Completion signal (its own mutex so Wait never contends with dispatch).
   std::mutex done_mu;
@@ -173,9 +232,16 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
     q->needs_build = q->tmpl.NeedsBuildPhase();
   }
   q->timer.Restart();
+  SchedMetrics& m = SchedMetrics::Get();
+  m.queries_total->Inc();
+  m.inflight_queries->Add(1);
+  if (obs::TraceRecorder::Global().enabled()) {
+    q->trace_id = obs::TraceRecorder::Global().NextQueryId();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(q);
+    m.queue_depth->Set(static_cast<int64_t>(active_.size()));
   }
   cv_.notify_all();
   return QueryTicket(std::move(q));
@@ -188,9 +254,16 @@ QueryTicket Scheduler::SubmitJob(std::function<Status()> job, int priority) {
   q->single_task = true;
   q->partials.resize(num_workers_);
   q->timer.Restart();
+  SchedMetrics& m = SchedMetrics::Get();
+  m.jobs_total->Inc();
+  m.inflight_queries->Add(1);
+  if (obs::TraceRecorder::Global().enabled()) {
+    q->trace_id = obs::TraceRecorder::Global().NextQueryId();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.push_back(q);
+    m.queue_depth->Set(static_cast<int64_t>(active_.size()));
   }
   cv_.notify_all();
   return QueryTicket(std::move(q));
@@ -214,6 +287,26 @@ Scheduler::Claim Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
     out->morsel = morsel;
   }
   ++q->in_flight;
+  if (!q->first_claimed) {
+    // Submit-to-first-claim latency: how long the query sat in the
+    // rotation before any worker picked it up. Recorded as an instant
+    // event (a duration span here would overlap the claiming worker's own
+    // spans and break strict nesting on its track).
+    q->first_claimed = true;
+    const uint64_t wait_us = static_cast<uint64_t>(q->timer.ElapsedMicros());
+    SchedMetrics::Get().queue_wait->Observe(wait_us);
+    obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+    if (rec.enabled()) {
+      obs::TraceEvent e;
+      e.name = "queue_wait";
+      e.cat = "sched";
+      e.phase = 'i';
+      e.start_ns = rec.NowNs();
+      e.AddArg("query", static_cast<int64_t>(q->trace_id));
+      e.AddArg("wait_us", static_cast<int64_t>(wait_us));
+      rec.Record(e);
+    }
+  }
   return Claim::kClaimed;
 }
 
@@ -244,6 +337,8 @@ bool Scheduler::TryClaimLocked(Task* out) {
         // its in-flight morsels finalizes it; if none remain it is already
         // done. The rotation shrank, so restart the waiting count.
         active_.erase(active_.begin() + rr_);
+        SchedMetrics::Get().queue_depth->Set(
+            static_cast<int64_t>(active_.size()));
         credits_ = 0;
         waiting = 0;
         continue;
@@ -299,6 +394,9 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
   storage::BufferPool::ScopedIoAttribution attribution(&partial.io);
 
   if (q->job) {
+    obs::SpanTimer span("job", "sched");
+    span.Arg("query", static_cast<int64_t>(q->trace_id));
+    span.Arg("worker", worker_id);
     Status st = q->job();
     if (!st.ok()) FailQuery(q, st);
     return;
@@ -308,6 +406,9 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     // Phase one: the serial hash build. Its product is published to
     // shared_build before WorkerLoop marks build_done under mu_, so every
     // probe morsel (claimed only after that) reads it race-free.
+    obs::SpanTimer span("join_build", "sched");
+    span.Arg("query", static_cast<int64_t>(q->trace_id));
+    span.Arg("worker", worker_id);
     Result<std::shared_ptr<const exec::JoinBuildTable>> table =
         q->tmpl.BuildShared(&partial.exec);
     if (!table.ok()) {
@@ -318,6 +419,13 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     return;
   }
 
+  obs::SpanTimer span("morsel", "exec");
+  span.Arg("query", static_cast<int64_t>(q->trace_id));
+  span.Arg("begin", static_cast<int64_t>(task.morsel.begin));
+  span.Arg("end", static_cast<int64_t>(task.morsel.end));
+  span.Arg("worker", worker_id);
+  SchedMetrics::Get().morsels_total->Inc();
+
   Result<std::unique_ptr<plan::Plan>> plan_or =
       q->tmpl.Instantiate(task.morsel, q->shared_build.get());
   if (!plan_or.ok()) {
@@ -325,6 +433,7 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     return;
   }
   plan::Plan* plan = plan_or->get();
+  if (q->tmpl.config.profile) plan->EnableProfiling();
   const bool is_agg = q->tmpl.kind == plan::PlanTemplate::Kind::kAgg;
   // Aggregate instances only accumulate; the merged groups are emitted once
   // at finalization (and counted as constructed tuples there).
@@ -351,6 +460,9 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     }
   }
   partial.exec.Merge(plan->stats());
+  if (q->tmpl.config.profile) {
+    plan->FlushProfile(q->tmpl.config.profile.get());
+  }
   if (is_agg) {
     if (!partial.acc) {
       partial.acc =
@@ -361,6 +473,8 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
 }
 
 void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
+  obs::SpanTimer span("finalize", "sched");
+  span.Arg("query", static_cast<int64_t>(q->trace_id));
   ExecResult result;
   {
     // Error is written under mu_ by workers; every worker that touched this
@@ -407,6 +521,16 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
   result.stats.output_tuples = tuples;
   result.stats.checksum = checksum;
   result.stats.exec = exec_total;
+  result.stats.trace_query_id = q->trace_id;
+  SchedMetrics& m = SchedMetrics::Get();
+  m.inflight_queries->Sub(1);
+  if (!q->job) {
+    const int slot = q->tmpl.kind == plan::PlanTemplate::Kind::kJoin
+                         ? 4
+                         : static_cast<int>(q->tmpl.strategy);
+    m.latency_by_strategy[slot]->Observe(
+        static_cast<uint64_t>(result.stats.wall_micros));
+  }
   {
     std::lock_guard<std::mutex> lock(q->done_mu);
     q->result = std::move(result);

@@ -91,7 +91,12 @@ struct ParsedUpdate {
 /// One statement of any supported kind.
 struct ParsedStatement {
   enum class Kind { kSelect, kInsert, kDelete, kUpdate };
+  /// EXPLAIN prefix: kPlan prints the advisor's ranking without executing;
+  /// kAnalyze executes and annotates the plan with per-operator actuals.
+  /// SELECT statements only.
+  enum class Explain { kNone, kPlan, kAnalyze };
   Kind kind = Kind::kSelect;
+  Explain explain = Explain::kNone;
   ParsedQuery select;    // kSelect
   ParsedInsert insert;   // kInsert
   ParsedDelete del;      // kDelete

@@ -26,6 +26,7 @@ const std::unordered_map<std::string, TokenType>& Keywords() {
       {"insert", TokenType::kInsert}, {"into", TokenType::kInto},
       {"values", TokenType::kValues}, {"delete", TokenType::kDelete},
       {"update", TokenType::kUpdate}, {"set", TokenType::kSet},
+      {"explain", TokenType::kExplain}, {"analyze", TokenType::kAnalyze},
   };
   return *kKeywords;
 }
@@ -65,6 +66,8 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kDelete: return "DELETE";
     case TokenType::kUpdate: return "UPDATE";
     case TokenType::kSet: return "SET";
+    case TokenType::kExplain: return "EXPLAIN";
+    case TokenType::kAnalyze: return "ANALYZE";
     case TokenType::kParam: return "'?'";
     case TokenType::kEof: return "end of input";
   }

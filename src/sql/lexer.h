@@ -48,6 +48,8 @@ enum class TokenType {
   kDelete,
   kUpdate,
   kSet,
+  kExplain,
+  kAnalyze,
   kParam,    // '?' — positional parameter of a prepared statement
   kEof,
 };

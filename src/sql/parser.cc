@@ -13,6 +13,15 @@ class Parser {
 
   Result<ParsedStatement> Run() {
     ParsedStatement stmt;
+    if (Accept(TokenType::kExplain)) {
+      stmt.explain = Accept(TokenType::kAnalyze)
+                         ? ParsedStatement::Explain::kAnalyze
+                         : ParsedStatement::Explain::kPlan;
+      if (Peek().type != TokenType::kSelect) {
+        return Status::InvalidArgument(
+            "EXPLAIN supports only SELECT statements");
+      }
+    }
     switch (Peek().type) {
       case TokenType::kInsert: {
         stmt.kind = ParsedStatement::Kind::kInsert;

@@ -124,6 +124,8 @@ IoStats BufferPool::stats() const {
       stats_.pool_lock_contended.load(std::memory_order_relaxed);
   out.pool_lock_wait_ns =
       stats_.pool_lock_wait_ns.load(std::memory_order_relaxed);
+  out.physical_read_ns =
+      stats_.physical_read_ns.load(std::memory_order_relaxed);
   out.charged_io_micros =
       stats_.charged_io_micros.load(std::memory_order_relaxed);
   return out;
@@ -137,6 +139,7 @@ void BufferPool::ResetStats() {
   stats_.pool_lock_acquisitions.store(0, std::memory_order_relaxed);
   stats_.pool_lock_contended.store(0, std::memory_order_relaxed);
   stats_.pool_lock_wait_ns.store(0, std::memory_order_relaxed);
+  stats_.physical_read_ns.store(0, std::memory_order_relaxed);
   stats_.charged_io_micros.store(0.0, std::memory_order_relaxed);
 }
 
@@ -282,8 +285,19 @@ Result<PageRef> BufferPool::Fetch(FileId file, uint64_t block_no) {
   // overlap their I/O. The pinned+loading frame cannot be evicted or
   // re-claimed meanwhile.
   lock.unlock();
+  auto read_start = std::chrono::steady_clock::now();
   Status st = files_->ReadBlock(file, block_no, &f.page);
+  uint64_t read_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - read_start)
+          .count());
   lock.lock();
+  if (st.ok()) {
+    // Only successful reads contribute timing (a failed read's counters
+    // are withdrawn below; its time is noise, not I/O cost).
+    stats_.physical_read_ns.fetch_add(read_ns, std::memory_order_relaxed);
+    if (t_io_sink != nullptr) t_io_sink->physical_read_ns += read_ns;
+  }
 
   f.loading = false;
   if (!st.ok()) {

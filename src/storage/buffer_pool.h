@@ -179,6 +179,7 @@ class BufferPool {
     std::atomic<uint64_t> pool_lock_acquisitions{0};
     std::atomic<uint64_t> pool_lock_contended{0};
     std::atomic<uint64_t> pool_lock_wait_ns{0};
+    std::atomic<uint64_t> physical_read_ns{0};
     std::atomic<double> charged_io_micros{0.0};
 
     void AddChargedMicros(double micros) {

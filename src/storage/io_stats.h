@@ -27,6 +27,9 @@ struct IoStats {
   uint64_t pool_lock_contended = 0;
   // Wall time spent blocked on contended shard-lock acquisitions.
   uint64_t pool_lock_wait_ns = 0;
+  // Wall time spent inside successful physical block reads (the real file
+  // system call, not the DiskModel's simulated charge).
+  uint64_t physical_read_ns = 0;
   // Microseconds of simulated disk time charged by the DiskModel.
   double charged_io_micros = 0;
 
@@ -38,6 +41,7 @@ struct IoStats {
     pool_lock_acquisitions += other.pool_lock_acquisitions;
     pool_lock_contended += other.pool_lock_contended;
     pool_lock_wait_ns += other.pool_lock_wait_ns;
+    physical_read_ns += other.physical_read_ns;
     charged_io_micros += other.charged_io_micros;
     return *this;
   }
@@ -52,6 +56,7 @@ struct IoStats {
         pool_lock_acquisitions - other.pool_lock_acquisitions;
     d.pool_lock_contended = pool_lock_contended - other.pool_lock_contended;
     d.pool_lock_wait_ns = pool_lock_wait_ns - other.pool_lock_wait_ns;
+    d.physical_read_ns = physical_read_ns - other.physical_read_ns;
     d.charged_io_micros = charged_io_micros - other.charged_io_micros;
     return d;
   }

@@ -1,6 +1,73 @@
 #include "util/logging.h"
 
+#include <chrono>
+#include <cstring>
+
 namespace cstore {
+namespace util {
+
+namespace logging_internal {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+LogMessageSink::LogMessageSink(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessageSink::~LogMessageSink() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count() /
+      1e6;
+  // Strip the directory — the repo-relative basename is enough to find it.
+  const char* base = std::strrchr(file_, '/');
+  base = (base != nullptr) ? base + 1 : file_;
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "[%.6f] %s %s:%d: %s\n", secs, LogLevelName(level_),
+               base, line_, msg.c_str());
+}
+
+}  // namespace logging_internal
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      logging_internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  logging_internal::g_log_level.store(static_cast<int>(level),
+                                      std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace util
+
 namespace internal {
 
 void CheckFailed(const char* file, int line, const char* expr,

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cstore {
@@ -47,11 +49,28 @@ Status TupleMover::CompactEligible(uint64_t threshold) {
   // park claimed workers on a mutex and starve query morsels.
   sched::QueryTicket ticket = scheduler_->SubmitJob(
       [this, eligible] {
+        static obs::Counter* moves_metric =
+            obs::MetricsRegistry::Global().GetCounter(
+                "cstore_tuple_mover_moves_total",
+                "Write-store compactions completed by the TupleMover");
         Status first_error;
         for (const std::string& table : eligible) {
-          Status st = hooks_.compact(table);
-          if (!st.ok() && first_error.ok()) first_error = st;
+          Status st;
+          {
+            obs::SpanTimer span("tuple_mover_compact", "write");
+            if (span.active()) {
+              span.Arg("pending_rows",
+                       static_cast<int64_t>(hooks_.pending_rows(table)));
+            }
+            st = hooks_.compact(table);
+          }
+          if (!st.ok()) {
+            CSTORE_LOG(kWarn) << "compaction of '" << table
+                              << "' failed: " << st.ToString();
+            if (first_error.ok()) first_error = st;
+          }
           if (st.ok()) {
+            if (moves_metric != nullptr) moves_metric->Inc();
             std::lock_guard<std::mutex> lock(mu_);
             ++moves_;
           }

@@ -1,0 +1,396 @@
+// Observability suite: trace spans, metrics math, EXPLAIN ANALYZE.
+//
+// The contracts under test:
+//  * TraceRecorder spans recorded during an 8-worker mixed scheduler batch
+//    are complete (duration assigned) and strictly nested per thread —
+//    any two spans on one thread either nest or are disjoint — with morsel
+//    spans from at least two workers and build/finalize phases present.
+//    This test is in the TSan CI matrix: it is the data-race check for the
+//    per-thread buffer design.
+//  * EXPLAIN ANALYZE per-operator actuals agree with the run's RunStats
+//    (root tuple operator rows == output_tuples) and surface end to end
+//    through SQL.
+//  * Histogram percentiles match a brute-force sort to within the log2
+//    bucket's bounds, and the mean is exact.
+//  * Running a query with tracing enabled changes nothing about its result
+//    (bit-identical checksum, rows, stats that matter).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/connection.h"
+#include "db/database.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "plan/parallel.h"
+#include "sched/scheduler.h"
+#include "test_util.h"
+#include "tpch/dates.h"
+#include "tpch/loader.h"
+
+namespace cstore {
+namespace {
+
+using plan::Strategy;
+using testing::TempDir;
+
+constexpr double kScaleFactor = 0.05;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new TempDir();
+    db::Database::Options opts;
+    opts.dir = dir_->path();
+    opts.pool_frames = 4096;
+    auto db = db::Database::Open(opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value().release();
+    auto li = tpch::LoadLineitem(db_, kScaleFactor);
+    ASSERT_TRUE(li.ok()) << li.status().ToString();
+    li_ = new tpch::LineitemColumns(*li);
+    auto jc = tpch::LoadJoinTables(db_, kScaleFactor);
+    ASSERT_TRUE(jc.ok()) << jc.status().ToString();
+    jc_ = new tpch::JoinColumns(*jc);
+  }
+
+  static void TearDownTestSuite() {
+    delete jc_;
+    delete li_;
+    delete db_;
+    delete dir_;
+    jc_ = nullptr;
+    li_ = nullptr;
+    db_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  void TearDown() override {
+    // Never leak tracing into a neighboring test.
+    obs::TraceRecorder::Global().set_enabled(false);
+  }
+
+  static plan::SelectionQuery Selection() {
+    plan::SelectionQuery sel;
+    Value mid = (li_->shipdate->meta().min_value +
+                 li_->shipdate->meta().max_value) /
+                2;
+    sel.columns.push_back({li_->shipdate, codec::Predicate::LessThan(mid)});
+    sel.columns.push_back({li_->quantity, codec::Predicate::LessThan(30)});
+    return sel;
+  }
+
+  static plan::JoinQuery Join() {
+    plan::JoinQuery q;
+    q.left_key = jc_->orders_custkey;
+    q.left_pred = codec::Predicate::LessThan(
+        static_cast<Value>(jc_->num_customers / 2));
+    q.left_payload = jc_->orders_shipdate;
+    q.right_key = jc_->customer_custkey;
+    q.right_payload = jc_->customer_nationcode;
+    return q;
+  }
+
+  static TempDir* dir_;
+  static db::Database* db_;
+  static tpch::LineitemColumns* li_;
+  static tpch::JoinColumns* jc_;
+};
+
+TempDir* ObsTest::dir_ = nullptr;
+db::Database* ObsTest::db_ = nullptr;
+tpch::LineitemColumns* ObsTest::li_ = nullptr;
+tpch::JoinColumns* ObsTest::jc_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Histogram math
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, PercentilesWithinBucketOfBruteForce) {
+  obs::Histogram h;
+  std::vector<uint64_t> values;
+  uint64_t x = 88172645463325252ull;  // xorshift64
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    uint64_t v = x % 1000000;
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  obs::Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    size_t idx = static_cast<size_t>(q * (values.size() - 1));
+    uint64_t exact = values[idx];
+    double est = snap.Percentile(q);
+    // The estimate interpolates inside the bucket holding the rank-q
+    // sample, so it lands within that bucket's bounds.
+    int b = obs::Histogram::BucketOf(exact);
+    double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+    double hi = b == 0 ? 0.0 : lo * 2;
+    EXPECT_GE(est, lo) << "q=" << q << " exact=" << exact;
+    EXPECT_LE(est, hi) << "q=" << q << " exact=" << exact;
+  }
+
+  uint64_t sum = 0;
+  for (uint64_t v : values) sum += v;
+  EXPECT_DOUBLE_EQ(snap.Mean(),
+                   static_cast<double>(sum) / values.size());
+}
+
+TEST(ObsHistogramTest, EmptyAndSingleton) {
+  obs::Histogram h;
+  EXPECT_EQ(h.snapshot().Percentile(0.99), 0.0);
+  EXPECT_EQ(h.snapshot().Mean(), 0.0);
+  h.Observe(42);
+  obs::Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.Percentile(0.5), 32.0);
+  EXPECT_LE(snap.Percentile(0.5), 64.0);
+}
+
+TEST(ObsMetricsTest, RegistryKindsAndDump) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("obs_test_counter", "test counter");
+  ASSERT_NE(c, nullptr);
+  c->Inc(3);
+  EXPECT_EQ(c, reg.GetCounter("obs_test_counter"));  // stable pointer
+  EXPECT_EQ(reg.GetGauge("obs_test_counter"), nullptr);  // kind conflict
+
+  obs::Gauge* g = reg.GetGauge("obs_test_gauge", "test gauge");
+  ASSERT_NE(g, nullptr);
+  g->Set(7);
+
+  obs::Histogram* h =
+      reg.GetHistogram("obs_test_hist{kind=\"x\"}", "test histogram");
+  ASSERT_NE(h, nullptr);
+  h->Observe(100);
+
+  std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("obs_test_counter 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs_test_gauge 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs_test_hist_count{kind=\"x\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans under a concurrent mixed batch
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SpansCompleteAndStrictlyNestedUnderMixedBatch) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  rec.set_enabled(true);
+
+  {
+    sched::Scheduler::Options so;
+    so.num_workers = 8;
+    sched::Scheduler scheduler(so);
+    api::Connection conn(db_, &scheduler);
+    plan::SelectionQuery sel = Selection();
+    plan::JoinQuery join = Join();
+
+    std::vector<api::PendingResult> pending;
+    const Strategy strategies[] = {Strategy::kEmPipelined,
+                                   Strategy::kEmParallel,
+                                   Strategy::kLmPipelined,
+                                   Strategy::kLmParallel};
+    for (int round = 0; round < 4; ++round) {
+      for (Strategy s : strategies) {
+        pending.push_back(
+            conn.Submit(plan::PlanTemplate::Selection(sel, s), false));
+      }
+      pending.push_back(conn.Submit(
+          plan::PlanTemplate::Join(join, exec::JoinRightMode::kMultiColumn),
+          false));
+    }
+    for (auto& p : pending) {
+      auto r = p.Wait();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  rec.set_enabled(false);
+
+  std::vector<obs::TraceEvent> events = rec.Snapshot();
+  ASSERT_FALSE(events.empty());
+
+  std::map<uint32_t, std::vector<const obs::TraceEvent*>> by_tid;
+  std::set<std::string> names;
+  std::set<uint32_t> morsel_tids;
+  for (const obs::TraceEvent& e : events) {
+    names.insert(e.name);
+    if (e.phase == 'i') continue;  // instants carry no duration
+    EXPECT_EQ(e.phase, 'X');
+    by_tid[e.tid].push_back(&e);
+    if (std::string(e.name) == "morsel") morsel_tids.insert(e.tid);
+  }
+
+  // The batch exercised every instrumented phase.
+  EXPECT_TRUE(names.count("morsel")) << "no morsel spans";
+  EXPECT_TRUE(names.count("join_build")) << "no join build spans";
+  EXPECT_TRUE(names.count("finalize")) << "no finalize spans";
+  EXPECT_TRUE(names.count("queue_wait")) << "no queue-wait instants";
+  // 8 workers, 20 queries: execution cannot have stayed on one thread.
+  EXPECT_GE(morsel_tids.size(), 2u);
+
+  // Strict nesting: any two complete spans on one thread either nest or
+  // are disjoint. A worker's spans are sequential scopes; overlap without
+  // containment would mean a span survived outside its RAII scope.
+  for (const auto& [tid, spans] : by_tid) {
+    for (size_t i = 0; i < spans.size(); ++i) {
+      uint64_t a0 = spans[i]->start_ns;
+      uint64_t a1 = a0 + spans[i]->dur_ns;
+      for (size_t j = i + 1; j < spans.size(); ++j) {
+        uint64_t b0 = spans[j]->start_ns;
+        uint64_t b1 = b0 + spans[j]->dur_ns;
+        bool disjoint = a1 <= b0 || b1 <= a0;
+        bool a_in_b = b0 <= a0 && a1 <= b1;
+        bool b_in_a = a0 <= b0 && b1 <= a1;
+        ASSERT_TRUE(disjoint || a_in_b || b_in_a)
+            << "tid " << tid << ": spans '" << spans[i]->name << "' ["
+            << a0 << "," << a1 << ") and '" << spans[j]->name << "' ["
+            << b0 << "," << b1 << ") overlap without nesting";
+      }
+    }
+  }
+
+  // The export is loadable JSON with the Chrome trace_event envelope.
+  std::string json = rec.ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  rec.Clear();
+}
+
+TEST_F(ObsTest, DisabledAndEnabledTracingProduceIdenticalResults) {
+  api::Connection conn(db_);
+  const std::string sql =
+      "SELECT shipdate, SUM(quantity) FROM lineitem "
+      "WHERE shipdate < '1995-06-01' GROUP BY shipdate";
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.set_enabled(false);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult off, conn.Query(sql, {}, 2));
+  rec.set_enabled(true);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult on, conn.Query(sql, {}, 2));
+  rec.set_enabled(false);
+  rec.Clear();
+
+  EXPECT_EQ(off.stats.output_tuples, on.stats.output_tuples);
+  EXPECT_EQ(off.stats.checksum, on.stats.checksum);
+  EXPECT_EQ(off.stats.exec.blocks_fetched, on.stats.exec.blocks_fetched);
+  EXPECT_EQ(off.tuples.num_tuples(), on.tuples.num_tuples());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PlanProfileActualsMatchRunStats) {
+  auto profile = std::make_shared<obs::PlanProfile>();
+  plan::PlanConfig config;
+  config.num_workers = 2;
+  config.profile = profile;
+  plan::PlanTemplate tmpl = plan::PlanTemplate::Selection(
+      Selection(), Strategy::kLmParallel, config);
+  plan::RunStats stats;
+  ASSERT_OK(plan::ExecuteParallel(tmpl, db_->pool(), &stats));
+  ASSERT_GT(stats.output_tuples, 0u);
+
+  auto rows = profile->rows();
+  ASSERT_FALSE(rows.empty());
+  uint64_t root_rows = 0;
+  int root_index = -1;
+  for (const auto& [key, row] : rows) {
+    EXPECT_GE(row.actuals.calls, 1u) << row.name;
+    // Tuple-section root = highest ownership index in section kTuple.
+    if (key.first == static_cast<int>(obs::OpSection::kTuple) &&
+        key.second > root_index) {
+      root_index = key.second;
+      root_rows = row.actuals.rows;
+    }
+  }
+  ASSERT_GE(root_index, 0) << "no tuple-section operators profiled";
+  // The tuple pipeline's root emits exactly what the executor counted.
+  EXPECT_EQ(root_rows, stats.output_tuples);
+  EXPECT_GT(profile->TotalTimeNs(), 0u);
+}
+
+TEST_F(ObsTest, ExplainAnalyzeSqlEndToEnd) {
+  api::Connection conn(db_);
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult r,
+      conn.Query("EXPLAIN ANALYZE SELECT shipdate, SUM(quantity) FROM "
+                 "lineitem WHERE shipdate < '1995-06-01' GROUP BY "
+                 "shipdate"));
+  ASSERT_FALSE(r.explain_text.empty());
+  EXPECT_EQ(r.tuples.num_tuples(), 0u);  // report instead of rows
+  EXPECT_NE(r.explain_text.find("strategy:"), std::string::npos)
+      << r.explain_text;
+  EXPECT_NE(r.explain_text.find("plan (actual"), std::string::npos)
+      << r.explain_text;
+  EXPECT_NE(r.explain_text.find("calls="), std::string::npos)
+      << r.explain_text;
+  EXPECT_NE(r.explain_text.find("actual: wall="), std::string::npos)
+      << r.explain_text;
+  EXPECT_GT(r.stats.output_tuples, 0u);  // it really executed
+
+  // Plain EXPLAIN predicts without executing: no actuals section.
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult plan_only,
+      conn.Query("EXPLAIN SELECT shipdate FROM lineitem WHERE shipdate < "
+                 "'1995-06-01'"));
+  ASSERT_FALSE(plan_only.explain_text.empty());
+  EXPECT_EQ(plan_only.explain_text.find("plan (actual"), std::string::npos)
+      << plan_only.explain_text;
+
+  // EXPLAIN is Query-only: not preparable, not streamable, SELECT-only.
+  EXPECT_FALSE(conn.Prepare("EXPLAIN SELECT shipdate FROM lineitem").ok());
+  EXPECT_FALSE(conn.Stream("EXPLAIN SELECT shipdate FROM lineitem").ok());
+  EXPECT_FALSE(
+      conn.Query("EXPLAIN DELETE FROM lineitem WHERE linenum = 1").ok());
+}
+
+TEST_F(ObsTest, ExplainAnalyzeApiWithParams) {
+  api::Connection conn(db_);
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult r,
+      conn.ExplainAnalyze(
+          "SELECT shipdate FROM lineitem WHERE shipdate < ?",
+          {static_cast<Value>(tpch::StringToDay("1995-06-01"))}));
+  EXPECT_NE(r.explain_text.find("plan (actual"), std::string::npos);
+  EXPECT_GT(r.stats.output_tuples, 0u);
+  // Wrong arity is an error, not a crash.
+  EXPECT_FALSE(
+      conn.ExplainAnalyze("SELECT shipdate FROM lineitem WHERE shipdate < ?",
+                          {})
+          .ok());
+}
+
+TEST_F(ObsTest, ConnectionMetricsDump) {
+  api::Connection conn(db_);
+  ASSERT_OK(conn.Query("SELECT shipdate FROM lineitem WHERE shipdate < "
+                       "'1995-01-01'")
+                .status());
+  std::string text = conn.Metrics();
+  EXPECT_NE(text.find("cstore_bufferpool_hit_ratio"), std::string::npos);
+  EXPECT_NE(text.find("cstore_chunk_pool_acquires"), std::string::npos);
+  EXPECT_NE(text.find("cstore_retired_fds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cstore
