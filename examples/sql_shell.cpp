@@ -7,15 +7,21 @@
 //   build/sql_shell --script=queries.sql --pool=8  # concurrent batch
 //
 // Observability flags (any mode):
-//   --trace=FILE      record execution spans, write Chrome trace_event
-//                     JSON on exit (load in https://ui.perfetto.dev)
-//   --metrics=FILE    write the Prometheus-style metrics dump on exit
-//   --log-level=LVL   debug | info | warn (default) | error
-// In the REPL, `\metrics` prints the metrics dump; EXPLAIN SELECT ... and
+//   --trace=FILE        record execution spans, write Chrome trace_event
+//                       JSON on exit (load in https://ui.perfetto.dev)
+//   --metrics=FILE      write the Prometheus-style metrics dump on exit
+//   --log-level=LVL     debug | info | warn (default) | error
+//   --slow-query-ms=N   warn (and flag in system.query_log) every query
+//                       whose total time reaches N milliseconds
+// In the REPL, `\metrics` prints the metrics dump, `\queries` the
+// currently-running queries (system.queries), and `\log` the most recent
+// finished queries (system.query_log); EXPLAIN SELECT ... and
 // EXPLAIN ANALYZE SELECT ... are ordinary statements (ANALYZE executes and
 // prints per-operator actual time/calls/rows next to the model's
-// predictions). Script mode prints per-strategy p50/p95/p99 latency from
-// the scheduler's histograms with the batch summary.
+// predictions). The system.* virtual tables (metrics, queries, query_log,
+// tables, pools) answer ordinary SELECTs too. Script mode prints
+// per-strategy p50/p95/p99 latency from the scheduler's histograms with
+// the batch summary.
 //
 // Tables: lineitem(returnflag, shipdate, linenum, linenum_plain,
 //         linenum_bv, quantity), orders(custkey, shipdate),
@@ -54,12 +60,14 @@
 #include "api/connection.h"
 #include "api/statement_cache.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_dict.h"
 
 using namespace cstore;  // NOLINT
 
@@ -105,6 +113,71 @@ int StripWorkersPrefix(std::string* sql) {
   return workers;
 }
 
+/// Renders one result value: interned-string ids (system.* string columns)
+/// print as the string they intern, everything else as a number.
+void PrintValue(Value v) {
+  if (util::StringDict::IsDictId(v)) {
+    const std::string* s = util::StringDict::Global().Lookup(v);
+    if (s != nullptr) {
+      std::printf("%-14s ", s->c_str());
+      return;
+    }
+  }
+  std::printf("%-14lld ", static_cast<long long>(v));
+}
+
+/// `\queries`: what is inside a scheduler right now (system.queries).
+void PrintLiveQueries() {
+  std::vector<obs::LiveQueryRegistry::Row> rows =
+      obs::LiveQueryRegistry::Global().Snapshot();
+  if (rows.empty()) {
+    std::printf("(no live queries)\n");
+    return;
+  }
+  std::printf("%-8s %-8s %-4s %10s %9s  %s\n", "id", "state", "pri",
+              "age_ms", "morsels", "label");
+  for (const auto& r : rows) {
+    char morsels[32];
+    std::snprintf(morsels, sizeof(morsels), "%llu/%llu",
+                  static_cast<unsigned long long>(r.morsels_done),
+                  static_cast<unsigned long long>(r.morsels_total));
+    std::printf("%-8llu %-8s %-4d %10.1f %9s  %s\n",
+                static_cast<unsigned long long>(r.query_id),
+                obs::LiveQuery::StateName(r.state), r.priority,
+                r.age_usec / 1000.0, morsels, r.label.c_str());
+  }
+}
+
+/// `\log`: the most recent finished queries (system.query_log), newest
+/// last, capped to the last `limit`.
+void PrintQueryLog(size_t limit = 20) {
+  std::vector<obs::QueryLogEntry> entries =
+      obs::QueryLog::Global().Snapshot();
+  if (entries.empty()) {
+    std::printf("(query log is empty)\n");
+    return;
+  }
+  size_t start = entries.size() > limit ? entries.size() - limit : 0;
+  std::printf("%-6s %-6s %-6s %-13s %10s %10s %10s %5s  %s\n", "seq", "id",
+              "status", "strategy", "queue_ms", "exec_ms", "rows", "slow",
+              "label");
+  for (size_t i = start; i < entries.size(); ++i) {
+    const obs::QueryLogEntry& e = entries[i];
+    std::printf("%-6llu %-6llu %-6s %-13s %10.1f %10.1f %10llu %5s  %s\n",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<unsigned long long>(e.query_id),
+                e.status.c_str(), e.strategy.c_str(),
+                e.queue_wait_usec / 1000.0, e.exec_usec / 1000.0,
+                static_cast<unsigned long long>(e.rows_out),
+                e.slow ? "SLOW" : "-", e.label.c_str());
+  }
+  if (start > 0) {
+    std::printf("... (%zu older entries retained; SELECT * FROM "
+                "system.query_log for all)\n",
+                start);
+  }
+}
+
 bool RunOne(api::Connection* conn, std::string sql) {
   TrimLeading(&sql);
   int workers = StripWorkersPrefix(&sql);
@@ -139,8 +212,7 @@ bool RunOne(api::Connection* conn, std::string sql) {
   const size_t limit = 20;
   for (size_t i = 0; i < r->tuples.num_tuples() && i < limit; ++i) {
     for (uint32_t c = 0; c < r->tuples.width(); ++c) {
-      std::printf("%-14lld ",
-                  static_cast<long long>(r->tuples.value(i, c)));
+      PrintValue(r->tuples.value(i, c));
     }
     std::printf("\n");
   }
@@ -287,6 +359,14 @@ int main(int argc, char** argv) {
       trace_path = a.substr(8);
     } else if (a.rfind("--metrics=", 0) == 0) {
       metrics_path = a.substr(10);
+    } else if (a.rfind("--slow-query-ms=", 0) == 0) {
+      int ms = std::atoi(a.c_str() + 16);
+      if (ms < 0) {
+        std::fprintf(stderr, "--slow-query-ms needs a count >= 0\n");
+        return 1;
+      }
+      obs::QueryLog::Global().SetSlowThresholdMicros(
+          static_cast<uint64_t>(ms) * 1000);
     } else if (a.rfind("--log-level=", 0) == 0) {
       auto level = util::ParseLogLevel(a.substr(12));
       if (!level.has_value()) {
@@ -361,8 +441,10 @@ int main(int argc, char** argv) {
       "< '1994-01-01' AND linenum < 7 GROUP BY shipdate\n"
       "writes:  UPDATE lineitem SET quantity = 1 WHERE linenum = 7\n"
       "prefix with EXPLAIN for the advisor's cost report, EXPLAIN ANALYZE "
-      "to execute with per-operator actuals;\n\\metrics dumps metrics; "
-      "ctrl-d to exit\n");
+      "to execute with per-operator actuals;\n\\metrics dumps metrics, "
+      "\\queries lists live queries, \\log the recent query log\n"
+      "(also SQL: SELECT ... FROM system.metrics | system.queries | "
+      "system.query_log | system.tables | system.pools); ctrl-d to exit\n");
   std::string line;
   while (true) {
     std::printf("cstore> ");
@@ -371,6 +453,14 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
     if (line == "\\metrics") {
       std::printf("%s", conn.Metrics().c_str());
+      continue;
+    }
+    if (line == "\\queries") {
+      PrintLiveQueries();
+      continue;
+    }
+    if (line == "\\log") {
+      PrintQueryLog();
       continue;
     }
     RunOne(&conn, line);

@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <utility>
 
-#include <cstdio>
-
 #include "api/statement_cache.h"
 #include "exec/chunk_pool.h"
 #include "model/calibrate.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "sql/parser.h"
+#include "storage/page.h"
 #include "storage/page_pool.h"
 
 namespace cstore {
@@ -212,10 +212,60 @@ Result<QueryResult> Connection::ExecuteWrite(
 
 // --- Execution back ends ----------------------------------------------------
 
-Result<QueryResult> Connection::RunTemplateSync(
-    const plan::PlanTemplate& tmpl) {
+namespace {
+
+/// Query-log record for the standalone (schedulerless) execution path; the
+/// pooled path records inside sched::Scheduler's finalize, with the same
+/// field mapping. No queue on this path, so queue wait is 0 and exec time
+/// equals total time.
+void RecordStandaloneQuery(const plan::PlanTemplate& tmpl,
+                           const std::string& label,
+                           const plan::RunStats& stats, bool ok,
+                           int workers) {
+  obs::QueryLog& log = obs::QueryLog::Global();
+  if (!log.enabled()) return;
+  obs::QueryLogEntry e;
+  e.query_id = obs::NextQueryId();
+  if (label.empty()) {
+    using Kind = plan::PlanTemplate::Kind;
+    e.label = tmpl.kind == Kind::kSelection ? "plan:selection"
+              : tmpl.kind == Kind::kAgg     ? "plan:agg"
+                                            : "plan:join";
+  } else {
+    e.label = label;
+  }
+  e.strategy = tmpl.kind == plan::PlanTemplate::Kind::kJoin
+                   ? "join"
+                   : plan::StrategyName(tmpl.strategy);
+  e.status = ok ? "ok" : "error";
+  e.workers = workers;
+  e.priority = 1;
+  e.queue_wait_usec = 0;
+  e.exec_usec = static_cast<uint64_t>(stats.wall_micros);
+  e.total_usec = e.exec_usec;
+  e.rows_out = stats.output_tuples;
+  e.cache_hits = stats.io.cache_hits;
+  e.physical_reads = stats.io.physical_reads;
+  e.bytes_read = (e.cache_hits + e.physical_reads) * kPageSize;
+  e.pool_lock_acquisitions = stats.io.pool_lock_acquisitions;
+  e.pool_lock_contended = stats.io.pool_lock_contended;
+  e.pool_lock_wait_ns = stats.io.pool_lock_wait_ns;
+  e.chunk_pool_acquires = stats.exec.chunk_pool_acquires;
+  e.chunk_pool_reuses = stats.exec.chunk_pool_reuses;
+  e.chunk_pool_allocs = stats.exec.chunk_pool_allocs;
+  log.Record(std::move(e));
+}
+
+}  // namespace
+
+Result<QueryResult> Connection::RunTemplateSync(const plan::PlanTemplate& tmpl,
+                                                const std::string& label) {
   if (scheduler_ != nullptr) {
-    return Submit(tmpl).Wait();
+    Runnable run;
+    run.tmpl = tmpl;
+    run.strategy = tmpl.strategy;
+    run.label = label;
+    return SubmitRunnable(run).Wait();
   }
   QueryResult result;
   bool first = true;
@@ -226,12 +276,15 @@ Result<QueryResult> Connection::RunTemplateSync(
       [&](const exec::TupleChunk& chunk) {
         AppendChunk(&result.tuples, &first, chunk);
       });
+  RecordStandaloneQuery(tmpl, label, result.stats, st.ok(),
+                        std::max(1, tmpl.config.num_workers));
   CSTORE_RETURN_IF_ERROR(st);
   return result;
 }
 
 Result<QueryResult> Connection::RunRunnableSync(const Runnable& run) {
-  CSTORE_ASSIGN_OR_RETURN(QueryResult result, RunTemplateSync(run.tmpl));
+  CSTORE_ASSIGN_OR_RETURN(QueryResult result,
+                          RunTemplateSync(run.tmpl, run.label));
   result.tuples = ProjectChunk(run.output_slots, std::move(result.tuples));
   result.column_names = run.output_names;
   result.strategy = run.strategy;
@@ -251,6 +304,7 @@ PendingResult Connection::SubmitRunnable(const Runnable& run,
   pending.strategy_ = run.strategy;
   sched::Scheduler::SubmitOptions options;
   options.priority = settings_.priority;
+  options.label = run.label;
   if (materialize) {
     std::shared_ptr<QueryResult> buffer = pending.buffer_;
     // The sink runs sequentially at finalization (scheduler contract), so
@@ -288,6 +342,7 @@ Result<RowCursor> Connection::StreamRunnable(const Runnable& run) {
   std::shared_ptr<ChunkQueue> queue = cursor.queue_;
   sched::Scheduler::SubmitOptions options;
   options.priority = settings_.priority;
+  options.label = run.label;
   options.stream_sink = [queue](const exec::TupleChunk& chunk) {
     return queue->Push(chunk);
   };
@@ -334,6 +389,7 @@ Result<QueryResult> Connection::Query(const std::string& sql,
     CSTORE_ASSIGN_OR_RETURN(run, MakeRunnable(&bound, resolved, strategy,
                                               EffectiveWorkers(num_workers)));
   }
+  run.label = sql;
   return RunRunnableSync(run);
 }
 
@@ -385,6 +441,7 @@ PendingResult Connection::Submit(const std::string& sql,
       CSTORE_ASSIGN_OR_RETURN(
           run, MakeRunnable(&bound, resolved, strategy, SubmitWorkers()));
     }
+    run.label = sql;
     pending = SubmitRunnable(run);
     return Status::OK();
   }();
@@ -414,6 +471,7 @@ Result<RowCursor> Connection::Stream(const std::string& sql,
   CSTORE_ASSIGN_OR_RETURN(
       Runnable run,
       MakeRunnable(&bound, resolved, strategy, EffectiveWorkers(0)));
+  run.label = sql;
   return StreamRunnable(run);
 }
 
@@ -437,6 +495,7 @@ Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
           "cannot prepare an EXPLAIN statement; use Query");
     }
     prepared.stmt_ = e->stmt;
+    prepared.sql_ = sql;
     prepared.bound_ = e->bound;
     return prepared;
   }
@@ -444,6 +503,7 @@ Result<PreparedStatement> Connection::Prepare(const std::string& sql) {
     obs::SpanTimer span("parse", "sql");
     CSTORE_ASSIGN_OR_RETURN(prepared.stmt_, sql::ParseStatement(sql));
   }
+  prepared.sql_ = sql;
   if (prepared.stmt_.explain != sql::ParsedStatement::Explain::kNone) {
     // EXPLAIN is a one-shot diagnostic, not a reusable statement shape.
     return Status::InvalidArgument(
@@ -809,7 +869,7 @@ Result<QueryResult> Connection::ExecutePrepared(
   if (stmt->is_write()) return ExecuteWrite(stmt->stmt_, params);
   CSTORE_RETURN_IF_ERROR(PrepareRun(stmt, params, EffectiveWorkers(0)));
   CSTORE_ASSIGN_OR_RETURN(QueryResult result,
-                          RunTemplateSync(stmt->template_));
+                          RunTemplateSync(stmt->template_, stmt->sql_));
   result.tuples =
       ProjectChunk(stmt->bound_.output_slots, std::move(result.tuples));
   result.column_names = stmt->bound_.output_names;
@@ -834,6 +894,7 @@ PendingResult Connection::SubmitPrepared(PreparedStatement* stmt,
     run.output_slots = stmt->bound_.output_slots;
     run.output_names = stmt->bound_.output_names;
     run.strategy = stmt->template_.strategy;
+    run.label = stmt->sql_;
     pending = SubmitRunnable(run);
     return Status::OK();
   }();
@@ -851,6 +912,7 @@ Result<RowCursor> Connection::StreamPrepared(
   run.output_slots = stmt->bound_.output_slots;
   run.output_names = stmt->bound_.output_names;
   run.strategy = stmt->template_.strategy;
+  run.label = stmt->sql_;
   return StreamRunnable(run);
 }
 

@@ -180,6 +180,9 @@ class Connection {
     std::vector<uint32_t> output_slots;
     std::vector<std::string> output_names;
     plan::Strategy strategy = plan::Strategy::kLmParallel;
+    // Query identity in system.queries / system.query_log: the SQL text.
+    // Empty (typed-plan paths) falls back to "plan:<kind>".
+    std::string label;
   };
 
   int EffectiveWorkers(int per_call) const;
@@ -217,7 +220,8 @@ class Connection {
   /// lock contention, retired fds, chunk/page-pool recycling.
   std::string PressureReport() const;
 
-  Result<QueryResult> RunTemplateSync(const plan::PlanTemplate& tmpl);
+  Result<QueryResult> RunTemplateSync(const plan::PlanTemplate& tmpl,
+                                      const std::string& label = {});
   Result<QueryResult> RunRunnableSync(const Runnable& run);
   PendingResult SubmitRunnable(const Runnable& run, bool materialize = true);
   Result<RowCursor> StreamRunnable(const Runnable& run);

@@ -5,6 +5,7 @@
 
 #include "api/connection.h"
 #include "tpch/dates.h"
+#include "util/string_dict.h"
 
 namespace cstore {
 namespace api {
@@ -64,11 +65,12 @@ Result<Value> LiteralValue(const sql::Literal& lit,
   }
   if (!lit.is_date) return lit.int_value;
   int32_t day = tpch::StringToDay(lit.date_text);
-  if (day < 0) {
-    return Status::InvalidArgument("bad date literal '" + lit.date_text +
-                                   "' (expected 'YYYY-MM-DD', 1992+)");
-  }
-  return static_cast<Value>(day);
+  if (day >= 0) return static_cast<Value>(day);
+  // Any quoted literal that doesn't parse as a date is a string literal:
+  // intern it so equality predicates on dictionary-encoded columns (the
+  // system.* string columns) compare ids. Dict ids live at >= 1 << 40, so
+  // a mistyped date simply matches nothing instead of erroring.
+  return util::StringDict::Global().Intern(lit.date_text);
 }
 
 Status Bounds::Add(sql::Condition::Op op, Value a, Value b) {
@@ -181,6 +183,10 @@ Result<BoundSelect> BindSelect(db::Database* db, const sql::ParsedQuery& q) {
   BoundSelect bound;
   bound.table = q.table;
   bound.conditions = q.conditions;
+  // First reference to a system.* table materializes the virtual schema.
+  if (db::Database::IsSystemTable(q.table)) {
+    CSTORE_RETURN_IF_ERROR(db->EnsureSystemTables());
+  }
   if (!db->HasTable(q.table)) {
     return Status::NotFound("unknown table '" + q.table + "'");
   }

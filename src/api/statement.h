@@ -181,6 +181,7 @@ class PreparedStatement {
 
   Connection* conn_ = nullptr;
   sql::ParsedStatement stmt_;
+  std::string sql_;  // original text — the query-log label of each execution
   internal::BoundSelect bound_;  // selects only
   // The reusable plan template, built once at prepare. Each execution
   // mutates only what changed: the snapshot, the predicates (from the new

@@ -5,6 +5,11 @@
 #include <thread>
 
 #include "api/connection.h"
+#include "exec/chunk_pool.h"
+#include "exec/sys_scan.h"
+#include "sched/scheduler.h"
+#include "storage/page_pool.h"
+#include "util/string_dict.h"
 
 namespace cstore {
 namespace db {
@@ -81,6 +86,9 @@ Status Database::LoadCatalog() {
 Status Database::SaveCatalogLocked() const {
   std::string text;
   for (const auto& [table, info] : tables_) {
+    // Virtual tables re-register on every open; keeping them out of the
+    // sidecar keeps it a pure user-table registry.
+    if (IsSystemTable(table)) continue;
     for (const auto& [col, file] : info.columns) {
       text += table;
       text += '\t';
@@ -149,6 +157,10 @@ Status Database::RegisterTable(
   if (column_to_file.empty()) {
     return Status::InvalidArgument("table " + table + " needs >= 1 column");
   }
+  if (IsSystemTable(table)) {
+    return Status::InvalidArgument("table name '" + table +
+                                   "' is reserved for the system schema");
+  }
   std::lock_guard<std::mutex> lock(catalog_mu_);
   uint64_t rows = 0;
   bool first = true;
@@ -175,6 +187,152 @@ Status Database::RegisterTable(
 bool Database::HasTable(const std::string& table) const {
   std::lock_guard<std::mutex> lock(catalog_mu_);
   return tables_.count(table) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// system.* virtual tables
+// ---------------------------------------------------------------------------
+
+bool Database::IsSystemTable(const std::string& table) {
+  return exec::IsSystemTableName(table);
+}
+
+Status Database::EnsureSystemTables() {
+  for (const exec::SysTableDef& def : exec::SysTables()) {
+    {
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      if (tables_.count(def.name) > 0) continue;
+    }
+    // Back each column with an (empty) on-disk file: the planner validates
+    // tables through their readers, and a zero-row reader matches the
+    // synthetic snapshot's base_rows = 0 exactly. Created once per
+    // directory, reused on reopen.
+    std::vector<std::pair<std::string, std::string>> mapping;
+    mapping.reserve(def.columns.size());
+    for (size_t c = 0; c < def.columns.size(); ++c) {
+      std::string file = exec::SysColumnFileName(def, c);
+      if (!files_->Exists(file)) {
+        CSTORE_RETURN_IF_ERROR(
+            CreateColumn(file, codec::Encoding::kUncompressed, {}));
+      }
+      mapping.emplace_back(def.columns[c].name, file);
+    }
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (tables_.count(def.name) > 0) continue;  // lost a benign race
+    for (const auto& [col, file] : mapping) {
+      CSTORE_RETURN_IF_ERROR(GetColumnLocked(file).status());
+    }
+    TableInfo& info = tables_[def.name];
+    info.columns = std::move(mapping);
+    // No SaveCatalogLocked: virtual registrations are per-process.
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// system.tables rows (schema: exec::FindSysTable("system.tables")).
+struct TableRow {
+  std::string name;
+  uint64_t columns = 0;
+  uint64_t generation = 0;
+  std::string first_file;  // base_rows source
+  std::shared_ptr<write::WriteStore> ws;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const write::WriteSnapshot>> Database::SystemSnapshot(
+    const std::string& table) {
+  const exec::SysTableDef* def = exec::FindSysTable(table);
+  if (def == nullptr) {
+    return Status::NotFound("unknown system table '" + table + "'");
+  }
+  CSTORE_RETURN_IF_ERROR(EnsureSystemTables());
+
+  std::vector<std::vector<Value>> cols;
+  if (table == "system.metrics") {
+    // A process that has only run standalone queries hasn't built a pool
+    // yet; register the scheduler families so their gauges report as zero
+    // instead of being absent.
+    sched::EnsureSchedMetricsRegistered();
+    cols = exec::SysMetricsColumns();
+  } else if (table == "system.queries") {
+    cols = exec::SysQueriesColumns();
+  } else if (table == "system.query_log") {
+    cols = exec::SysQueryLogColumns();
+  } else if (table == "system.tables") {
+    // Copy the catalog under its lock, then interrogate readers and write
+    // stores after releasing it: WriteStore::pending_rows takes the store's
+    // own mutex, and GetColumn retakes catalog_mu_.
+    std::vector<TableRow> rows;
+    {
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      rows.reserve(tables_.size());
+      for (const auto& [name, info] : tables_) {
+        TableRow row;
+        row.name = name;
+        row.columns = info.columns.size();
+        row.generation = info.generation;
+        if (!info.columns.empty()) row.first_file = info.columns[0].second;
+        row.ws = info.ws;
+        rows.push_back(std::move(row));
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const TableRow& a, const TableRow& b) {
+                return a.name < b.name;
+              });
+    util::StringDict& dict = util::StringDict::Global();
+    cols.assign(def->columns.size(), {});
+    for (const TableRow& row : rows) {
+      uint64_t base_rows = 0;
+      if (!row.first_file.empty()) {
+        CSTORE_ASSIGN_OR_RETURN(const codec::ColumnReader* reader,
+                                GetColumn(row.first_file));
+        base_rows = reader->num_values();
+      }
+      cols[0].push_back(dict.Intern(row.name));
+      cols[1].push_back(static_cast<Value>(row.columns));
+      cols[2].push_back(static_cast<Value>(row.generation));
+      cols[3].push_back(static_cast<Value>(base_rows));
+      cols[4].push_back(
+          row.ws ? static_cast<Value>(row.ws->pending_rows()) : 0);
+      cols[5].push_back(
+          row.ws ? static_cast<Value>(row.ws->delete_log_size()) : 0);
+    }
+  } else {  // system.pools
+    util::StringDict& dict = util::StringDict::Global();
+    cols.assign(def->columns.size(), {});
+    auto add = [&](const char* pool, const char* metric, uint64_t value) {
+      cols[0].push_back(dict.Intern(pool));
+      cols[1].push_back(dict.Intern(metric));
+      cols[2].push_back(static_cast<Value>(value));
+    };
+    const storage::IoStats io = pool_->stats();
+    add("buffer_pool", "cache_hits", io.cache_hits);
+    add("buffer_pool", "physical_reads", io.physical_reads);
+    add("buffer_pool", "seeks", io.seeks);
+    add("buffer_pool", "evictions", io.evictions);
+    add("buffer_pool", "lock_acquisitions", io.pool_lock_acquisitions);
+    add("buffer_pool", "lock_contended", io.pool_lock_contended);
+    add("buffer_pool", "lock_wait_ns", io.pool_lock_wait_ns);
+    add("buffer_pool", "physical_read_ns", io.physical_read_ns);
+    const util::ObjectPool<exec::TupleChunk>::Stats chunks =
+        exec::GlobalChunkPool().stats();
+    add("chunk_pool", "acquires", chunks.acquires);
+    add("chunk_pool", "reuses", chunks.reuses);
+    add("chunk_pool", "allocs", chunks.allocs);
+    add("chunk_pool", "discards", chunks.discards);
+    const util::ObjectPool<storage::Page>::Stats pages =
+        storage::GlobalPagePool().stats();
+    add("page_pool", "acquires", pages.acquires);
+    add("page_pool", "reuses", pages.reuses);
+    add("page_pool", "allocs", pages.allocs);
+    add("page_pool", "discards", pages.discards);
+    add("file_manager", "retired_fds", files_->retired_fd_count());
+  }
+  return exec::MakeSysSnapshot(*def, std::move(cols));
 }
 
 Result<const codec::ColumnReader*> Database::GetTableColumn(
@@ -238,6 +396,10 @@ Result<write::WriteStore*> Database::EnsureWriteStoreLocked(
 
 Status Database::Insert(const std::string& table,
                         const std::vector<std::vector<Value>>& rows) {
+  if (IsSystemTable(table)) {
+    return Status::InvalidArgument("system table '" + table +
+                                   "' is read-only");
+  }
   std::shared_ptr<write::WriteStore> ws;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
@@ -249,6 +411,7 @@ Status Database::Insert(const std::string& table,
 
 Result<std::shared_ptr<const write::WriteSnapshot>> Database::SnapshotTable(
     const std::string& table) {
+  if (IsSystemTable(table)) return SystemSnapshot(table);
   std::shared_ptr<write::WriteStore> ws;
   {
     std::lock_guard<std::mutex> lock(catalog_mu_);
@@ -262,6 +425,10 @@ Result<uint64_t> Database::DeleteWhere(
     const std::string& table,
     const std::vector<std::pair<std::string, codec::Predicate>>& conds,
     plan::RunStats* scan_stats) {
+  if (IsSystemTable(table)) {
+    return Status::InvalidArgument("system table '" + table +
+                                   "' is read-only");
+  }
   // Hold the store itself (not the table name) across the scan: if the
   // table is re-registered concurrently, the delete lands in the store the
   // scan actually saw instead of corrupting the new incarnation.
@@ -323,6 +490,10 @@ Result<uint64_t> Database::UpdateWhere(
     plan::RunStats* scan_stats) {
   if (sets.empty()) {
     return Status::InvalidArgument("UPDATE needs at least one SET column");
+  }
+  if (IsSystemTable(table)) {
+    return Status::InvalidArgument("system table '" + table +
+                                   "' is read-only");
   }
   // As in DeleteWhere: hold the store itself across the scan so the update
   // lands in the incarnation the scan saw.

@@ -88,6 +88,24 @@ class Database {
 
   bool HasTable(const std::string& table) const;
 
+  // --- system.* virtual tables --------------------------------------------
+
+  /// True for names in the reserved introspection schema ("system." prefix).
+  /// System tables are read-only: Insert/DeleteWhere/UpdateWhere reject
+  /// them, and RegisterTable must not be pointed at one.
+  static bool IsSystemTable(const std::string& table);
+
+  /// Registers the system.* virtual tables (system.metrics, system.queries,
+  /// system.query_log, system.tables, system.pools) in this database's
+  /// catalog. Idempotent and cheap after the first call. The registrations
+  /// are backed by empty column files (created on first use) so the
+  /// planner's reader-based validation sees a zero-row read store; all data
+  /// arrives through the synthetic snapshot built per query by
+  /// SnapshotTable. Not persisted to the catalog sidecar — virtual tables
+  /// re-register on every open. The SQL binder calls this lazily on the
+  /// first reference to a system table.
+  Status EnsureSystemTables();
+
   /// Resolves table.column to its reader (current generation).
   Result<const codec::ColumnReader*> GetTableColumn(
       const std::string& table, const std::string& column);
@@ -132,7 +150,11 @@ class Database {
   /// Captures the table's current write state (read-store generation,
   /// visible write-store rows, delete epoch). Attach to
   /// PlanConfig::snapshot so the plan sees exactly this state. Tables that
-  /// were never written return a valid, empty snapshot.
+  /// were never written return a valid, empty snapshot. System tables
+  /// return a synthetic snapshot materializing the introspection source
+  /// (metrics registry, live queries, query log, catalog, pools) as of
+  /// this call — every query over a system table sees the state at its own
+  /// snapshot time.
   Result<std::shared_ptr<const write::WriteSnapshot>> SnapshotTable(
       const std::string& table);
 
@@ -198,6 +220,9 @@ class Database {
   Database() = default;
 
   Result<QueryResult> ExecuteTemplate(const plan::PlanTemplate& tmpl);
+  /// Builds the synthetic snapshot serving one system table.
+  Result<std::shared_ptr<const write::WriteSnapshot>> SystemSnapshot(
+      const std::string& table);
   Status LoadCatalog();
   Status SaveCatalogLocked() const;
   Result<const codec::ColumnReader*> GetColumnLocked(const std::string& name);

@@ -1,0 +1,164 @@
+#include "exec/sys_scan.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "util/logging.h"
+#include "util/string_dict.h"
+
+namespace cstore {
+namespace exec {
+
+namespace {
+
+constexpr char kSystemPrefix[] = "system.";
+constexpr size_t kSystemPrefixLen = sizeof(kSystemPrefix) - 1;
+
+Value Intern(const std::string& s) {
+  return util::StringDict::Global().Intern(s);
+}
+
+}  // namespace
+
+bool IsSystemTableName(const std::string& table) {
+  return table.compare(0, kSystemPrefixLen, kSystemPrefix) == 0;
+}
+
+const std::vector<SysTableDef>& SysTables() {
+  static const std::vector<SysTableDef>* tables = new std::vector<SysTableDef>{
+      {"system.metrics",
+       {{"name", true}, {"kind", true}, {"value", false}}},
+      {"system.queries",
+       {{"query_id", false},
+        {"label", true},
+        {"state", true},
+        {"priority", false},
+        {"age_usec", false},
+        {"morsels_done", false},
+        {"morsels_total", false}}},
+      {"system.query_log",
+       {{"seq", false},
+        {"query_id", false},
+        {"label", true},
+        {"strategy", true},
+        {"status", true},
+        {"workers", false},
+        {"priority", false},
+        {"queue_wait_usec", false},
+        {"exec_usec", false},
+        {"total_usec", false},
+        {"rows_out", false},
+        {"bytes_read", false},
+        {"cache_hits", false},
+        {"physical_reads", false},
+        {"pool_lock_acquisitions", false},
+        {"pool_lock_contended", false},
+        {"chunk_pool_acquires", false},
+        {"chunk_pool_reuses", false},
+        {"slow", false}}},
+      {"system.tables",
+       {{"table", true},
+        {"columns", false},
+        {"generation", false},
+        {"base_rows", false},
+        {"ws_rows", false},
+        {"deletes", false}}},
+      {"system.pools",
+       {{"pool", true}, {"metric", true}, {"value", false}}},
+  };
+  return *tables;
+}
+
+const SysTableDef* FindSysTable(const std::string& table) {
+  for (const SysTableDef& def : SysTables()) {
+    if (table == def.name) return &def;
+  }
+  return nullptr;
+}
+
+std::string SysColumnFileName(const SysTableDef& def, size_t c) {
+  // "system.metrics" → "_sys.metrics.name": the leading underscore keeps
+  // these registrations in the catalog's reserved namespace, well clear of
+  // user table.column file names.
+  return std::string("_sys.") + (def.name + kSystemPrefixLen) + "." +
+         def.columns[c].name;
+}
+
+std::shared_ptr<const write::WriteSnapshot> MakeSysSnapshot(
+    const SysTableDef& def, std::vector<std::vector<Value>> columns) {
+  CSTORE_CHECK(columns.size() == def.columns.size())
+      << "system-table column count mismatch for " << def.name;
+  std::vector<std::string> names;
+  std::vector<std::string> files;
+  names.reserve(def.columns.size());
+  files.reserve(def.columns.size());
+  for (size_t c = 0; c < def.columns.size(); ++c) {
+    names.emplace_back(def.columns[c].name);
+    files.push_back(SysColumnFileName(def, c));
+  }
+  return write::WriteSnapshot::Synthetic(std::move(names), std::move(files),
+                                         std::move(columns));
+}
+
+std::vector<std::vector<Value>> SysMetricsColumns() {
+  std::vector<obs::MetricsRegistry::Sample> samples =
+      obs::MetricsRegistry::Global().Samples();
+  std::vector<std::vector<Value>> cols(3);
+  for (auto& col : cols) col.reserve(samples.size());
+  for (const auto& s : samples) {
+    cols[0].push_back(Intern(s.name));
+    cols[1].push_back(Intern(s.kind));
+    cols[2].push_back(static_cast<Value>(std::llround(s.value)));
+  }
+  return cols;
+}
+
+std::vector<std::vector<Value>> SysQueriesColumns() {
+  std::vector<obs::LiveQueryRegistry::Row> rows =
+      obs::LiveQueryRegistry::Global().Snapshot();
+  std::vector<std::vector<Value>> cols(7);
+  for (auto& col : cols) col.reserve(rows.size());
+  for (const auto& r : rows) {
+    cols[0].push_back(static_cast<Value>(r.query_id));
+    cols[1].push_back(Intern(r.label));
+    cols[2].push_back(Intern(obs::LiveQuery::StateName(r.state)));
+    cols[3].push_back(r.priority);
+    cols[4].push_back(static_cast<Value>(r.age_usec));
+    cols[5].push_back(static_cast<Value>(r.morsels_done));
+    cols[6].push_back(static_cast<Value>(r.morsels_total));
+  }
+  return cols;
+}
+
+std::vector<std::vector<Value>> SysQueryLogColumns() {
+  std::vector<obs::QueryLogEntry> entries = obs::QueryLog::Global().Snapshot();
+  std::vector<std::vector<Value>> cols(19);
+  for (auto& col : cols) col.reserve(entries.size());
+  for (const auto& e : entries) {
+    cols[0].push_back(static_cast<Value>(e.seq));
+    cols[1].push_back(static_cast<Value>(e.query_id));
+    cols[2].push_back(Intern(e.label));
+    cols[3].push_back(Intern(e.strategy));
+    cols[4].push_back(Intern(e.status));
+    cols[5].push_back(e.workers);
+    cols[6].push_back(e.priority);
+    cols[7].push_back(static_cast<Value>(e.queue_wait_usec));
+    cols[8].push_back(static_cast<Value>(e.exec_usec));
+    cols[9].push_back(static_cast<Value>(e.total_usec));
+    cols[10].push_back(static_cast<Value>(e.rows_out));
+    cols[11].push_back(static_cast<Value>(e.bytes_read));
+    cols[12].push_back(static_cast<Value>(e.cache_hits));
+    cols[13].push_back(static_cast<Value>(e.physical_reads));
+    cols[14].push_back(static_cast<Value>(e.pool_lock_acquisitions));
+    cols[15].push_back(static_cast<Value>(e.pool_lock_contended));
+    cols[16].push_back(static_cast<Value>(e.chunk_pool_acquires));
+    cols[17].push_back(static_cast<Value>(e.chunk_pool_reuses));
+    cols[18].push_back(e.slow ? 1 : 0);
+  }
+  return cols;
+}
+
+}  // namespace exec
+}  // namespace cstore

@@ -174,5 +174,33 @@ std::string MetricsRegistry::PrometheusText() const {
   return out;
 }
 
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& kv : metrics_) {
+    const std::string& name = kv.first;
+    const Entry& e = kv.second;
+    if (e.counter) {
+      out.push_back({name, "counter",
+                     static_cast<double>(e.counter->value())});
+    } else if (e.gauge) {
+      out.push_back({name, "gauge", static_cast<double>(e.gauge->value())});
+    } else if (e.histogram) {
+      Histogram::Snapshot snap = e.histogram->snapshot();
+      out.push_back({name + ":p50", "histogram", snap.Percentile(0.5)});
+      out.push_back({name + ":p95", "histogram", snap.Percentile(0.95)});
+      out.push_back({name + ":p99", "histogram", snap.Percentile(0.99)});
+      out.push_back({name + ":count", "histogram",
+                     static_cast<double>(snap.count)});
+      out.push_back({name + ":sum", "histogram",
+                     static_cast<double>(snap.sum)});
+    } else if (e.callback) {
+      out.push_back({name, "callback", e.callback()});
+    }
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace cstore

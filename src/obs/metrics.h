@@ -128,6 +128,18 @@ class MetricsRegistry {
   /// (p50/p95/p99) plus _count and _sum.
   std::string PrometheusText() const;
 
+  /// One flattened sample for SQL exposition (system.metrics).
+  struct Sample {
+    std::string name;  // histogram rows get a :p50/:p95/:p99/... suffix
+    const char* kind;  // "counter" | "gauge" | "histogram" | "callback"
+    double value;
+  };
+
+  /// Every metric flattened to rows, name-ordered: counters, gauges, and
+  /// callbacks one row each; histograms expanded into :p50 :p95 :p99
+  /// :count :sum rows. Callbacks are evaluated inside the call.
+  std::vector<Sample> Samples() const;
+
   /// Testing hook: forgets every metric (pointers from Get* dangle — only
   /// for tests that own the whole registry lifecycle).
   void ResetForTest();

@@ -1,0 +1,136 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace cstore {
+namespace obs {
+
+QueryLog::QueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(capacity == 0 ? 1 : capacity) {}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog();  // leaked: recordable at exit
+  return *log;
+}
+
+void QueryLog::Record(QueryLogEntry entry) {
+  if (!enabled()) return;
+  uint64_t threshold = slow_threshold_micros();
+  entry.slow = threshold != 0 && entry.total_usec >= threshold;
+  if (entry.slow) {
+    CSTORE_LOG(kWarn) << "slow query (" << entry.total_usec
+                      << " us >= " << threshold
+                      << " us): id=" << entry.query_id
+                      << " strategy=" << entry.strategy
+                      << " rows=" << entry.rows_out << " [" << entry.label
+                      << "]";
+  }
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  entry.seq = seq;
+  size_t slot = static_cast<size_t>(seq % capacity_);
+  std::lock_guard<std::mutex> lock(stripe_mu_[slot % kStripes]);
+  Slot& s = slots_[slot];
+  // A wrapped slot only moves forward: if a racing later writer got here
+  // first, our older record is the one the ring is evicting — drop it.
+  if (!s.used || s.entry.seq < seq) {
+    s.used = true;
+    s.entry = std::move(entry);
+  }
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::vector<QueryLogEntry> out;
+  {
+    // Lock every stripe in index order (total order → no deadlock against
+    // single-stripe writers).
+    std::unique_lock<std::mutex> locks[kStripes];
+    for (size_t i = 0; i < kStripes; ++i) {
+      locks[i] = std::unique_lock<std::mutex>(stripe_mu_[i]);
+    }
+    out.reserve(capacity_);
+    for (const Slot& s : slots_) {
+      if (s.used) out.push_back(s.entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryLogEntry& a, const QueryLogEntry& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void QueryLog::Clear() {
+  std::unique_lock<std::mutex> locks[kStripes];
+  for (size_t i = 0; i < kStripes; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(stripe_mu_[i]);
+  }
+  for (Slot& s : slots_) {
+    s.used = false;
+    s.entry = QueryLogEntry();
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+LiveQueryRegistry& LiveQueryRegistry::Global() {
+  static LiveQueryRegistry* reg = new LiveQueryRegistry();
+  return *reg;
+}
+
+void LiveQueryRegistry::Register(std::shared_ptr<LiveQuery> q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[q->query_id] = std::move(q);
+}
+
+void LiveQueryRegistry::Unregister(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(query_id);
+}
+
+std::vector<LiveQueryRegistry::Row> LiveQueryRegistry::Snapshot() const {
+  uint64_t now = MonotonicMicros();
+  std::vector<Row> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(live_.size());
+    for (const auto& kv : live_) {
+      const LiveQuery& q = *kv.second;
+      Row r;
+      r.query_id = q.query_id;
+      r.label = q.label;
+      r.priority = q.priority;
+      r.age_usec = now >= q.submit_usec ? now - q.submit_usec : 0;
+      r.state = q.state.load(std::memory_order_relaxed);
+      r.morsels_done = q.morsels_done.load(std::memory_order_relaxed);
+      r.morsels_total = q.morsels_total;
+      out.push_back(std::move(r));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return a.query_id < b.query_id;
+  });
+  return out;
+}
+
+size_t LiveQueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+}  // namespace obs
+}  // namespace cstore

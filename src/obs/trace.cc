@@ -3,8 +3,21 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace cstore {
 namespace obs {
+
+namespace {
+
+Counter& DroppedSpansCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "cstore_trace_dropped_spans",
+      "trace events dropped by the per-thread buffer cap");
+  return *c;
+}
+
+}  // namespace
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
@@ -29,8 +42,21 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 void TraceRecorder::Record(TraceEvent event) {
   ThreadBuffer* buffer = BufferForThisThread();
   event.tid = buffer->tid;
-  std::lock_guard<std::mutex> lock(buffer->mu);
-  buffer->events.push_back(event);
+  const size_t cap = max_events_per_thread();
+  {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    if (buffer->events.size() < cap) {
+      buffer->events.push_back(event);
+      return;
+    }
+  }
+  // Full: drop outside the buffer lock so the counter tick never extends
+  // the exporting thread's wait.
+  DroppedSpansCounter().Inc();
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  return DroppedSpansCounter().value();
 }
 
 void TraceRecorder::Instant(const char* name, const char* cat,

@@ -99,6 +99,23 @@ class TraceRecorder {
   /// threads hold cached pointers to them).
   void Clear();
 
+  static constexpr size_t kDefaultMaxEventsPerThread = 1 << 16;
+
+  /// Per-thread buffer cap: once a thread holds this many events, further
+  /// spans are dropped (counted by cstore_trace_dropped_spans) instead of
+  /// growing memory without bound during a long traced soak. Takes effect
+  /// on subsequent Records; existing events are kept.
+  void set_max_events_per_thread(size_t n) {
+    max_events_per_thread_.store(n == 0 ? 1 : n,
+                                 std::memory_order_relaxed);
+  }
+  size_t max_events_per_thread() const {
+    return max_events_per_thread_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans dropped by the per-thread cap since process start.
+  uint64_t dropped_events() const;
+
   /// Serializes the snapshot as Chrome trace_event JSON:
   ///   {"traceEvents":[{"name":...,"ph":"X","ts":μs,"dur":μs,...},...]}
   /// Loadable by Perfetto and chrome://tracing; ts/dur are microseconds.
@@ -119,6 +136,7 @@ class TraceRecorder {
   ThreadBuffer* BufferForThisThread();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<size_t> max_events_per_thread_{kDefaultMaxEventsPerThread};
   std::atomic<uint64_t> next_query_id_{0};
   std::chrono::steady_clock::time_point epoch_;
 

@@ -129,7 +129,12 @@ Status ExecuteParallel(const PlanTemplate& tmpl, storage::BufferPool* pool,
   // sweeps in the benches stay honest). Batch workloads that want one
   // process-wide pool submit to a shared sched::Scheduler directly.
   sched::Scheduler scheduler({workers});
-  sched::QueryTicket ticket = scheduler.Submit(tmpl, pool, sink);
+  sched::Scheduler::SubmitOptions options;
+  options.sink = sink;
+  // The caller (Connection's standalone path) logs this query itself,
+  // with its real label; the ephemeral pool must not log it a second time.
+  options.record_query_log = false;
+  sched::QueryTicket ticket = scheduler.Submit(tmpl, pool, std::move(options));
   const sched::ExecResult& result = ticket.Wait();
   *stats = result.stats;
   return result.status;

@@ -8,7 +8,9 @@
 #include "exec/chunk_pool.h"
 #include "exec/morsel_source.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "storage/page.h"
 #include "plan/executor.h"
 #include "plan/planner.h"
 #include "util/stopwatch.h"
@@ -64,6 +66,32 @@ struct SchedMetrics {
     return *m;
   }
 };
+
+const char* PlanKindName(plan::PlanTemplate::Kind kind) {
+  switch (kind) {
+    case plan::PlanTemplate::Kind::kSelection:
+      return "selection";
+    case plan::PlanTemplate::Kind::kAgg:
+      return "agg";
+    case plan::PlanTemplate::Kind::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+std::shared_ptr<obs::LiveQuery> RegisterLive(uint64_t query_id,
+                                             const std::string& label,
+                                             int priority,
+                                             uint64_t morsels_total) {
+  auto live = std::make_shared<obs::LiveQuery>();
+  live->query_id = query_id;
+  live->label = label;
+  live->priority = priority;
+  live->submit_usec = obs::MonotonicMicros();
+  live->morsels_total = morsels_total;
+  obs::LiveQueryRegistry::Global().Register(live);
+  return live;
+}
 
 }  // namespace
 
@@ -128,6 +156,16 @@ struct QueryState {
   // gates the one-shot queue-wait sample.
   uint64_t trace_id = 0;
   bool first_claimed = false;
+
+  // Introspection identity: process-unique id + display label, the live
+  // entry in system.queries while running, and the measured submit-to-
+  // first-claim wait (guarded by Scheduler::mu_, read by the finalizer
+  // after every worker completed) recorded into system.query_log.
+  uint64_t query_id = 0;
+  std::string label;
+  bool record_query_log = true;
+  std::shared_ptr<obs::LiveQuery> live;
+  uint64_t queue_wait_us = 0;
 
   // Completion signal (its own mutex so Wait never contends with dispatch).
   std::mutex done_mu;
@@ -217,6 +255,7 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
   q->on_complete = std::move(options.on_complete);
   q->priority = std::max(1, options.priority);
   q->partials.resize(num_workers_);
+  uint64_t morsels_total = 1;
   const Position total = q->tmpl.TotalPositions();
   if (total == 0) {
     // Nothing to partition (an empty outer side still probes nothing, and
@@ -230,8 +269,15 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
     }
     q->source = std::make_unique<exec::MorselSource>(total, morsel);
     q->needs_build = q->tmpl.NeedsBuildPhase();
+    morsels_total = (total + morsel - 1) / morsel + (q->needs_build ? 1 : 0);
   }
   q->timer.Restart();
+  q->query_id = obs::NextQueryId();
+  q->label = options.label.empty()
+                 ? std::string("plan:") + PlanKindName(q->tmpl.kind)
+                 : std::move(options.label);
+  q->record_query_log = options.record_query_log;
+  q->live = RegisterLive(q->query_id, q->label, q->priority, morsels_total);
   SchedMetrics& m = SchedMetrics::Get();
   m.queries_total->Inc();
   m.inflight_queries->Add(1);
@@ -254,6 +300,9 @@ QueryTicket Scheduler::SubmitJob(std::function<Status()> job, int priority) {
   q->single_task = true;
   q->partials.resize(num_workers_);
   q->timer.Restart();
+  q->query_id = obs::NextQueryId();
+  q->label = "job";
+  q->live = RegisterLive(q->query_id, q->label, q->priority, 1);
   SchedMetrics& m = SchedMetrics::Get();
   m.jobs_total->Inc();
   m.inflight_queries->Add(1);
@@ -294,6 +343,8 @@ Scheduler::Claim Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
     // spans and break strict nesting on its track).
     q->first_claimed = true;
     const uint64_t wait_us = static_cast<uint64_t>(q->timer.ElapsedMicros());
+    q->queue_wait_us = wait_us;
+    q->live->state.store(1, std::memory_order_relaxed);  // running
     SchedMetrics::Get().queue_wait->Observe(wait_us);
     obs::TraceRecorder& rec = obs::TraceRecorder::Global();
     if (rec.enabled()) {
@@ -388,6 +439,8 @@ void Scheduler::FailQuery(QueryState* q, const Status& status) {
 
 void Scheduler::RunTask(int worker_id, const Task& task) {
   QueryState* q = task.query.get();
+  // Progress for system.queries: every task (build, job, morsel) counts.
+  q->live->morsels_done.fetch_add(1, std::memory_order_relaxed);
   QueryState::Partial& partial = q->partials[worker_id];
   // Route this thread's buffer-pool traffic — plan construction included —
   // to this (query, worker) partial.
@@ -476,6 +529,7 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
   obs::SpanTimer span("finalize", "sched");
   span.Arg("query", static_cast<int64_t>(q->trace_id));
   ExecResult result;
+  uint64_t queue_wait_us = 0;
   {
     // Error is written under mu_ by workers; every worker that touched this
     // query completed (observed under mu_) before finalization, so a plain
@@ -483,6 +537,7 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
     // refactors honest.
     std::lock_guard<std::mutex> lock(mu_);
     result.status = q->error;
+    queue_wait_us = q->queue_wait_us;
   }
   uint64_t checksum = 0;
   uint64_t tuples = 0;
@@ -531,6 +586,39 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
     m.latency_by_strategy[slot]->Observe(
         static_cast<uint64_t>(result.stats.wall_micros));
   }
+  obs::LiveQueryRegistry::Global().Unregister(q->query_id);
+  if (q->record_query_log) {
+    // One row per finished query into the always-on log, carrying exactly
+    // the RunStats this finalize publishes on the ticket.
+    obs::QueryLogEntry e;
+    e.query_id = q->query_id;
+    e.label = q->label;
+    e.strategy = q->job ? "job"
+                 : q->tmpl.kind == plan::PlanTemplate::Kind::kJoin
+                     ? "join"
+                     : plan::StrategyName(q->tmpl.strategy);
+    e.status = result.status.ok() ? "ok" : "error";
+    e.workers = num_workers_;
+    e.priority = q->priority;
+    const uint64_t total_us =
+        static_cast<uint64_t>(result.stats.wall_micros);
+    e.queue_wait_usec = queue_wait_us;
+    e.exec_usec = total_us >= queue_wait_us ? total_us - queue_wait_us : 0;
+    e.total_usec = total_us;
+    e.rows_out = result.stats.output_tuples;
+    e.cache_hits = result.stats.io.cache_hits;
+    e.physical_reads = result.stats.io.physical_reads;
+    e.bytes_read = (result.stats.io.cache_hits +
+                    result.stats.io.physical_reads) *
+                   kPageSize;
+    e.pool_lock_acquisitions = result.stats.io.pool_lock_acquisitions;
+    e.pool_lock_contended = result.stats.io.pool_lock_contended;
+    e.pool_lock_wait_ns = result.stats.io.pool_lock_wait_ns;
+    e.chunk_pool_acquires = result.stats.exec.chunk_pool_acquires;
+    e.chunk_pool_reuses = result.stats.exec.chunk_pool_reuses;
+    e.chunk_pool_allocs = result.stats.exec.chunk_pool_allocs;
+    obs::QueryLog::Global().Record(std::move(e));
+  }
   {
     std::lock_guard<std::mutex> lock(q->done_mu);
     q->result = std::move(result);
@@ -539,6 +627,8 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
   q->done_cv.notify_all();
   if (q->on_complete) q->on_complete();
 }
+
+void EnsureSchedMetricsRegistered() { SchedMetrics::Get(); }
 
 }  // namespace sched
 }  // namespace cstore

@@ -124,6 +124,13 @@ class Scheduler {
     StreamSink stream_sink;
     std::function<void()> on_complete;
     int priority = 1;
+    // Human-readable identity of the query in system.queries /
+    // system.query_log: SQL text for SQL paths, "plan:<kind>" otherwise.
+    std::string label;
+    // The standalone execution path runs multi-worker plans on an
+    // ephemeral pool and records its own query-log row (with the caller's
+    // label); it sets this false so the query isn't logged twice.
+    bool record_query_log = true;
   };
 
   Scheduler();  // Options() — hardware-sized pool
@@ -207,6 +214,12 @@ class Scheduler {
   // everything above, so the pool must be destroyed (joined) first.
   std::unique_ptr<WorkerPool> pool_;
 };
+
+/// Registers the scheduler's metric families (queue depth, latency
+/// histograms, ...) without creating a pool. system.metrics calls this so
+/// the gauges exist — at zero — even in a process that has only run
+/// standalone queries.
+void EnsureSchedMetricsRegistered();
 
 }  // namespace sched
 }  // namespace cstore

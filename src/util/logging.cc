@@ -10,20 +10,39 @@ namespace logging_internal {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
 
+namespace {
+
+// Monotonic seconds since the first log line of the process: under the
+// pool scheduler many threads interleave lines, and a monotonic base makes
+// their relative order and spacing legible (the system clock can step).
+double MonotonicLogSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+// Small sequential id per logging thread — stable within a run, far more
+// readable than the opaque pthread handle.
+uint32_t LogThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
 LogMessageSink::LogMessageSink(LogLevel level, const char* file, int line)
     : level_(level), file_(file), line_(line) {}
 
 LogMessageSink::~LogMessageSink() {
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  const double secs =
-      std::chrono::duration_cast<std::chrono::microseconds>(now).count() /
-      1e6;
+  const double secs = MonotonicLogSeconds();
   // Strip the directory — the repo-relative basename is enough to find it.
   const char* base = std::strrchr(file_, '/');
   base = (base != nullptr) ? base + 1 : file_;
   std::string msg = stream_.str();
-  std::fprintf(stderr, "[%.6f] %s %s:%d: %s\n", secs, LogLevelName(level_),
-               base, line_, msg.c_str());
+  std::fprintf(stderr, "[%12.6f] [t%02u] %s %s:%d: %s\n", secs,
+               LogThreadId(), LogLevelName(level_), base, line_,
+               msg.c_str());
 }
 
 }  // namespace logging_internal

@@ -1,0 +1,37 @@
+#include "util/string_dict.h"
+
+#include <memory>
+
+namespace cstore {
+namespace util {
+
+StringDict& StringDict::Global() {
+  static StringDict* dict = new StringDict();  // leaked: usable at exit
+  return *dict;
+}
+
+Value StringDict::Intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  Value id = kBase + static_cast<Value>(strings_.size());
+  strings_.push_back(std::make_unique<std::string>(s));
+  ids_.emplace(s, id);
+  return id;
+}
+
+const std::string* StringDict::Lookup(Value id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < kBase) return nullptr;
+  size_t idx = static_cast<size_t>(id - kBase);
+  if (idx >= strings_.size()) return nullptr;
+  return strings_[idx].get();
+}
+
+size_t StringDict::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace util
+}  // namespace cstore

@@ -1,0 +1,66 @@
+// Process-wide string dictionary: the bridge that lets string-ish data ride
+// through an engine whose only value type is int64.
+//
+// Every column the executor touches is a Value (= int64_t). The system.*
+// virtual tables need to expose names, SQL text, and states — so those
+// columns store *dictionary ids*: StringDict::Intern maps a string to a
+// stable id, Lookup maps it back for rendering. Ids start at 1 << 40 so
+// they can never collide with real data domains (dates, quantities, row
+// counts) and are trivially recognizable in a raw dump.
+//
+// Equality predicates on string columns work naturally: the binder interns
+// the literal and compares ids. Range predicates compare ids, i.e.
+// insertion order, not collation — documented as unspecified for string
+// columns.
+//
+// The dictionary only ever grows (entries are never reclaimed); it holds
+// distinct metric names, table names, SQL texts of logged queries and
+// string literals — bounded in practice by the query-log ring recycling
+// the same statement shapes.
+
+#ifndef CSTORE_UTIL_STRING_DICT_H_
+#define CSTORE_UTIL_STRING_DICT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace cstore {
+namespace util {
+
+class StringDict {
+ public:
+  /// First id handed out — far above any plausible data value.
+  static constexpr Value kBase = Value{1} << 40;
+
+  /// The process-wide dictionary (leaked singleton, usable at any time).
+  static StringDict& Global();
+
+  /// Stable id for `s`, allocating one on first sight. Thread-safe.
+  Value Intern(const std::string& s);
+
+  /// The string behind `id`, or nullptr when `id` was never handed out.
+  /// The pointer stays valid forever (entries are never reclaimed).
+  const std::string* Lookup(Value id) const;
+
+  /// True for values in the dictionary id range (cheap pre-filter for
+  /// renderers deciding whether to attempt a Lookup).
+  static bool IsDictId(Value v) { return v >= kBase; }
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Value> ids_;
+  // Indexed by id - kBase; deque-of-sorts via stable heap strings.
+  std::vector<std::unique_ptr<std::string>> strings_;
+};
+
+}  // namespace util
+}  // namespace cstore
+
+#endif  // CSTORE_UTIL_STRING_DICT_H_

@@ -88,6 +88,26 @@ void WriteSnapshot::BuildTailBlocks() {
   }
 }
 
+std::shared_ptr<const WriteSnapshot> WriteSnapshot::Synthetic(
+    std::vector<std::string> names, std::vector<std::string> files,
+    std::vector<std::vector<Value>> columns) {
+  CSTORE_CHECK(!names.empty());
+  CSTORE_CHECK(names.size() == files.size());
+  CSTORE_CHECK(columns.size() == names.size());
+  for (const auto& col : columns) {
+    CSTORE_CHECK(col.size() == columns[0].size());
+  }
+  auto snap = std::shared_ptr<WriteSnapshot>(new WriteSnapshot());
+  snap->base_rows_ = 0;
+  snap->tail_rows_ = columns[0].size();
+  snap->delete_epoch_ = 0;
+  snap->names_ = std::move(names);
+  snap->files_ = std::move(files);
+  snap->tail_values_ = std::move(columns);
+  snap->BuildTailBlocks();
+  return snap;
+}
+
 WriteStore::WriteStore(std::vector<std::string> names,
                        std::vector<std::string> files, Position base_rows)
     : names_(std::move(names)),

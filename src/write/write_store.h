@@ -124,6 +124,16 @@ class WriteSnapshot {
   /// MiniColumn plumbing).
   const codec::ColumnMeta* tail_meta(size_t c) const { return &metas_[c]; }
 
+  /// Builds a free-standing snapshot whose *entire* content is a tail:
+  /// base_rows = 0, every row lives in the synthetic in-memory blocks.
+  /// This is how virtual tables (system.*) materialize — the planner,
+  /// delete masks, and all four strategies consume the result exactly like
+  /// a real table whose read store happens to be empty. `columns` is
+  /// column-major and every column must have equal length (may be 0).
+  static std::shared_ptr<const WriteSnapshot> Synthetic(
+      std::vector<std::string> names, std::vector<std::string> files,
+      std::vector<std::vector<Value>> columns);
+
  private:
   friend class WriteStore;
   WriteSnapshot() = default;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -30,12 +31,14 @@
 #include "db/database.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "plan/parallel.h"
 #include "sched/scheduler.h"
 #include "test_util.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
+#include "util/string_dict.h"
 
 namespace cstore {
 namespace {
@@ -390,6 +393,313 @@ TEST_F(ObsTest, ConnectionMetricsDump) {
   EXPECT_NE(text.find("cstore_bufferpool_hit_ratio"), std::string::npos);
   EXPECT_NE(text.find("cstore_chunk_pool_acquires"), std::string::npos);
   EXPECT_NE(text.find("cstore_retired_fds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Query log ring
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogTest, RingWraparoundKeepsNewestInSeqOrder) {
+  obs::QueryLog log(8);
+  for (int i = 0; i < 20; ++i) {
+    obs::QueryLogEntry e;
+    e.rows_out = static_cast<uint64_t>(i);
+    log.Record(std::move(e));
+  }
+  EXPECT_EQ(log.total_recorded(), 20u);
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 8u);
+  // The 8 survivors are exactly records 12..19, oldest first.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, 12 + i);
+    EXPECT_EQ(entries[i].rows_out, 12 + i);
+  }
+}
+
+TEST(QueryLogTest, DisabledRecordsNothing) {
+  obs::QueryLog log(8);
+  log.set_enabled(false);
+  obs::QueryLogEntry e;
+  log.Record(std::move(e));
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+// In the TSan CI matrix: 8 finalizing threads hammer one ring through the
+// wrap path while a 9th snapshots it. Consistency contract: every snapshot
+// holds <= capacity entries with strictly ascending seq, and each entry's
+// payload is the one recorded under that seq (no torn slots).
+TEST(QueryLogTest, ConcurrentWritersAndSnapshotsStayConsistent) {
+  obs::QueryLog log(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<obs::QueryLogEntry> snap = log.Snapshot();
+      ASSERT_LE(snap.size(), 64u);
+      for (size_t i = 0; i < snap.size(); ++i) {
+        // Every visible slot holds a complete Record()ed entry, never a
+        // half-written one (the stripe lock covers the whole copy).
+        ASSERT_EQ(snap[i].rows_out, 7u);
+        ASSERT_EQ(snap[i].label, "writer entry");
+        if (i > 0) {
+          ASSERT_GT(snap[i].seq, snap[i - 1].seq);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::QueryLogEntry e;
+        e.rows_out = 7;
+        e.label = "writer entry";
+        log.Record(std::move(e));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(log.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.Snapshot().size(), 64u);
+}
+
+TEST(QueryLogTest, SlowThresholdFlagsOnlyCrossingEntries) {
+  obs::QueryLog log(8);
+  log.SetSlowThresholdMicros(1000);
+  obs::QueryLogEntry fast;
+  fast.total_usec = 500;
+  log.Record(std::move(fast));
+  obs::QueryLogEntry slow;
+  slow.total_usec = 1500;
+  slow.label = "the slow one";
+  log.Record(std::move(slow));
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_FALSE(entries[0].slow);
+  EXPECT_TRUE(entries[1].slow);
+
+  // Threshold 0 disables the check entirely.
+  log.Clear();
+  log.SetSlowThresholdMicros(0);
+  obs::QueryLogEntry e;
+  e.total_usec = UINT64_MAX;
+  log.Record(std::move(e));
+  EXPECT_FALSE(log.Snapshot()[0].slow);
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer cap
+// ---------------------------------------------------------------------------
+
+TEST(TraceCapTest, PerThreadCapDropsAndCounts) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  rec.set_max_events_per_thread(16);
+  rec.set_enabled(true);
+  const uint64_t dropped_before = rec.dropped_events();
+  for (int i = 0; i < 50; ++i) {
+    rec.Instant("cap_test", "test", "i", i);
+  }
+  rec.set_enabled(false);
+  EXPECT_EQ(rec.Snapshot().size(), 16u);
+  EXPECT_EQ(rec.dropped_events() - dropped_before, 34u);
+  // The drop counter surfaces through the registry (and system.metrics).
+  obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cstore_trace_dropped_spans");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->value(), 34u);
+  rec.set_max_events_per_thread(
+      obs::TraceRecorder::kDefaultMaxEventsPerThread);
+  rec.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// system.* virtual tables + query log end to end
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, QueryLogRowMatchesRunStats) {
+  obs::QueryLog& log = obs::QueryLog::Global();
+  log.Clear();
+  sched::Scheduler::Options so;
+  so.num_workers = 4;
+  sched::Scheduler scheduler(so);
+  api::Connection conn(db_, &scheduler);
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult r,
+      conn.Query(plan::PlanTemplate::Selection(Selection(),
+                                               Strategy::kEmParallel)));
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  const obs::QueryLogEntry& e = entries[0];
+  EXPECT_EQ(e.label, "plan:selection");
+  EXPECT_EQ(e.strategy, "EM-parallel");
+  EXPECT_EQ(e.status, "ok");
+  EXPECT_EQ(e.workers, 4);
+  EXPECT_EQ(e.priority, 1);
+  // The log row is the query's own RunStats, field for field.
+  EXPECT_EQ(e.rows_out, r.stats.output_tuples);
+  EXPECT_EQ(e.cache_hits, r.stats.io.cache_hits);
+  EXPECT_EQ(e.physical_reads, r.stats.io.physical_reads);
+  EXPECT_EQ(e.bytes_read,
+            (r.stats.io.cache_hits + r.stats.io.physical_reads) * kPageSize);
+  EXPECT_EQ(e.pool_lock_acquisitions, r.stats.io.pool_lock_acquisitions);
+  EXPECT_EQ(e.chunk_pool_acquires, r.stats.exec.chunk_pool_acquires);
+  EXPECT_EQ(e.chunk_pool_reuses, r.stats.exec.chunk_pool_reuses);
+  EXPECT_EQ(e.total_usec, static_cast<uint64_t>(r.stats.wall_micros));
+  EXPECT_EQ(e.queue_wait_usec + e.exec_usec, e.total_usec);
+  EXPECT_GT(e.query_id, 0u);
+}
+
+TEST_F(ObsTest, QueryLogRecordsSqlTextAndStandalonePath) {
+  obs::QueryLog& log = obs::QueryLog::Global();
+  log.Clear();
+  api::Connection conn(db_);  // standalone: no scheduler
+  const std::string sql =
+      "SELECT shipdate FROM lineitem WHERE shipdate < '1995-01-01'";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r, conn.Query(sql, {}, 2));
+  std::vector<obs::QueryLogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].label, sql);
+  EXPECT_EQ(entries[0].status, "ok");
+  EXPECT_EQ(entries[0].queue_wait_usec, 0u);  // no queue on this path
+  EXPECT_EQ(entries[0].rows_out, r.stats.output_tuples);
+}
+
+TEST_F(ObsTest, SystemTablesAnswerThroughAllStrategies) {
+  // Ground truth planted in the registry.
+  obs::Counter* probe = obs::MetricsRegistry::Global().GetCounter(
+      "obs_systable_probe", "system-table cross-check");
+  ASSERT_NE(probe, nullptr);
+  probe->Inc(42);
+
+  api::Connection conn(db_);
+  const std::string sql =
+      "SELECT value FROM system.metrics WHERE name = 'obs_systable_probe'";
+  const Strategy strategies[] = {Strategy::kEmPipelined,
+                                 Strategy::kEmParallel,
+                                 Strategy::kLmPipelined,
+                                 Strategy::kLmParallel};
+  for (Strategy s : strategies) {
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r, conn.Query(sql, s));
+    ASSERT_EQ(r.tuples.num_tuples(), 1u) << plan::StrategyName(s);
+    EXPECT_EQ(r.tuples.tuple(0)[0], 42) << plan::StrategyName(s);
+  }
+
+  // Aggregation over the same virtual rows.
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult agg,
+      conn.Query("SELECT SUM(value) FROM system.metrics WHERE name = "
+                 "'obs_systable_probe'"));
+  ASSERT_EQ(agg.tuples.num_tuples(), 1u);
+  EXPECT_EQ(agg.tuples.tuple(0)[0], 42);
+
+  // Pooled scheduler path.
+  sched::Scheduler::Options so;
+  so.num_workers = 4;
+  sched::Scheduler scheduler(so);
+  api::Connection pooled(db_, &scheduler);
+  ASSERT_OK_AND_ASSIGN(api::QueryResult pr, pooled.Query(sql, {}));
+  ASSERT_EQ(pr.tuples.num_tuples(), 1u);
+  EXPECT_EQ(pr.tuples.tuple(0)[0], 42);
+}
+
+TEST_F(ObsTest, SystemQueriesTablesPoolsAndLogCrossCheck) {
+  api::Connection conn(db_);
+
+  // system.queries: plant a live query and read it back by label.
+  auto lq = std::make_shared<obs::LiveQuery>();
+  lq->query_id = obs::NextQueryId();
+  lq->label = "held for inspection";
+  lq->priority = 3;
+  lq->submit_usec = obs::MonotonicMicros();
+  lq->morsels_total = 5;
+  lq->state.store(1, std::memory_order_relaxed);
+  lq->morsels_done.store(2, std::memory_order_relaxed);
+  obs::LiveQueryRegistry::Global().Register(lq);
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult live,
+      conn.Query("SELECT query_id, priority, morsels_done, morsels_total "
+                 "FROM system.queries WHERE label = 'held for inspection'"));
+  obs::LiveQueryRegistry::Global().Unregister(lq->query_id);
+  ASSERT_EQ(live.tuples.num_tuples(), 1u);
+  EXPECT_EQ(live.tuples.tuple(0)[0],
+            static_cast<Value>(lq->query_id));
+  EXPECT_EQ(live.tuples.tuple(0)[1], 3);
+  EXPECT_EQ(live.tuples.tuple(0)[2], 2);
+  EXPECT_EQ(live.tuples.tuple(0)[3], 5);
+
+  // system.tables: the lineitem registration, checked against the catalog.
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> li_cols,
+                       db_->TableColumns("lineitem"));
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult tab,
+      conn.Query("SELECT columns, base_rows, ws_rows FROM system.tables "
+                 "WHERE table = 'lineitem'"));
+  ASSERT_EQ(tab.tuples.num_tuples(), 1u);
+  EXPECT_EQ(tab.tuples.tuple(0)[0],
+            static_cast<Value>(li_cols.size()));
+  EXPECT_EQ(tab.tuples.tuple(0)[1],
+            static_cast<Value>(li_->shipdate->num_values()));
+
+  // system.pools: buffer-pool counters equal the IoStats ground truth
+  // (a system-table scan serves synthetic in-memory blocks — it does no
+  // buffer-pool I/O itself, so the value cannot move between the snapshot
+  // and this check).
+  const storage::IoStats io = db_->pool()->stats();
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult pool_rows,
+      conn.Query("SELECT value FROM system.pools WHERE pool = 'buffer_pool' "
+                 "AND metric = 'cache_hits'"));
+  ASSERT_EQ(pool_rows.tuples.num_tuples(), 1u);
+  EXPECT_EQ(pool_rows.tuples.tuple(0)[0],
+            static_cast<Value>(io.cache_hits));
+
+  // system.query_log: a finished query shows up with its SQL text as the
+  // (dictionary-encoded) label, and the logged row count matches.
+  obs::QueryLog::Global().Clear();
+  const std::string marked =
+      "SELECT quantity FROM lineitem WHERE quantity < 10";
+  ASSERT_OK_AND_ASSIGN(api::QueryResult marked_r, conn.Query(marked, {}, 1));
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult logged,
+      conn.Query("SELECT label, rows_out, status FROM system.query_log"));
+  ASSERT_GE(logged.tuples.num_tuples(), 1u);
+  const Value want_label = util::StringDict::Global().Intern(marked);
+  const Value want_ok = util::StringDict::Global().Intern("ok");
+  bool found = false;
+  for (size_t i = 0; i < logged.tuples.num_tuples(); ++i) {
+    if (logged.tuples.tuple(i)[0] != want_label) continue;
+    found = true;
+    EXPECT_EQ(logged.tuples.tuple(i)[1],
+              static_cast<Value>(marked_r.stats.output_tuples));
+    EXPECT_EQ(logged.tuples.tuple(i)[2], want_ok);
+  }
+  EXPECT_TRUE(found) << "marked query not present in system.query_log";
+
+  // Writes against any system table are rejected.
+  EXPECT_FALSE(db_->Insert("system.metrics", {{1, 2, 3}}).ok());
+  EXPECT_FALSE(conn.Query("DELETE FROM system.query_log WHERE seq = 0").ok());
+  EXPECT_FALSE(
+      conn.Query("UPDATE system.metrics SET value = 0 WHERE value = 42")
+          .ok());
+}
+
+TEST(StringDictTest, InternLookupRoundTrip) {
+  util::StringDict& dict = util::StringDict::Global();
+  Value id = dict.Intern("round-trip probe");
+  EXPECT_GE(id, util::StringDict::kBase);
+  EXPECT_TRUE(util::StringDict::IsDictId(id));
+  EXPECT_FALSE(util::StringDict::IsDictId(12345));
+  EXPECT_EQ(dict.Intern("round-trip probe"), id);  // stable
+  const std::string* s = dict.Lookup(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, "round-trip probe");
+  EXPECT_EQ(dict.Lookup(42), nullptr);
 }
 
 }  // namespace
