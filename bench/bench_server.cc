@@ -1,0 +1,394 @@
+// SQL server front-end throughput: what the wire protocol costs and how
+// admission control behaves under saturation.
+//
+// Serves the TPC-H lineitem projection over HTTP (server::Server on an
+// ephemeral loopback port) and drives it three ways at each (worker count,
+// connection count) point:
+//
+//   closed-loop   K connections, each issuing queries back-to-back — the
+//                 classic saturation throughput measurement (QPS, p50/p99
+//                 client-observed latency, vs the same statements through a
+//                 direct in-process api::Connection for wire overhead)
+//   open-loop     the same K connections issuing on a fixed schedule at
+//                 0.5x / 1.0x / 1.5x the measured closed-loop rate, so
+//                 queueing delay shows up in the tail once arrivals outrun
+//                 capacity (latency no longer self-limits the load)
+//   shed curve    K connections of a slow aggregation against admission
+//                 caps swept downward — reporting what fraction of traffic
+//                 sheds (HTTP 503) at each cap while every admitted query
+//                 still returns correct results
+//
+// Every 200 response's CSV payload is checksum-verified against the direct
+// api::Connection result; any mismatch fails the process, which makes this
+// binary double as a CI smoke test for the whole server stack.
+//
+//   ./build/bench_server --sf=0.1 --workers=2 --concurrency=2,8
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/connection.h"
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "tpch/loader.h"
+#include "util/stopwatch.h"
+
+namespace cstore {
+namespace bench {
+namespace {
+
+struct SqlSpec {
+  std::string name;
+  std::string sql;
+  // Direct-session ground truth.
+  long long sum = 0;
+  uint64_t rows = 0;
+};
+
+/// Sum of all numeric CSV fields plus the data row count — the same
+/// order-independent checksum the server tests use.
+void CsvChecksum(const std::string& body, long long* sum, uint64_t* rows) {
+  *sum = 0;
+  *rows = 0;
+  size_t pos = body.find('\n');
+  if (pos == std::string::npos) return;
+  ++pos;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (eol > pos) {
+      ++*rows;
+      size_t f = pos;
+      while (f < eol) {
+        *sum += std::atoll(body.c_str() + f);
+        size_t comma = body.find(',', f);
+        if (comma == std::string::npos || comma >= eol) break;
+        f = comma + 1;
+      }
+    }
+    pos = eol + 1;
+  }
+}
+
+std::vector<SqlSpec> BuildSpecs(db::Database* db) {
+  std::vector<SqlSpec> specs = {
+      {"sel", "SELECT shipdate, quantity FROM lineitem WHERE quantity < 5",
+       0, 0},
+      {"agg",
+       "SELECT shipdate, SUM(quantity) FROM lineitem WHERE quantity < 30 "
+       "GROUP BY shipdate",
+       0, 0},
+      {"count", "SELECT COUNT(quantity) FROM lineitem WHERE quantity < 10",
+       0, 0},
+  };
+  api::Connection conn(db);
+  for (SqlSpec& s : specs) {
+    auto r = conn.Query(s.sql);
+    CSTORE_CHECK(r.ok()) << s.sql << ": " << r.status().ToString();
+    s.rows = r->tuples.num_tuples();
+    for (size_t i = 0; i < r->tuples.num_tuples(); ++i) {
+      for (uint32_t c = 0; c < r->tuples.width(); ++c) {
+        s.sum += static_cast<long long>(r->tuples.value(i, c));
+      }
+    }
+  }
+  return specs;
+}
+
+struct LoopResult {
+  double wall_s = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+};
+
+/// Drives `total` queries over `connections` clients. `interval_ms` = 0 is
+/// closed-loop (send as fast as responses return); > 0 is open-loop: each
+/// thread sends on a fixed schedule and the latency of a request includes
+/// any backlog the schedule built up.
+LoopResult DriveLoop(int port, const std::vector<SqlSpec>& specs,
+                     int connections, uint64_t total, double interval_ms,
+                     const char* priority, std::atomic<uint64_t>* mismatches) {
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> shed{0}, failed{0};
+  std::vector<std::vector<double>> lat(connections);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      server::HttpClient client;
+      if (!client.Connect("localhost", port).ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      Stopwatch pace;
+      uint64_t sent = 0;
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= total) break;
+        if (interval_ms > 0) {
+          // Fixed schedule: request k fires at k * interval. Sleeping
+          // (not skipping) preserves the arrival count when we fall
+          // behind, so overload shows up as latency, not lost load.
+          const double due = static_cast<double>(sent) * interval_ms;
+          const double now = pace.ElapsedMillis();
+          if (due > now) {
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::milli>(due - now));
+          }
+        }
+        ++sent;
+        const SqlSpec& spec = specs[i % specs.size()];
+        Stopwatch sw;
+        auto r = client.Query(spec.sql, "csv", priority);
+        if (!r.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        if (r->status == 503) {
+          shed.fetch_add(1);
+          continue;
+        }
+        if (r->status != 200) {
+          failed.fetch_add(1);
+          continue;
+        }
+        lat[t].push_back(sw.ElapsedMillis());
+        long long sum = 0;
+        uint64_t rows = 0;
+        CsvChecksum(r->body, &sum, &rows);
+        if (sum != spec.sum || rows != spec.rows) mismatches->fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  LoopResult out;
+  out.wall_s = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  out.completed = all.size();
+  out.shed = shed.load();
+  out.failed = failed.load();
+  out.qps = out.wall_s > 0 ? out.completed / out.wall_s : 0;
+  out.p50_ms = Percentile(all, 0.50);
+  out.p99_ms = Percentile(all, 0.99);
+  return out;
+}
+
+/// Direct-session closed loop (no server): the wire-overhead baseline.
+LoopResult DriveDirect(db::Database* db, sched::Scheduler* scheduler,
+                       const std::vector<SqlSpec>& specs, int connections,
+                       uint64_t total, std::atomic<uint64_t>* mismatches) {
+  std::atomic<uint64_t> next{0};
+  std::vector<std::vector<double>> lat(connections);
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      api::Connection conn(db, scheduler);
+      for (;;) {
+        const uint64_t i = next.fetch_add(1);
+        if (i >= total) break;
+        const SqlSpec& spec = specs[i % specs.size()];
+        Stopwatch sw;
+        auto r = conn.Query(spec.sql);
+        if (!r.ok()) continue;
+        lat[t].push_back(sw.ElapsedMillis());
+        long long sum = 0;
+        for (size_t j = 0; j < r->tuples.num_tuples(); ++j) {
+          for (uint32_t c = 0; c < r->tuples.width(); ++c) {
+            sum += static_cast<long long>(r->tuples.value(j, c));
+          }
+        }
+        if (sum != spec.sum || r->tuples.num_tuples() != spec.rows) {
+          mismatches->fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  LoopResult out;
+  out.wall_s = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  out.completed = all.size();
+  out.qps = out.wall_s > 0 ? out.completed / out.wall_s : 0;
+  out.p50_ms = Percentile(all, 0.50);
+  out.p99_ms = Percentile(all, 0.99);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseArgs(argc, argv);
+  auto db = OpenBenchDb(opts);
+  auto li = tpch::LoadLineitem(db.get(), opts.sf);
+  CSTORE_CHECK(li.ok()) << li.status().ToString();
+  std::printf("# bench_server sf=%.2f rows=%llu\n", opts.sf,
+              static_cast<unsigned long long>(li->num_rows));
+
+  const std::vector<SqlSpec> specs = BuildSpecs(db.get());
+  std::atomic<uint64_t> mismatches{0};
+  BenchJson json("server");
+  const uint64_t total = static_cast<uint64_t>(30) * opts.runs;
+
+  for (int workers : opts.worker_sweep) {
+    server::Server::Options so;
+    so.pool_workers = workers;
+    server::Server srv(db.get(), so);
+    auto started = srv.Start();
+    CSTORE_CHECK(started.ok()) << started.ToString();
+
+    TablePrinter table({"mode", "W", "conns", "rate", "qps", "p50_ms",
+                        "p99_ms", "done", "shed", "fail"});
+    for (int conns : opts.concurrency_sweep) {
+      // Wire-overhead baseline: same statements, direct sessions on the
+      // server's scheduler.
+      LoopResult direct = DriveDirect(db.get(), srv.scheduler(), specs,
+                                      conns, total, &mismatches);
+      json.AddRow()
+          .Str("mode", "direct")
+          .Int("workers", workers)
+          .Int("connections", conns)
+          .Num("qps", direct.qps)
+          .Num("p50_ms", direct.p50_ms)
+          .Num("p99_ms", direct.p99_ms)
+          .Int("completed", direct.completed);
+      table.AddRow({"direct", std::to_string(workers),
+                    std::to_string(conns), "-", Fmt(direct.qps),
+                    Fmt(direct.p50_ms, 2), Fmt(direct.p99_ms, 2),
+                    std::to_string(direct.completed), "0", "0"});
+
+      LoopResult closed = DriveLoop(srv.port(), specs, conns, total, 0,
+                                    "normal", &mismatches);
+      json.AddRow()
+          .Str("mode", "closed")
+          .Int("workers", workers)
+          .Int("connections", conns)
+          .Num("qps", closed.qps)
+          .Num("p50_ms", closed.p50_ms)
+          .Num("p99_ms", closed.p99_ms)
+          .Int("completed", closed.completed)
+          .Int("shed", closed.shed)
+          .Int("failed", closed.failed);
+      table.AddRow({"closed", std::to_string(workers),
+                    std::to_string(conns), "-", Fmt(closed.qps),
+                    Fmt(closed.p50_ms, 2), Fmt(closed.p99_ms, 2),
+                    std::to_string(closed.completed),
+                    std::to_string(closed.shed),
+                    std::to_string(closed.failed)});
+
+      // Open loop at fractions of the measured closed-loop rate: below
+      // capacity the tail should match closed-loop; above it, queueing
+      // delay compounds.
+      for (double frac : {0.5, 1.0, 1.5}) {
+        const double rate = closed.qps * frac;
+        if (rate <= 0) continue;
+        const double interval_ms = 1000.0 * conns / rate;
+        LoopResult open = DriveLoop(srv.port(), specs, conns, total,
+                                    interval_ms, "normal", &mismatches);
+        json.AddRow()
+            .Str("mode", "open")
+            .Int("workers", workers)
+            .Int("connections", conns)
+            .Num("offered_qps", rate)
+            .Num("qps", open.qps)
+            .Num("p50_ms", open.p50_ms)
+            .Num("p99_ms", open.p99_ms)
+            .Int("completed", open.completed)
+            .Int("shed", open.shed)
+            .Int("failed", open.failed);
+        table.AddRow({"open", std::to_string(workers),
+                      std::to_string(conns), Fmt(rate), Fmt(open.qps),
+                      Fmt(open.p50_ms, 2), Fmt(open.p99_ms, 2),
+                      std::to_string(open.completed),
+                      std::to_string(open.shed),
+                      std::to_string(open.failed)});
+      }
+    }
+    std::printf("# fig=server workers=%d\n", workers);
+    table.Print();
+    srv.Stop();
+  }
+
+  // Shed curve: a slow aggregation from many connections against admission
+  // caps swept downward. Sheds are load-dependent (a fast box may overlap
+  // few queries), so the fraction is reported, not asserted.
+  {
+    const std::vector<SqlSpec> slow = {{
+        "agg_all",
+        "SELECT shipdate, SUM(quantity) FROM lineitem GROUP BY shipdate",
+        BuildSpecs(db.get())[1].sum,  // placeholder; recomputed below
+        0,
+    }};
+    std::vector<SqlSpec> slow_specs = slow;
+    {
+      api::Connection conn(db.get());
+      auto r = conn.Query(slow_specs[0].sql);
+      CSTORE_CHECK(r.ok()) << r.status().ToString();
+      slow_specs[0].sum = 0;
+      slow_specs[0].rows = r->tuples.num_tuples();
+      for (size_t i = 0; i < r->tuples.num_tuples(); ++i) {
+        for (uint32_t c = 0; c < r->tuples.width(); ++c) {
+          slow_specs[0].sum += static_cast<long long>(r->tuples.value(i, c));
+        }
+      }
+    }
+    TablePrinter table(
+        {"cap", "conns", "qps", "p99_ms", "done", "shed", "shed_frac"});
+    const int conns = std::max(
+        8, *std::max_element(opts.concurrency_sweep.begin(),
+                             opts.concurrency_sweep.end()));
+    for (int cap : {16, 4, 2, 1}) {
+      server::Server::Options so;
+      so.pool_workers = opts.worker_sweep.front();
+      so.admission.max_inflight = cap;
+      server::Server srv(db.get(), so);
+      auto started = srv.Start();
+      CSTORE_CHECK(started.ok()) << started.ToString();
+      LoopResult r = DriveLoop(srv.port(), slow_specs, conns,
+                               static_cast<uint64_t>(conns) * 4, 0,
+                               "normal", &mismatches);
+      const double frac =
+          r.completed + r.shed > 0
+              ? static_cast<double>(r.shed) / (r.completed + r.shed)
+              : 0;
+      json.AddRow()
+          .Str("mode", "shed")
+          .Int("max_inflight", cap)
+          .Int("connections", conns)
+          .Num("qps", r.qps)
+          .Num("p99_ms", r.p99_ms)
+          .Int("completed", r.completed)
+          .Int("shed", r.shed)
+          .Num("shed_frac", frac);
+      table.AddRow({std::to_string(cap), std::to_string(conns), Fmt(r.qps),
+                    Fmt(r.p99_ms, 2), std::to_string(r.completed),
+                    std::to_string(r.shed), Fmt(frac, 3)});
+      srv.Stop();
+    }
+    std::printf("# fig=server_shed_curve\n");
+    table.Print();
+  }
+
+  CSTORE_CHECK(mismatches.load() == 0)
+      << mismatches.load() << " checksum mismatches vs direct session";
+  std::printf("# all wire results checksum-verified against direct "
+              "api::Connection\n");
+  json.WriteAndReport();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cstore
+
+int main(int argc, char** argv) { return cstore::bench::Main(argc, argv); }

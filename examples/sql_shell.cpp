@@ -5,6 +5,21 @@
 //   build/sql_shell                                # interactive REPL
 //   build/sql_shell "SELECT ... FROM lineitem ..."
 //   build/sql_shell --script=queries.sql --pool=8  # concurrent batch
+//   build/sql_shell --serve=7654                   # SQL-over-HTTP daemon
+//   build/sql_shell --connect=localhost:7654       # client for the above
+//
+// Server mode (--serve=PORT; 0 = ephemeral) loads the warehouse tables and
+// serves them to many concurrent clients over HTTP (see server/server.h
+// for routes). Knobs: --pool=N (scheduler width), --dispatch=rr|fifo|srw
+// (morsel dispatch policy), --max-inflight=N and --max-buffered-mb=N
+// (admission control caps; 0 disables a cap).
+//
+// Client mode (--connect=HOST:PORT) drives a remote daemon with the same
+// machinery as the local modes: one-shot statements, the REPL (\metrics,
+// \queries, \log fetch the server's ops routes), and --script batches —
+// which fan statements across --pool=N concurrent connections, the
+// closed-loop shape the server's admission control is built for.
+// --format=json|csv and --priority=low|normal|high ride on every /query.
 //
 // Observability flags (any mode):
 //   --trace=FILE        record execution spans, write Chrome trace_event
@@ -49,20 +64,27 @@
 // submitted. In script mode writes execute at submit time, so later
 // statements of the script observe them.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/connection.h"
+#include "api/encode.h"
 #include "api/statement_cache.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "tpch/dates.h"
 #include "tpch/loader.h"
 #include "util/logging.h"
@@ -116,14 +138,7 @@ int StripWorkersPrefix(std::string* sql) {
 /// Renders one result value: interned-string ids (system.* string columns)
 /// print as the string they intern, everything else as a number.
 void PrintValue(Value v) {
-  if (util::StringDict::IsDictId(v)) {
-    const std::string* s = util::StringDict::Global().Lookup(v);
-    if (s != nullptr) {
-      std::printf("%-14s ", s->c_str());
-      return;
-    }
-  }
-  std::printf("%-14lld ", static_cast<long long>(v));
+  std::printf("%-14s ", api::RenderValue(v).c_str());
 }
 
 /// `\queries`: what is inside a scheduler right now (system.queries).
@@ -341,6 +356,212 @@ int RunScript(db::Database* db, const std::string& path, int pool_workers) {
   return 0;
 }
 
+// --- server / client modes --------------------------------------------------
+
+/// Knobs shared by --serve and --connect.
+struct NetOptions {
+  int serve_port = -1;          // >= 0: run the daemon
+  std::string connect;          // host:port: run as client
+  std::string dispatch = "rr";  // rr | fifo | srw
+  int max_inflight = 32;        // admission in-flight cap (0 = off)
+  int max_buffered_mb = 64;     // admission output-byte cap (0 = off)
+  std::string format = "csv";   // client-side /query encoding
+  std::string priority = "normal";
+};
+
+int RunServe(db::Database* db, const NetOptions& net, int pool_workers) {
+  auto dispatch = sched::ParseDispatchPolicy(net.dispatch);
+  if (!dispatch.ok()) {
+    std::fprintf(stderr, "%s\n", dispatch.status().ToString().c_str());
+    return 1;
+  }
+  server::Server::Options opts;
+  opts.port = net.serve_port;
+  opts.pool_workers = pool_workers;
+  opts.dispatch = *dispatch;
+  opts.admission.max_inflight = net.max_inflight;
+  opts.admission.max_buffered_bytes =
+      static_cast<int64_t>(net.max_buffered_mb) << 20;
+  server::Server srv(db, opts);
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server failed to start: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serving SQL on http://127.0.0.1:%d  (pool=%d dispatch=%s "
+      "max-inflight=%d max-buffered=%d MiB; ctrl-c to stop)\n"
+      "routes: /health /metrics /query /queries /log\n",
+      srv.port(), srv.scheduler()->num_workers(), net.dispatch.c_str(),
+      net.max_inflight, net.max_buffered_mb);
+  std::fflush(stdout);
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+/// Extracts "rows_out":N from a JSON /query response (−1 when absent).
+long long ExtractRowsOut(const std::string& body) {
+  const size_t pos = body.rfind("\"rows_out\":");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(body.c_str() + pos + 11);
+}
+
+/// One remote statement: POST, print the body (or the error). False on any
+/// non-200.
+bool RunOneRemote(server::HttpClient* client, const NetOptions& net,
+                  const std::string& sql) {
+  auto r = client->Query(sql, net.format, net.priority);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return false;
+  }
+  if (r->status != 200) {
+    std::printf("HTTP %d: %s", r->status, r->body.c_str());
+    return false;
+  }
+  std::printf("%s", r->body.c_str());
+  if (!r->body.empty() && r->body.back() != '\n') std::printf("\n");
+  return true;
+}
+
+/// Remote script batch: statements fan out over `threads` keep-alive
+/// connections (each thread owns one), claiming work from a shared cursor —
+/// the closed-loop client shape bench_server sweeps.
+int RunScriptRemote(const std::string& host, int port,
+                    const std::string& path, int threads,
+                    const NetOptions& net) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open script '%s'\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> statements;
+  std::string line;
+  while (std::getline(file, line)) {
+    TrimLeading(&line);
+    if (line.empty() || line[0] == '#') continue;
+    statements.push_back(line);
+  }
+  if (statements.empty()) {
+    std::printf("(script is empty)\n");
+    return 0;
+  }
+  if (threads <= 0) threads = 4;
+  threads = std::min<int>(threads, static_cast<int>(statements.size()));
+
+  struct Outcome {
+    int http_status = 0;
+    long long rows = -1;
+    double ms = 0;
+  };
+  std::vector<Outcome> outcomes(statements.size());
+  std::atomic<size_t> next{0};
+  Stopwatch batch;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      server::HttpClient client;
+      if (!client.Connect(host, port).ok()) return;
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= statements.size()) return;
+        Stopwatch one;
+        auto r = client.Query(statements[i], net.format, net.priority);
+        outcomes[i].ms = one.ElapsedMillis();
+        if (!r.ok()) continue;  // status stays 0 = transport failure
+        outcomes[i].http_status = r->status;
+        if (r->status == 200) outcomes[i].rows = ExtractRowsOut(r->body);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_ms = batch.ElapsedMillis();
+
+  int failures = 0;
+  int shed = 0;
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (o.http_status == 503) {
+      ++shed;
+      std::printf("[%zu] shed (503)  %8.1f ms  %s\n", i, o.ms,
+                  statements[i].c_str());
+      continue;
+    }
+    if (o.http_status != 200) {
+      ++failures;
+      std::printf("[%zu] HTTP %d  %8.1f ms  %s\n", i, o.http_status, o.ms,
+                  statements[i].c_str());
+      continue;
+    }
+    if (o.rows >= 0) {
+      std::printf("[%zu] %lld rows  %8.1f ms  %s\n", i, o.rows, o.ms,
+                  statements[i].c_str());
+    } else {
+      std::printf("[%zu] ok  %8.1f ms  %s\n", i, o.ms,
+                  statements[i].c_str());
+    }
+  }
+  std::printf(
+      "-- remote batch: %zu statements over %d connections in %.1f ms "
+      "(%.1f qps), %d failed, %d shed\n",
+      statements.size(), threads, wall_ms,
+      statements.size() * 1000.0 / wall_ms, failures, shed);
+  return failures == 0 ? 0 : 1;
+}
+
+int RunConnect(const NetOptions& net, const std::string& script,
+               int pool_workers, const std::string& one_shot) {
+  const size_t colon = net.connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect needs HOST:PORT\n");
+    return 1;
+  }
+  const std::string host = net.connect.substr(0, colon);
+  const int port = std::atoi(net.connect.c_str() + colon + 1);
+
+  if (!script.empty()) {
+    return RunScriptRemote(host, port, script, pool_workers, net);
+  }
+
+  server::HttpClient client;
+  Status st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!one_shot.empty()) {
+    return RunOneRemote(&client, net, one_shot) ? 0 : 1;
+  }
+
+  std::printf("connected to %s:%d; \\metrics \\queries \\log fetch the "
+              "server's ops routes, ctrl-d to exit\n",
+              host.c_str(), port);
+  std::string line;
+  while (true) {
+    std::printf("cstore> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    std::string route;
+    if (line == "\\metrics") route = "/metrics";
+    if (line == "\\queries") route = "/queries?format=" + net.format;
+    if (line == "\\log") route = "/log?format=" + net.format;
+    if (!route.empty()) {
+      auto r = client.Get(route);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      } else {
+        std::printf("%s", r->body.c_str());
+      }
+      continue;
+    }
+    RunOneRemote(&client, net, line);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,12 +570,27 @@ int main(int argc, char** argv) {
   std::string one_shot;
   std::string trace_path;
   std::string metrics_path;
+  NetOptions net;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--script=", 0) == 0) {
       script = a.substr(9);
     } else if (a.rfind("--pool=", 0) == 0) {
       pool_workers = std::atoi(a.c_str() + 7);
+    } else if (a.rfind("--serve=", 0) == 0) {
+      net.serve_port = std::atoi(a.c_str() + 8);
+    } else if (a.rfind("--connect=", 0) == 0) {
+      net.connect = a.substr(10);
+    } else if (a.rfind("--dispatch=", 0) == 0) {
+      net.dispatch = a.substr(11);
+    } else if (a.rfind("--max-inflight=", 0) == 0) {
+      net.max_inflight = std::atoi(a.c_str() + 15);
+    } else if (a.rfind("--max-buffered-mb=", 0) == 0) {
+      net.max_buffered_mb = std::atoi(a.c_str() + 18);
+    } else if (a.rfind("--format=", 0) == 0) {
+      net.format = a.substr(9);
+    } else if (a.rfind("--priority=", 0) == 0) {
+      net.priority = a.substr(11);
     } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(8);
     } else if (a.rfind("--metrics=", 0) == 0) {
@@ -381,6 +617,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!trace_path.empty()) obs::TraceRecorder::Global().set_enabled(true);
+
+  // Client mode needs no local database at all.
+  if (!net.connect.empty()) {
+    return RunConnect(net, script, pool_workers, one_shot);
+  }
 
   db::Database::Options opts;
   opts.dir = "/tmp/cstore_sql_shell";
@@ -418,6 +659,10 @@ int main(int argc, char** argv) {
       }
     }
   };
+
+  if (net.serve_port >= 0) {
+    return RunServe(db.get(), net, pool_workers);  // never returns
+  }
 
   if (!script.empty()) {
     int rc = RunScript(db.get(), script, pool_workers);

@@ -324,6 +324,9 @@ Result<RowCursor> Connection::StreamRunnable(const Runnable& run) {
   cursor.queue_ =
       std::make_shared<ChunkQueue>(std::max<size_t>(1,
                                                     settings_.stream_queue_chunks));
+  if (settings_.stream_byte_account != nullptr) {
+    cursor.queue_->set_byte_account(settings_.stream_byte_account);
+  }
   cursor.output_slots_ = run.output_slots;
   cursor.column_names_ = run.output_names;
   cursor.strategy_ = run.strategy;

@@ -35,6 +35,7 @@
 #ifndef CSTORE_API_CONNECTION_H_
 #define CSTORE_API_CONNECTION_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -71,6 +72,12 @@ class Connection {
     // RowCursor bound: chunks buffered between producer and consumer before
     // backpressure stalls the producing worker.
     size_t stream_queue_chunks = 4;
+    // Optional shared gauge of bytes currently buffered in this session's
+    // streaming queues (added on push, subtracted on pop/cancel). The SQL
+    // server points every session at one gauge so admission control can
+    // shed on total buffered output; null = no accounting. Not owned; must
+    // outlive the session's cursors.
+    std::atomic<int64_t>* stream_byte_account = nullptr;
   };
 
   /// `scheduler == nullptr` makes a standalone session (private execution);

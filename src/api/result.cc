@@ -47,9 +47,14 @@ bool ChunkQueue::Push(const exec::TupleChunk& chunk) {
   can_push_.wait(lock,
                  [this] { return chunks_.size() < capacity_ || cancelled_; });
   if (cancelled_) return false;
-  buffered_values_ +=
+  const uint64_t values =
       chunk.num_tuples() * (chunk.width() == 0 ? 1 : chunk.width());
+  buffered_values_ += values;
   peak_buffered_values_ = std::max(peak_buffered_values_, buffered_values_);
+  if (byte_account_ != nullptr) {
+    byte_account_->fetch_add(static_cast<int64_t>(values * sizeof(Value)),
+                             std::memory_order_relaxed);
+  }
   chunks_.push_back(chunk);
   lock.unlock();
   can_pop_.notify_one();
@@ -77,8 +82,13 @@ bool ChunkQueue::PopFrontLocked(exec::TupleChunk* out,
   if (chunks_.empty() || cancelled_) return false;
   *out = std::move(chunks_.front());
   chunks_.pop_front();
-  buffered_values_ -=
+  const uint64_t values =
       out->num_tuples() * (out->width() == 0 ? 1 : out->width());
+  buffered_values_ -= values;
+  if (byte_account_ != nullptr) {
+    byte_account_->fetch_sub(static_cast<int64_t>(values * sizeof(Value)),
+                             std::memory_order_relaxed);
+  }
   lock.unlock();
   can_push_.notify_one();
   return true;
@@ -98,6 +108,11 @@ void ChunkQueue::Cancel() {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;
     chunks_.clear();
+    if (byte_account_ != nullptr && buffered_values_ != 0) {
+      byte_account_->fetch_sub(
+          static_cast<int64_t>(buffered_values_ * sizeof(Value)),
+          std::memory_order_relaxed);
+    }
     buffered_values_ = 0;
   }
   can_push_.notify_all();

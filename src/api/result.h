@@ -17,6 +17,7 @@
 #ifndef CSTORE_API_RESULT_H_
 #define CSTORE_API_RESULT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -78,6 +79,13 @@ class ChunkQueue {
   explicit ChunkQueue(size_t capacity_chunks)
       : capacity_(capacity_chunks == 0 ? 1 : capacity_chunks) {}
 
+  /// Points this queue's buffered-byte accounting at an external gauge
+  /// (bytes are added on Push, subtracted on Pop/Cancel). The server hands
+  /// every session the same gauge, so "output bytes currently buffered
+  /// across all streaming queries" is one atomic read — what admission
+  /// control sheds on. Setup only: call before the first Push.
+  void set_byte_account(std::atomic<int64_t>* gauge) { byte_account_ = gauge; }
+
   /// Blocks until there is room (or the consumer cancelled). Returns false
   /// once cancelled — producers should stop the query.
   bool Push(const exec::TupleChunk& chunk);
@@ -113,6 +121,7 @@ class ChunkQueue {
                       std::unique_lock<std::mutex> lock);
 
   const size_t capacity_;
+  std::atomic<int64_t>* byte_account_ = nullptr;  // not owned; may be null
   mutable std::mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;

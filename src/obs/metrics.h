@@ -19,6 +19,7 @@
 #define CSTORE_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -101,6 +102,28 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+};
+
+/// RAII latency sample: observes the elapsed microseconds into `h` when the
+/// scope exits (no-op on a null histogram). The SQL server wraps each
+/// request handler in one; any code timing a scope into a histogram should
+/// use this instead of hand-rolled stopwatch-plus-Observe pairs.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* h)
+      : h_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedHistogramTimer() {
+    if (h_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    h_->Observe(static_cast<uint64_t>(us.count()));
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 class MetricsRegistry {

@@ -43,7 +43,7 @@ struct QueryLogEntry {
   uint64_t query_id = 0;  // matches system.queries while it was live
   std::string label;      // SQL text, or "plan:<kind>" for typed plans
   std::string strategy;   // "EM-pipelined" etc., "join", or "job"
-  std::string status;     // "ok" | "error"
+  std::string status;     // "ok" | "error" | "cancelled"
   int workers = 0;
   int priority = 0;
   uint64_t queue_wait_usec = 0;

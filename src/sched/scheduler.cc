@@ -18,6 +18,26 @@
 namespace cstore {
 namespace sched {
 
+const char* DispatchPolicyName(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kWeightedRoundRobin:
+      return "rr";
+    case DispatchPolicy::kFifoPriority:
+      return "fifo";
+    case DispatchPolicy::kShortestRemaining:
+      return "srw";
+  }
+  return "?";
+}
+
+Result<DispatchPolicy> ParseDispatchPolicy(const std::string& name) {
+  if (name == "rr") return DispatchPolicy::kWeightedRoundRobin;
+  if (name == "fifo") return DispatchPolicy::kFifoPriority;
+  if (name == "srw") return DispatchPolicy::kShortestRemaining;
+  return Status::InvalidArgument("unknown dispatch policy '" + name +
+                                 "' (rr|fifo|srw)");
+}
+
 namespace {
 
 /// Hot-path metric pointers, resolved once per process (stable for the
@@ -214,9 +234,20 @@ int ResolveWorkers(int requested) {
 Scheduler::Scheduler() : Scheduler(Options{}) {}
 
 Scheduler::Scheduler(Options options)
-    : num_workers_(ResolveWorkers(options.num_workers)) {
+    : num_workers_(ResolveWorkers(options.num_workers)),
+      dispatch_(options.dispatch) {
   pool_ = std::make_unique<WorkerPool>(
       num_workers_, [this](int id) { WorkerLoop(id); });
+}
+
+void Scheduler::set_dispatch_policy(DispatchPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_ = policy;
+}
+
+DispatchPolicy Scheduler::dispatch_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_;
 }
 
 Scheduler::~Scheduler() {
@@ -361,7 +392,82 @@ Scheduler::Claim Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
   return Claim::kClaimed;
 }
 
+Scheduler::Claim Scheduler::PeekClaimLocked(
+    const internal::QueryState* q) const {
+  if (q->single_task) {
+    return (q->single_claimed || !q->error.ok()) ? Claim::kExhausted
+                                                 : Claim::kClaimed;
+  }
+  if (q->needs_build && !q->build_done) {
+    return q->build_claimed ? Claim::kWaiting : Claim::kClaimed;
+  }
+  return q->source->Exhausted() ? Claim::kExhausted : Claim::kClaimed;
+}
+
+namespace {
+
+/// Remaining-work estimate for shortest-remaining dispatch: morsels not yet
+/// started, from the live registry's progress counters (the same numbers
+/// system.queries shows). Relaxed read — an off-by-a-morsel estimate only
+/// perturbs ordering, never correctness.
+uint64_t RemainingMorsels(const QueryState* q) {
+  const uint64_t total = q->live->morsels_total;
+  const uint64_t done = q->live->morsels_done.load(std::memory_order_relaxed);
+  return total > done ? total - done : 0;
+}
+
+}  // namespace
+
 bool Scheduler::TryClaimLocked(Task* out) {
+  if (dispatch_ == DispatchPolicy::kWeightedRoundRobin) {
+    return TryClaimRoundRobinLocked(out);
+  }
+  // Policy scan, two passes over the submit-ordered rotation. First prune:
+  // drop every query that will never offer work again (the round-robin
+  // loop does this inline; the scan must too, or finished queries with
+  // in-flight morsels would pin the rotation).
+  bool pruned = false;
+  for (size_t i = 0; i < active_.size();) {
+    if (PeekClaimLocked(active_[i].get()) == Claim::kExhausted) {
+      active_.erase(active_.begin() + i);
+      pruned = true;
+    } else {
+      ++i;
+    }
+  }
+  if (pruned) {
+    SchedMetrics::Get().queue_depth->Set(static_cast<int64_t>(active_.size()));
+    rr_ = 0;  // keep the cursor valid for a later policy switch back to RR
+    credits_ = 0;
+  }
+  // Then select the policy's best claimable candidate. active_ is
+  // submit-ordered and `best` only moves on a strict improvement, so ties
+  // go to the oldest submission — FIFO within a priority level, and a
+  // stable tie-break for equal remaining work.
+  size_t best = active_.size();
+  for (size_t i = 0; i < active_.size(); ++i) {
+    const QueryState* q = active_[i].get();
+    if (PeekClaimLocked(q) != Claim::kClaimed) continue;  // build in flight
+    if (best == active_.size()) {
+      best = i;
+      continue;
+    }
+    const QueryState* b = active_[best].get();
+    if (dispatch_ == DispatchPolicy::kFifoPriority) {
+      if (q->priority > b->priority) best = i;
+    } else {  // kShortestRemaining
+      if (RemainingMorsels(q) < RemainingMorsels(b)) best = i;
+    }
+  }
+  if (best == active_.size()) return false;  // all waiting (or empty)
+  if (ClaimFromLocked(active_[best].get(), out) != Claim::kClaimed) {
+    return false;  // unreachable by peek's contract; retry on next wake
+  }
+  out->query = active_[best];
+  return true;
+}
+
+bool Scheduler::TryClaimRoundRobinLocked(Task* out) {
   // One skip per build-blocked query: when a full pass yields only waiting
   // queries there is nothing runnable until a build completes (its worker
   // notifies), so the caller sleeps instead of spinning.
@@ -597,7 +703,9 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
                  : q->tmpl.kind == plan::PlanTemplate::Kind::kJoin
                      ? "join"
                      : plan::StrategyName(q->tmpl.strategy);
-    e.status = result.status.ok() ? "ok" : "error";
+    e.status = result.status.ok()          ? "ok"
+               : result.status.IsCancelled() ? "cancelled"
+                                             : "error";
     e.workers = num_workers_;
     e.priority = q->priority;
     const uint64_t total_us =

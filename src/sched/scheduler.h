@@ -62,6 +62,33 @@ struct ExecResult {
   plan::RunStats stats;
 };
 
+/// How workers pick the next query to take a morsel from. All policies
+/// claim at morsel granularity and produce bit-identical per-query results
+/// (they reorder work, never drop or duplicate it); they differ only in
+/// whose morsel runs next:
+///
+///   kWeightedRoundRobin — the default since PR 2: fair interleaving, a
+///       query with priority p takes p consecutive morsels per rotation.
+///   kFifoPriority — strict priority, FIFO within a priority level: the
+///       oldest submitted query of the highest claimable priority runs to
+///       the next morsel boundary. Minimizes high-priority latency;
+///       starvation of low priorities is possible under saturation (the
+///       server's admission control bounds how long that can last).
+///   kShortestRemaining — shortest-remaining-work-first: the query with the
+///       fewest unstarted+unfinished morsels (live registry progress:
+///       morsels_total − morsels_done) goes first, ties to the oldest.
+///       Approximates SJF at morsel granularity, cutting mean latency when
+///       short interactive queries share the pool with long scans.
+enum class DispatchPolicy {
+  kWeightedRoundRobin,
+  kFifoPriority,
+  kShortestRemaining,
+};
+
+const char* DispatchPolicyName(DispatchPolicy policy);
+/// Parses "rr" | "fifo" | "srw" (the --dispatch flag spellings).
+Result<DispatchPolicy> ParseDispatchPolicy(const std::string& name);
+
 namespace internal {
 struct QueryState;
 }  // namespace internal
@@ -96,6 +123,8 @@ class Scheduler {
   struct Options {
     // Worker threads in the pool. 0 = hardware concurrency.
     int num_workers = 0;
+    // Initial dispatch policy; switchable at runtime (set_dispatch_policy).
+    DispatchPolicy dispatch = DispatchPolicy::kWeightedRoundRobin;
   };
 
   /// Receives every output chunk of one query, invoked sequentially (no
@@ -166,6 +195,12 @@ class Scheduler {
 
   int num_workers() const { return num_workers_; }
 
+  /// Switches the dispatch policy at runtime (the server's latency knob).
+  /// Takes effect on the next claim; morsels already running finish where
+  /// they are. Safe to call concurrently with submissions.
+  void set_dispatch_policy(DispatchPolicy policy);
+  DispatchPolicy dispatch_policy() const;
+
   /// Process-wide shared instance sized to the hardware (created on first
   /// use, never destroyed). The default pool for callers that don't manage
   /// their own scheduler lifetime, e.g. Engine::SubmitAll(nullptr).
@@ -188,11 +223,18 @@ class Scheduler {
   };
 
   void WorkerLoop(int worker_id);
-  /// Claims the next task in weighted round-robin order. Removes exhausted
-  /// queries from the rotation; queries waiting on their build barrier are
-  /// skipped but stay. Caller holds mu_.
+  /// Claims the next task under the current dispatch policy. Removes
+  /// exhausted queries from the rotation; queries waiting on their build
+  /// barrier are skipped but stay. Caller holds mu_.
   bool TryClaimLocked(Task* out);
+  /// The round-robin claim loop (the kWeightedRoundRobin body of
+  /// TryClaimLocked). Caller holds mu_.
+  bool TryClaimRoundRobinLocked(Task* out);
   Claim ClaimFromLocked(internal::QueryState* q, Task* out);
+  /// Non-mutating twin of ClaimFromLocked: what would that call return?
+  /// The policy scan uses it to rank candidates without burning claim
+  /// state. Caller holds mu_.
+  Claim PeekClaimLocked(const internal::QueryState* q) const;
   /// Executes one morsel into the worker's partial. Lock-free.
   void RunTask(int worker_id, const Task& task);
   void FailQuery(internal::QueryState* q, const Status& status);
@@ -202,9 +244,10 @@ class Scheduler {
 
   const int num_workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  // Round-robin rotation of queries that still have unclaimed morsels.
+  DispatchPolicy dispatch_;  // guarded by mu_
+  // Submit-ordered rotation of queries that still have unclaimed morsels.
   std::vector<std::shared_ptr<internal::QueryState>> active_;
   size_t rr_ = 0;      // rotation cursor into active_
   int credits_ = 0;    // remaining consecutive claims for active_[rr_]

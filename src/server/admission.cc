@@ -1,0 +1,101 @@
+#include "server/admission.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "sched/scheduler.h"
+
+namespace cstore {
+namespace server {
+
+const char* PriorityClassName(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kLow:
+      return "low";
+    case PriorityClass::kNormal:
+      return "normal";
+    case PriorityClass::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+Result<PriorityClass> ParsePriorityClass(const std::string& name) {
+  if (name == "low") return PriorityClass::kLow;
+  if (name == "normal" || name.empty()) return PriorityClass::kNormal;
+  if (name == "high") return PriorityClass::kHigh;
+  return Status::InvalidArgument("unknown priority class '" + name +
+                                 "' (low|normal|high)");
+}
+
+int SchedulerPriority(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kLow:
+      return 1;
+    case PriorityClass::kNormal:
+      return 2;
+    case PriorityClass::kHigh:
+      return 4;
+  }
+  return 1;
+}
+
+double HeadroomFraction(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kLow:
+      return 0.5;
+    case PriorityClass::kNormal:
+      return 0.75;
+    case PriorityClass::kHigh:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+AdmissionController::AdmissionController(
+    Options options, const std::atomic<int64_t>* buffered_bytes)
+    : options_(options), buffered_bytes_(buffered_bytes) {
+  // The gauge exists even before the first submission (at zero).
+  sched::EnsureSchedMetricsRegistered();
+  inflight_ = obs::MetricsRegistry::Global().GetGauge(
+      "cstore_sched_inflight_queries");
+}
+
+Status AdmissionController::Admit(PriorityClass c) const {
+  const double frac = HeadroomFraction(c);
+  if (options_.max_inflight > 0 && inflight_ != nullptr) {
+    const int64_t inflight = inflight_->value();
+    const int64_t cap = static_cast<int64_t>(options_.max_inflight * frac);
+    if (inflight >= cap) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "overloaded: %lld queries in flight >= cap %lld for "
+                    "priority '%s' (max %d); retry later",
+                    static_cast<long long>(inflight),
+                    static_cast<long long>(cap), PriorityClassName(c),
+                    options_.max_inflight);
+      return Status::Unavailable(msg);
+    }
+  }
+  if (options_.max_buffered_bytes > 0 && buffered_bytes_ != nullptr) {
+    const int64_t buffered =
+        buffered_bytes_->load(std::memory_order_relaxed);
+    const int64_t cap =
+        static_cast<int64_t>(options_.max_buffered_bytes * frac);
+    if (buffered >= cap) {
+      char msg[192];
+      std::snprintf(msg, sizeof(msg),
+                    "overloaded: %lld result bytes buffered for slow "
+                    "readers >= cap %lld for priority '%s' (max %lld); "
+                    "drain or retry later",
+                    static_cast<long long>(buffered),
+                    static_cast<long long>(cap), PriorityClassName(c),
+                    static_cast<long long>(options_.max_buffered_bytes));
+      return Status::Unavailable(msg);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace cstore

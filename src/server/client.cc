@@ -1,0 +1,212 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace cstore {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  host_ = host;
+  port_ = port;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = (host == "localhost" || host.empty())
+                             ? std::string("127.0.0.1")
+                             : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' (IPv4 literal or localhost)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::Internal("connect(" + ip + ":" + std::to_string(port) +
+                            ") failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status HttpClient::Send(const std::string& method, const std::string& target,
+                        const std::string& body) {
+  char head[512];
+  std::snprintf(head, sizeof(head),
+                "%s %s HTTP/1.1\r\nHost: %s:%d\r\n"
+                "Content-Length: %zu\r\nConnection: keep-alive\r\n\r\n",
+                method.c_str(), target.c_str(), host_.c_str(), port_,
+                body.size());
+  std::string msg = head;
+  msg += body;
+  const char* data = msg.data();
+  size_t n = msg.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return Status::Internal("send failed (connection lost)");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+bool HttpClient::FillTo(size_t bytes) {
+  while (buf_.size() < bytes) {
+    char tmp[8192];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool HttpClient::FillFind(const char* needle, size_t* pos) {
+  for (;;) {
+    const size_t p = buf_.find(needle);
+    if (p != std::string::npos) {
+      *pos = p;
+      return true;
+    }
+    char tmp[8192];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<size_t>(n));
+  }
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  size_t header_end;
+  if (!FillFind("\r\n\r\n", &header_end)) {
+    return Status::Internal("connection closed before response");
+  }
+  const std::string head = buf_.substr(0, header_end);
+  buf_.erase(0, header_end + 4);
+
+  HttpResponse resp;
+  // Status line: HTTP/1.1 NNN reason.
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos) return Status::Internal("bad status line");
+  resp.status = std::atoi(head.c_str() + sp + 1);
+
+  size_t pos = head.find("\r\n");
+  pos = pos == std::string::npos ? head.size() : pos + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    size_t v = colon + 1;
+    while (v < line.size() && line[v] == ' ') ++v;
+    resp.headers[name] = line.substr(v);
+  }
+
+  auto te = resp.headers.find("transfer-encoding");
+  if (te != resp.headers.end() && ToLower(te->second) == "chunked") {
+    // Chunked: size-line CRLF data CRLF, terminated by a zero chunk.
+    for (;;) {
+      size_t eol;
+      if (!FillFind("\r\n", &eol)) {
+        return Status::Internal("connection closed mid-chunk");
+      }
+      const size_t size = std::strtoul(buf_.c_str(), nullptr, 16);
+      buf_.erase(0, eol + 2);
+      if (size == 0) {
+        // Trailer-less end: consume the final CRLF.
+        if (!FillTo(2)) return Status::Internal("truncated chunk trailer");
+        buf_.erase(0, 2);
+        return resp;
+      }
+      if (!FillTo(size + 2)) return Status::Internal("truncated chunk");
+      resp.body.append(buf_, 0, size);
+      buf_.erase(0, size + 2);  // data + CRLF
+    }
+  }
+
+  auto cl = resp.headers.find("content-length");
+  const size_t want =
+      cl == resp.headers.end() ? 0 : std::strtoul(cl->second.c_str(),
+                                                  nullptr, 10);
+  if (!FillTo(want)) return Status::Internal("truncated response body");
+  resp.body = buf_.substr(0, want);
+  buf_.erase(0, want);
+  auto conn_hdr = resp.headers.find("connection");
+  if (conn_hdr != resp.headers.end() &&
+      ToLower(conn_hdr->second) == "close") {
+    Close();
+  }
+  return resp;
+}
+
+Result<HttpResponse> HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         bool retry) {
+  if (fd_ < 0) CSTORE_RETURN_IF_ERROR(Connect(host_, port_));
+  Status sent = Send(method, target, body);
+  Result<HttpResponse> resp =
+      sent.ok() ? ReadResponse() : Result<HttpResponse>(sent);
+  if (!resp.ok() && retry) {
+    // The server may have closed the idle keep-alive connection between
+    // requests; one reconnect covers that race.
+    CSTORE_RETURN_IF_ERROR(Connect(host_, port_));
+    return Request(method, target, body, /*retry=*/false);
+  }
+  return resp;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  return Request("GET", target, "", /*retry=*/true);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      const std::string& body) {
+  return Request("POST", target, body, /*retry=*/true);
+}
+
+Result<HttpResponse> HttpClient::Query(const std::string& sql,
+                                       const std::string& format,
+                                       const std::string& priority) {
+  return Post("/query?format=" + format + "&priority=" + priority, sql);
+}
+
+}  // namespace server
+}  // namespace cstore

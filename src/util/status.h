@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   kInternal,
   kCancelled,
+  kUnavailable,
 };
 
 /// Lightweight status object: a code plus an optional message. OK statuses
@@ -59,6 +60,11 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// Transient refusal (load shedding): the request was rejected before
+  /// doing work and is safe to retry later — the server maps this to 503.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +78,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   std::string ToString() const;
 

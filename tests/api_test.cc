@@ -18,6 +18,7 @@
 #include "api/connection.h"
 #include "api/statement_cache.h"
 #include "db/database.h"
+#include "obs/query_log.h"
 #include "plan/executor.h"
 #include "sql/engine.h"
 #include "test_util.h"
@@ -278,6 +279,40 @@ TEST_F(ApiTest, DroppedCursorCancelsQuery) {
   ASSERT_OK_AND_ASSIGN(api::QueryResult r,
                        conn.Query("SELECT a FROM t WHERE a < 10"));
   EXPECT_GT(r.tuples.num_tuples(), 0u);
+}
+
+TEST_F(ApiTest, DroppedCursorUnregistersAndLogsCancelled) {
+  // A drop-to-cancel stream must leave no trace in system.queries and a
+  // status="cancelled" row (not "error") in system.query_log.
+  MakeBigTable();
+  const char* sql = "SELECT x FROM big WHERE x < 999";
+  api::Connection::Settings settings;
+  settings.stream_queue_chunks = 1;
+  api::Connection conn(db_.get(), nullptr, settings);
+  {
+    ASSERT_OK_AND_ASSIGN(api::RowCursor cursor, conn.Stream(sql));
+    exec::TupleChunk chunk;
+    auto has = cursor.Next(&chunk);
+    ASSERT_OK(has.status());
+    // Mid-stream: the query is live and visible.
+    bool live = false;
+    for (const auto& row : obs::LiveQueryRegistry::Global().Snapshot()) {
+      if (row.label == sql) live = true;
+    }
+    EXPECT_TRUE(live);
+  }
+  // The destructor waited for the query to leave the scheduler, so both
+  // introspection surfaces are already settled.
+  for (const auto& row : obs::LiveQueryRegistry::Global().Snapshot()) {
+    EXPECT_NE(row.label, sql) << "cancelled query still in system.queries";
+  }
+  bool found = false;
+  for (const obs::QueryLogEntry& e : obs::QueryLog::Global().Snapshot()) {
+    if (e.label != sql) continue;
+    found = true;
+    EXPECT_EQ(e.status, "cancelled");
+  }
+  EXPECT_TRUE(found) << "cancelled query missing from system.query_log";
 }
 
 // --- PreparedStatement ------------------------------------------------------

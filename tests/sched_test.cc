@@ -401,6 +401,82 @@ TEST_F(SchedTest, EngineSubmitAllMatchesSynchronousExecute) {
   }
 }
 
+TEST_F(SchedTest, DispatchPoliciesBitIdenticalToRoundRobin) {
+  // The dispatch policy reorders work; it must never change results. Every
+  // policy runs the same mixed batch (varying priorities, so FIFO-priority
+  // actually reorders) and must reproduce the serial checksums exactly.
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  std::vector<plan::RunStats> serial;
+  serial.reserve(templates.size());
+  for (const plan::PlanTemplate& tmpl : templates) {
+    serial.push_back(SerialRun(tmpl));
+  }
+  const sched::DispatchPolicy policies[] = {
+      sched::DispatchPolicy::kWeightedRoundRobin,
+      sched::DispatchPolicy::kFifoPriority,
+      sched::DispatchPolicy::kShortestRemaining,
+  };
+  for (sched::DispatchPolicy policy : policies) {
+    sched::Scheduler::Options opts;
+    opts.num_workers = 4;
+    opts.dispatch = policy;
+    sched::Scheduler scheduler(opts);
+    EXPECT_EQ(scheduler.dispatch_policy(), policy);
+    std::vector<sched::QueryTicket> tickets;
+    for (size_t i = 0; i < templates.size(); ++i) {
+      tickets.push_back(scheduler.Submit(templates[i], db_->pool(), nullptr,
+                                         /*priority=*/1 + (i % 3)));
+    }
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      const sched::ExecResult r = tickets[i].Wait();
+      ASSERT_TRUE(r.status.ok())
+          << sched::DispatchPolicyName(policy) << " query " << i << ": "
+          << r.status.ToString();
+      EXPECT_EQ(r.stats.checksum, serial[i].checksum)
+          << sched::DispatchPolicyName(policy) << " query " << i;
+      EXPECT_EQ(r.stats.output_tuples, serial[i].output_tuples)
+          << sched::DispatchPolicyName(policy) << " query " << i;
+    }
+  }
+}
+
+TEST_F(SchedTest, DispatchPolicySwitchesSafelyMidBatch) {
+  // The server flips the knob at runtime; queries in flight across the
+  // switch must complete correctly.
+  std::vector<plan::PlanTemplate> templates = MixedTemplates();
+  std::vector<uint64_t> checksums;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    checksums.push_back(SerialRun(tmpl).checksum);
+  }
+  sched::Scheduler::Options opts;
+  opts.num_workers = 2;
+  sched::Scheduler scheduler(opts);
+  std::vector<sched::QueryTicket> tickets;
+  for (const plan::PlanTemplate& tmpl : templates) {
+    tickets.push_back(scheduler.Submit(tmpl, db_->pool()));
+  }
+  scheduler.set_dispatch_policy(sched::DispatchPolicy::kShortestRemaining);
+  for (const plan::PlanTemplate& tmpl : templates) {
+    tickets.push_back(scheduler.Submit(tmpl, db_->pool()));
+  }
+  scheduler.set_dispatch_policy(sched::DispatchPolicy::kFifoPriority);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const sched::ExecResult r = tickets[i].Wait();
+    ASSERT_TRUE(r.status.ok()) << "query " << i;
+    EXPECT_EQ(r.stats.checksum, checksums[i % checksums.size()])
+        << "query " << i;
+  }
+}
+
+TEST(DispatchPolicyTest, ParseAndNameRoundTrip) {
+  for (const char* name : {"rr", "fifo", "srw"}) {
+    auto p = sched::ParseDispatchPolicy(name);
+    ASSERT_TRUE(p.ok()) << name;
+    EXPECT_STREQ(sched::DispatchPolicyName(*p), name);
+  }
+  EXPECT_FALSE(sched::ParseDispatchPolicy("sjf").ok());
+}
+
 TEST(AutoMorselTest, SmallTablesGetMoreThanOneMorsel) {
   // 10 windows, 4 workers: the old default (16-window morsels) clamped this
   // to a single morsel — one effective worker. Auto-sizing must hand out at
