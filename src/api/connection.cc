@@ -117,10 +117,20 @@ Result<Connection::Runnable> Connection::MakeRunnable(
   plan::PlanConfig config;
   config.num_workers = num_workers;
   config.snapshot = resolved.snapshot;
-  run.tmpl = resolved.is_aggregate
-                 ? plan::PlanTemplate::Agg(resolved.agg, run.strategy, config)
-                 : plan::PlanTemplate::Selection(resolved.selection,
-                                                 run.strategy, config);
+  if (bound->has_order) {
+    plan::SortQuery sort;
+    sort.selection = resolved.selection;
+    sort.sort_index = bound->sort_slot;
+    sort.desc = bound->sort_desc;
+    sort.limit = bound->limit;
+    run.tmpl = plan::PlanTemplate::Sort(std::move(sort), run.strategy, config);
+  } else {
+    run.tmpl =
+        resolved.is_aggregate
+            ? plan::PlanTemplate::Agg(resolved.agg, run.strategy, config)
+            : plan::PlanTemplate::Selection(resolved.selection, run.strategy,
+                                            config);
+  }
   run.output_slots = bound->output_slots;
   run.output_names = bound->output_names;
   return run;
@@ -230,12 +240,14 @@ void RecordStandaloneQuery(const plan::PlanTemplate& tmpl,
     using Kind = plan::PlanTemplate::Kind;
     e.label = tmpl.kind == Kind::kSelection ? "plan:selection"
               : tmpl.kind == Kind::kAgg     ? "plan:agg"
+              : tmpl.kind == Kind::kSort    ? "plan:sort"
                                             : "plan:join";
   } else {
     e.label = label;
   }
-  e.strategy = tmpl.kind == plan::PlanTemplate::Kind::kJoin
-                   ? "join"
+  e.strategy = tmpl.kind == plan::PlanTemplate::Kind::kJoin    ? "join"
+               : tmpl.kind == plan::PlanTemplate::Kind::kSort
+                   ? "sort"
                    : plan::StrategyName(tmpl.strategy);
   e.status = ok ? "ok" : "error";
   e.workers = workers;
@@ -565,6 +577,8 @@ Result<std::string> Connection::Explain(const std::string& sql,
   std::string report =
       resolved.is_aggregate
           ? advisor.ExplainAggregation(input, GroupEstimateFor(resolved.agg))
+      : bound.has_order
+          ? advisor.ExplainSort(input, static_cast<double>(bound.limit))
           : advisor.ExplainSelection(input);
   report += PressureReport();
   return report;
@@ -657,6 +671,8 @@ Result<QueryResult> Connection::ExplainStatement(
   report += resolved.is_aggregate
                 ? advisor.ExplainAggregation(input,
                                              GroupEstimateFor(resolved.agg))
+            : bound.has_order
+                ? advisor.ExplainSort(input, static_cast<double>(bound.limit))
                 : advisor.ExplainSelection(input);
 
   QueryResult out;
@@ -682,6 +698,16 @@ Result<QueryResult> Connection::ExplainStatement(
         static_cast<unsigned long long>(executed.stats.io.physical_reads),
         executed.stats.io.physical_read_ns / 1e6);
     report += buf;
+    // Two-phase queries: measured per-phase wall time, next to the model's
+    // phase split above (joins: build; sorts: k-way run merge).
+    if (executed.stats.build_wall_micros > 0 ||
+        executed.stats.merge_wall_micros > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "phases: build=%.3f ms  merge=%.3f ms\n",
+                    executed.stats.build_wall_micros / 1000.0,
+                    executed.stats.merge_wall_micros / 1000.0);
+      report += buf;
+    }
   }
   report += PressureReport();
   out.explain_text = std::move(report);
@@ -832,7 +858,10 @@ Status Connection::PrepareRun(PreparedStatement* stmt,
   // plan-description rebuild.
   plan::PlanTemplate& tmpl = stmt->template_;
   const bool is_agg = tmpl.kind == plan::PlanTemplate::Kind::kAgg;
-  plan::SelectionQuery& scan = is_agg ? tmpl.agg.selection : tmpl.selection;
+  plan::SelectionQuery& scan =
+      is_agg                                          ? tmpl.agg.selection
+      : tmpl.kind == plan::PlanTemplate::Kind::kSort ? tmpl.sort.selection
+                                                      : tmpl.selection;
 
   CSTORE_ASSIGN_OR_RETURN(bool refreshed,
                           internal::RefreshReaders(db_, &bound, *snapshot));

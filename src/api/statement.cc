@@ -264,6 +264,11 @@ Result<BoundSelect> BindSelect(db::Database* db, const sql::ParsedQuery& q) {
   }
   bound.is_aggregate = num_agg > 0 || q.group_by.has_value();
 
+  if (q.order_by.has_value() && bound.is_aggregate) {
+    return Status::NotSupported(
+        "ORDER BY on aggregate queries is not supported");
+  }
+
   if (bound.is_aggregate) {
     // Global aggregate: SELECT AGG(a) FROM t [WHERE ...] — no GROUP BY.
     if (!q.group_by.has_value()) {
@@ -329,6 +334,15 @@ Result<BoundSelect> BindSelect(db::Database* db, const sql::ParsedQuery& q) {
     CSTORE_ASSIGN_OR_RETURN(uint32_t idx, add_scan_column(item.column));
     bound.output_slots.push_back(idx);
     bound.output_names.push_back(item.column);
+  }
+  if (q.order_by.has_value()) {
+    // The sort key joins the scan list (deduplicated against the select
+    // list); the sort runs over full scan tuples, projection comes after.
+    CSTORE_ASSIGN_OR_RETURN(uint32_t sidx, add_scan_column(*q.order_by));
+    bound.has_order = true;
+    bound.sort_slot = sidx;
+    bound.sort_desc = q.order_desc;
+    bound.limit = q.limit;
   }
   for (const std::string& col : cond_columns) {
     CSTORE_RETURN_IF_ERROR(add_scan_column(col).status());

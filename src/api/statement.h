@@ -101,6 +101,13 @@ struct BoundSelect {
   uint32_t agg_index = 0;
   exec::AggFunc func = exec::AggFunc::kSum;
 
+  // ORDER BY col [ASC|DESC] [LIMIT n]: the sort key is a scan column (it
+  // need not be in the select list; projection happens after the sort).
+  bool has_order = false;
+  uint32_t sort_slot = 0;
+  bool sort_desc = false;
+  uint64_t limit = 0;  // 0 = no LIMIT
+
   std::vector<uint32_t> output_slots;
   std::vector<std::string> output_names;
 

@@ -18,6 +18,51 @@ Result<std::unique_ptr<JoinBuildTable>> JoinBuildTable::Build(
   return table;
 }
 
+Result<std::unique_ptr<JoinBuildTable>> JoinBuildTable::Assemble(
+    const Spec& spec, int radix_bits,
+    std::vector<std::unordered_map<Value, Value>> val_parts,
+    std::vector<std::unordered_map<Value, Position>> pos_parts,
+    ExecStats* stats) {
+  CSTORE_CHECK(radix_bits > 0);
+  const size_t nparts = size_t{1} << radix_bits;
+  std::unique_ptr<JoinBuildTable> table(new JoinBuildTable(spec));
+  table->radix_bits_ = radix_bits;
+  if (spec.mode == JoinRightMode::kMaterialized) {
+    CSTORE_CHECK(val_parts.size() == nparts);
+    table->val_parts_ = std::move(val_parts);
+  } else {
+    CSTORE_CHECK(pos_parts.size() == nparts);
+    table->pos_parts_ = std::move(pos_parts);
+  }
+  if (spec.mode == JoinRightMode::kMultiColumn) {
+    CSTORE_RETURN_IF_ERROR(table->PinPayload(stats));
+  }
+  return table;
+}
+
+Status JoinBuildTable::PinPayload(ExecStats* stats) {
+  const codec::ColumnReader* payload = spec_.right_payload;
+  for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
+    CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, payload->FetchBlock(b));
+    ++stats->blocks_fetched;
+    payload_mini_.AddBlock(
+        std::make_shared<codec::EncodedBlock>(std::move(blk)));
+  }
+  // The snapshot's synthetic uncompressed payload blocks extend the
+  // mini-column (their start positions sit right after the read store,
+  // keeping blocks ascending).
+  const write::WriteSnapshot* snap =
+      spec_.snapshot != nullptr && spec_.snapshot->has_state()
+          ? spec_.snapshot.get()
+          : nullptr;
+  if (snap != nullptr) {
+    for (const auto& blk : snap->tail_blocks(spec_.snap_payload_index)) {
+      payload_mini_.AddBlock(blk);
+    }
+  }
+  return Status::OK();
+}
+
 Status JoinBuildTable::DoBuild(ExecStats* stats) {
   const codec::ColumnReader* key = spec_.right_key;
   const uint64_t nblocks = key->num_blocks();
@@ -41,7 +86,9 @@ Status JoinBuildTable::DoBuild(ExecStats* stats) {
               ? snap->LiveSet(0, base)
               : position::PositionSet::All(0, base);
       const codec::ColumnReader* payload = spec_.right_payload;
-      val_table_.reserve(key->num_values() + tail);
+      val_parts_.resize(1);
+      auto& val_table = val_parts_[0];
+      val_table.reserve(key->num_values() + tail);
       std::vector<Value> keys;
       std::vector<Value> payloads;
       for (uint64_t b = 0; b < nblocks; ++b) {
@@ -57,7 +104,7 @@ Status JoinBuildTable::DoBuild(ExecStats* stats) {
       }
       CSTORE_CHECK(keys.size() == payloads.size());
       for (size_t i = 0; i < keys.size(); ++i) {
-        val_table_.emplace(keys[i], payloads[i]);
+        val_table.emplace(keys[i], payloads[i]);
       }
       uint64_t built = keys.size();
       // Write-store tail rows join the build exactly like read-store rows;
@@ -65,8 +112,8 @@ Status JoinBuildTable::DoBuild(ExecStats* stats) {
       for (uint64_t i = 0; i < tail; ++i) {
         const Position p = base + i;
         if (snap->IsDeleted(p)) continue;
-        val_table_.emplace(snap->tail_values(spec_.snap_key_index)[i],
-                           snap->tail_values(spec_.snap_payload_index)[i]);
+        val_table.emplace(snap->tail_values(spec_.snap_key_index)[i],
+                          snap->tail_values(spec_.snap_payload_index)[i]);
         ++built;
       }
       stats->tuples_constructed += built;
@@ -75,61 +122,51 @@ Status JoinBuildTable::DoBuild(ExecStats* stats) {
     }
     case JoinRightMode::kMultiColumn: {
       // Key → position map; payload stays a pinned compressed mini-column.
-      pos_table_.reserve(key->num_values() + tail);
+      pos_parts_.resize(1);
+      auto& pos_table = pos_parts_[0];
+      pos_table.reserve(key->num_values() + tail);
       for (uint64_t b = 0; b < nblocks; ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
         ++stats->blocks_fetched;
         if (snap != nullptr && snap->has_deletes()) {
           blk.view.ForEach([&](Position p, Value v) {
-            if (!snap->IsDeleted(p)) pos_table_.emplace(v, p);
+            if (!snap->IsDeleted(p)) pos_table.emplace(v, p);
           });
         } else {
           blk.view.ForEach(
-              [&](Position p, Value v) { pos_table_.emplace(v, p); });
+              [&](Position p, Value v) { pos_table.emplace(v, p); });
         }
       }
-      const codec::ColumnReader* payload = spec_.right_payload;
-      for (uint64_t b = 0; b < payload->num_blocks(); ++b) {
-        CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk,
-                                payload->FetchBlock(b));
-        ++stats->blocks_fetched;
-        payload_mini_.AddBlock(
-            std::make_shared<codec::EncodedBlock>(std::move(blk)));
-      }
-      // Tail rows: key → tail position; the snapshot's synthetic
-      // uncompressed payload blocks extend the mini-column (their start
-      // positions sit right after the read store, keeping blocks ascending).
+      // Tail rows: key → tail position.
       for (uint64_t i = 0; i < tail; ++i) {
         const Position p = base + i;
         if (snap->IsDeleted(p)) continue;
-        pos_table_.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
+        pos_table.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
       }
-      if (snap != nullptr) {
-        for (const auto& blk : snap->tail_blocks(spec_.snap_payload_index)) {
-          payload_mini_.AddBlock(blk);
-        }
-      }
+      CSTORE_RETURN_IF_ERROR(PinPayload(stats));
       break;
     }
     case JoinRightMode::kSingleColumn: {
       // Only the join-predicate column enters the join.
-      pos_table_.reserve(key->num_values() + tail);
+      pos_parts_.resize(1);
+      auto& pos_table = pos_parts_[0];
+      pos_table.reserve(key->num_values() + tail);
       for (uint64_t b = 0; b < nblocks; ++b) {
         CSTORE_ASSIGN_OR_RETURN(codec::EncodedBlock blk, key->FetchBlock(b));
         ++stats->blocks_fetched;
         if (snap != nullptr && snap->has_deletes()) {
           blk.view.ForEach([&](Position p, Value v) {
-            if (!snap->IsDeleted(p)) pos_table_.emplace(v, p);
+            if (!snap->IsDeleted(p)) pos_table.emplace(v, p);
           });
         } else {
           blk.view.ForEach(
-              [&](Position p, Value v) { pos_table_.emplace(v, p); });
+              [&](Position p, Value v) { pos_table.emplace(v, p); });
         }
       }
       for (uint64_t i = 0; i < tail; ++i) {
         const Position p = base + i;
         if (snap->IsDeleted(p)) continue;
-        pos_table_.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
+        pos_table.emplace(snap->tail_values(spec_.snap_key_index)[i], p);
       }
       break;
     }

@@ -84,9 +84,19 @@ inline const char* JoinRightModeName(JoinRightMode m) {
   return "?";
 }
 
-/// The inner (build) side of a hash join: constructed once by Build(),
-/// immutable afterwards, safe to probe from any number of threads.
-/// `right_key` is assumed unique (primary key).
+/// The inner (build) side of a hash join: constructed once by Build() (the
+/// serial path) or assembled from radix partitions built in parallel by
+/// Assemble(); immutable afterwards, safe to probe from any number of
+/// threads. `right_key` is assumed unique (primary key).
+///
+/// The hash table is split into 1 << radix_bits partitions keyed by
+/// PartitionIndex(key). The serial build uses one partition (radix_bits =
+/// 0, probe lookups skip the mixer entirely); the parallel build buckets
+/// rows by partition during its morsel-scan phase, builds each partition's
+/// table as an independent task, and hands the finished partitions to
+/// Assemble. Table *contents* are identical either way — probe results
+/// depend only on the key → payload/position mapping, so results stay
+/// bit-identical across radix settings.
 class JoinBuildTable {
  public:
   struct Spec {
@@ -102,24 +112,48 @@ class JoinBuildTable {
     size_t snap_payload_index = 0;
   };
 
-  /// Builds the table (the serial phase-one task). Build-side work —
-  /// blocks fetched, inner tuples constructed, values gathered — is
+  /// Builds the table in one pass (the serial phase-one task). Build-side
+  /// work — blocks fetched, inner tuples constructed, values gathered — is
   /// recorded in `stats`.
   static Result<std::unique_ptr<JoinBuildTable>> Build(const Spec& spec,
                                                        ExecStats* stats);
 
+  /// Radix partition of `key` among 1 << radix_bits partitions: the top
+  /// bits of a Fibonacci-hash mix, so dense and sparse key spaces spread
+  /// evenly. The parallel build's bucketing and the probe's lookups use
+  /// the same function by construction.
+  static size_t PartitionIndex(Value key, int radix_bits) {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(key) * UINT64_C(0x9E3779B97F4A7C15)) >>
+        (64 - radix_bits));
+  }
+
+  /// Assembles a table from per-partition hash tables built in parallel
+  /// (exactly one of the two vectors is populated, per `spec.mode`; each
+  /// must hold 1 << radix_bits entries bucketed by PartitionIndex). For
+  /// kMultiColumn this also pins the payload column (read-store blocks +
+  /// snapshot tail blocks) — I/O recorded in `stats`.
+  static Result<std::unique_ptr<JoinBuildTable>> Assemble(
+      const Spec& spec, int radix_bits,
+      std::vector<std::unordered_map<Value, Value>> val_parts,
+      std::vector<std::unordered_map<Value, Position>> pos_parts,
+      ExecStats* stats);
+
   JoinRightMode mode() const { return spec_.mode; }
+  int radix_bits() const { return radix_bits_; }
 
   /// kMaterialized: payload value for `key`, or nullptr.
   const Value* FindPayload(Value key) const {
-    auto it = val_table_.find(key);
-    return it == val_table_.end() ? nullptr : &it->second;
+    const auto& t = val_parts_[PartitionOf(key)];
+    auto it = t.find(key);
+    return it == t.end() ? nullptr : &it->second;
   }
 
   /// kMultiColumn / kSingleColumn: inner position for `key`, or nullptr.
   const Position* FindPosition(Value key) const {
-    auto it = pos_table_.find(key);
-    return it == pos_table_.end() ? nullptr : &it->second;
+    const auto& t = pos_parts_[PartitionOf(key)];
+    auto it = t.find(key);
+    return it == t.end() ? nullptr : &it->second;
   }
 
   /// kMultiColumn: extracts the payload at `pos` from the pinned
@@ -135,13 +169,22 @@ class JoinBuildTable {
   explicit JoinBuildTable(const Spec& spec)
       : spec_(spec), payload_mini_(/*column=*/1, &spec.right_payload->meta()) {}
 
+  size_t PartitionOf(Value key) const {
+    return radix_bits_ == 0 ? 0 : PartitionIndex(key, radix_bits_);
+  }
+
   Status DoBuild(ExecStats* stats);
+  /// kMultiColumn: pins the payload column's blocks (plus the snapshot's
+  /// synthetic tail blocks) into payload_mini_, ascending.
+  Status PinPayload(ExecStats* stats);
 
   Spec spec_;
-  // kMaterialized: key → payload value (tuples constructed at build time).
-  std::unordered_map<Value, Value> val_table_;
+  int radix_bits_ = 0;
+  // kMaterialized: key → payload value (tuples constructed at build time),
+  // one table per radix partition (a single table when radix_bits_ == 0).
+  std::vector<std::unordered_map<Value, Value>> val_parts_;
   // kMultiColumn / kSingleColumn: key → position in the inner table.
-  std::unordered_map<Value, Position> pos_table_;
+  std::vector<std::unordered_map<Value, Position>> pos_parts_;
   // kMultiColumn: the pinned, still-compressed payload column.
   MiniColumn payload_mini_;
 };

@@ -111,6 +111,39 @@ std::vector<StrategyPrediction> Advisor::RankAggregation(
   return Sorted(std::move(preds));
 }
 
+std::vector<StrategyPrediction> Advisor::RankSort(
+    const SelectionModelInput& input, double limit) const {
+  std::vector<StrategyPrediction> preds;
+  for (plan::Strategy s : plan::kAllStrategies) {
+    StrategyPrediction p;
+    p.strategy = s;
+    p.supported = Supported(s, input);
+    if (p.supported) p.cost = PredictSort(s, input, limit, params_);
+    preds.push_back(p);
+  }
+  return Sorted(std::move(preds));
+}
+
+std::string Advisor::ExplainSort(const SelectionModelInput& input,
+                                 double limit) const {
+  char buf[160];
+  Cost sort_phase;
+  PredictSort(plan::Strategy::kLmParallel, input, limit, params_,
+              &sort_phase);
+  const double rows = input.sf1 * input.sf2 * input.col1.num_tuples;
+  if (limit > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "sort: ~%.0f rows, limit %.0f (top-n heap)  "
+                  "run-form+merge=%9.2fms\n",
+                  rows, limit, sort_phase.total() / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "sort: ~%.0f rows, full sort  run-form+merge=%9.2fms\n",
+                  rows, sort_phase.total() / 1000.0);
+  }
+  return DescribeInput(input) + buf + FormatRanking(RankSort(input, limit));
+}
+
 std::vector<JoinPrediction> Advisor::RankJoin(
     const JoinModelInput& input) const {
   std::vector<JoinPrediction> preds;
@@ -145,10 +178,19 @@ std::string Advisor::ExplainJoin(const JoinModelInput& input) const {
   std::string out = buf;
   if (input.num_workers > 1) {
     std::snprintf(buf, sizeof(buf),
-                  "parallel: %d probe workers (probe cpu x%.3f; build is one "
-                  "serial task, charged in full)\n",
+                  "parallel: %d probe workers (probe cpu x%.3f)\n",
                   input.num_workers, ParallelCpuFactor(input.num_workers));
     out += buf;
+  }
+  if (input.build_workers > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "build: radix-partitioned across %d workers (build cpu "
+                  "x%.3f, incl. partition pass)\n",
+                  input.build_workers,
+                  ParallelCpuFactor(input.build_workers));
+    out += buf;
+  } else if (input.num_workers > 1) {
+    out += "build: one serial task, charged in full\n";
   }
   std::vector<JoinPrediction> ranked = RankJoin(input);
   for (size_t i = 0; i < ranked.size(); ++i) {

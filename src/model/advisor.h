@@ -40,6 +40,10 @@ class Advisor {
       const SelectionModelInput& input) const;
   std::vector<StrategyPrediction> RankAggregation(
       const SelectionModelInput& input, double groups) const;
+  /// ORDER BY [LIMIT] on top of the selection: every strategy's selection
+  /// cost plus the two-phase sort term (PredictSort).
+  std::vector<StrategyPrediction> RankSort(const SelectionModelInput& input,
+                                           double limit) const;
 
   /// Predictions for the three inner-table join representations, sorted by
   /// ascending total cost.
@@ -65,10 +69,15 @@ class Advisor {
   std::string ExplainSelection(const SelectionModelInput& input) const;
   std::string ExplainAggregation(const SelectionModelInput& input,
                                  double groups) const;
-  /// Join report: per-mode totals with the build/probe split — the serial
-  /// build is charged in full at every worker count, so the report shows
-  /// exactly why join speedup plateaus below the pool width.
+  /// Join report: per-mode totals with the build/probe split. With
+  /// build_workers > 1 the build line shows the radix-partitioned discount;
+  /// at build_workers == 1 it is the serial floor that used to cap join
+  /// speedup at the pool width.
   std::string ExplainJoin(const JoinModelInput& input) const;
+  /// Sort report: per-strategy totals including the run-formation + merge
+  /// term, with the sort phase shown separately.
+  std::string ExplainSort(const SelectionModelInput& input,
+                          double limit) const;
 
  private:
   CostParams params_;

@@ -278,7 +278,7 @@ Cost PredictJoin(exec::JoinRightMode mode, const JoinModelInput& in,
   const double inner = in.right_key.num_tuples;
   const double matches = in.sf * in.left_key.num_tuples;
 
-  // --- Build phase (serial: one task behind the build barrier) -------------
+  // --- Build phase (serial, or radix-partitioned when build_workers > 1) ---
   Cost build;
   switch (mode) {
     case exec::JoinRightMode::kMaterialized:
@@ -302,6 +302,13 @@ Cost PredictJoin(exec::JoinRightMode mode, const JoinModelInput& in,
       build.cpu = in.right_key.num_blocks * p.bic + inner * (p.tic_col + p.fc);
       build.io = ScanIo(in.right_key, p);
       break;
+  }
+  if (in.build_workers > 1) {
+    // Radix-partitioned build: one extra hash + bucket-append pass over the
+    // inner rows, then both the partition tasks and the per-partition table
+    // builds run morsel-parallel on the pool. I/O is not discounted.
+    build.cpu = (build.cpu + inner * p.fc) *
+                ParallelCpuFactor(in.build_workers);
   }
 
   // --- Probe phase (morsel-parallel over the outer side) -------------------
@@ -344,12 +351,34 @@ Cost PredictJoin(exec::JoinRightMode mode, const JoinModelInput& in,
   if (build_out != nullptr) *build_out = build;
   if (probe_out != nullptr) *probe_out = probe;
 
-  // Only the probe is morsel-parallel; the serial build is charged in full
-  // regardless of worker count.
+  // The probe is morsel-parallel; the build is discounted above only when
+  // the radix pipeline parallelizes it (build_workers > 1).
   Cost total = build;
   total.cpu += probe.cpu * ParallelCpuFactor(in.num_workers);
   total.io += probe.io;
   return total;
+}
+
+Cost PredictSort(plan::Strategy strategy, const SelectionModelInput& in,
+                 double limit, const CostParams& p, Cost* sort_phase) {
+  Cost sel = PredictSelection(strategy, in, p);
+  // Rows entering the sort = the selection's output; rows leaving = min
+  // with the limit.
+  const double n = in.sf1 * in.sf2 * in.col1.num_tuples;
+  const double kept = limit > 0 ? std::min(n, limit) : n;
+  Cost sort;
+  // Run formation: log2(kept) comparisons per input row — a bounded-heap
+  // push under a LIMIT, a comparison sort's per-element share otherwise.
+  // Morsel-parallel, so it takes the same CPU discount as the scan.
+  sort.cpu = n * std::log2(std::max(2.0, kept)) * p.fc *
+             ParallelCpuFactor(in.num_workers);
+  // Finalize merge: a serial heap over one run per worker, plus the output
+  // tuple iteration for every emitted row.
+  const double runs = std::max(1, in.num_workers);
+  sort.cpu += kept * std::log2(std::max(2.0, runs)) * p.fc +
+              kept * p.tic_tup;
+  if (sort_phase != nullptr) *sort_phase = sort;
+  return sel + sort;
 }
 
 }  // namespace model

@@ -119,21 +119,40 @@ struct JoinModelInput {
   ColumnStats right_key;      // inner key column (num_tuples = inner size)
   ColumnStats right_payload;  // inner payload column
   exec::JoinLeftMode left_mode = exec::JoinLeftMode::kLate;
-  // Probe-side morsel workers. Only the probe CPU is discounted by
-  // ParallelCpuFactor — the hash build is one serial task behind the build
-  // barrier, so its cost never shrinks with the pool. This split is what
-  // keeps EXPLAIN honest about join scaling (Amdahl's law by construction).
+  // Probe-side morsel workers: the probe CPU is discounted by
+  // ParallelCpuFactor, I/O never (workers share one buffer pool and one
+  // simulated disk).
   int num_workers = 1;
+  // Build-side workers. 1 models the serial build (charged in full — the
+  // Amdahl floor the pre-radix scheduler had); >1 models the
+  // radix-partitioned pipeline: an extra partition pass (hash + bucket
+  // append per inner row) is charged, then the whole build CPU is
+  // discounted by ParallelCpuFactor(build_workers), because the partition
+  // tasks and the per-partition table builds both run morsel-parallel.
+  int build_workers = 1;
 };
 
 /// Join extension (the paper reports Figure 13 behaviour; the model
-/// composes its Section 3 operator formulas): a serial build over the inner
-/// table plus a morsel-parallel probe of the outer side, per inner-table
-/// representation. `build` / `probe` (optional) receive the two phases'
-/// costs before the probe discount, so callers can show the serial floor.
+/// composes its Section 3 operator formulas): a build over the inner table
+/// (serial or radix-partitioned, per input.build_workers) plus a
+/// morsel-parallel probe of the outer side, per inner-table representation.
+/// `build` / `probe` (optional) receive the two phases' costs after the
+/// build discount but before the probe discount, so callers can show the
+/// per-phase split EXPLAIN prints.
 Cost PredictJoin(exec::JoinRightMode mode, const JoinModelInput& input,
                  const CostParams& p, Cost* build = nullptr,
                  Cost* probe = nullptr);
+
+/// Sort extension: ORDER BY over the Section 3.5 selection output with an
+/// optional Top-N `limit` (0 = sort everything). Two phases ride on the
+/// selection: morsel-local run formation (with a LIMIT, a bounded-heap push
+/// per input row; a comparison sort otherwise — both morsel-parallel) and a
+/// serial k-way merge of one run per worker at finalize. `sort_phase`
+/// (optional) receives just the sort cost, without the underlying
+/// selection.
+Cost PredictSort(plan::Strategy strategy, const SelectionModelInput& input,
+                 double limit, const CostParams& p,
+                 Cost* sort_phase = nullptr);
 
 /// Average run length of the position list produced by a predicate with
 /// selectivity `sf` over a column: contiguous (one range) when clustered,

@@ -29,6 +29,13 @@ struct RunStats {
   // Id correlating this run's spans in a TraceRecorder export ("query" arg
   // on morsel/build/finalize spans). 0 when tracing was off at submit.
   uint64_t trace_query_id = 0;
+  // Two-phase queries only (zero otherwise). build_wall_micros: wall time
+  // spent in build-pipeline tasks (join partition/build stages) summed
+  // across workers, plus the publish/merge step. merge_wall_micros: wall
+  // time of the finalize merge (the sort's k-way run merge). EXPLAIN
+  // ANALYZE prints these next to the model's phase predictions.
+  uint64_t build_wall_micros = 0;
+  uint64_t merge_wall_micros = 0;
 
   /// Reported query time: wall time plus the simulated I/O component.
   double TotalMicros() const { return wall_micros + charged_io_micros; }

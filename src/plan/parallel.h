@@ -27,11 +27,17 @@
 // num_workers == 1 bypasses all of this and runs the classic serial pull
 // executor over the full position space — bit-identical to the
 // pre-parallel-refactor engine, including chunk order. Joins are two-phase:
-// a serial *build* task constructs the shared inner-side hash table
-// (JoinBuildTable) once, then probe morsels partition the outer side
-// exactly like scan morsels — the scheduler gates probe claims on build
-// completion (see sched::Scheduler's phase dependency), and the serial path
-// simply builds the table inside the plan on first pull.
+// a BuildPipeline constructs the shared inner-side hash table
+// (JoinBuildTable) behind the scheduler's phase barrier — either as one
+// serial task (small inners, radix_bits = 0) or as N radix partition-scan
+// tasks, a barrier, 1 << radix_bits per-partition build tasks, and a merge
+// — then probe morsels partition the outer side exactly like scan morsels.
+// The scheduler gates probe claims on pipeline completion (see
+// sched::Scheduler's phase dependency); the serial path simply builds the
+// table inside the plan on first pull. Sorts are two-phase the other way
+// round: every morsel forms a sorted run (SortOp with final emit disabled),
+// and the scheduler's finalize k-way merges the runs into globally ordered
+// output.
 //
 // Batch workloads should not call this in a loop: submit every query to one
 // shared sched::Scheduler (see Database::Submit / Engine::SubmitAll) so the
@@ -52,16 +58,48 @@
 namespace cstore {
 namespace plan {
 
+/// A staged, multi-task build phase run on the scheduler pool ahead of any
+/// morsel. Stages run in order with a barrier between them; the tasks
+/// *within* a stage run concurrently, and distinct (stage, task) pairs
+/// touch disjoint pipeline state, so RunTask needs no locking. After the
+/// last stage's barrier the scheduler calls Finish() exactly once to merge
+/// and publish the product. The PR-5 "one gated build task" is the
+/// degenerate pipeline: one stage, one task, Finish returns the table.
+class BuildPipeline {
+ public:
+  virtual ~BuildPipeline() = default;
+
+  virtual int num_stages() const = 0;
+  virtual int TasksInStage(int stage) const = 0;
+  /// Trace span name for the stage's tasks (e.g. "join_partition").
+  virtual const char* StageName(int stage) const = 0;
+
+  /// Runs one task of one stage on the calling worker, recording its work
+  /// in `stats`. Called exactly once per (stage, task); the scheduler
+  /// guarantees stage `s` tasks only run after every stage `s-1` task
+  /// returned.
+  virtual Status RunTask(int stage, int task, exec::ExecStats* stats) = 0;
+
+  /// Merges the stages' products into the published table. Called once,
+  /// after the last stage's barrier, on whichever worker finished last.
+  virtual Result<std::shared_ptr<const exec::JoinBuildTable>> Finish(
+      exec::ExecStats* stats) = 0;
+
+  /// Span name for the Finish() step.
+  virtual const char* FinishName() const { return "join_build_merge"; }
+};
+
 /// Reusable query description: everything needed to build one plan instance
 /// per morsel. Column readers are borrowed (not owned) just as in the
 /// query structs themselves.
 struct PlanTemplate {
-  enum class Kind { kSelection, kAgg, kJoin };
+  enum class Kind { kSelection, kAgg, kJoin, kSort };
 
   Kind kind = Kind::kSelection;
   SelectionQuery selection;  // kSelection
   AggQuery agg;              // kAgg
   JoinQuery join;            // kJoin
+  SortQuery sort;            // kSort
   exec::JoinRightMode join_mode = exec::JoinRightMode::kMaterialized;
   Strategy strategy = Strategy::kLmParallel;
   PlanConfig config;
@@ -72,20 +110,30 @@ struct PlanTemplate {
                           PlanConfig config = {});
   static PlanTemplate Join(JoinQuery query, exec::JoinRightMode mode,
                            PlanConfig config = {});
+  static PlanTemplate Sort(SortQuery query, Strategy strategy,
+                           PlanConfig config = {});
 
   /// Size of the position space morsels partition (the scanned projection's
   /// row count — for joins, the *outer* side's, write-store tail included).
   Position TotalPositions() const;
 
-  /// True when the template needs a serial build phase before any morsel
-  /// can run (joins: the shared hash build). The scheduler runs BuildShared
-  /// as a single gated task and hands its product to every Instantiate.
+  /// True when the template needs a build phase before any morsel can run
+  /// (joins: the shared hash build). The scheduler runs the pipeline from
+  /// MakeBuildPipeline behind its phase barrier and hands the product to
+  /// every Instantiate.
   bool NeedsBuildPhase() const { return kind == Kind::kJoin; }
 
-  /// Executes the build phase (the inner-side hash build), recording its
-  /// work in `stats`. Only valid when NeedsBuildPhase().
+  /// Executes the whole build phase serially (the inner-side hash build),
+  /// recording its work in `stats`. Only valid when NeedsBuildPhase().
+  /// Equivalent to running the serial pipeline's one task + Finish.
   Result<std::shared_ptr<const exec::JoinBuildTable>> BuildShared(
       exec::ExecStats* stats) const;
+
+  /// Creates the build-phase pipeline for a pool of `pool_workers`, honoring
+  /// config.radix_bits (-1 auto / 0 serial / k forced). Only valid when
+  /// NeedsBuildPhase(). Infallible: spec errors surface from the pipeline's
+  /// RunTask, keeping error routing identical to the serial build's.
+  std::unique_ptr<BuildPipeline> MakeBuildPipeline(int pool_workers) const;
 
   /// Builds one plan instance restricted to `morsel` (which must be
   /// kChunkPositions-aligned at its begin, per MorselSource). `shared` is

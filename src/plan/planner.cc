@@ -439,5 +439,28 @@ Result<std::unique_ptr<Plan>> BuildJoinPlan(const JoinQuery& query,
   return plan;
 }
 
+Result<std::unique_ptr<Plan>> BuildSortPlan(const SortQuery& query,
+                                            Strategy strategy,
+                                            const PlanConfig& config) {
+  if (query.sort_index >= query.selection.columns.size()) {
+    return Status::InvalidArgument("sort column index out of range");
+  }
+  // The sort consumes the ordinary selection pipeline (any strategy,
+  // morsel-restricted, write-state merged) and re-orders its rows.
+  CSTORE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Plan> plan,
+      BuildSelectionPlan(query.selection, strategy, config));
+  exec::SortOp::Spec spec;
+  spec.input = plan->root();
+  spec.sort_slot = query.sort_index;
+  spec.desc = query.desc;
+  spec.limit = query.limit;
+  exec::SortOp* root =
+      plan->Own(std::make_unique<exec::SortOp>(spec, &plan->stats()));
+  plan->SetRoot(root);
+  plan->SetSortOp(root);
+  return plan;
+}
+
 }  // namespace plan
 }  // namespace cstore

@@ -9,6 +9,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "exec/sort.h"
 #include "obs/profile.h"
 #include "plan/query.h"
 #include "plan/strategy.h"
@@ -43,6 +44,12 @@ class Plan {
   /// as final. Null for other plans.
   void SetAggOp(exec::GroupAggOp* op) { agg_op_ = op; }
   exec::GroupAggOp* agg_op() const { return agg_op_; }
+
+  /// For sort plans: the root sort operator, so the parallel executor can
+  /// collect per-morsel sorted runs (and suppress the per-instance final
+  /// emit) for the finalize k-way merge. Null for other plans.
+  void SetSortOp(exec::SortOp* op) { sort_op_ = op; }
+  exec::SortOp* sort_op() const { return sort_op_; }
 
   /// Attaches a fresh OpProbe to every owned operator (EXPLAIN ANALYZE).
   /// Call once, after the plan is fully built and before any Next().
@@ -87,6 +94,7 @@ class Plan {
   std::vector<exec::OpProbe> tuple_probes_;
   exec::TupleOp* root_ = nullptr;
   exec::GroupAggOp* agg_op_ = nullptr;
+  exec::SortOp* sort_op_ = nullptr;
   exec::ExecStats stats_;
 };
 
@@ -123,6 +131,15 @@ Result<exec::JoinBuildTable::Spec> JoinBuildSpec(const JoinQuery& query,
 Result<std::unique_ptr<Plan>> BuildJoinPlan(
     const JoinQuery& query, exec::JoinRightMode mode,
     const PlanConfig& config, const exec::JoinBuildTable* shared = nullptr);
+
+/// Builds the sort plan: the selection pipeline (under `strategy`, restricted
+/// to config.scan_range like any scan) feeding a SortOp that orders rows by
+/// (sort column, then position) — a total order, so output is deterministic
+/// even among duplicate keys — and applies the LIMIT. The parallel executor
+/// disables the op's final emit and k-way merges per-morsel runs instead.
+Result<std::unique_ptr<Plan>> BuildSortPlan(const SortQuery& query,
+                                            Strategy strategy,
+                                            const PlanConfig& config);
 
 }  // namespace plan
 }  // namespace cstore

@@ -58,6 +58,20 @@ struct JoinQuery {
   std::shared_ptr<const write::WriteSnapshot> right_snapshot;
 };
 
+/// SELECT col_1, ..., col_k FROM projection WHERE ... ORDER BY col_s
+/// [ASC|DESC] [LIMIT n] — the selection's rows, totally ordered by
+/// (sort column, then position) so the output is deterministic even
+/// among ties, optionally truncated to the first `limit` rows.
+struct SortQuery {
+  SelectionQuery selection;
+  // Index into selection.columns of the sort column.
+  uint32_t sort_index = 0;
+  bool desc = false;
+  // 0 = no LIMIT. With a limit, per-morsel runs keep only their top n
+  // rows (heap-based Top-N) before the finalize merge.
+  uint64_t limit = 0;
+};
+
 /// Plan-construction knobs.
 struct PlanConfig {
   // Attach mini-columns to DS1 outputs (the multi-column optimization of
@@ -84,6 +98,12 @@ struct PlanConfig {
   // to hand one morsel to one plan instance. `begin` must be
   // kChunkPositions-aligned; the default covers the whole column.
   position::Range scan_range = exec::kFullScanRange;
+  // Radix partitioning of the join hash build on the scheduler pool:
+  // -1 (auto) picks from the inner-side size and the pool width, 0 forces
+  // the single serial build task, k > 0 forces 1 << k partitions. Results
+  // are bit-identical across every setting — only the phase shape changes
+  // (N partition-scan tasks, a barrier, 1 << k build tasks, a merge).
+  int radix_bits = -1;
 
   // --- Write-store snapshot ----------------------------------------------
   // When set, the built plan sees exactly this snapshot's state: scans mask

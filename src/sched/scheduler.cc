@@ -7,6 +7,7 @@
 #include "exec/aggregate.h"
 #include "exec/chunk_pool.h"
 #include "exec/morsel_source.h"
+#include "exec/sort.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
@@ -95,6 +96,8 @@ const char* PlanKindName(plan::PlanTemplate::Kind kind) {
       return "agg";
     case plan::PlanTemplate::Kind::kJoin:
       return "join";
+    case plan::PlanTemplate::Kind::kSort:
+      return "sort";
   }
   return "?";
 }
@@ -136,17 +139,25 @@ struct QueryState {
 
   // Work distribution. Empty scans are one indivisible task; everything
   // else claims chunk-aligned morsels from the source. Two-phase queries
-  // (joins) additionally dispatch one serial build task before any morsel:
-  // the phase dependency below gates morsel claims on build_done.
+  // (joins) additionally run their BuildPipeline's staged tasks before any
+  // morsel: the phase dependency below gates morsel claims on build_done.
   std::unique_ptr<exec::MorselSource> source;
   bool single_task = false;
   bool single_claimed = false;  // guarded by Scheduler::mu_
   bool needs_build = false;     // template has a build phase
-  bool build_claimed = false;   // guarded by mu_
-  bool build_done = false;      // guarded by mu_; set before morsel claims
-  int in_flight = 0;            // claimed but not completed; guarded by mu_
-  bool finalized = false;       // guarded by mu_
-  Status error;                 // first failure; guarded by mu_
+  // Build-pipeline dispatch state (all guarded by mu_ except `pipeline`
+  // itself, which is created at submit and immutable as a pointer; its
+  // *task state* is touched lock-free — distinct (stage, task) pairs are
+  // disjoint by the pipeline contract, and stage barriers order them).
+  std::unique_ptr<plan::BuildPipeline> pipeline;
+  int build_stage = 0;       // current stage
+  int build_next_task = 0;   // next unclaimed task of the stage
+  int build_stage_tasks = 0; // tasks in the current stage
+  int build_tasks_done = 0;  // completed tasks of the stage
+  bool build_done = false;   // guarded by mu_; set before morsel claims
+  int in_flight = 0;         // claimed but not completed; guarded by mu_
+  bool finalized = false;    // guarded by mu_
+  Status error;              // first failure; guarded by mu_
 
   // The build phase's product, shared read-only by every probe morsel.
   // Written by the build worker before build_done is published under mu_,
@@ -166,6 +177,10 @@ struct QueryState {
     storage::IoStats io;
     std::unique_ptr<exec::GroupAccumulator> acc;  // aggregations only
     std::vector<exec::TupleChunk> chunks;         // selections/joins w/ sink
+    std::vector<exec::TupleChunk> sort_runs;      // sorts: per-morsel runs
+    // Wall time this worker spent in build-pipeline tasks (and the finish
+    // step), summed into RunStats::build_wall_micros at finalization.
+    uint64_t phase_micros = 0;
   };
   std::vector<Partial> partials;
 
@@ -197,9 +212,12 @@ struct QueryState {
   /// claimed, or cancelled by an error). Caller holds Scheduler::mu_.
   bool DrainedLocked() const {
     if (single_task) return single_claimed;
-    // A pending (or in-flight) build phase will still release morsels —
-    // or, on failure, cancel the source — once it completes.
-    if (needs_build && !build_done) return false;
+    // A pending (or in-flight) build phase will still release morsels once
+    // it completes. On failure the remaining build tasks are never
+    // dispatched (claims return kExhausted) and the source is cancelled,
+    // so the error.ok() guard lets a failed query drain even though
+    // build_done never latches.
+    if (needs_build && !build_done && error.ok()) return false;
     return source->Exhausted();
   }
 };
@@ -300,7 +318,15 @@ QueryTicket Scheduler::Submit(const plan::PlanTemplate& tmpl,
     }
     q->source = std::make_unique<exec::MorselSource>(total, morsel);
     q->needs_build = q->tmpl.NeedsBuildPhase();
-    morsels_total = (total + morsel - 1) / morsel + (q->needs_build ? 1 : 0);
+    uint64_t build_tasks = 0;
+    if (q->needs_build) {
+      q->pipeline = q->tmpl.MakeBuildPipeline(num_workers_);
+      q->build_stage_tasks = q->pipeline->TasksInStage(0);
+      for (int s = 0; s < q->pipeline->num_stages(); ++s) {
+        build_tasks += static_cast<uint64_t>(q->pipeline->TasksInStage(s));
+      }
+    }
+    morsels_total = (total + morsel - 1) / morsel + build_tasks;
   }
   q->timer.Restart();
   q->query_id = obs::NextQueryId();
@@ -356,10 +382,16 @@ Scheduler::Claim Scheduler::ClaimFromLocked(QueryState* q, Task* out) {
     q->single_claimed = true;
     out->morsel = exec::kFullScanRange;
   } else if (q->needs_build && !q->build_done) {
-    // Phase dependency: the serial build runs (once) before any morsel.
-    if (q->build_claimed) return Claim::kWaiting;  // in flight elsewhere
-    q->build_claimed = true;
+    // Phase dependency: the pipeline's stage tasks run before any morsel
+    // (and the next stage's tasks only after this stage's barrier drops).
+    // A failed query dispatches nothing further.
+    if (!q->error.ok()) return Claim::kExhausted;
+    if (q->build_next_task >= q->build_stage_tasks) {
+      return Claim::kWaiting;  // stage fully claimed, not yet complete
+    }
     out->build = true;
+    out->build_stage = q->build_stage;
+    out->build_task = q->build_next_task++;
     out->morsel = exec::kFullScanRange;
   } else {
     position::Range morsel;
@@ -399,7 +431,9 @@ Scheduler::Claim Scheduler::PeekClaimLocked(
                                                  : Claim::kClaimed;
   }
   if (q->needs_build && !q->build_done) {
-    return q->build_claimed ? Claim::kWaiting : Claim::kClaimed;
+    if (!q->error.ok()) return Claim::kExhausted;
+    return q->build_next_task >= q->build_stage_tasks ? Claim::kWaiting
+                                                      : Claim::kClaimed;
   }
   return q->source->Exhausted() ? Claim::kExhausted : Claim::kClaimed;
 }
@@ -516,12 +550,35 @@ void Scheduler::WorkerLoop(int worker_id) {
       QueryState* q = task.query.get();
       --q->in_flight;
       if (task.build) {
-        // Build barrier drops: morsels are claimable from here on (or, if
-        // the build failed, the cancelled source drains the query). Wake
-        // the pool — idle workers may be sleeping on an all-waiting
-        // rotation.
-        q->build_done = true;
-        cv_.notify_all();
+        ++q->build_tasks_done;
+        const bool stage_complete =
+            q->build_tasks_done == q->build_stage_tasks;
+        if (stage_complete && q->error.ok()) {
+          if (q->build_stage + 1 < q->pipeline->num_stages()) {
+            // Stage barrier drops: the next stage's tasks are claimable.
+            // Wake the pool — idle workers may be sleeping on an
+            // all-waiting rotation.
+            ++q->build_stage;
+            q->build_next_task = 0;
+            q->build_tasks_done = 0;
+            q->build_stage_tasks = q->pipeline->TasksInStage(q->build_stage);
+            cv_.notify_all();
+          } else {
+            // Last stage's barrier: merge and publish the product off-lock
+            // on this worker (no claims can race — morsels stay gated on
+            // build_done, and the stage has no unclaimed tasks left), then
+            // drop the build barrier for good.
+            lock.unlock();
+            FinishBuild(worker_id, task.query);
+            lock.lock();
+            q->build_done = true;
+            cv_.notify_all();
+          }
+        } else if (stage_complete) {
+          // Failed mid-phase: nothing more dispatches (claims return
+          // kExhausted); wake sleepers so the query is pruned & finalized.
+          cv_.notify_all();
+        }
       }
       finalize = !q->finalized && q->in_flight == 0 && q->DrainedLocked();
       if (finalize) q->finalized = true;
@@ -562,23 +619,27 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
   }
 
   if (task.build) {
-    // Phase one: the serial hash build. Its product is published to
-    // shared_build before WorkerLoop marks build_done under mu_, so every
-    // probe morsel (claimed only after that) reads it race-free.
-    obs::SpanTimer span("join_build", "sched");
+    // One (stage, task) unit of the build pipeline. Stage barriers order
+    // the stages; the finished product is published by FinishBuild before
+    // WorkerLoop marks build_done under mu_, so every probe morsel
+    // (claimed only after that) reads it race-free.
+    obs::SpanTimer span(q->pipeline->StageName(task.build_stage), "sched");
     span.Arg("query", static_cast<int64_t>(q->trace_id));
     span.Arg("worker", worker_id);
-    Result<std::shared_ptr<const exec::JoinBuildTable>> table =
-        q->tmpl.BuildShared(&partial.exec);
-    if (!table.ok()) {
-      FailQuery(q, table.status());
-      return;
-    }
-    q->shared_build = std::move(*table);
+    span.Arg("task", task.build_task);
+    Stopwatch phase_timer;
+    Status st =
+        q->pipeline->RunTask(task.build_stage, task.build_task, &partial.exec);
+    partial.phase_micros += static_cast<uint64_t>(phase_timer.ElapsedMicros());
+    if (!st.ok()) FailQuery(q, st);
     return;
   }
 
-  obs::SpanTimer span("morsel", "exec");
+  const bool is_agg = q->tmpl.kind == plan::PlanTemplate::Kind::kAgg;
+  const bool is_sort = q->tmpl.kind == plan::PlanTemplate::Kind::kSort;
+  // Sort morsels are run formation, not plain scans — named apart so traces
+  // show the two-phase shape (runs here, "sort_merge" at finalization).
+  obs::SpanTimer span(is_sort ? "sort_run" : "morsel", "exec");
   span.Arg("query", static_cast<int64_t>(q->trace_id));
   span.Arg("begin", static_cast<int64_t>(task.morsel.begin));
   span.Arg("end", static_cast<int64_t>(task.morsel.end));
@@ -593,12 +654,14 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
   }
   plan::Plan* plan = plan_or->get();
   if (q->tmpl.config.profile) plan->EnableProfiling();
-  const bool is_agg = q->tmpl.kind == plan::PlanTemplate::Kind::kAgg;
   // Aggregate instances only accumulate; the merged groups are emitted once
-  // at finalization (and counted as constructed tuples there).
+  // at finalization (and counted as constructed tuples there). Sort
+  // instances likewise only form their run — emission happens at the
+  // finalize merge, the single point that knows the global order.
   if (is_agg) plan->agg_op()->DisableFinalEmit();
-  const bool buffer_output = !is_agg && q->sink != nullptr;
-  const bool stream_output = !is_agg && q->stream_sink != nullptr;
+  if (is_sort) plan->sort_op()->DisableFinalEmit();
+  const bool buffer_output = !is_agg && !is_sort && q->sink != nullptr;
+  const bool stream_output = !is_agg && !is_sort && q->stream_sink != nullptr;
   // Scratch chunk recycled across morsels: a warmed worker drains its plan
   // through a buffer whose capacity survived previous tasks.
   exec::PooledChunk chunk_handle = exec::AcquireChunk(&partial.exec);
@@ -629,6 +692,31 @@ void Scheduler::RunTask(int worker_id, const Task& task) {
     }
     partial.acc->MergeFrom(plan->agg_op()->accumulator());
   }
+  if (is_sort) {
+    exec::TupleChunk run = plan->sort_op()->TakeRun();
+    if (!run.empty()) partial.sort_runs.push_back(std::move(run));
+  }
+}
+
+void Scheduler::FinishBuild(int worker_id,
+                            const std::shared_ptr<QueryState>& qp) {
+  QueryState* q = qp.get();
+  QueryState::Partial& partial = q->partials[worker_id];
+  storage::BufferPool::ScopedIoAttribution attribution(&partial.io);
+  obs::SpanTimer span(q->pipeline->FinishName(), "sched");
+  span.Arg("query", static_cast<int64_t>(q->trace_id));
+  span.Arg("worker", worker_id);
+  Stopwatch phase_timer;
+  Result<std::shared_ptr<const exec::JoinBuildTable>> table =
+      q->pipeline->Finish(&partial.exec);
+  partial.phase_micros += static_cast<uint64_t>(phase_timer.ElapsedMicros());
+  if (!table.ok()) {
+    FailQuery(q, table.status());
+    return;
+  }
+  // Published before build_done is set under mu_ by the caller, so probe
+  // morsels (claimed only after that) read it race-free.
+  q->shared_build = std::move(*table);
 }
 
 void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
@@ -647,14 +735,17 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
   }
   uint64_t checksum = 0;
   uint64_t tuples = 0;
+  uint64_t build_micros = 0;
   exec::ExecStats exec_total;
   storage::IoStats io_total;
   for (const QueryState::Partial& p : q->partials) {
     checksum += p.checksum;
     tuples += p.tuples;
+    build_micros += p.phase_micros;
     exec_total.Merge(p.exec);
     io_total += p.io;
   }
+  result.stats.build_wall_micros = build_micros;
   if (result.status.ok() && !q->job) {
     if (q->tmpl.kind == plan::PlanTemplate::Kind::kAgg) {
       exec::GroupAccumulator merged(q->tmpl.agg.func);
@@ -668,6 +759,37 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
       exec_total.tuples_constructed += out.num_tuples();
       if (q->sink) q->sink(out);
       if (q->stream_sink && !out.empty()) q->stream_sink(out);
+    } else if (q->tmpl.kind == plan::PlanTemplate::Kind::kSort) {
+      // K-way merge of the per-morsel sorted runs: the single ordered
+      // emission point, so sorted output (rows *and* their order) is
+      // identical for every worker count. A streaming consumer declining a
+      // chunk mid-merge cancels the query cleanly — remaining rows are
+      // dropped and the ticket resolves Cancelled.
+      obs::SpanTimer merge_span("sort_merge", "sched");
+      merge_span.Arg("query", static_cast<int64_t>(q->trace_id));
+      Stopwatch merge_timer;
+      std::vector<const exec::TupleChunk*> runs;
+      for (const QueryState::Partial& p : q->partials) {
+        for (const exec::TupleChunk& run : p.sort_runs) runs.push_back(&run);
+      }
+      tuples = 0;
+      checksum = 0;
+      const bool kept = exec::MergeSortedRuns(
+          runs, q->tmpl.sort.sort_index, q->tmpl.sort.desc, q->tmpl.sort.limit,
+          /*chunk_rows=*/8192, [&](exec::TupleChunk& out) {
+            checksum += plan::ChunkDigest(out);
+            tuples += out.num_tuples();
+            exec_total.tuples_constructed += out.num_tuples();
+            if (q->sink) q->sink(out);
+            if (q->stream_sink && !out.empty()) return q->stream_sink(out);
+            return true;
+          });
+      if (!kept) {
+        result.status =
+            Status::Cancelled("stream consumer cancelled the query");
+      }
+      result.stats.merge_wall_micros =
+          static_cast<uint64_t>(merge_timer.ElapsedMicros());
     } else if (q->sink) {
       // Per-worker buffers concatenated once, in worker order — the sink
       // sees bag semantics without ever having serialized the workers.
@@ -700,8 +822,9 @@ void Scheduler::Finalize(const std::shared_ptr<QueryState>& q) {
     e.query_id = q->query_id;
     e.label = q->label;
     e.strategy = q->job ? "job"
-                 : q->tmpl.kind == plan::PlanTemplate::Kind::kJoin
-                     ? "join"
+                 : q->tmpl.kind == plan::PlanTemplate::Kind::kJoin ? "join"
+                 : q->tmpl.kind == plan::PlanTemplate::Kind::kSort
+                     ? "sort"
                      : plan::StrategyName(q->tmpl.strategy);
     e.status = result.status.ok()          ? "ok"
                : result.status.IsCancelled() ? "cancelled"

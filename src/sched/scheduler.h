@@ -15,13 +15,17 @@
 //     with priority p takes p consecutive morsels per rotation, default 1),
 //     so K queries interleave instead of queueing behind each other. Empty
 //     scans are single-task queries occupying one worker.
-//   * Two-phase queries (joins, and any future build/probe or sort
-//     operator) carry a lightweight intra-query phase dependency: the
-//     template's serial *build* task is dispatched first, and the query's
-//     morsels become runnable only once it completes (a build barrier).
-//     While one query's build is in flight the rotation simply skips it —
-//     other queries' morsels keep the pool busy, so the barrier costs the
-//     query latency, never the pool throughput.
+//   * Two-phase queries carry a lightweight intra-query phase dependency.
+//     Joins run their template's BuildPipeline first: each stage's tasks
+//     are dispatched like morsels (claimed by any worker, concurrently),
+//     a barrier separates consecutive stages, and after the last stage the
+//     finishing worker merges/publishes the product; only then do the
+//     query's probe morsels become runnable. The PR-5 serial build is the
+//     one-stage/one-task special case. Sorts invert the shape: every
+//     morsel forms a sorted run, and finalization k-way merges the runs.
+//     While one query's phase tasks are exhausted-but-incomplete the
+//     rotation simply skips it — other queries' morsels keep the pool
+//     busy, so barriers cost the query latency, never the pool throughput.
 //   * Results merge exactly as in the single-query executor: per-(query,
 //     worker) partials — checksum, tuple counts, ExecStats, aggregation
 //     accumulators, buffered output chunks — are combined once when the
@@ -210,9 +214,12 @@ class Scheduler {
   struct Task {
     std::shared_ptr<internal::QueryState> query;
     position::Range morsel;
-    // Phase-one task of a two-phase query (the serial hash build); its
-    // completion unblocks the query's morsel claims.
+    // Build-phase task of a two-phase query: one (stage, task) unit of its
+    // BuildPipeline. The last stage's completion (plus the finish/merge
+    // step) unblocks the query's morsel claims.
     bool build = false;
+    int build_stage = 0;
+    int build_task = 0;
   };
 
   /// What a query had to offer when a worker asked it for work.
@@ -237,6 +244,11 @@ class Scheduler {
   Claim PeekClaimLocked(const internal::QueryState* q) const;
   /// Executes one morsel into the worker's partial. Lock-free.
   void RunTask(int worker_id, const Task& task);
+  /// Runs the build pipeline's Finish (merge/publish) step off-lock, after
+  /// the last stage's barrier. Called by the worker that completed the
+  /// stage's final task.
+  void FinishBuild(int worker_id,
+                   const std::shared_ptr<internal::QueryState>& q);
   void FailQuery(internal::QueryState* q, const Status& status);
   /// Merges partials, runs the sink, fills the ticket. Called exactly once
   /// per query, off the scheduler lock.

@@ -3,6 +3,7 @@
 //   SELECT item [, item]* FROM table
 //   [WHERE cond [AND cond]*]
 //   [GROUP BY column]
+//   [ORDER BY column [ASC | DESC] [LIMIT n]]
 //
 //   INSERT INTO table VALUES (literal [, literal]*) [, (...)]*
 //   DELETE FROM table [WHERE cond [AND cond]*]
@@ -65,6 +66,11 @@ struct ParsedQuery {
   std::string table;
   std::vector<Condition> conditions;
   std::optional<std::string> group_by;
+  // ORDER BY column [ASC|DESC] [LIMIT n]. LIMIT parses only with ORDER BY
+  // (an unordered LIMIT would be nondeterministic under parallel scans).
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  uint64_t limit = 0;  // 0 = no LIMIT
 };
 
 /// INSERT INTO table VALUES (...), (...): rows in table column order.

@@ -19,6 +19,8 @@ const std::unordered_map<std::string, TokenType>& Keywords() {
       {"select", TokenType::kSelect}, {"from", TokenType::kFrom},
       {"where", TokenType::kWhere},   {"and", TokenType::kAnd},
       {"group", TokenType::kGroup},   {"by", TokenType::kBy},
+      {"order", TokenType::kOrder},   {"asc", TokenType::kAsc},
+      {"desc", TokenType::kDesc},     {"limit", TokenType::kLimit},
       {"between", TokenType::kBetween},
       {"sum", TokenType::kSum},       {"count", TokenType::kCount},
       {"min", TokenType::kMin},       {"max", TokenType::kMax},
@@ -54,6 +56,10 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kAnd: return "AND";
     case TokenType::kGroup: return "GROUP";
     case TokenType::kBy: return "BY";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kLimit: return "LIMIT";
     case TokenType::kBetween: return "BETWEEN";
     case TokenType::kSum: return "SUM";
     case TokenType::kCount: return "COUNT";

@@ -1,8 +1,9 @@
 // SQL lexer for the warehouse-query dialect the paper's workloads use.
 //
-// Token classes: keywords (SELECT, FROM, WHERE, AND, GROUP, BY, BETWEEN,
-// aggregate function names), identifiers, integer literals, quoted date
-// literals ('YYYY-MM-DD'), comparison operators and punctuation.
+// Token classes: keywords (SELECT, FROM, WHERE, AND, GROUP, BY, ORDER,
+// ASC, DESC, LIMIT, BETWEEN, aggregate function names), identifiers,
+// integer literals, quoted date literals ('YYYY-MM-DD'), comparison
+// operators and punctuation.
 
 #ifndef CSTORE_SQL_LEXER_H_
 #define CSTORE_SQL_LEXER_H_
@@ -36,6 +37,10 @@ enum class TokenType {
   kAnd,
   kGroup,
   kBy,
+  kOrder,
+  kAsc,
+  kDesc,
+  kLimit,
   kBetween,
   kSum,
   kCount,

@@ -67,6 +67,28 @@ class Parser {
       CSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
       q->group_by = std::move(col);
     }
+    if (Accept(TokenType::kOrder)) {
+      CSTORE_RETURN_IF_ERROR(Expect(TokenType::kBy));
+      CSTORE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      q->order_by = std::move(col);
+      if (Accept(TokenType::kDesc)) {
+        q->order_desc = true;
+      } else {
+        Accept(TokenType::kAsc);  // ASC is the default, token optional
+      }
+      if (Accept(TokenType::kLimit)) {
+        if (Peek().type != TokenType::kInteger || Peek().number <= 0) {
+          return Status::InvalidArgument(
+              "LIMIT expects a positive integer at offset " +
+              std::to_string(Peek().offset));
+        }
+        q->limit = static_cast<uint64_t>(Peek().number);
+        ++pos_;
+      }
+    } else if (Peek().type == TokenType::kLimit) {
+      return Status::InvalidArgument(
+          "LIMIT requires ORDER BY (an unordered LIMIT is nondeterministic)");
+    }
     return Status::OK();
   }
 

@@ -299,6 +299,36 @@ TEST_F(JoinTest, ParallelJoinBitIdenticalAcrossWorkers) {
   }
 }
 
+TEST_F(JoinTest, RadixBuildBitIdenticalToSerial) {
+  // Inner side spans several chunk windows, so the radix pipeline runs
+  // multiple partition tasks; every radix_bits setting must reproduce the
+  // serial (radix_bits=0) result bit for bit at every worker count.
+  Tables t = MakeTables(260000, 150000, 41);
+  t.query.left_pred = Predicate::LessThan(70000);
+  for (JoinRightMode mode : kAllModes) {
+    plan::PlanConfig serial_config = JoinWorkerConfig(1);
+    serial_config.radix_bits = 0;
+    auto serial = db_->RunJoin(t.query, mode, serial_config);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int bits : {-1, 0, 2, 4}) {
+      for (int workers : kWorkerCounts) {
+        plan::PlanConfig config = JoinWorkerConfig(workers);
+        config.radix_bits = bits;
+        auto r = db_->RunJoin(t.query, mode, config);
+        ASSERT_TRUE(r.ok())
+            << JoinRightModeName(mode) << " bits=" << bits
+            << " workers=" << workers << ": " << r.status().ToString();
+        EXPECT_EQ(r->stats.checksum, serial->stats.checksum)
+            << JoinRightModeName(mode) << " bits=" << bits
+            << " workers=" << workers;
+        EXPECT_EQ(r->stats.output_tuples, serial->stats.output_tuples)
+            << JoinRightModeName(mode) << " bits=" << bits
+            << " workers=" << workers;
+      }
+    }
+  }
+}
+
 TEST_F(JoinTest, PooledSchedulerJoinMatchesSerial) {
   // The shared-scheduler path: the build barrier runs as a phase-one task,
   // probe morsels interleave with a concurrent selection on one pool.
@@ -529,6 +559,85 @@ TEST_F(JoinWriteTest, JoinUnderWritesMatchesBruteForce) {
     auto expected =
         RefJoin(orders, customer, static_cast<Value>(n_cust + 500));
     EXPECT_EQ(r.stats.output_tuples, expected.size());
+  }
+}
+
+TEST_F(JoinWriteTest, RadixBuildUnderWritesMatchesSerial) {
+  // Radix partitioning must see exactly what the serial build sees: the
+  // inner read store, the snapshot's write-store tail, and its delete mask.
+  const size_t n_orders = 2 * kChunkPositions;
+  const size_t n_cust = 5000;
+  Random rng(53);
+  RefRows orders;
+  RefRows customer;
+  for (size_t i = 0; i < n_cust; ++i) {
+    customer.Append(static_cast<Value>(i + 1),
+                    static_cast<Value>(rng.Uniform(25)));
+  }
+  for (size_t i = 0; i < n_orders; ++i) {
+    orders.Append(static_cast<Value>(
+                      rng.UniformRange(1, static_cast<int64_t>(n_cust))),
+                  static_cast<Value>(rng.Uniform(3000)));
+  }
+  MakeWritableTable("jr_orders", orders.key, orders.payload);
+  MakeWritableTable("jr_customer", customer.key, customer.payload);
+
+  // Tail inserts on the inner side (some fresh keys) plus deletes hitting
+  // both the read store and the tail.
+  {
+    std::vector<std::vector<Value>> rows;
+    for (size_t i = 0; i < 400; ++i) {
+      Value k = static_cast<Value>(n_cust + 1 + i);
+      Value p = static_cast<Value>(500 + i % 11);
+      rows.push_back({k, p});
+      customer.Append(k, p);
+    }
+    ASSERT_OK(db_->Insert("jr_customer", rows));
+  }
+  ASSERT_OK(db_->DeleteWhere("jr_customer",
+                             {{"key", Predicate::Equal(23)}}).status());
+  customer.DeleteWhereKeyEq(23);
+  ASSERT_OK(db_->DeleteWhere(
+                    "jr_customer",
+                    {{"key", Predicate::Equal(static_cast<Value>(n_cust +
+                                                                 50))}})
+                .status());
+  customer.DeleteWhereKeyEq(static_cast<Value>(n_cust + 50));
+
+  plan::JoinQuery q;
+  ASSERT_OK_AND_ASSIGN(q.left_key, db_->GetColumn("jr_orders_key"));
+  ASSERT_OK_AND_ASSIGN(q.left_payload, db_->GetColumn("jr_orders_payload"));
+  ASSERT_OK_AND_ASSIGN(q.right_key, db_->GetColumn("jr_customer_key"));
+  ASSERT_OK_AND_ASSIGN(q.right_payload,
+                       db_->GetColumn("jr_customer_payload"));
+  ASSERT_OK_AND_ASSIGN(auto orders_snap, db_->SnapshotTable("jr_orders"));
+  ASSERT_OK_AND_ASSIGN(q.right_snapshot, db_->SnapshotTable("jr_customer"));
+  const Value x = static_cast<Value>(n_cust + 401);
+  q.left_pred = Predicate::LessThan(x);
+  auto expected = RefJoin(orders, customer, x);
+  ASSERT_GT(expected.size(), 0u);
+
+  for (JoinRightMode mode : kAllModes) {
+    plan::PlanConfig serial_config = JoinWorkerConfig(1);
+    serial_config.snapshot = orders_snap;
+    serial_config.radix_bits = 0;
+    ASSERT_OK_AND_ASSIGN(auto serial, db_->RunJoin(q, mode, serial_config));
+    EXPECT_EQ(serial.stats.output_tuples, expected.size())
+        << JoinRightModeName(mode);
+    for (int bits : {2, 4}) {
+      for (int workers : {2, 4}) {
+        plan::PlanConfig config = JoinWorkerConfig(workers);
+        config.snapshot = orders_snap;
+        config.radix_bits = bits;
+        ASSERT_OK_AND_ASSIGN(auto r, db_->RunJoin(q, mode, config));
+        EXPECT_EQ(r.stats.checksum, serial.stats.checksum)
+            << JoinRightModeName(mode) << " bits=" << bits
+            << " workers=" << workers;
+        EXPECT_EQ(r.stats.output_tuples, serial.stats.output_tuples)
+            << JoinRightModeName(mode) << " bits=" << bits
+            << " workers=" << workers;
+      }
+    }
   }
 }
 

@@ -1,0 +1,343 @@
+// Sort / ORDER BY tests: the two-phase SortOp (morsel-local run formation +
+// k-way merge) must emit exactly the brute-force ordering — (key, position)
+// is a total order, so the result is one deterministic sequence, not a bag —
+// at every worker count, with and without LIMIT, over plain, dictionary-
+// encoded, and write-carrying (tail + deletes) tables. A streaming consumer
+// that drops its cursor mid-merge must cancel the query cleanly.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/connection.h"
+#include "db/database.h"
+#include "exec/sort.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace cstore {
+namespace {
+
+using codec::Encoding;
+using testing::TempDir;
+
+class SortTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Database::Options opts;
+    opts.dir = dir_.path();
+    opts.pool_frames = 2048;
+    ASSERT_OK_AND_ASSIGN(db_, db::Database::Open(opts));
+  }
+
+  /// Registers a two-column table (a, b) backed by the given encodings.
+  void MakeTable(const std::string& name, const std::vector<Value>& a,
+                 const std::vector<Value>& b, Encoding ea, Encoding eb) {
+    ASSERT_OK(db_->CreateColumn(name + ".a", ea, a));
+    ASSERT_OK(db_->CreateColumn(name + ".b", eb, b));
+    ASSERT_OK(db_->RegisterTable(name,
+                                 {{"a", name + ".a"}, {"b", name + ".b"}}));
+  }
+
+  /// Brute-force reference: rows of `cols` (parallel vectors) surviving
+  /// `keep`, sorted by (cols[key_col], original position), optionally
+  /// truncated to `limit`. Returned as rows in output order.
+  static std::vector<std::vector<Value>> Reference(
+      const std::vector<std::vector<Value>>& cols, size_t key_col, bool desc,
+      uint64_t limit, const std::vector<bool>* keep = nullptr) {
+    std::vector<size_t> order;
+    for (size_t i = 0; i < cols[0].size(); ++i) {
+      if (keep == nullptr || (*keep)[i]) order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      Value kx = cols[key_col][x];
+      Value ky = cols[key_col][y];
+      if (kx != ky) return desc ? kx > ky : kx < ky;
+      return x < y;  // position breaks ties — the operator's total order
+    });
+    if (limit > 0 && order.size() > limit) order.resize(limit);
+    std::vector<std::vector<Value>> rows;
+    for (size_t i : order) {
+      std::vector<Value> row;
+      for (const auto& c : cols) row.push_back(c[i]);
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  static std::vector<std::vector<Value>> Rows(const api::QueryResult& r) {
+    std::vector<std::vector<Value>> rows;
+    for (size_t i = 0; i < r.tuples.num_tuples(); ++i) {
+      std::vector<Value> row;
+      for (uint32_t c = 0; c < r.tuples.width(); ++c) {
+        row.push_back(r.tuples.value(i, c));
+      }
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<db::Database> db_;
+};
+
+TEST(SortRowLessTest, TotalOrderBreaksTiesByPosition) {
+  EXPECT_TRUE(exec::SortRowLess(1, 9, 2, 0, /*desc=*/false));
+  EXPECT_TRUE(exec::SortRowLess(2, 9, 1, 0, /*desc=*/true));
+  // Equal keys: position decides, in both directions.
+  EXPECT_TRUE(exec::SortRowLess(5, 3, 5, 7, /*desc=*/false));
+  EXPECT_TRUE(exec::SortRowLess(5, 3, 5, 7, /*desc=*/true));
+  EXPECT_FALSE(exec::SortRowLess(5, 7, 5, 3, /*desc=*/false));
+}
+
+TEST(SortParserTest, OrderByLimitForms) {
+  ASSERT_OK_AND_ASSIGN(sql::ParsedQuery q,
+                       sql::Parse("SELECT a FROM t ORDER BY b"));
+  ASSERT_TRUE(q.order_by.has_value());
+  EXPECT_EQ(*q.order_by, "b");
+  EXPECT_FALSE(q.order_desc);
+  EXPECT_EQ(q.limit, 0u);
+
+  ASSERT_OK_AND_ASSIGN(
+      q, sql::Parse("SELECT a FROM t ORDER BY a DESC LIMIT 10"));
+  EXPECT_TRUE(q.order_desc);
+  EXPECT_EQ(q.limit, 10u);
+
+  ASSERT_OK_AND_ASSIGN(q, sql::Parse("SELECT a FROM t ORDER BY a ASC"));
+  EXPECT_FALSE(q.order_desc);
+
+  // LIMIT without ORDER BY would be nondeterministic under parallel scans.
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t LIMIT 5").ok());
+  // LIMIT must be a positive integer.
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t ORDER BY a LIMIT 0").ok());
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t ORDER BY a LIMIT -3").ok());
+}
+
+TEST_F(SortTest, OrderByMatchesBruteForce) {
+  const size_t n = 50000;
+  Random rng(101);
+  std::vector<Value> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(rng.Uniform(1000000)));
+    // Narrow domain → plenty of duplicate keys, exercising the positional
+    // tie break.
+    b.push_back(static_cast<Value>(rng.Uniform(200)));
+  }
+  MakeTable("s1", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+  api::Connection conn(db_.get());
+
+  for (bool desc : {false, true}) {
+    std::string sql = std::string("SELECT a, b FROM s1 ORDER BY b") +
+                      (desc ? " DESC" : "");
+    ASSERT_OK_AND_ASSIGN(api::QueryResult r, conn.Query(sql));
+    EXPECT_EQ(Rows(r), Reference({a, b}, 1, desc, 0)) << sql;
+  }
+  // With a WHERE clause in front of the sort.
+  {
+    std::vector<bool> keep(n);
+    std::vector<std::vector<Value>> filtered_cols(2);
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] < 500000) {
+        filtered_cols[0].push_back(a[i]);
+        filtered_cols[1].push_back(b[i]);
+      }
+    }
+    ASSERT_OK_AND_ASSIGN(
+        api::QueryResult r,
+        conn.Query("SELECT a, b FROM s1 WHERE a < 500000 ORDER BY b"));
+    EXPECT_EQ(Rows(r), Reference(filtered_cols, 1, false, 0));
+  }
+}
+
+TEST_F(SortTest, TopNLimitIncludingTies) {
+  const size_t n = 30000;
+  Random rng(103);
+  std::vector<Value> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(i));
+    b.push_back(static_cast<Value>(rng.Uniform(50)));  // heavy ties
+  }
+  MakeTable("s2", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+  api::Connection conn(db_.get());
+  for (uint64_t limit : {uint64_t{1}, uint64_t{7}, uint64_t{100},
+                         uint64_t{n + 5}}) {
+    for (bool desc : {false, true}) {
+      std::string sql = "SELECT a, b FROM s2 ORDER BY b" +
+                        std::string(desc ? " DESC" : "") + " LIMIT " +
+                        std::to_string(limit);
+      ASSERT_OK_AND_ASSIGN(api::QueryResult r, conn.Query(sql));
+      // The LIMIT prefix of the full deterministic ordering — ties resolve
+      // by position, so even a cut through a tie group is exact.
+      EXPECT_EQ(Rows(r), Reference({a, b}, 1, desc, limit)) << sql;
+    }
+  }
+}
+
+TEST_F(SortTest, OrderByDictColumnAndSortKeyNotInSelectList) {
+  const size_t n = 20000;
+  std::vector<Value> a;
+  Random rng(107);
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(rng.Uniform(100000)));
+  }
+  // Dict-encoded sort key: small distinct domain, dense ids.
+  std::vector<Value> b = testing::RunnyValues(n, 30, 4.0, 107);
+  MakeTable("s3", a, b, Encoding::kUncompressed, Encoding::kDict);
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                       conn.Query("SELECT a, b FROM s3 ORDER BY b DESC"));
+  EXPECT_EQ(Rows(r), Reference({a, b}, 1, true, 0));
+
+  // ORDER BY a column that is not projected: the sort key joins the scan,
+  // the output keeps only the select list.
+  ASSERT_OK_AND_ASSIGN(r, conn.Query("SELECT a FROM s3 ORDER BY b LIMIT 9"));
+  auto expected = Reference({a, b}, 1, false, 9);
+  ASSERT_EQ(r.tuples.num_tuples(), expected.size());
+  ASSERT_EQ(r.tuples.width(), 1u);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r.tuples.value(i, 0), expected[i][0]) << "row " << i;
+  }
+}
+
+TEST_F(SortTest, BitIdenticalAcrossWorkerCounts) {
+  // Several chunk windows so 2/4 workers genuinely form separate runs.
+  const size_t n = 4 * kChunkPositions;
+  Random rng(109);
+  std::vector<Value> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(rng.Uniform(1 << 20)));
+    b.push_back(static_cast<Value>(rng.Uniform(512)));
+  }
+  MakeTable("s4", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+
+  for (uint64_t limit : {uint64_t{0}, uint64_t{1000}}) {
+    std::vector<std::vector<Value>> serial_rows;
+    uint64_t serial_checksum = 0;
+    for (int workers : {1, 2, 4}) {
+      sched::Scheduler::Options so;
+      so.num_workers = workers;
+      sched::Scheduler scheduler(so);
+      api::Connection conn(db_.get(), &scheduler);
+      std::string sql = "SELECT a, b FROM s4 ORDER BY b";
+      if (limit > 0) sql += " LIMIT " + std::to_string(limit);
+      ASSERT_OK_AND_ASSIGN(api::QueryResult r, conn.Query(sql));
+      if (workers == 1) {
+        serial_rows = Rows(r);
+        serial_checksum = r.stats.checksum;
+        EXPECT_EQ(serial_rows.size(), limit > 0 ? limit : n);
+      } else {
+        // Same rows in the same order, and the same digest: the merge of
+        // per-worker runs reproduces the serial sequence exactly.
+        EXPECT_EQ(Rows(r), serial_rows)
+            << "workers=" << workers << " limit=" << limit;
+        EXPECT_EQ(r.stats.checksum, serial_checksum) << "workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST_F(SortTest, OrderByUnderWritesSeesTailAndDeletes) {
+  const size_t n = 10000;
+  Random rng(113);
+  std::vector<Value> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(i));
+    b.push_back(static_cast<Value>(rng.Uniform(300)));
+  }
+  MakeTable("s5", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+  // Tail inserts and deletes in both stores.
+  std::vector<std::vector<Value>> inserts;
+  for (size_t i = 0; i < 500; ++i) {
+    inserts.push_back({static_cast<Value>(n + i),
+                       static_cast<Value>(rng.Uniform(300))});
+  }
+  ASSERT_OK(db_->Insert("s5", inserts));
+  for (const auto& row : inserts) {
+    a.push_back(row[0]);
+    b.push_back(row[1]);
+  }
+  ASSERT_OK(
+      db_->DeleteWhere("s5", {{"b", codec::Predicate::Equal(7)}}).status());
+  std::vector<bool> keep(a.size());
+  for (size_t i = 0; i < a.size(); ++i) keep[i] = b[i] != 7;
+
+  api::Connection conn(db_.get());
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                       conn.Query("SELECT a, b FROM s5 ORDER BY b LIMIT 50"));
+  EXPECT_EQ(Rows(r), Reference({a, b}, 1, false, 50, &keep));
+}
+
+TEST_F(SortTest, StreamingCursorDropMidMergeCancels) {
+  const size_t n = 4 * kChunkPositions;
+  Random rng(127);
+  std::vector<Value> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(i));
+    b.push_back(static_cast<Value>(rng.Uniform(1 << 16)));
+  }
+  MakeTable("s6", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+  sched::Scheduler::Options so;
+  so.num_workers = 2;
+  sched::Scheduler scheduler(so);
+  api::Connection::Settings settings;
+  settings.stream_queue_chunks = 1;  // tiny queue: the merge must block
+  api::Connection conn(db_.get(), &scheduler, settings);
+  {
+    ASSERT_OK_AND_ASSIGN(api::RowCursor cursor,
+                         conn.Stream("SELECT a, b FROM s6 ORDER BY b"));
+    exec::TupleChunk chunk;
+    // Take one chunk of the merged stream, then drop the cursor: the
+    // destructor cancels the query and must not deadlock against the
+    // finalize merge blocked on the full queue.
+    ASSERT_OK_AND_ASSIGN(bool got, cursor.Next(&chunk));
+    ASSERT_TRUE(got);
+    ASSERT_GT(chunk.num_tuples(), 0u);
+    // First chunk of the merge is the global minimum prefix.
+    Value min_b = *std::min_element(b.begin(), b.end());
+    EXPECT_EQ(chunk.value(0, 1), min_b);
+  }
+  // The pool is healthy after the cancellation: a fresh query completes.
+  ASSERT_OK_AND_ASSIGN(api::QueryResult r,
+                       conn.Query("SELECT a, b FROM s6 ORDER BY b LIMIT 3"));
+  EXPECT_EQ(r.tuples.num_tuples(), 3u);
+}
+
+TEST_F(SortTest, OrderByOnAggregateRejected) {
+  MakeTable("s7", {1, 2, 3}, {4, 5, 6}, Encoding::kUncompressed,
+            Encoding::kUncompressed);
+  api::Connection conn(db_.get());
+  auto r = conn.Query("SELECT a, SUM(b) FROM s7 GROUP BY a ORDER BY a");
+  EXPECT_FALSE(r.ok());
+  auto r2 = conn.Query("SELECT a FROM s7 ORDER BY nosuch");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST_F(SortTest, ExplainAnalyzeReportsMergePhase) {
+  const size_t n = 2 * kChunkPositions;
+  std::vector<Value> a, b;
+  Random rng(131);
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<Value>(i));
+    b.push_back(static_cast<Value>(rng.Uniform(1000)));
+  }
+  MakeTable("s8", a, b, Encoding::kUncompressed, Encoding::kUncompressed);
+  sched::Scheduler::Options so;
+  so.num_workers = 2;
+  sched::Scheduler scheduler(so);
+  api::Connection conn(db_.get(), &scheduler);
+  ASSERT_OK_AND_ASSIGN(
+      api::QueryResult r,
+      conn.Query("EXPLAIN ANALYZE SELECT a FROM s8 ORDER BY b LIMIT 10"));
+  // The model section ranks strategies with the sort term; the actuals
+  // section reports the measured merge phase.
+  EXPECT_NE(r.explain_text.find("sort:"), std::string::npos)
+      << r.explain_text;
+  EXPECT_NE(r.explain_text.find("phases:"), std::string::npos)
+      << r.explain_text;
+}
+
+}  // namespace
+}  // namespace cstore
